@@ -1,0 +1,542 @@
+(* Benchmark harness: regenerates every table and figure of the
+   reconstructed evaluation (experiments E1..E9, see DESIGN.md), plus
+   Bechamel microbenchmarks of the performance-critical primitives.
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments, quick scale
+     EXPERIMENT=E4 dune exec bench/main.exe   # one experiment
+     SCALE=full dune exec bench/main.exe      # paper-scale durations
+     MICRO=0 dune exec bench/main.exe         # skip microbenchmarks
+
+   Absolute numbers depend on the simulated substrate; the properties
+   that must match the paper are the *shapes*: who wins, by what rough
+   factor, and where behaviour changes. Each experiment prints the
+   shape statement it is checking. *)
+
+let scale_full =
+  match Sys.getenv_opt "SCALE" with Some "full" -> true | _ -> false
+
+let wanted =
+  match Sys.getenv_opt "EXPERIMENT" with
+  | Some e -> Some (String.uppercase_ascii e)
+  | None -> None
+
+let run_micro =
+  match Sys.getenv_opt "MICRO" with Some "0" -> false | _ -> true
+
+let sec s = s * 1_000_000
+let minutes m = m * 60 * 1_000_000
+let hours h = h * 3600 * 1_000_000
+
+let section id title =
+  Printf.printf "\n%s\n%s %s — %s\n%s\n%!" (String.make 78 '=') id
+    (if scale_full then "[full scale]" else "[quick scale]")
+    title (String.make 78 '=')
+
+let shape fmt = Printf.printf ("  shape: " ^^ fmt ^^ "\n%!")
+
+let enabled id =
+  match wanted with None -> true | Some w -> String.equal w id
+
+let pct hist p = Stats.Histogram.percentile hist p
+
+let latency_row name (r : Spire.Scenarios.latency_result) =
+  let h = r.Spire.Scenarios.hist in
+  if Stats.Histogram.count h = 0 then [ name; "0"; "-"; "-"; "-"; "-"; "-"; "0" ]
+  else
+    [
+      name;
+      string_of_int r.Spire.Scenarios.confirmed;
+      Printf.sprintf "%.1f" (Stats.Histogram.mean h);
+      Printf.sprintf "%.1f" (pct h 50.);
+      Printf.sprintf "%.1f" (pct h 90.);
+      Printf.sprintf "%.1f" (pct h 99.);
+      Printf.sprintf "%.1f" (Stats.Histogram.max_value h);
+      string_of_int r.Spire.Scenarios.max_view;
+    ]
+
+let latency_columns =
+  [ "scenario"; "confirmed"; "mean ms"; "p50"; "p90"; "p99"; "max"; "views" ]
+
+(* ------------------------------------------------------------------ *)
+(* E1: configuration table                                              *)
+
+let e1 () =
+  section "E1" "Configurations: f intrusions, k recovering, 1 site loss";
+  let table =
+    Stats.Table.create ~title:"n = 3f + 2k + 1 spread so any site can be lost"
+      ~columns:[ "f"; "k"; "sites"; "n"; "quorum"; "distribution"; "site-loss ok" ]
+  in
+  List.iter
+    (fun (c : Spire.Config_calc.configuration) ->
+      Stats.Table.add_row table
+        [
+          string_of_int c.Spire.Config_calc.f;
+          string_of_int c.Spire.Config_calc.k;
+          string_of_int (List.length c.Spire.Config_calc.sites);
+          string_of_int c.Spire.Config_calc.n;
+          string_of_int
+            (Spire.Config_calc.quorum ~f:c.Spire.Config_calc.f
+               ~k:c.Spire.Config_calc.k);
+          String.concat "+"
+            (List.map
+               (fun (kind, size) ->
+                 Printf.sprintf "%d%s" size
+                   (match kind with
+                   | Spire.Config_calc.Control_center -> "cc"
+                   | Spire.Config_calc.Data_center -> "dc"))
+               c.Spire.Config_calc.sites);
+          (if Spire.Config_calc.tolerates_site_loss c then "yes" else "NO");
+        ])
+    (Spire.Config_calc.standard_table ());
+  Stats.Table.print table;
+  shape
+    "flagship f=1,k=1 over 4 sites needs exactly 6 replicas (2cc+2cc+1dc+1dc)"
+
+(* ------------------------------------------------------------------ *)
+(* E2: fault-free wide-area latency distribution                       *)
+
+let e2 () =
+  section "E2" "Fault-free wide-area deployment: update latency CDF";
+  let duration = if scale_full then hours 1 else minutes 5 in
+  let _, r = Spire.Scenarios.fault_free ~duration_us:duration () in
+  let table = Stats.Table.create ~title:"latency distribution" ~columns:latency_columns in
+  Stats.Table.add_row table (latency_row "wide-area fault-free" r);
+  Stats.Table.print table;
+  let h = r.Spire.Scenarios.hist in
+  let cdf_table =
+    Stats.Table.create ~title:"CDF (fraction of updates within bound)"
+      ~columns:[ "bound ms"; "fraction" ]
+  in
+  List.iter
+    (fun bound ->
+      Stats.Table.add_row cdf_table
+        [
+          Printf.sprintf "%.0f" bound;
+          Printf.sprintf "%.5f" (Stats.Histogram.fraction_below h bound);
+        ])
+    [ 20.; 30.; 50.; 75.; 100.; 150.; 200. ];
+  Stats.Table.print cdf_table;
+  Printf.printf "  submitted=%d confirmed=%d (%.2f%%)\n" r.Spire.Scenarios.submitted
+    r.Spire.Scenarios.confirmed
+    (100. *. float_of_int r.Spire.Scenarios.confirmed
+    /. float_of_int (max 1 r.Spire.Scenarios.submitted));
+  shape "nearly all updates within 100 ms over the wide area; no view changes"
+
+(* ------------------------------------------------------------------ *)
+(* E3: long continuous run                                             *)
+
+let e3 () =
+  section "E3" "Continuous operation (paper: 30 h); latency over time";
+  let duration = if scale_full then hours 30 else minutes 30 in
+  let _, r = Spire.Scenarios.fault_free ~duration_us:duration () in
+  let bucket = duration / 10 in
+  let table =
+    Stats.Table.create ~title:"per-interval latency (time buckets)"
+      ~columns:[ "interval start"; "updates"; "mean ms"; "max ms" ]
+  in
+  List.iter
+    (fun (start, summary) ->
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%.0f min" (float_of_int start /. 60e6);
+          string_of_int (Stats.Summary.count summary);
+          Printf.sprintf "%.1f" (Stats.Summary.mean summary);
+          Printf.sprintf "%.1f" (Stats.Summary.max_value summary);
+        ])
+    (Stats.Timeseries.bucketed r.Spire.Scenarios.series ~bucket_us:bucket);
+  Stats.Table.print table;
+  let h = r.Spire.Scenarios.hist in
+  Printf.printf "  overall: n=%d mean=%.1fms p99.9=%.1fms within-200ms=%.5f\n"
+    (Stats.Histogram.count h) (Stats.Histogram.mean h) (pct h 99.9)
+    (Stats.Histogram.fraction_below h 200.);
+  shape "flat latency profile over the whole run: no drift, no outage"
+
+(* ------------------------------------------------------------------ *)
+(* E4: leader slowdown attack, Prime vs PBFT                            *)
+
+let e4 () =
+  section "E4"
+    "Leader performance attack: Prime (bounded delay) vs PBFT baseline";
+  let duration = if scale_full then minutes 5 else sec 30 in
+  let attack_from = duration / 6 in
+  let table =
+    Stats.Table.create
+      ~title:"latency under a leader that delays proposals (attack from t/6)"
+      ~columns:latency_columns
+  in
+  let post_attack_mean = Hashtbl.create 7 in
+  List.iter
+    (fun (name, protocol, delay_us) ->
+      let _, r =
+        Spire.Scenarios.leader_attack ~protocol ~delay_us
+          ~attack_from_us:attack_from ~duration_us:duration ()
+      in
+      Stats.Table.add_row table (latency_row name r);
+      (* Post-attack steady-state mean (skip the transition bucket). *)
+      let post =
+        Stats.Timeseries.bucketed r.Spire.Scenarios.series
+          ~bucket_us:(duration / 10)
+        |> List.filter (fun (start, _) -> start > attack_from + (duration / 10))
+        |> List.map snd
+        |> List.fold_left Stats.Summary.merge (Stats.Summary.create ())
+      in
+      Hashtbl.replace post_attack_mean name (Stats.Summary.mean post))
+    [
+      ("prime, no attack", Spire.System.Prime_protocol, 0);
+      ("prime, 500ms delay", Spire.System.Prime_protocol, 500_000);
+      ("prime, 1s delay", Spire.System.Prime_protocol, 1_000_000);
+      ("pbft, no attack", Spire.System.Pbft_protocol, 0);
+      ("pbft, 500ms delay", Spire.System.Pbft_protocol, 500_000);
+      ("pbft, 1s delay", Spire.System.Pbft_protocol, 1_000_000);
+    ];
+  Stats.Table.print table;
+  let get name = try Hashtbl.find post_attack_mean name with Not_found -> nan in
+  Printf.printf
+    "  post-attack steady-state mean: prime %.1fms vs pbft %.1fms (1s delay)\n"
+    (get "prime, 1s delay") (get "pbft, 1s delay");
+  shape
+    "Prime suspects and rotates the slow leader (views > 0), returning to \
+     baseline latency; PBFT keeps it (views = 0) and every update pays the \
+     injected delay"
+
+(* ------------------------------------------------------------------ *)
+(* E5: proactive recovery                                              *)
+
+let e5 () =
+  section "E5" "Latency during proactive recovery (k = 1 rotation)";
+  let duration = if scale_full then hours 1 else minutes 10 in
+  let rotation = duration / 4 in
+  let _, r, events =
+    Spire.Scenarios.proactive_recovery ~rotation_period_us:rotation
+      ~recovery_duration_us:(sec 10) ~duration_us:duration ()
+  in
+  let table = Stats.Table.create ~title:"latency with recoveries" ~columns:latency_columns in
+  Stats.Table.add_row table (latency_row "prime + proactive recovery" r);
+  Stats.Table.print table;
+  let begins =
+    List.filter (fun (_, phase, _) -> phase = `Begin) events |> List.length
+  in
+  let completes =
+    List.filter (fun (_, phase, _) -> phase = `Complete) events |> List.length
+  in
+  Printf.printf "  recoveries: %d begun, %d completed; confirmed %d/%d\n" begins
+    completes r.Spire.Scenarios.confirmed r.Spire.Scenarios.submitted;
+  shape
+    "service continues through every rejuvenation; latency blips stay \
+     bounded because n - k still holds a quorum"
+
+(* ------------------------------------------------------------------ *)
+(* E6: network delay attack vs dissemination mode (ablation A1)        *)
+
+let e6 () =
+  section "E6"
+    "Undetected delay attack on primary WAN links: dissemination modes";
+  let duration = if scale_full then minutes 2 else sec 20 in
+  let table =
+    Stats.Table.create
+      ~title:"latency with primary inter-site links delayed 20x from t/4"
+      ~columns:latency_columns
+  in
+  List.iter
+    (fun (name, mode) ->
+      let _, r =
+        Spire.Scenarios.link_degradation ~mode ~factor:20.
+          ~attack_from_us:(duration / 4) ~duration_us:duration ()
+      in
+      Stats.Table.add_row table (latency_row name r))
+    [
+      ("single shortest path (ablation)", Overlay.Net.Shortest);
+      ("redundant 2 disjoint paths", Overlay.Net.Redundant 2);
+      ("constrained flooding", Overlay.Net.Flood);
+    ];
+  Stats.Table.print table;
+  shape
+    "single-path routing keeps trusting the attacked links and suffers the \
+     full delay; redundant/flooding dissemination delivers the first clean \
+     copy, keeping latency near baseline"
+
+(* ------------------------------------------------------------------ *)
+(* E6b: packet loss on WAN links (hop-by-hop recovery)                 *)
+
+let e6b () =
+  section "E6B" "Packet loss on inter-site links: ARQ turns loss into latency";
+  let duration = if scale_full then minutes 2 else sec 20 in
+  let table =
+    Stats.Table.create ~title:"latency under sustained WAN packet loss"
+      ~columns:
+        ([ "loss"; "mode" ] @ List.tl latency_columns)
+  in
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun (name, mode) ->
+          let sys, r = Spire.Scenarios.packet_loss ~mode ~loss ~duration_us:duration () in
+          let row = latency_row name r in
+          Stats.Table.add_row table
+            (Printf.sprintf "%.0f%%" (loss *. 100.) :: name :: List.tl row);
+          ignore (Overlay.Net.retransmissions (Spire.System.net sys) : int))
+        [ ("shortest", Overlay.Net.Shortest); ("flood", Overlay.Net.Flood) ])
+    [ 0.05; 0.2; 0.4 ];
+  Stats.Table.print table;
+  shape
+    "moderate loss costs only tail latency (per-hop retransmission); heavy \
+     loss favours flooding, which needs only one clean copy on any path"
+
+(* ------------------------------------------------------------------ *)
+(* E7: loss of a control center                                        *)
+
+let e7 () =
+  section "E7" "Disconnection of an entire control center, then restoration";
+  let duration = if scale_full then minutes 4 else sec 40 in
+  let fail_at = duration / 4 in
+  let restore_at = duration * 5 / 8 in
+  let _, r =
+    Spire.Scenarios.site_failure ~site:0 ~fail_at_us:fail_at
+      ~restore_at_us:(Some restore_at) ~duration_us:duration ()
+  in
+  let bucket = duration / 20 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf "timeline (site 0 killed at %ds, restored at %ds)"
+           (fail_at / 1_000_000) (restore_at / 1_000_000))
+      ~columns:[ "interval"; "confirmations"; "mean ms"; "max ms" ]
+  in
+  List.iter
+    (fun (start, summary) ->
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%2ds" (start / 1_000_000);
+          string_of_int (Stats.Summary.count summary);
+          Printf.sprintf "%.1f" (Stats.Summary.mean summary);
+          Printf.sprintf "%.1f" (Stats.Summary.max_value summary);
+        ])
+    (Stats.Timeseries.bucketed r.Spire.Scenarios.series ~bucket_us:bucket);
+  Stats.Table.print table;
+  Printf.printf "  confirmed %d/%d; views reached %d\n" r.Spire.Scenarios.confirmed
+    r.Spire.Scenarios.submitted r.Spire.Scenarios.max_view;
+  shape
+    "a ~1-2s failover (leader rotation past the dead site), then full \
+     service from the remaining sites; reconnection is seamless"
+
+(* ------------------------------------------------------------------ *)
+(* E8: throughput scaling                                              *)
+
+let e8 () =
+  section "E8" "Throughput: substations at 10 polls/s each";
+  let duration = if scale_full then minutes 1 else sec 15 in
+  let table =
+    Stats.Table.create ~title:"offered vs confirmed rate"
+      ~columns:
+        [ "substations"; "offered/s"; "confirmed/s"; "ratio"; "p99 ms"; "ok" ]
+  in
+  let breaking_point = ref None in
+  List.iter
+    (fun substations ->
+      let _, r =
+        Spire.Scenarios.throughput ~substations ~poll_interval_us:100_000
+          ~duration_us:duration ()
+      in
+      let secs = float_of_int duration /. 1e6 in
+      let offered = float_of_int substations *. 10. in
+      let confirmed_rate = float_of_int r.Spire.Scenarios.confirmed /. secs in
+      let ratio = confirmed_rate /. offered in
+      let p99 =
+        if Stats.Histogram.count r.Spire.Scenarios.hist > 0 then
+          pct r.Spire.Scenarios.hist 99.
+        else nan
+      in
+      let ok = ratio > 0.97 && p99 < 500. in
+      if (not ok) && !breaking_point = None then breaking_point := Some substations;
+      Stats.Table.add_row table
+        [
+          string_of_int substations;
+          Printf.sprintf "%.0f" offered;
+          Printf.sprintf "%.0f" confirmed_rate;
+          Printf.sprintf "%.3f" ratio;
+          Printf.sprintf "%.1f" p99;
+          (if ok then "yes" else "SATURATED");
+        ])
+    (if scale_full then [ 10; 20; 40; 80; 160; 320; 640; 1280 ]
+     else [ 10; 20; 40; 80; 160; 320; 640 ]);
+  Stats.Table.print table;
+  (match !breaking_point with
+  | Some s -> Printf.printf "  saturation first observed at %d substations\n" s
+  | None -> Printf.printf "  no saturation within the sweep\n");
+  shape
+    "latency stays flat well past the paper's 10-substation deployment; \
+     saturation appears only at 1-2 orders of magnitude more load"
+
+(* ------------------------------------------------------------------ *)
+(* E9: intrusion campaign with diversity + proactive recovery           *)
+
+let e9 () =
+  section "E9"
+    "Long-running intrusion campaign (ablations A3: diversity, A4: recovery)";
+  let duration = if scale_full then hours 48 else hours 12 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "attacker develops one exploit per 2 h; rotation every 1 h; run = %d virtual hours"
+           (duration / 3_600_000_000))
+      ~columns:
+        [
+          "configuration";
+          "max simultaneous";
+          "total compromises";
+          "exploits";
+          "time above f";
+          "mean hold";
+          "compromised at end";
+          "f exceeded?";
+        ]
+  in
+  List.iter
+    (fun (name, diversity_on, recovery_on, reactive_on) ->
+      let _, c =
+        Spire.Scenarios.intrusion_campaign ~reactive_on ~diversity_on
+          ~recovery_on ~duration_us:duration ()
+      in
+      Stats.Table.add_row table
+        [
+          name;
+          string_of_int c.Spire.Scenarios.max_simultaneous_compromised;
+          string_of_int c.Spire.Scenarios.total_compromises;
+          string_of_int c.Spire.Scenarios.exploits_developed;
+          Printf.sprintf "%ds" (c.Spire.Scenarios.time_above_f_us / 1_000_000);
+          Printf.sprintf "%ds" (c.Spire.Scenarios.mean_held_us / 1_000_000);
+          string_of_int c.Spire.Scenarios.final_compromised;
+          (if c.Spire.Scenarios.max_simultaneous_compromised > 1 then "YES"
+           else "no");
+        ])
+    [
+      ("diversity + recovery (Spire)", true, true, false);
+      ("  + reactive recovery (extension)", true, true, true);
+      ("diversity only (A4: no recovery)", true, false, false);
+      ("recovery only (A3: no diversity)", false, true, false);
+      ("neither (undefended)", false, false, false);
+    ];
+  Stats.Table.print table;
+  shape
+    "with both defences the attacker never holds more than f=1 replicas; \
+     removing either lets compromises accumulate past f"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+
+let microbenches () =
+  section "MICRO" "Bechamel microbenchmarks of hot-path primitives";
+  let open Bechamel in
+  let rtu =
+    Scada.Rtu.create ~id:1 ~breakers:4 ~feeders:2 ~rng:(Sim.Rng.create 1L)
+  in
+  let status = Scada.Rtu.read_status rtu in
+  let status_op = Scada.Op.Status_report status in
+  let encoded_op = Scada.Op.encode status_op in
+  let dnp3_frame =
+    Scada.Dnp3.encode
+      {
+        Scada.Dnp3.dest = 1;
+        src = 0xF0;
+        app =
+          Scada.Dnp3.Poll_response
+            { binary_inputs = [ true; false; true; true ]; analog_inputs = [ 1; 2; 3; 4; 5 ] };
+      }
+  in
+  let modbus_frame =
+    Scada.Modbus.encode_response
+      {
+        Scada.Modbus.transaction = 1;
+        unit_id = 1;
+        body = Scada.Modbus.Holding_registers [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+      }
+  in
+  let matrix = Array.init 6 (fun i -> Array.init 6 (fun j -> (i * 7) + j)) in
+  let topo, _ = Overlay.Topology.wide_area_east_coast () in
+  let group =
+    Cryptosim.Threshold.create_group ~seed:1L ~members:[ 0; 1; 2; 3; 4; 5 ]
+      ~threshold:2
+  in
+  let digest = Cryptosim.Digest.of_string "bench" in
+  let shares =
+    List.map (fun m -> Cryptosim.Threshold.sign_share group ~member:m digest) [ 0; 1 ]
+  in
+  let tests =
+    [
+      Test.make ~name:"scada op decode (E2/E3 hot data path)"
+        (Staged.stage (fun () ->
+             match Scada.Op.decode encoded_op with Ok _ -> () | Error _ -> assert false));
+      Test.make ~name:"dnp3 poll decode (E2 proxy loop)"
+        (Staged.stage (fun () ->
+             match Scada.Dnp3.decode dnp3_frame with Ok _ -> () | Error _ -> assert false));
+      Test.make ~name:"modbus response decode"
+        (Staged.stage (fun () ->
+             match Scada.Modbus.decode_response modbus_frame with
+             | Ok _ -> ()
+             | Error _ -> assert false));
+      Test.make ~name:"prime eligibility vector (E4 ordered slot)"
+        (Staged.stage (fun () ->
+             ignore (Prime.Matrix.eligible matrix ~threshold:4 : int array)));
+      Test.make ~name:"matrix digest (E4 proposal)"
+        (Staged.stage (fun () ->
+             ignore (Prime.Matrix.digest matrix : Cryptosim.Digest.t)));
+      Test.make ~name:"dijkstra east-coast (E6 reroute)"
+        (Staged.stage (fun () ->
+             ignore
+               (Overlay.Routing.shortest_path topo
+                  ~usable:(fun _ _ -> true)
+                  ~src:0 ~dst:9
+                 : Overlay.Routing.path option)));
+      Test.make ~name:"2 disjoint paths (E6 redundant mode)"
+        (Staged.stage (fun () ->
+             ignore
+               (Overlay.Routing.disjoint_paths topo
+                  ~usable:(fun _ _ -> true)
+                  ~src:0 ~dst:9 ~k:2
+                 : Overlay.Routing.path list)));
+      Test.make ~name:"threshold combine (E2 confirmation)"
+        (Staged.stage (fun () ->
+             ignore
+               (Cryptosim.Threshold.combine group ~digest shares
+                 : Cryptosim.Threshold.combined option)));
+    ]
+  in
+  let table =
+    Stats.Table.create ~title:"microbenchmarks" ~columns:[ "primitive"; "ns/op" ]
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ clock ] (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some (v :: _) -> v
+            | Some [] | None -> nan
+          in
+          Stats.Table.add_row table [ name; Printf.sprintf "%.0f" ns ])
+        results)
+    tests;
+  Stats.Table.print table
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let experiments =
+    [
+      ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+      ("E6B", e6b); ("E7", e7); ("E8", e8); ("E9", e9);
+    ]
+  in
+  List.iter (fun (id, f) -> if enabled id then f ()) experiments;
+  if run_micro && (wanted = None || wanted = Some "MICRO") then microbenches ();
+  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+bin/config_tool.ml: Arg Cmd Cmdliner Format List Spire Stats Term

@@ -1,0 +1,1 @@
+bin/config_tool.mli:

@@ -1,0 +1,1 @@
+bin/spire_run.ml: Arg Cmd Cmdliner Format Int64 List Overlay Spire Stats Term

@@ -1,0 +1,1 @@
+bin/spire_run.mli:

@@ -1,0 +1,69 @@
+(* Configuration calculator CLI.
+
+   Prints the replica count and site distribution needed to tolerate a
+   given number of intrusions, concurrent recoveries, and the loss of
+   any single site. *)
+
+open Cmdliner
+
+let run f k sites control_centers table =
+  if table then begin
+    let t =
+      Stats.Table.create ~title:"standard configuration table"
+        ~columns:[ "f"; "k"; "sites"; "n"; "quorum"; "distribution" ]
+    in
+    List.iter
+      (fun (c : Spire.Config_calc.configuration) ->
+        Stats.Table.add_row t
+          [
+            string_of_int c.Spire.Config_calc.f;
+            string_of_int c.Spire.Config_calc.k;
+            string_of_int (List.length c.Spire.Config_calc.sites);
+            string_of_int c.Spire.Config_calc.n;
+            string_of_int
+              (Spire.Config_calc.quorum ~f:c.Spire.Config_calc.f
+                 ~k:c.Spire.Config_calc.k);
+            Format.asprintf "%a" Spire.Config_calc.pp c;
+          ])
+      (Spire.Config_calc.standard_table ());
+    Stats.Table.print t;
+    0
+  end
+  else
+    match Spire.Config_calc.minimal_config ~f ~k ~sites ~control_centers with
+    | c ->
+      Format.printf "%a@." Spire.Config_calc.pp c;
+      Format.printf "quorum size: %d@." (Spire.Config_calc.quorum ~f ~k);
+      Format.printf "tolerates single-site loss: %b@."
+        (Spire.Config_calc.tolerates_site_loss c);
+      0
+    | exception Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
+let f_arg =
+  Arg.(value & opt int 1 & info [ "f" ] ~doc:"Simultaneous intrusions to tolerate.")
+
+let k_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "k" ] ~doc:"Replicas that may be recovering concurrently.")
+
+let sites_arg =
+  Arg.(value & opt int 4 & info [ "sites" ] ~doc:"Number of sites available.")
+
+let cc_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "control-centers" ] ~doc:"How many sites are control centers.")
+
+let table_arg =
+  Arg.(value & flag & info [ "table" ] ~doc:"Print the full standard table.")
+
+let cmd =
+  let doc = "compute intrusion-tolerant SCADA replica configurations" in
+  Cmd.v
+    (Cmd.info "config_tool" ~doc)
+    Term.(const run $ f_arg $ k_arg $ sites_arg $ cc_arg $ table_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+dev/debug_e7.ml: Printf Scada Sim Spire

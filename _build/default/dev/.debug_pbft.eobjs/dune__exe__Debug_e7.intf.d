@@ -1,0 +1,1 @@
+dev/debug_e7.mli:

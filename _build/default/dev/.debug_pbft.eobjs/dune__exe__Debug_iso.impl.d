@@ -1,0 +1,1 @@
+dev/debug_iso.ml: Bft List Printf Sim Spire String

@@ -1,0 +1,1 @@
+dev/debug_loss.ml: Bft Cryptosim List Overlay Printf Sim Spire

@@ -1,0 +1,1 @@
+dev/debug_loss2.ml: Array Bft Cryptosim Fun Int64 List Option Prime Printf Sim String Sys

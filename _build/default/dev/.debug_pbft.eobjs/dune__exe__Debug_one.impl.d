@@ -1,0 +1,1 @@
+dev/debug_one.ml: Array Gc List Overlay Printf Sim Spire Stats Sys Unix

@@ -1,0 +1,1 @@
+dev/debug_pbft.ml: Bft Format Pbft Printf Sim

@@ -1,0 +1,1 @@
+dev/debug_rec.ml: List Printf Spire String

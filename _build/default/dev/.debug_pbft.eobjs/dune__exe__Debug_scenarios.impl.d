@@ -1,0 +1,1 @@
+dev/debug_scenarios.ml: Format List Overlay Printf Spire Stats Unix

@@ -1,0 +1,1 @@
+dev/debug_site.ml: List Printf Scada Sim Spire String

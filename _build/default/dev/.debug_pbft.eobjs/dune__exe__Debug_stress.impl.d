@@ -1,0 +1,1 @@
+dev/debug_stress.ml: Array Bft Format Int64 Prime Printf Sim Sys

@@ -1,0 +1,1 @@
+dev/debug_system.ml: Bft Format Printf Sim Spire Stats Unix

@@ -1,0 +1,18 @@
+let () =
+  let sys = Spire.System.create (Spire.System.default_config ()) in
+  Spire.System.start sys;
+  ignore
+    (Sim.Engine.schedule_at (Spire.System.engine sys) ~time_us:10_000_000
+       (fun () -> Spire.System.kill_site sys 0));
+  Spire.System.run sys ~duration_us:20_000_000;
+  (* Mid-outage: who is stuck? *)
+  for c = 0 to 9 do
+    let ep = Scada.Proxy.endpoint (Spire.System.proxy sys c) in
+    Printf.printf "client %d: completed=%d pending=%d resubmits=%d\n" c
+      (Scada.Endpoint.completed_count ep)
+      (Scada.Endpoint.pending_count ep)
+      (Scada.Endpoint.resubmit_count ep)
+  done;
+  Printf.printf "confirmed=%d submitted=%d\n"
+    (Spire.System.confirmed_updates sys)
+    (Spire.System.submitted_updates sys)

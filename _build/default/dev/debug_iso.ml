@@ -1,0 +1,28 @@
+let () =
+  let cfg =
+    {
+      (Spire.System.default_config ()) with
+      Spire.System.substations = 4;
+      poll_interval_us = 50_000;
+    }
+  in
+  let sys = Spire.System.create cfg in
+  Spire.System.start sys;
+  ignore
+    (Sim.Engine.schedule_at (Spire.System.engine sys) ~time_us:1_000_000
+       (fun () -> Spire.System.isolate_site sys 0));
+  ignore
+    (Sim.Engine.schedule_at (Spire.System.engine sys) ~time_us:5_000_000
+       (fun () -> Spire.System.reconnect_site sys 0));
+  for i = 1 to 20 do
+    Spire.System.run sys ~duration_us:500_000;
+    Printf.printf "t=%4.1fs confirmed=%d views=[%s] execs=[%s]\n"
+      (float_of_int i *. 0.5)
+      (Spire.System.confirmed_updates sys)
+      (String.concat ","
+         (List.init 6 (fun r -> string_of_int (Spire.System.view_of sys r))))
+      (String.concat ","
+         (List.init 6 (fun r ->
+              string_of_int (Bft.Exec_log.length (Spire.System.exec_log sys r)))))
+  done;
+  Spire.System.assert_agreement sys

@@ -1,0 +1,66 @@
+let () =
+  let cfg =
+    { (Spire.System.default_config ()) with Spire.System.substations = 10 }
+  in
+  let sys = Spire.System.create cfg in
+  let net = Spire.System.net sys in
+  let topo = Overlay.Net.topology net in
+  let n = Spire.System.replica_count sys in
+  List.iter
+    (fun link ->
+      let a = link.Overlay.Topology.endpoint_a
+      and b = link.Overlay.Topology.endpoint_b in
+      if
+        a < n && b < n
+        && Overlay.Topology.site_of topo a <> Overlay.Topology.site_of topo b
+      then Overlay.Net.set_loss_probability net a b 0.4)
+    (Overlay.Topology.links topo);
+  Spire.System.start sys;
+  (try
+     for _ = 1 to 40 do
+       Spire.System.run sys ~duration_us:500_000;
+       Spire.System.assert_agreement sys
+     done;
+     print_endline "no divergence in 20s"
+   with Failure msg ->
+     Printf.printf "%s at t=%d\n" msg (Sim.Engine.now (Spire.System.engine sys)));
+  (* Compare logs pairwise for first difference. *)
+  let logs = List.init n (fun r -> Spire.System.exec_log sys r) in
+  let l0 = List.nth logs 0 in
+  List.iteri
+    (fun i li ->
+      if i > 0 then begin
+        let n0 = Bft.Exec_log.length l0 and ni = Bft.Exec_log.length li in
+        let common = min n0 ni in
+        let rec first_diff p =
+          if p > common then None
+          else if
+            not
+              (Cryptosim.Digest.equal
+                 (Bft.Exec_log.digest_at l0 p)
+                 (Bft.Exec_log.digest_at li p))
+          then Some p
+          else first_diff (p + 1)
+        in
+        match first_diff 1 with
+        | Some p ->
+          let u0 = Bft.Exec_log.nth l0 p and ui = Bft.Exec_log.nth li p in
+          Printf.printf
+            "replica 0 vs %d: first diff at position %d: (%d,%d)%s vs (%d,%d)%s\n"
+            i p (fst (Bft.Update.key u0)) (snd (Bft.Update.key u0))
+            "" (fst (Bft.Update.key ui)) (snd (Bft.Update.key ui)) ""
+        | None ->
+          Printf.printf "replica 0 vs %d: no diff in common prefix (%d vs %d)\n" i
+            n0 ni
+      end)
+    logs;
+  (* Compare applied slot matrices between replicas 0 and 4. *)
+  (match
+     ( List.nth
+         (List.init n (fun r ->
+              match Spire.System.exec_log sys r with _ -> r))
+         0,
+       () )
+   with
+  | _ -> ());
+  ()

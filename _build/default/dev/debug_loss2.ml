@@ -1,0 +1,95 @@
+(* Focused repro: prime cluster with random message loss; find the
+   first slot where applied matrices diverge. *)
+
+let quorum_6 = Bft.Quorum.create ~n:6 ~f:1 ~k:1
+
+let fast_prime quorum =
+  {
+    (Prime.Replica.default_config quorum) with
+    Prime.Replica.aru_interval_us = 2_000;
+    proposal_interval_us = 5_000;
+    tat_threshold_us = 100_000;
+    viewchange_timeout_us = 400_000;
+    watchdog_interval_us = 10_000;
+    checkpoint_interval = 16;
+  }
+
+let () =
+  let seed = try Int64.of_string Sys.argv.(1) with _ -> 99L in
+  let loss = try float_of_string Sys.argv.(2) with _ -> 0.10 in
+  let engine = Sim.Engine.create ~seed () in
+  let drop_rng = Sim.Engine.rng engine in
+  let n = 6 in
+  let replicas : Prime.Replica.t option array = Array.make n None in
+  let cluster =
+    Bft.Cluster.create ~engine ~n
+      ~latency_us:(fun _ _ -> 1_000)
+      ~make:(fun i env ->
+        (* Wrap send with random loss. *)
+        let lossy_env =
+          {
+            env with
+            Bft.Env.send =
+              (fun dst msg ->
+                if not (Sim.Rng.bernoulli drop_rng loss) then
+                  env.Bft.Env.send dst msg);
+          }
+        in
+        let r =
+          Prime.Replica.create (fast_prime quorum_6) lossy_env
+            ~execute:(fun _ _ -> ())
+        in
+        replicas.(i) <- Some r;
+        Prime.Replica.start r;
+        r)
+      ~deliver:(fun r ~from msg -> Prime.Replica.handle r ~from msg)
+  in
+  ignore cluster;
+  for i = 1 to 60 do
+    let origin = i mod n in
+    ignore
+      (Sim.Engine.schedule_at engine ~time_us:(10_000 + (i * 40_000)) (fun () ->
+           Prime.Replica.submit
+             (Option.get replicas.(origin))
+             (Bft.Update.create ~client:(i mod 3)
+                ~client_seq:(((i - 1) / 3) + 1)
+                ~operation:(Printf.sprintf "op%d" i)
+                ~submitted_us:0)))
+  done;
+  Sim.Engine.run engine ~until_us:20_000_000;
+  let get r = Option.get replicas.(r) in
+  for r = 0 to n - 1 do
+    Printf.printf "replica %d: view=%d exec=%d applied=%d\n" r
+      (Prime.Replica.view (get r))
+      (Bft.Exec_log.length (Prime.Replica.exec_log (get r)))
+      (Prime.Replica.last_applied (get r))
+  done;
+  (* Compare applied matrices slot by slot. *)
+  let max_applied =
+    List.fold_left max 0 (List.init n (fun r -> Prime.Replica.last_applied (get r)))
+  in
+  for seq = 1 to max_applied do
+    let digests =
+      List.init n (fun r -> Prime.Replica.applied_matrix_digest (get r) seq)
+    in
+    let present = List.filter_map Fun.id digests in
+    match present with
+    | [] -> ()
+    | first :: rest ->
+      if not (List.for_all (Cryptosim.Digest.equal first) rest) then
+        Printf.printf "slot %d: DIVERGENT matrices: %s\n" seq
+          (String.concat " "
+             (List.mapi
+                (fun r d ->
+                  match d with
+                  | None -> Printf.sprintf "%d:-" r
+                  | Some d -> Printf.sprintf "%d:%s" r (String.sub (Cryptosim.Digest.to_hex d) 0 6))
+                digests))
+  done;
+  (* Agreement check. *)
+  let l0 = Prime.Replica.exec_log (get 0) in
+  for r = 1 to n - 1 do
+    if not (Bft.Exec_log.prefix_equal l0 (Prime.Replica.exec_log (get r))) then
+      Printf.printf "DIVERGENCE between 0 and %d\n" r
+  done;
+  print_endline "done"

@@ -1,0 +1,47 @@
+let log fmt = Printf.eprintf (fmt ^^ "\n%!")
+
+let () =
+  let which = try Sys.argv.(1) with _ -> "e5" in
+  let t0 = Unix.gettimeofday () in
+  (match which with
+  | "e5" ->
+    let sys = Spire.System.create (Spire.System.default_config ()) in
+    Spire.System.start sys;
+    ignore
+      (Spire.System.enable_recovery sys ~rotation_period_us:60_000_000
+         ~recovery_duration_us:3_000_000);
+    for i = 1 to 12 do
+      Spire.System.run sys ~duration_us:10_000_000;
+      log "t=%ds events=%d confirmed=%d rss-words=%d" (i * 10)
+        (Sim.Engine.processed (Spire.System.engine sys))
+        (Spire.System.confirmed_updates sys)
+        (let s = Gc.quick_stat () in s.Gc.heap_words)
+    done;
+    Spire.System.assert_agreement sys;
+    log "E5 ok"
+  | "e6" ->
+    List.iter
+      (fun (name, mode) ->
+        let _, r =
+          Spire.Scenarios.link_degradation ~mode ~factor:20.
+            ~attack_from_us:5_000_000 ~duration_us:20_000_000 ()
+        in
+        log "E6 %s: confirmed=%d mean=%.1f p99=%.1f" name r.Spire.Scenarios.confirmed
+          (Stats.Histogram.mean r.Spire.Scenarios.hist)
+          (Stats.Histogram.percentile r.Spire.Scenarios.hist 99.))
+      [ ("shortest", Overlay.Net.Shortest); ("redundant2", Overlay.Net.Redundant 2); ("flood", Overlay.Net.Flood) ]
+  | "e7" ->
+    let _, r =
+      Spire.Scenarios.site_failure ~site:0 ~fail_at_us:10_000_000
+        ~restore_at_us:(Some 25_000_000) ~duration_us:40_000_000 ()
+    in
+    log "E7: confirmed=%d/%d" r.Spire.Scenarios.confirmed r.Spire.Scenarios.submitted
+  | "e9" ->
+    let _, c =
+      Spire.Scenarios.intrusion_campaign ~diversity_on:true ~recovery_on:true
+        ~duration_us:(2 * 3600 * 1_000_000) ()
+    in
+    log "E9: max=%d total=%d" c.Spire.Scenarios.max_simultaneous_compromised
+      c.Spire.Scenarios.total_compromises
+  | other -> log "unknown %s" other);
+  log "done in %.1fs" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,37 @@
+let () =
+  let quorum = Bft.Quorum.create ~n:4 ~f:1 ~k:0 in
+  let config =
+    {
+      (Pbft.Replica.default_config quorum) with
+      Pbft.Replica.request_timeout_us = 500_000;
+      viewchange_timeout_us = 1_000_000;
+      watchdog_interval_us = 50_000;
+      checkpoint_interval = 8;
+    }
+  in
+  let engine = Sim.Engine.create ~seed:42L () in
+  let cluster =
+    Bft.Cluster.create ~engine ~n:4
+      ~latency_us:(fun _ _ -> 1_000)
+      ~make:(fun i env ->
+        let env = { env with Bft.Env.trace = (fun s -> Printf.printf "[%d @ %d] %s\n" i (Sim.Engine.now engine) s) } in
+        let r = Pbft.Replica.create config env ~execute:(fun seq u -> Printf.printf "[%d @ %d] exec s%d %s\n" i (Sim.Engine.now engine) seq (Format.asprintf "%a" Bft.Update.pp u)) in
+        Pbft.Replica.start r;
+        r)
+      ~deliver:(fun r ~from msg -> Pbft.Replica.handle r ~from msg)
+  in
+  let r0 = Bft.Cluster.replica cluster 0 in
+  (Pbft.Replica.faults r0).Bft.Faults.crashed <- true;
+  for i = 1 to 5 do
+    ignore
+      (Sim.Engine.schedule_at engine ~time_us:(100_000 + (i * 10_000)) (fun () ->
+           Pbft.Replica.submit (Bft.Cluster.replica cluster 1)
+             (Bft.Update.create ~client:1 ~client_seq:i ~operation:"op" ~submitted_us:0)))
+  done;
+  Sim.Engine.run engine ~until_us:20_000_000;
+  for i = 0 to 3 do
+    let r = Bft.Cluster.replica cluster i in
+    Printf.printf "replica %d: view=%d last_exec=%d pending=%d vc=%d\n" i
+      (Pbft.Replica.view r) (Pbft.Replica.last_executed r)
+      (Pbft.Replica.pending_count r) (Pbft.Replica.view_changes r)
+  done

@@ -1,0 +1,21 @@
+let () =
+  let cfg =
+    {
+      (Spire.System.default_config ()) with
+      Spire.System.substations = 4;
+      poll_interval_us = 50_000;
+    }
+  in
+  let sys = Spire.System.create cfg in
+  Spire.System.start sys;
+  ignore
+    (Spire.System.enable_recovery sys ~rotation_period_us:3_000_000
+       ~recovery_duration_us:300_000);
+  for i = 1 to 14 do
+    Spire.System.run sys ~duration_us:500_000;
+    Printf.printf "t=%.1fs confirmed=%d views=[%s]\n" (float_of_int i *. 0.5)
+      (Spire.System.confirmed_updates sys)
+      (String.concat ","
+         (List.init 6 (fun r -> string_of_int (Spire.System.view_of sys r))))
+  done;
+  Spire.System.assert_agreement sys

@@ -1,0 +1,29 @@
+let () =
+  let cfg =
+    {
+      (Spire.System.default_config ()) with
+      Spire.System.substations = 4;
+      poll_interval_us = 50_000;
+    }
+  in
+  let sys = Spire.System.create cfg in
+  Spire.System.start sys;
+  ignore
+    (Sim.Engine.schedule_at (Spire.System.engine sys) ~time_us:1_000_000
+       (fun () -> Spire.System.kill_site sys 0));
+  for i = 1 to 10 do
+    Spire.System.run sys ~duration_us:500_000;
+    Printf.printf "t=%.1fs confirmed=%d views=[%s] leader=%d\n" (float_of_int i *. 0.5)
+      (Spire.System.confirmed_updates sys)
+      (String.concat ","
+         (List.init 6 (fun r -> string_of_int (Spire.System.view_of sys r))))
+      (Spire.System.current_leader sys)
+  done;
+  for c = 0 to 3 do
+    let ep = Scada.Proxy.endpoint (Spire.System.proxy sys c) in
+    Printf.printf "client %d: completed=%d pending=%d resubmits=%d\n" c
+      (Scada.Endpoint.completed_count ep)
+      (Scada.Endpoint.pending_count ep)
+      (Scada.Endpoint.resubmit_count ep)
+  done;
+  Spire.System.assert_agreement sys

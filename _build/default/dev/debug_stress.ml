@@ -1,0 +1,73 @@
+(* Reproduce a failing stress seed with diagnostics. *)
+
+let quorum_6 = Bft.Quorum.create ~n:6 ~f:1 ~k:1
+
+let fast_prime quorum =
+  {
+    (Prime.Replica.default_config quorum) with
+    Prime.Replica.aru_interval_us = 2_000;
+    proposal_interval_us = 5_000;
+    tat_threshold_us = 100_000;
+    viewchange_timeout_us = 400_000;
+    watchdog_interval_us = 10_000;
+    checkpoint_interval = 16;
+  }
+
+let () =
+  let seed = int_of_string Sys.argv.(1) in
+  let engine = Sim.Engine.create ~seed:(Int64.of_int seed) () in
+  let rng = Sim.Engine.rng engine in
+  let n = 6 in
+  let cluster =
+    Bft.Cluster.create ~engine ~n
+      ~latency_us:(fun _ _ -> 500 + Sim.Rng.int rng 2_000)
+      ~make:(fun _ env ->
+        let r = Prime.Replica.create (fast_prime quorum_6) env ~execute:(fun _ _ -> ()) in
+        Prime.Replica.start r;
+        r)
+      ~deliver:(fun r ~from msg -> Prime.Replica.handle r ~from msg)
+  in
+  let victim = Sim.Rng.int rng n in
+  for i = 1 to 40 do
+    let origin = (victim + 1 + Sim.Rng.int rng (n - 1)) mod n in
+    let time_us = 10_000 + Sim.Rng.int rng 2_000_000 in
+    ignore
+      (Sim.Engine.schedule_at engine ~time_us (fun () ->
+           Prime.Replica.submit
+             (Bft.Cluster.replica cluster origin)
+             (Bft.Update.create ~client:(i mod 3)
+                ~client_seq:(((i - 1) / 3) + 1)
+                ~operation:(Printf.sprintf "op%d" i)
+                ~submitted_us:time_us)))
+  done;
+  let misbehaviour = Sim.Rng.int rng 4 in
+  let faults = Prime.Replica.faults (Bft.Cluster.replica cluster victim) in
+  let attack_at = 200_000 + Sim.Rng.int rng 500_000 in
+  ignore
+    (Sim.Engine.schedule_at engine ~time_us:attack_at (fun () ->
+         match misbehaviour with
+         | 0 -> faults.Bft.Faults.crashed <- true
+         | 1 -> faults.Bft.Faults.silent <- true
+         | 2 -> faults.Bft.Faults.proposal_delay_us <- 300_000
+         | _ ->
+           let drop_target = Sim.Rng.int rng n in
+           faults.Bft.Faults.drop_to <- (fun r -> r = drop_target)));
+  let reset = Sim.Rng.bool rng in
+  if reset then
+    ignore
+      (Sim.Engine.schedule_at engine
+         ~time_us:(1_200_000 + Sim.Rng.int rng 500_000)
+         (fun () -> Bft.Faults.reset faults));
+  Printf.printf "victim=%d misbehaviour=%d attack_at=%d reset=%b\n" victim
+    misbehaviour attack_at reset;
+  Sim.Engine.run engine ~until_us:12_000_000;
+  for r = 0 to n - 1 do
+    let rep = Bft.Cluster.replica cluster r in
+    Printf.printf
+      "replica %d: view=%d exec=%d last_applied=%d recv=%s suspected=%b\n" r
+      (Prime.Replica.view rep)
+      (Bft.Exec_log.length (Prime.Replica.exec_log rep))
+      (Prime.Replica.last_applied rep)
+      (Format.asprintf "%a" Prime.Matrix.pp_vector (Prime.Replica.recv_vector rep))
+      (Prime.Replica.suspected rep)
+  done

@@ -1,0 +1,22 @@
+let () =
+  let cfg = Spire.System.default_config () in
+  let sys = Spire.System.create cfg in
+  Spire.System.start sys;
+  let t0 = Unix.gettimeofday () in
+  Spire.System.run sys ~duration_us:10_000_000;
+  let wall = Unix.gettimeofday () -. t0 in
+  Spire.System.assert_agreement sys;
+  let hist = Spire.System.latency_histogram sys in
+  Printf.printf "wall time: %.2fs, events: %d\n" wall
+    (Sim.Engine.processed (Spire.System.engine sys));
+  Printf.printf "submitted=%d confirmed=%d\n"
+    (Spire.System.submitted_updates sys)
+    (Spire.System.confirmed_updates sys);
+  if Stats.Histogram.count hist > 0 then
+    Format.printf "latency ms: %a@." Stats.Histogram.pp hist
+  else print_endline "NO CONFIRMATIONS";
+  for r = 0 to Spire.System.replica_count sys - 1 do
+    Printf.printf "replica %d: view=%d exec=%d\n" r
+      (Spire.System.view_of sys r)
+      (Bft.Exec_log.length (Spire.System.exec_log sys r))
+  done

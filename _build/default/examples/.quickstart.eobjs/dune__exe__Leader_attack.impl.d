@@ -1,0 +1,1 @@
+examples/leader_attack.ml: List Printf Spire Stats

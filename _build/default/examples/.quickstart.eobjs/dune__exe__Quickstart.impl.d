@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bft Format Printf Scada Spire Stats

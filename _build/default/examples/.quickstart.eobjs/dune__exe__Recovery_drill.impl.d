@@ -1,0 +1,1 @@
+examples/recovery_drill.ml: Attack Bft Printf Recovery Sim Spire

@@ -1,0 +1,1 @@
+examples/site_failure.ml: Bft List Printf Spire Stats

@@ -1,0 +1,1 @@
+examples/wide_area.ml: List Overlay Printf Spire Stats

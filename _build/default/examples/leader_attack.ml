@@ -1,0 +1,47 @@
+(* Leader performance attack: the experiment that motivates Prime.
+
+     dune exec examples/leader_attack.exe
+
+   A compromised leader delays every ordering step it controls by one
+   second. Under the PBFT baseline it keeps its role forever (the delay
+   stays just under the view-change timeout) and every SCADA update
+   pays the full delay. Under Prime, replicas measure the leader's
+   turnaround time against the network round-trip and replace it within
+   a bounded interval — latency returns to normal. *)
+
+let run name protocol =
+  let duration_us = 60_000_000 in
+  let attack_from_us = 10_000_000 in
+  let _, r =
+    Spire.Scenarios.leader_attack ~protocol ~delay_us:1_000_000
+      ~attack_from_us ~duration_us ()
+  in
+  Printf.printf "\n--- %s ---\n" name;
+  Printf.printf "attack: leader delays proposals by 1 s, starting at t=10 s\n";
+  Printf.printf "view changes: %d\n" r.Spire.Scenarios.max_view;
+  (* Latency per 10-second window shows the shape. *)
+  List.iter
+    (fun (start, summary) ->
+      Printf.printf "  t=%2ds..%2ds: mean %7.1f ms (max %7.1f) over %d updates\n"
+        (start / 1_000_000)
+        ((start / 1_000_000) + 10)
+        (Stats.Summary.mean summary)
+        (Stats.Summary.max_value summary)
+        (Stats.Summary.count summary))
+    (Stats.Timeseries.bucketed r.Spire.Scenarios.series ~bucket_us:10_000_000);
+  r
+
+let () =
+  Printf.printf "Leader slowdown attack: Prime vs the PBFT baseline\n%!";
+  let prime = run "Prime (Spire)" Spire.System.Prime_protocol in
+  let pbft = run "PBFT baseline" Spire.System.Pbft_protocol in
+  let mean_of (r : Spire.Scenarios.latency_result) =
+    Stats.Histogram.mean r.Spire.Scenarios.hist
+  in
+  Printf.printf "\nconclusion: overall mean %.1f ms (Prime) vs %.1f ms (PBFT)\n"
+    (mean_of prime) (mean_of pbft);
+  Printf.printf
+    "Prime rotated the slow leader (%d view changes) and restored normal\n\
+     latency; PBFT kept it (%d view changes) and served every update at\n\
+     attacker-chosen speed.\n"
+    prime.Spire.Scenarios.max_view pbft.Spire.Scenarios.max_view

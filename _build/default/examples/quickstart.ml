@@ -1,0 +1,68 @@
+(* Quickstart: bring up the full intrusion-tolerant SCADA system and
+   watch one supervisory command travel the entire path.
+
+     dune exec examples/quickstart.exe
+
+   What this builds (all on one deterministic simulation):
+   - 6 SCADA-master replicas (f=1 intrusions, k=1 recovering) spread
+     over 4 sites: 2 control centers and 2 data centers, connected by
+     an intrusion-tolerant overlay network with east-coast WAN latencies;
+   - 3 substations whose proxies poll their RTUs over byte-level DNP3
+     every 100 ms and submit status reports as ordered updates;
+   - 1 operator HMI.
+
+   The script opens a breaker from the HMI and shows the confirmation
+   (threshold-signed by the replicas) and the physical actuation at the
+   substation. *)
+
+let () =
+  (* 1. Configure and create the system. *)
+  let config =
+    { (Spire.System.default_config ()) with Spire.System.substations = 3 }
+  in
+  let sys = Spire.System.create config in
+  Spire.System.start sys;
+
+  Printf.printf "Spire reproduction quickstart\n";
+  Printf.printf "  replicas: %d (f=1, k=1) over 4 sites\n"
+    (Spire.System.replica_count sys);
+  Printf.printf "  substations: 3 (DNP3 polling every 100 ms), HMIs: 1\n\n";
+
+  (* 2. Let the polling workload run for two virtual seconds. *)
+  Spire.System.run sys ~duration_us:2_000_000;
+  Printf.printf "after 2 s: %d status updates confirmed (mean latency %.1f ms)\n"
+    (Spire.System.confirmed_updates sys)
+    (Stats.Histogram.mean (Spire.System.latency_histogram sys));
+
+  (* 3. The operator opens breaker 1 of substation 2. *)
+  let hmi = Spire.System.hmi sys 0 in
+  let update = Scada.Hmi.open_breaker hmi ~rtu:2 ~breaker:1 in
+  Printf.printf "\nHMI issues: open breaker 1 on RTU 2 (update %s)\n"
+    (Format.asprintf "%a" Bft.Update.pp update);
+
+  Spire.System.run sys ~duration_us:1_000_000;
+
+  (* 4. Observe the effects end to end. *)
+  let proxy = Spire.System.proxy sys 2 in
+  let rtu = Scada.Proxy.rtu proxy in
+  Printf.printf "  HMI confirmations (threshold-signed): %d\n"
+    (Scada.Hmi.confirmed_commands hmi);
+  Printf.printf "  proxy actuated commands: %d\n"
+    (Scada.Proxy.commands_applied proxy);
+  Printf.printf "  breaker state at the device: %s\n"
+    (match Scada.Rtu.breaker rtu ~index:1 with
+    | Scada.Rtu.Open -> "OPEN"
+    | Scada.Rtu.Closed -> "CLOSED");
+  (match
+     Scada.Master.breaker_intent (Spire.System.master sys 0) ~rtu:2 ~breaker:1
+   with
+  | Some Scada.Rtu.Open -> Printf.printf "  master state records intent: OPEN\n"
+  | Some Scada.Rtu.Closed | None ->
+    Printf.printf "  master state records intent: (missing!)\n");
+
+  (* 5. Safety invariant: all correct replicas executed the exact same
+     update sequence. *)
+  Spire.System.assert_agreement sys;
+  Printf.printf "\nagreement across all replicas: OK\n";
+  Printf.printf "total updates confirmed: %d\n"
+    (Spire.System.confirmed_updates sys)

@@ -1,0 +1,51 @@
+(* Wide-area deployment: the paper's flagship experiment in miniature.
+
+     dune exec examples/wide_area.exe
+
+   Runs the 6-replica, 4-site deployment with 10 substations polling
+   every 100 ms for 10 virtual minutes and prints the latency
+   distribution and CDF — the data behind experiments E2/E3. *)
+
+let () =
+  let duration_us = 10 * 60 * 1_000_000 in
+  Printf.printf
+    "wide-area deployment: 10 substations, 100 ms polling, 10 virtual minutes\n";
+  Printf.printf "(sites: Baltimore CC, Washington CC, NYC DC, Boston DC)\n\n%!";
+  let sys, result = Spire.Scenarios.fault_free ~duration_us () in
+  let h = result.Spire.Scenarios.hist in
+
+  Printf.printf "updates: %d submitted, %d confirmed\n"
+    result.Spire.Scenarios.submitted result.Spire.Scenarios.confirmed;
+  Printf.printf "latency: mean %.1f ms, p50 %.1f, p90 %.1f, p99 %.1f, max %.1f\n"
+    (Stats.Histogram.mean h)
+    (Stats.Histogram.percentile h 50.)
+    (Stats.Histogram.percentile h 90.)
+    (Stats.Histogram.percentile h 99.)
+    (Stats.Histogram.max_value h);
+
+  Printf.printf "\nCDF:\n";
+  List.iter
+    (fun bound ->
+      Printf.printf "  within %3.0f ms: %.4f\n" bound
+        (Stats.Histogram.fraction_below h bound))
+    [ 20.; 30.; 50.; 100.; 200. ];
+
+  (* Per-minute stability, as in the 30-hour figure. *)
+  Printf.printf "\nper-minute mean latency (stability over time):\n";
+  List.iter
+    (fun (start, summary) ->
+      Printf.printf "  minute %2d: %.1f ms over %d updates\n"
+        (start / 60_000_000)
+        (Stats.Summary.mean summary)
+        (Stats.Summary.count summary))
+    (Stats.Timeseries.bucketed result.Spire.Scenarios.series
+       ~bucket_us:60_000_000);
+
+  Printf.printf "\nview changes: %d (expected 0 fault-free)\n"
+    result.Spire.Scenarios.max_view;
+  Printf.printf "overlay stats: %s\n"
+    (let s = Overlay.Net.stats (Spire.System.net sys) in
+     Printf.sprintf "submitted=%d delivered=%d dropped=%d"
+       s.Overlay.Net.submitted s.Overlay.Net.delivered
+       (s.Overlay.Net.dropped_link_down + s.Overlay.Net.dropped_queue_full
+      + s.Overlay.Net.dropped_no_route))

@@ -1,0 +1,1 @@
+lib/attack/campaign.ml: Bft Hashtbl List Recovery Sim

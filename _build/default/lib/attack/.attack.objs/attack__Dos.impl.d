@@ -1,0 +1,1 @@
+lib/attack/dos.ml: Hashtbl Overlay Sim

@@ -1,0 +1,1 @@
+lib/attack/dos.mli: Overlay Sim

@@ -1,0 +1,44 @@
+type t = {
+  engine : Sim.Engine.t;
+  mutable next_handle : int;
+  timers : (int, Sim.Engine.timer) Hashtbl.t;
+}
+
+let create ~engine = { engine; next_handle = 0; timers = Hashtbl.create 7 }
+
+let start_flood t ~net ~src ~dst ~frame_bytes ~frames_per_burst
+    ~burst_interval_us ~priority =
+  if frames_per_burst <= 0 || burst_interval_us <= 0 then
+    invalid_arg "Dos.flood: non-positive burst parameters";
+  let handle = t.next_handle in
+  t.next_handle <- handle + 1;
+  let timer =
+    Sim.Engine.periodic t.engine ~interval_us:burst_interval_us (fun () ->
+        for _ = 1 to frames_per_burst do
+          Overlay.Net.inject_junk net ~src ~dst ~size_bytes:frame_bytes ~priority
+        done)
+  in
+  Hashtbl.replace t.timers handle timer;
+  handle
+
+let flood t ~net ~src ~dst ~frame_bytes ~frames_per_burst ~burst_interval_us =
+  start_flood t ~net ~src ~dst ~frame_bytes ~frames_per_burst ~burst_interval_us
+    ~priority:Overlay.Fair_queue.Bulk
+
+let flood_control_class t ~net ~src ~dst ~frame_bytes ~frames_per_burst
+    ~burst_interval_us =
+  start_flood t ~net ~src ~dst ~frame_bytes ~frames_per_burst ~burst_interval_us
+    ~priority:Overlay.Fair_queue.Control
+
+let stop t handle =
+  match Hashtbl.find_opt t.timers handle with
+  | Some timer ->
+    Sim.Engine.cancel timer;
+    Hashtbl.remove t.timers handle
+  | None -> ()
+
+let stop_all t =
+  Hashtbl.iter (fun _ timer -> Sim.Engine.cancel timer) t.timers;
+  Hashtbl.reset t.timers
+
+let active t = Hashtbl.length t.timers

@@ -1,0 +1,1 @@
+lib/bft/cluster.ml: Array Env Hashtbl List Sim Types

@@ -1,0 +1,1 @@
+lib/bft/cluster.mli: Env Sim Types

@@ -1,0 +1,1 @@
+lib/bft/delivery.ml: Buffer Cryptosim Hashtbl List Printf Types Update

@@ -1,0 +1,1 @@
+lib/bft/delivery.mli: Cryptosim Types Update

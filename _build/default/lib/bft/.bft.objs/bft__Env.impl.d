@@ -1,0 +1,1 @@
+lib/bft/env.ml: Fun List Sim Types

@@ -1,0 +1,1 @@
+lib/bft/env.mli: Sim Types

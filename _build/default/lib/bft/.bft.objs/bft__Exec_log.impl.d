@@ -1,0 +1,1 @@
+lib/bft/exec_log.ml: Cryptosim Hashtbl List Types Update

@@ -1,0 +1,1 @@
+lib/bft/exec_log.mli: Cryptosim Types Update

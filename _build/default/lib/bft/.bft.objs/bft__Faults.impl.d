@@ -1,0 +1,1 @@
+lib/bft/faults.ml: Types

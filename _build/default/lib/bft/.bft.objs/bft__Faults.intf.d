@@ -1,0 +1,1 @@
+lib/bft/faults.mli: Types

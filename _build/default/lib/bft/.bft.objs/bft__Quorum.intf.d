@@ -1,0 +1,1 @@
+lib/bft/quorum.mli: Format

@@ -1,0 +1,1 @@
+lib/bft/update.ml: Cryptosim Format Printf String Types

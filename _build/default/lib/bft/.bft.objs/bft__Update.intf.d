@@ -1,0 +1,1 @@
+lib/bft/update.mli: Cryptosim Format Types

@@ -1,0 +1,52 @@
+(** Exactly-once, per-client-FIFO delivery filter.
+
+    The ordering layer can surface the same client update more than
+    once (retransmissions routed through different origins) and can
+    surface a client's updates out of client order in corner cases.
+    This filter sits between ordering and execution: it releases each
+    client's updates exactly once, in client-sequence order, buffering
+    early arrivals until their predecessors release.
+
+    Its state is deliberately compact — a per-client expected counter
+    plus the (normally empty) out-of-order buffer — so it travels
+    inside state-transfer snapshots, which is what makes execution
+    dedup consistent across proactive recoveries. All replicas feed it
+    the same ordered occurrence stream, so all make identical release
+    decisions. *)
+
+type t
+
+val create : unit -> t
+
+(** [offer t update] is the list of updates to execute {e now}, in
+    order: empty for duplicates and early arrivals, possibly several
+    when [update] unblocks buffered successors. *)
+val offer : t -> Update.t -> Update.t list
+
+(** [seen t key] is true when the update was already released or is
+    buffered — used by origins to avoid re-preordering. *)
+val seen : t -> Types.client * int -> bool
+
+(** [expected t client] is the next client sequence to release
+    (1 for unknown clients). *)
+val expected : t -> Types.client -> int
+
+(** [buffered_count t] counts out-of-order updates currently held. *)
+val buffered_count : t -> int
+
+(** {1 State transfer} *)
+
+type state = (Types.client * int * Update.t list) list
+(** Per client: (client, expected, buffered updates sorted by seq). *)
+
+(** [state t] is a deterministic serialisation (clients ascending). *)
+val state : t -> state
+
+(** [digest t] hashes {!state} for snapshot cross-validation. *)
+val digest : t -> Cryptosim.Digest.t
+
+(** [digest_of_state state] hashes a serialised state directly. *)
+val digest_of_state : state -> Cryptosim.Digest.t
+
+(** [install t state] replaces [t]'s contents. *)
+val install : t -> state -> unit

@@ -1,0 +1,16 @@
+type 'msg t = {
+  self : Types.replica;
+  replica_count : int;
+  send : Types.replica -> 'msg -> unit;
+  now_us : unit -> int;
+  set_timer : int -> (unit -> unit) -> Sim.Engine.timer;
+  trace : string -> unit;
+}
+
+let others env =
+  List.filter (fun r -> r <> env.self) (List.init env.replica_count Fun.id)
+
+let broadcast env msg = List.iter (fun r -> env.send r msg) (others env)
+
+let broadcast_including_self env msg =
+  List.iter (fun r -> env.send r msg) (List.init env.replica_count Fun.id)

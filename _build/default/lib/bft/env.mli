@@ -1,0 +1,27 @@
+(** Execution environment handed to a replica protocol instance.
+
+    A protocol state machine never talks to the network or the clock
+    directly: it receives an ['msg env] whose closures the deployment
+    layer wires to the overlay network and the simulation engine. Tests
+    wire them to in-memory harnesses instead. *)
+
+type 'msg t = {
+  self : Types.replica;
+  replica_count : int;
+  send : Types.replica -> 'msg -> unit;
+      (** unicast to one peer; sends to self must be delivered too *)
+  now_us : unit -> int;
+  set_timer : int -> (unit -> unit) -> Sim.Engine.timer;
+      (** [set_timer delay_us callback] *)
+  trace : string -> unit;  (** protocol-level trace hook *)
+}
+
+(** [broadcast env msg] sends to every replica except [env.self]. *)
+val broadcast : 'msg t -> 'msg -> unit
+
+(** [broadcast_including_self env msg] sends to every replica,
+    [env.self] included. *)
+val broadcast_including_self : 'msg t -> 'msg -> unit
+
+(** [others env] lists all replicas except [env.self]. *)
+val others : 'msg t -> Types.replica list

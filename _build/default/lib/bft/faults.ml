@@ -1,0 +1,28 @@
+type t = {
+  mutable crashed : bool;
+  mutable silent : bool;
+  mutable proposal_delay_us : int;
+  mutable equivocate : bool;
+  mutable drop_to : Types.replica -> bool;
+}
+
+let honest () =
+  {
+    crashed = false;
+    silent = false;
+    proposal_delay_us = 0;
+    equivocate = false;
+    drop_to = (fun _ -> false);
+  }
+
+let is_byzantine t =
+  t.crashed || t.silent || t.proposal_delay_us > 0 || t.equivocate
+  (* drop_to cannot be inspected pointwise; scenarios that use it also
+     set one of the other knobs when they need [is_byzantine]. *)
+
+let reset t =
+  t.crashed <- false;
+  t.silent <- false;
+  t.proposal_delay_us <- 0;
+  t.equivocate <- false;
+  t.drop_to <- (fun _ -> false)

@@ -1,0 +1,37 @@
+(** Fault and attack behaviour knobs attached to a replica instance.
+
+    Scenario code flips these at runtime to turn a replica crashed,
+    silent, or Byzantine. The protocol implementations consult them at
+    the relevant decision points; a replica with {!honest} behaviour is
+    a correct replica.
+
+    The modelled Byzantine repertoire is the one the paper's evaluation
+    exercises: crash, selective silence, leader slowdown (the
+    performance attack Prime defends against), and leader equivocation.
+    Behaviours that real cryptography prevents (forging another
+    replica's signed messages, fabricating prepared certificates) are
+    outside the model, as they are in the paper. *)
+
+type t = {
+  mutable crashed : bool;
+      (** drops all input and output; models a down or rejuvenating node *)
+  mutable silent : bool;  (** processes input but sends nothing *)
+  mutable proposal_delay_us : int;
+      (** a malicious leader holds every proposal this long before
+          sending — the classic performance (slowdown) attack *)
+  mutable equivocate : bool;
+      (** a malicious leader sends conflicting proposals to different
+          halves of the replica set *)
+  mutable drop_to : Types.replica -> bool;
+      (** selective output suppression towards specific peers *)
+}
+
+(** [honest ()] is fresh, fully-correct behaviour. *)
+val honest : unit -> t
+
+(** [is_byzantine t] is true when any fault knob deviates from honest. *)
+val is_byzantine : t -> bool
+
+(** [reset t] restores honest behaviour in place (used when a replica is
+    rejuvenated by proactive recovery). *)
+val reset : t -> unit

@@ -1,0 +1,54 @@
+(** Quorum arithmetic for intrusion-tolerant replication with proactive
+    recovery.
+
+    Following the paper, a system that must tolerate [f] simultaneous
+    intrusions {e and} [k] replicas being unavailable because they are
+    undergoing proactive recovery needs
+
+    {v n >= 3f + 2k + 1 v}
+
+    replicas, with quorums of size [2f + k + 1]: any two such quorums
+    intersect in at least [f + 1] replicas, of which at least one is
+    correct, and a full quorum of correct, non-recovering replicas
+    remains available even with [f] compromised and [k] recovering. *)
+
+type t = private { n : int; f : int; k : int }
+
+(** [create ~n ~f ~k] validates [n >= 3f + 2k + 1] (and [f >= 0],
+    [k >= 0], [n >= 1]).
+    @raise Invalid_argument when the resilience bound is violated. *)
+val create : n:int -> f:int -> k:int -> t
+
+(** [minimal ~f ~k] is the smallest legal system: [n = 3f + 2k + 1]. *)
+val minimal : f:int -> k:int -> t
+
+(** [quorum_size t] is [2f + k + 1]. *)
+val quorum_size : t -> int
+
+(** [preorder_threshold t] is also [2f + k + 1] — the number of
+    acknowledgements that make a pre-ordered update durable across
+    views. *)
+val preorder_threshold : t -> int
+
+(** [execution_threshold t] is [f + k + 1]: enough reporters to ensure
+    at least one correct, non-recovering replica holds the update. *)
+val execution_threshold : t -> int
+
+(** [suspect_threshold t] is [f + k + 1]: a set of suspicions that
+    cannot be produced by faulty + recovering replicas alone. *)
+val suspect_threshold : t -> int
+
+(** [reply_threshold t] is [f + 1]: matching replies that guarantee at
+    least one comes from a correct replica. *)
+val reply_threshold : t -> int
+
+(** [two_quorum_intersection t] is the guaranteed size of the
+    intersection of any two quorums: [2 * quorum_size - n]. *)
+val two_quorum_intersection : t -> int
+
+(** [tolerates_simultaneously t ~compromised ~recovering] checks whether
+    progress and safety hold with the given number of compromised and
+    concurrently-recovering replicas. *)
+val tolerates_simultaneously : t -> compromised:int -> recovering:int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = {
+  client : Types.client;
+  client_seq : int;
+  operation : string;
+  submitted_us : int;
+}
+
+let create ~client ~client_seq ~operation ~submitted_us =
+  if client_seq < 0 then invalid_arg "Update.create: negative client_seq";
+  { client; client_seq; operation; submitted_us }
+
+let key u = (u.client, u.client_seq)
+
+let digest u =
+  Cryptosim.Digest.of_string
+    (Printf.sprintf "update:%d:%d:%s" u.client u.client_seq u.operation)
+
+let equal a b =
+  a.client = b.client && a.client_seq = b.client_seq
+  && String.equal a.operation b.operation
+
+let compare_key a b = compare (key a) (key b)
+
+let pp ppf u = Format.fprintf ppf "u(%d,%d)" u.client u.client_seq

@@ -1,0 +1,1 @@
+lib/core/config_calc.ml: Format List Printf String

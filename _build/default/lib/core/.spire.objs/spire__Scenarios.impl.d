@@ -1,0 +1,1 @@
+lib/core/scenarios.ml: Array Attack Bft Hashtbl List Overlay Prime Recovery Sim Stats System

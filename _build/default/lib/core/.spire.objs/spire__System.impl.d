@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Bft Cryptosim Fun List Overlay Pbft Prime Printf Recovery Scada Sim Stats String

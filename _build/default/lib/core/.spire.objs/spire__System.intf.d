@@ -1,0 +1,1 @@
+lib/core/system.mli: Bft Overlay Pbft Prime Recovery Scada Sim Stats

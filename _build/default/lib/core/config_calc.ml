@@ -1,0 +1,85 @@
+type site_kind = Control_center | Data_center
+
+type configuration = {
+  f : int;
+  k : int;
+  n : int;
+  sites : (site_kind * int) list;
+}
+
+let required_replicas ~f ~k =
+  if f < 0 || k < 0 then invalid_arg "Config_calc: negative f or k";
+  (3 * f) + (2 * k) + 1
+
+let quorum ~f ~k =
+  if f < 0 || k < 0 then invalid_arg "Config_calc: negative f or k";
+  (2 * f) + k + 1
+
+let total_replicas c = List.fold_left (fun acc (_, size) -> acc + size) 0 c.sites
+
+let valid c =
+  c.f >= 0 && c.k >= 0
+  && c.n = total_replicas c
+  && c.n >= required_replicas ~f:c.f ~k:c.k
+  && List.for_all (fun (_, size) -> size >= 1) c.sites
+
+let tolerates_site_loss c =
+  let q = quorum ~f:c.f ~k:c.k in
+  List.for_all (fun (_, size) -> c.n - size >= q) c.sites
+
+let control_centers c =
+  List.length (List.filter (fun (kind, _) -> kind = Control_center) c.sites)
+
+let distribute ~n ~sites =
+  if sites < 1 then invalid_arg "Config_calc.distribute: sites < 1";
+  let base = n / sites and extra = n mod sites in
+  List.init sites (fun i -> if i < extra then base + 1 else base)
+
+let minimal_n ~f ~k ~sites =
+  if sites < 2 then invalid_arg "Config_calc.minimal_n: need >= 2 sites";
+  let q = quorum ~f ~k in
+  let fits n =
+    let max_site = (n + sites - 1) / sites in
+    n >= sites (* every site hosts at least one replica *)
+    && n - max_site >= q
+  in
+  let n = ref (required_replicas ~f ~k) in
+  while not (fits !n) do
+    incr n
+  done;
+  !n
+
+let minimal_config ~f ~k ~sites ~control_centers =
+  if control_centers < 1 || control_centers > sites then
+    invalid_arg "Config_calc.minimal_config: bad control_centers";
+  let n = minimal_n ~f ~k ~sites in
+  let counts = distribute ~n ~sites in
+  let site_list =
+    List.mapi
+      (fun i size ->
+        ((if i < control_centers then Control_center else Data_center), size))
+      counts
+  in
+  { f; k; n; sites = site_list }
+
+let standard_table () =
+  List.concat_map
+    (fun f ->
+      List.concat_map
+        (fun k ->
+          List.map
+            (fun sites -> minimal_config ~f ~k ~sites ~control_centers:2)
+            [ 2; 3; 4 ])
+        [ 0; 1; 2 ])
+    [ 1; 2; 3 ]
+
+let pp ppf c =
+  let site_str =
+    String.concat "+"
+      (List.map
+         (fun (kind, size) ->
+           Printf.sprintf "%d%s" size
+             (match kind with Control_center -> "cc" | Data_center -> "dc"))
+         c.sites)
+  in
+  Format.fprintf ppf "f=%d k=%d n=%d [%s]" c.f c.k c.n site_str

@@ -1,0 +1,69 @@
+(** Configuration calculus: how many replicas, spread over how many
+    sites, to survive intrusions + proactive recovery + the loss of an
+    entire site (experiment E1).
+
+    Requirements encoded, following the paper:
+    - tolerate [f] simultaneous intrusions and [k] concurrently
+      recovering replicas: [n >= 3f + 2k + 1], quorums of [2f + k + 1];
+    - {e network-attack resilience}: after disconnecting any single
+      site (targeted DoS on a control center, fiber cut, ...), the
+      remaining replicas must still contain a quorum even with [f]
+      intrusions and [k] recoveries among them — i.e. for every site
+      [s]: [n - size(s) >= 2f + k + 1].
+
+    Sites are control centers (which can talk to field devices) or
+    commodity data centers (replicas only). At least 2 control centers
+    are required so field communication survives the loss of one. *)
+
+type site_kind = Control_center | Data_center
+
+type configuration = {
+  f : int;
+  k : int;
+  n : int;
+  sites : (site_kind * int) list;  (** per-site replica counts *)
+}
+
+(** [required_replicas ~f ~k] is [3f + 2k + 1]. *)
+val required_replicas : f:int -> k:int -> int
+
+(** [quorum ~f ~k] is [2f + k + 1]. *)
+val quorum : f:int -> k:int -> int
+
+(** [total_replicas c] sums the site counts. *)
+val total_replicas : configuration -> int
+
+(** [valid c] checks the resilience bound ([n >= 3f+2k+1], counts match). *)
+val valid : configuration -> bool
+
+(** [tolerates_site_loss c] checks [n - size(s) >= 2f+k+1] for every
+    site [s]. *)
+val tolerates_site_loss : configuration -> bool
+
+(** [control_centers c] counts control-center sites. *)
+val control_centers : configuration -> int
+
+(** [minimal_n ~f ~k ~sites] is the smallest [n] that satisfies the
+    resilience bound, single-site-loss tolerance, and one-replica-per-
+    site occupancy, when spread over [sites] sites as evenly as
+    possible.
+    @raise Invalid_argument if [sites < 2] (one site can never tolerate
+    its own loss). *)
+val minimal_n : f:int -> k:int -> sites:int -> int
+
+(** [distribute ~n ~sites] spreads [n] replicas over [sites] sites as
+    evenly as possible, larger sites first. *)
+val distribute : n:int -> sites:int -> int list
+
+(** [minimal_config ~f ~k ~sites ~control_centers] builds the minimal
+    valid configuration: control centers are listed first and receive
+    the larger shares. *)
+val minimal_config :
+  f:int -> k:int -> sites:int -> control_centers:int -> configuration
+
+(** [standard_table ()] is the reproduction of the paper's
+    configuration table: minimal configurations for
+    [f in 1..3], [k in 0..2], [sites in 2..4] (2 control centers). *)
+val standard_table : unit -> configuration list
+
+val pp : Format.formatter -> configuration -> unit

@@ -1,0 +1,254 @@
+type latency_result = {
+  hist : Stats.Histogram.t;
+  series : Stats.Timeseries.t;
+  submitted : int;
+  confirmed : int;
+  max_view : int;
+  duration_us : int;
+}
+
+let max_view sys =
+  let n = System.replica_count sys in
+  let best = ref 0 in
+  for r = 0 to n - 1 do
+    if not (System.faults sys r).Bft.Faults.crashed then
+      best := max !best (System.view_of sys r)
+  done;
+  !best
+
+let result_of sys ~duration_us =
+  {
+    hist = System.latency_histogram sys;
+    series = System.latency_series sys;
+    submitted = System.submitted_updates sys;
+    confirmed = System.confirmed_updates sys;
+    max_view = max_view sys;
+    duration_us;
+  }
+
+let finish sys ~duration_us =
+  System.assert_agreement sys;
+  (sys, result_of sys ~duration_us)
+
+let fault_free ?config ~duration_us () =
+  let cfg =
+    match config with Some c -> c | None -> System.default_config ()
+  in
+  let sys = System.create cfg in
+  System.start sys;
+  System.run sys ~duration_us;
+  finish sys ~duration_us
+
+let leader_attack ~protocol ~delay_us ~attack_from_us ~duration_us () =
+  let cfg = { (System.default_config ()) with System.protocol } in
+  let sys = System.create cfg in
+  System.start sys;
+  ignore
+    (Sim.Engine.schedule_at (System.engine sys) ~time_us:attack_from_us
+       (fun () -> System.set_leader_delay sys ~delay_us)
+      : Sim.Engine.timer);
+  System.run sys ~duration_us;
+  (* Agreement must hold among correct replicas; the attacked leader is
+     Byzantine and excluded by [assert_agreement]. *)
+  finish sys ~duration_us
+
+let proactive_recovery ~rotation_period_us ~recovery_duration_us ~duration_us
+    () =
+  let sys = System.create (System.default_config ()) in
+  let events = ref [] in
+  System.on_recovery_event sys (fun phase r ->
+      events := (Sim.Engine.now (System.engine sys), phase, r) :: !events);
+  System.start sys;
+  ignore
+    (System.enable_recovery sys ~rotation_period_us ~recovery_duration_us
+      : Recovery.Scheduler.t);
+  System.run sys ~duration_us;
+  System.assert_agreement sys;
+  (sys, result_of sys ~duration_us, List.rev !events)
+
+let link_degradation ~mode ~factor ~attack_from_us ~duration_us () =
+  let cfg = { (System.default_config ()) with System.dissemination = mode } in
+  let sys = System.create cfg in
+  System.start sys;
+  ignore
+    (Sim.Engine.schedule_at (System.engine sys) ~time_us:attack_from_us
+       (fun () ->
+         (* The attacker congests the PRIMARY inter-site links (those
+            joining the first daemon of each site) — an undetected
+            delay attack: links stay up, so shortest-path routing keeps
+            trusting their advertised latency. The redundant
+            second-node links and the client access links stay clean,
+            which is exactly what redundant/flooding dissemination can
+            exploit and single-path routing cannot. *)
+         let net = System.net sys in
+         let topo = Overlay.Net.topology net in
+         let n = System.replica_count sys in
+         let first_of_site = Hashtbl.create 7 in
+         for r = 0 to n - 1 do
+           let s = Overlay.Topology.site_of topo r in
+           if not (Hashtbl.mem first_of_site s) then
+             Hashtbl.replace first_of_site s r
+         done;
+         let is_gateway node =
+           node < n
+           && Hashtbl.find_opt first_of_site (Overlay.Topology.site_of topo node)
+              = Some node
+         in
+         List.iter
+           (fun link ->
+             let a = link.Overlay.Topology.endpoint_a
+             and b = link.Overlay.Topology.endpoint_b in
+             if
+               is_gateway a && is_gateway b
+               && Overlay.Topology.site_of topo a
+                  <> Overlay.Topology.site_of topo b
+             then Overlay.Net.set_latency_factor net a b factor)
+           (Overlay.Topology.links topo))
+      : Sim.Engine.timer);
+  System.run sys ~duration_us;
+  finish sys ~duration_us
+
+let packet_loss ~mode ~loss ~duration_us () =
+  let cfg = { (System.default_config ()) with System.dissemination = mode } in
+  let sys = System.create cfg in
+  let net = System.net sys in
+  let topo = Overlay.Net.topology net in
+  let n = System.replica_count sys in
+  List.iter
+    (fun link ->
+      let a = link.Overlay.Topology.endpoint_a
+      and b = link.Overlay.Topology.endpoint_b in
+      if
+        a < n && b < n
+        && Overlay.Topology.site_of topo a <> Overlay.Topology.site_of topo b
+      then Overlay.Net.set_loss_probability net a b loss)
+    (Overlay.Topology.links topo);
+  System.start sys;
+  System.run sys ~duration_us;
+  finish sys ~duration_us
+
+let site_failure ~site ~fail_at_us ~restore_at_us ~duration_us () =
+  let sys = System.create (System.default_config ()) in
+  System.start sys;
+  ignore
+    (Sim.Engine.schedule_at (System.engine sys) ~time_us:fail_at_us (fun () ->
+         System.kill_site sys site)
+      : Sim.Engine.timer);
+  (match restore_at_us with
+  | Some time_us ->
+    ignore
+      (Sim.Engine.schedule_at (System.engine sys) ~time_us (fun () ->
+           System.restore_site sys site)
+        : Sim.Engine.timer)
+  | None -> ());
+  System.run sys ~duration_us;
+  finish sys ~duration_us
+
+let throughput ~substations ~poll_interval_us ~duration_us () =
+  let cfg =
+    { (System.default_config ()) with System.substations; poll_interval_us }
+  in
+  let sys = System.create cfg in
+  System.start sys;
+  System.run sys ~duration_us;
+  finish sys ~duration_us
+
+type campaign_result = {
+  max_simultaneous_compromised : int;
+  total_compromises : int;
+  exploits_developed : int;
+  time_above_f_us : int;
+  final_compromised : int;
+  mean_held_us : int;
+}
+
+let intrusion_campaign ?(reactive_on = false) ~diversity_on ~recovery_on
+    ~duration_us () =
+  let base = System.default_config () in
+  let cfg =
+    {
+      base with
+      System.diversity_variants = (if diversity_on then 8 else 1);
+      (* Lighter polling and slower protocol cadences: the campaign runs
+         for hours of virtual time and the metric is compromise counts,
+         not latency. *)
+      substations = 2;
+      poll_interval_us = 1_000_000;
+      tweak_prime =
+        (fun c ->
+          {
+            c with
+            Prime.Replica.aru_interval_us = 100_000;
+            proposal_interval_us = 200_000;
+            watchdog_interval_us = 500_000;
+            tat_threshold_us = 2_000_000;
+          });
+    }
+  in
+  let sys = System.create cfg in
+  System.start sys;
+  let engine = System.engine sys in
+  let f = cfg.System.quorum.Bft.Quorum.f in
+  let compromised_since = Array.make (System.replica_count sys) 0 in
+  let held_total = ref 0 and held_count = ref 0 in
+  let campaign =
+    Attack.Campaign.create ~engine ~rng:(Sim.Engine.rng engine)
+      ~diversity:(System.diversity sys)
+      ~config:
+        {
+          (* The paper's defence premise: rejuvenation outpaces exploit
+             development. The attacker needs 2 h per exploit; the full
+             rotation takes 1 h, so no foothold survives long enough to
+             combine with the next one. *)
+          Attack.Campaign.exploit_development_us = 2 * 3600 * 1_000_000;
+          attempt_interval_us = 60 * 1_000_000;
+          retarget = `Largest_group;
+        }
+      ~on_compromise:(fun r ->
+        compromised_since.(r) <- Sim.Engine.now engine;
+        (System.faults sys r).Bft.Faults.silent <- true)
+      ~on_cleanse:(fun r ->
+        held_total := !held_total + (Sim.Engine.now engine - compromised_since.(r));
+        incr held_count;
+        (System.faults sys r).Bft.Faults.silent <- false)
+  in
+  if recovery_on then begin
+    System.on_recovery_event sys (fun phase r ->
+        match phase with
+        | `Begin -> Attack.Campaign.set_recovering campaign r true
+        | `Complete ->
+          Attack.Campaign.set_recovering campaign r false;
+          Attack.Campaign.notify_rejuvenated campaign r);
+    ignore
+      (System.enable_recovery sys
+         ~rotation_period_us:(60 * 60 * 1_000_000)
+         ~recovery_duration_us:(2 * 60 * 1_000_000)
+        : Recovery.Scheduler.t);
+    if reactive_on then
+      System.enable_reactive_recovery sys
+        ~silence_threshold_us:(120 * 1_000_000)
+        ~poll_interval_us:(30 * 1_000_000)
+  end;
+  Attack.Campaign.start campaign;
+  (* Sample the compromised count every virtual minute to integrate the
+     time spent above f. *)
+  let time_above_f = ref 0 in
+  let sample_interval = 60 * 1_000_000 in
+  ignore
+    (Sim.Engine.periodic engine ~interval_us:sample_interval (fun () ->
+         if Attack.Campaign.compromised_count campaign > f then
+           time_above_f := !time_above_f + sample_interval)
+      : Sim.Engine.timer);
+  System.run sys ~duration_us;
+  Attack.Campaign.stop campaign;
+  let result =
+    {
+      max_simultaneous_compromised = Attack.Campaign.max_simultaneous campaign;
+      total_compromises = Attack.Campaign.total_compromises campaign;
+      exploits_developed = Attack.Campaign.exploits_developed campaign;
+      time_above_f_us = !time_above_f;
+      final_compromised = Attack.Campaign.compromised_count campaign;
+      mean_held_us = (if !held_count = 0 then 0 else !held_total / !held_count);
+    }
+  in
+  (sys, result)

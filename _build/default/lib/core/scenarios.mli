@@ -1,0 +1,123 @@
+(** Experiment scenario drivers.
+
+    One function per experiment family (see DESIGN.md's experiment
+    index); the benchmark harness and the runnable examples both call
+    these, so the numbers printed by `bench/main.exe` are reproducible
+    from the CLI as well. Every driver asserts replica agreement before
+    returning — a safety violation aborts the experiment loudly. *)
+
+type latency_result = {
+  hist : Stats.Histogram.t;  (** confirmed-update latencies, ms *)
+  series : Stats.Timeseries.t;  (** (confirm time, latency ms) *)
+  submitted : int;
+  confirmed : int;
+  max_view : int;  (** highest view reached by any correct replica *)
+  duration_us : int;
+}
+
+(** [result_of sys ~duration_us] snapshots the metrics of a system. *)
+val result_of : System.t -> duration_us:int -> latency_result
+
+(** [fault_free ?config ~duration_us ()] — experiments E2/E3: the
+    wide-area deployment with no faults. *)
+val fault_free :
+  ?config:System.config -> duration_us:int -> unit -> System.t * latency_result
+
+(** [leader_attack ~protocol ~delay_us ~attack_from_us ~duration_us ()] —
+    experiment E4: the leader delays every proposal by [delay_us]
+    starting at [attack_from_us]. Under Prime the leader is suspected
+    and rotated; under PBFT it keeps the role while latency balloons. *)
+val leader_attack :
+  protocol:System.protocol ->
+  delay_us:int ->
+  attack_from_us:int ->
+  duration_us:int ->
+  unit ->
+  System.t * latency_result
+
+(** [proactive_recovery ~rotation_period_us ~recovery_duration_us
+     ~duration_us ()] — experiment E5: staggered rejuvenation while the
+    polling workload runs. Also returns the recovery events
+    [(time_us, phase, replica)]. *)
+val proactive_recovery :
+  rotation_period_us:int ->
+  recovery_duration_us:int ->
+  duration_us:int ->
+  unit ->
+  System.t * latency_result * (int * [ `Begin | `Complete ] * int) list
+
+(** [link_degradation ~mode ~factor ~attack_from_us ~duration_us ()] —
+    experiment E6: at [attack_from_us] every inter-control-center WAN
+    link's latency is inflated by [factor] (an undetected delay attack:
+    links stay "up" so shortest-path routing keeps using them).
+    Compare [mode = Shortest] (suffers) against [Redundant 2] / [Flood]
+    (first copy wins over clean paths). *)
+val link_degradation :
+  mode:Overlay.Net.mode ->
+  factor:float ->
+  attack_from_us:int ->
+  duration_us:int ->
+  unit ->
+  System.t * latency_result
+
+(** [packet_loss ~mode ~loss ~duration_us ()] — experiment E6b: every
+    WAN link between replica sites drops each transmission with
+    probability [loss] for the whole run; the overlay's hop-by-hop ARQ
+    retransmits. Measures how loss converts into latency per
+    dissemination mode. *)
+val packet_loss :
+  mode:Overlay.Net.mode ->
+  loss:float ->
+  duration_us:int ->
+  unit ->
+  System.t * latency_result
+
+(** [site_failure ~site ~fail_at_us ~restore_at_us ~duration_us ()] —
+    experiment E7: a whole control center is disconnected, then
+    restored. Returns per-second mean latency buckets for the timeline
+    figure. *)
+val site_failure :
+  site:int ->
+  fail_at_us:int ->
+  restore_at_us:int option ->
+  duration_us:int ->
+  unit ->
+  System.t * latency_result
+
+(** [throughput ~substations ~poll_interval_us ~duration_us ()] —
+    experiment E8: one point of the scaling sweep; returns the offered
+    and confirmed rates plus the latency distribution. *)
+val throughput :
+  substations:int ->
+  poll_interval_us:int ->
+  duration_us:int ->
+  unit ->
+  System.t * latency_result
+
+type campaign_result = {
+  max_simultaneous_compromised : int;
+  total_compromises : int;
+  exploits_developed : int;
+  time_above_f_us : int;
+      (** virtual time with more than f replicas compromised *)
+  final_compromised : int;
+  mean_held_us : int;
+      (** mean time a compromise survived before being cleansed (0 when
+          none were cleansed) *)
+}
+
+(** [intrusion_campaign ?reactive_on ~diversity_on ~recovery_on
+     ~duration_us ()] — experiment E9 and its ablations A3/A4. The
+    attacker develops exploits per variant and compromises matching
+    replicas; proactive recovery (when on) rejuvenates with fresh
+    variants; [reactive_on] (default false, requires recovery) adds
+    accusation-based reactive recovery, which cleanses silent
+    compromised replicas within seconds instead of waiting for their
+    rotation slot. *)
+val intrusion_campaign :
+  ?reactive_on:bool ->
+  diversity_on:bool ->
+  recovery_on:bool ->
+  duration_us:int ->
+  unit ->
+  System.t * campaign_result

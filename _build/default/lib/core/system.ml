@@ -1,0 +1,708 @@
+type protocol = Prime_protocol | Pbft_protocol
+
+type payload =
+  | Prime_msg of Bft.Types.replica * Prime.Msg.t
+  | Pbft_msg of Bft.Types.replica * Pbft.Msg.t
+  | Client_update of Bft.Update.t
+  | Replica_reply of Scada.Reply.t
+
+type config = {
+  quorum : Bft.Quorum.t;
+  protocol : protocol;
+  site_sizes : int list;
+  control_centers : int;
+  substations : int;
+  hmis : int;
+  poll_interval_us : int;
+  dissemination : Overlay.Net.mode;
+  lan_latency_us : int;
+  wan_latency_us : int -> int -> int;
+  client_link_latency_us : int;
+  lan_bandwidth_bps : int;
+  wan_bandwidth_bps : int;
+  resubmit_timeout_us : int;
+  diversity_variants : int;
+  seed : int64;
+  tweak_prime : Prime.Replica.config -> Prime.Replica.config;
+  tweak_pbft : Pbft.Replica.config -> Pbft.Replica.config;
+}
+
+let east_coast_wan a b =
+  match (min a b, max a b) with
+  | 0, 1 -> 2_000
+  | 0, 2 -> 4_000
+  | 0, 3 -> 8_000
+  | 1, 2 -> 5_000
+  | 1, 3 -> 9_000
+  | 2, 3 -> 5_000
+  | _ -> 10_000
+
+let default_config () =
+  {
+    quorum = Bft.Quorum.create ~n:6 ~f:1 ~k:1;
+    protocol = Prime_protocol;
+    site_sizes = [ 2; 2; 1; 1 ];
+    control_centers = 2;
+    substations = 10;
+    hmis = 1;
+    poll_interval_us = 100_000;
+    dissemination = Overlay.Net.Shortest;
+    lan_latency_us = 100;
+    wan_latency_us = east_coast_wan;
+    client_link_latency_us = 2_000;
+    lan_bandwidth_bps = 125_000_000;
+    wan_bandwidth_bps = 12_500_000;
+    resubmit_timeout_us = 2_000_000;
+    diversity_variants = 8;
+    seed = 0x5917EL;
+    tweak_prime = Fun.id;
+    tweak_pbft = Fun.id;
+  }
+
+type replica_instance =
+  | Prime_replica of Prime.Replica.t
+  | Pbft_replica of Pbft.Replica.t
+
+type t = {
+  cfg : config;
+  engine : Sim.Engine.t;
+  topo : Overlay.Topology.t;
+  net : payload Overlay.Net.t;
+  group : Cryptosim.Threshold.group;
+  n : int;
+  mutable replicas : replica_instance array;
+  masters : Scada.Master.t array; (* elements replaced on state transfer *)
+  mutable proxies : Scada.Proxy.t array;
+  mutable hmis : Scada.Hmi.t array;
+  replica_sites : int array;
+  hist : Stats.Histogram.t;
+  series : Stats.Timeseries.t;
+  mutable submitted : int;
+  diversity : Recovery.Diversity.t;
+  mutable scheduler : Recovery.Scheduler.t option;
+  mutable recovery_listeners :
+    ([ `Begin | `Complete ] -> Bft.Types.replica -> unit) list;
+  share_cost_us : int;
+}
+
+let config t = t.cfg
+let engine t = t.engine
+let net t = t.net
+let replica_count t = t.n
+let proxy t i = t.proxies.(i)
+let hmi t i = t.hmis.(i)
+let master t r = t.masters.(r)
+let latency_histogram t = t.hist
+let latency_series t = t.series
+let confirmed_updates t = Stats.Histogram.count t.hist
+let submitted_updates t = t.submitted
+let diversity t = t.diversity
+let node_of_replica _t r = r
+let node_of_client t c = t.n + c
+let site_of_replica t r = t.replica_sites.(r)
+
+let faults t r =
+  match t.replicas.(r) with
+  | Prime_replica p -> Prime.Replica.faults p
+  | Pbft_replica p -> Pbft.Replica.faults p
+
+let view_of t r =
+  match t.replicas.(r) with
+  | Prime_replica p -> Prime.Replica.view p
+  | Pbft_replica p -> Pbft.Replica.view p
+
+let exec_log t r =
+  match t.replicas.(r) with
+  | Prime_replica p -> Prime.Replica.exec_log p
+  | Pbft_replica p -> Pbft.Replica.exec_log p
+
+let current_leader t =
+  (* Leader of the median view among live replicas. *)
+  let views =
+    List.filter_map
+      (fun r ->
+        if (faults t r).Bft.Faults.crashed then None else Some (view_of t r))
+      (List.init t.n Fun.id)
+    |> List.sort compare
+  in
+  let view =
+    match views with
+    | [] -> 0
+    | vs -> List.nth vs (List.length vs / 2)
+  in
+  Bft.Types.leader_of ~n:t.n view
+
+(* ------------------------------------------------------------------ *)
+(* Topology: replica sites + one node per client, multi-homed to both
+   control centers.                                                    *)
+
+let build_topology cfg =
+  let n = List.fold_left ( + ) 0 cfg.site_sizes in
+  let sites = List.length cfg.site_sizes in
+  let total = n + cfg.substations + cfg.hmis in
+  let topo = Overlay.Topology.create ~nodes:total in
+  (* Replica sites and LAN meshes. *)
+  let site_members =
+    let offset = ref 0 in
+    List.mapi
+      (fun site size ->
+        let members = List.init size (fun i -> !offset + i) in
+        offset := !offset + size;
+        List.iter (fun node -> Overlay.Topology.assign_site topo node site) members;
+        members)
+      cfg.site_sizes
+  in
+  List.iter
+    (fun members ->
+      let arr = Array.of_list members in
+      for i = 0 to Array.length arr - 1 do
+        for j = i + 1 to Array.length arr - 1 do
+          Overlay.Topology.add_link topo ~a:arr.(i) ~b:arr.(j)
+            ~latency_us:cfg.lan_latency_us ~bandwidth_bps:cfg.lan_bandwidth_bps
+        done
+      done)
+    site_members;
+  (* Inter-site WAN links: first-first always, second-second when both
+     sites have two or more members (redundancy). *)
+  let site_arr = Array.of_list site_members in
+  for sa = 0 to sites - 1 do
+    for sb = sa + 1 to sites - 1 do
+      let lat = cfg.wan_latency_us sa sb in
+      (match (site_arr.(sa), site_arr.(sb)) with
+      | a0 :: _, b0 :: _ ->
+        Overlay.Topology.add_link topo ~a:a0 ~b:b0 ~latency_us:lat
+          ~bandwidth_bps:cfg.wan_bandwidth_bps
+      | _, _ -> ());
+      match (site_arr.(sa), site_arr.(sb)) with
+      | _ :: a1 :: _, _ :: b1 :: _ ->
+        Overlay.Topology.add_link topo ~a:a1 ~b:b1 ~latency_us:lat
+          ~bandwidth_bps:cfg.wan_bandwidth_bps
+      | _, _ -> ()
+    done
+  done;
+  (* Clients: one node each, own site id, linked to the first node of
+     every control-center site. *)
+  let cc_gateways =
+    List.filteri (fun i _ -> i < cfg.control_centers) site_members
+    |> List.filter_map (function gw :: _ -> Some gw | [] -> None)
+  in
+  for c = 0 to cfg.substations + cfg.hmis - 1 do
+    let node = n + c in
+    Overlay.Topology.assign_site topo node (sites + c);
+    List.iter
+      (fun gw ->
+        Overlay.Topology.add_link topo ~a:node ~b:gw
+          ~latency_us:cfg.client_link_latency_us
+          ~bandwidth_bps:cfg.wan_bandwidth_bps)
+      cc_gateways
+  done;
+  (topo, site_members)
+
+(* ------------------------------------------------------------------ *)
+(* Creation.                                                           *)
+
+let msg_size t = function
+  | Prime_msg (_, m) -> Prime.Msg.size_bytes m ~n:t.n
+  | Pbft_msg (_, m) -> (
+    64
+    +
+    match m with
+    | Pbft.Msg.Request { update; _ } -> 32 + String.length update.Bft.Update.operation
+    | Pbft.Msg.Preprepare _ -> 128
+    | Pbft.Msg.Newview { proposals; _ } -> 64 + (96 * List.length proposals)
+    | Pbft.Msg.Viewchange { prepared; _ } -> 64 + (96 * List.length prepared)
+    | Pbft.Msg.Prepare _ | Pbft.Msg.Commit _ | Pbft.Msg.Checkpoint _ -> 16)
+  | Client_update u -> 96 + String.length u.Bft.Update.operation
+  | Replica_reply _ -> 192
+
+let send_payload t ~src_node ~dst_node payload =
+  Overlay.Net.send t.net ~priority:Overlay.Fair_queue.Control
+    ~size_bytes:(msg_size t payload) ~src:src_node ~dst:dst_node
+    ~mode:t.cfg.dissemination payload
+
+let submit_to_replica t r update =
+  match t.replicas.(r) with
+  | Prime_replica p -> Prime.Replica.submit p update
+  | Pbft_replica p -> Pbft.Replica.submit p update
+
+let handle_replica_msg t r ~from payload =
+  match (t.replicas.(r), payload) with
+  | Prime_replica p, Prime_msg (_, m) -> Prime.Replica.handle p ~from m
+  | Pbft_replica p, Pbft_msg (_, m) -> Pbft.Replica.handle p ~from m
+  | _, Client_update u -> submit_to_replica t r u
+  | _, (Prime_msg _ | Pbft_msg _ | Replica_reply _) -> ()
+
+(* Reply emission: called from the execute callback of replica [r]. *)
+let emit_replies t r ~exec_index ~(update : Bft.Update.t) effect =
+  let state = Scada.Master.state_digest t.masters.(r) in
+  let update_digest = Bft.Update.digest update in
+  let send_reply ~body ~dst_node =
+    let digest = Scada.Reply.body_digest ~exec_index ~update_digest ~state ~body in
+    let share = Cryptosim.Threshold.sign_share t.group ~member:r digest in
+    let reply =
+      {
+        Scada.Reply.replica = r;
+        update_key = Bft.Update.key update;
+        exec_index;
+        digest;
+        share;
+        body;
+      }
+    in
+    (* Charge the threshold-share signing cost before the send. *)
+    ignore
+      (Sim.Engine.schedule t.engine ~delay_us:t.share_cost_us (fun () ->
+           if not (faults t r).Bft.Faults.crashed then
+             send_payload t ~src_node:(node_of_replica t r)
+               ~dst_node (Replica_reply reply))
+        : Sim.Engine.timer)
+  in
+  let client_node = node_of_client t update.Bft.Update.client in
+  match effect with
+  | Scada.Master.No_effect | Scada.Master.Read_result _ ->
+    send_reply ~body:Scada.Reply.Ack ~dst_node:client_node
+  | Scada.Master.Device_command { rtu; command } ->
+    send_reply ~body:Scada.Reply.Ack ~dst_node:client_node;
+    if rtu >= 0 && rtu < t.cfg.substations then begin
+      let frame = Scada.Dnp3.encode { Scada.Dnp3.dest = rtu; src = 0xF0; app = command } in
+      send_reply
+        ~body:(Scada.Reply.Command { rtu; frame })
+        ~dst_node:(node_of_client t rtu)
+    end
+
+(* State transfer: adopt a (protocol snapshot, master state) pair
+   vouched for by f+1 peers. The two halves are captured atomically
+   (same simulation instant), so a consistent pair digest identifies a
+   consistent joint state. Used when a replica returns from proactive
+   recovery AND when a disconnected site reconnects. *)
+let resync_replica t r =
+  match t.replicas.(r) with
+  | Pbft_replica _ -> ()
+  | Prime_replica prime ->
+    let prime_of p =
+      match t.replicas.(p) with
+      | Prime_replica q -> q
+      | Pbft_replica _ -> assert false
+    in
+    let source =
+      {
+        Recovery.State_transfer.peers =
+          List.filter
+            (fun p -> p <> r && not (faults t p).Bft.Faults.crashed)
+            (List.init t.n Fun.id);
+        fetch =
+          (fun peer ->
+            Some
+              ( Prime.Replica.snapshot (prime_of peer),
+                Scada.Master.clone t.masters.(peer) ));
+        digest_of =
+          (fun (snap, master) ->
+            Cryptosim.Digest.combine
+              (Prime.Replica.snapshot_digest snap)
+              (Scada.Master.snapshot_digest master));
+        newer =
+          (fun (a, _) (b, _) ->
+            a.Prime.Replica.snap_exec_count > b.Prime.Replica.snap_exec_count);
+      }
+    in
+    (match Recovery.State_transfer.select ~f:t.cfg.quorum.Bft.Quorum.f source with
+    | Recovery.State_transfer.Installed (snap, master) ->
+      Prime.Replica.install_snapshot prime snap;
+      t.masters.(r) <- master
+    | Recovery.State_transfer.No_quorum _ ->
+      (* Rare: peers disagree transiently; rejoin from live traffic and
+         catch up through slot requests / checkpoints. *)
+      ())
+
+let create cfg =
+  let n = List.fold_left ( + ) 0 cfg.site_sizes in
+  if n <> cfg.quorum.Bft.Quorum.n then
+    invalid_arg "System.create: site_sizes do not sum to quorum n";
+  if cfg.control_centers < 1 || cfg.control_centers > List.length cfg.site_sizes
+  then invalid_arg "System.create: bad control_centers";
+  let engine = Sim.Engine.create ~seed:cfg.seed () in
+  let topo, site_members = build_topology cfg in
+  let net = Overlay.Net.create ~per_source_cap:256 engine topo () in
+  let group =
+    Cryptosim.Threshold.create_group ~seed:cfg.seed
+      ~members:(List.init n Fun.id)
+      ~threshold:(Bft.Quorum.reply_threshold cfg.quorum)
+  in
+  let replica_sites = Array.make n 0 in
+  List.iteri
+    (fun site members -> List.iter (fun r -> replica_sites.(r) <- site) members)
+    site_members;
+  let t =
+    {
+      cfg;
+      engine;
+      topo;
+      net;
+      group;
+      n;
+      replicas = [||];
+      masters = Array.init n (fun _ -> Scada.Master.create ());
+      proxies = [||];
+      hmis = [||];
+      replica_sites;
+      hist = Stats.Histogram.create ();
+      series = Stats.Timeseries.create ();
+      submitted = 0;
+      diversity =
+        Recovery.Diversity.create ~variants:cfg.diversity_variants ~n
+          ~rng:(Sim.Engine.rng engine);
+      scheduler = None;
+      recovery_listeners = [];
+      share_cost_us = Cryptosim.Threshold.default_cost.Cryptosim.Threshold.share_us;
+    }
+  in
+  (* Replica environments. *)
+  let env_of r wrap =
+    {
+      Bft.Env.self = r;
+      replica_count = n;
+      send =
+        (fun dst msg ->
+          send_payload t ~src_node:(node_of_replica t r)
+            ~dst_node:(node_of_replica t dst) (wrap msg));
+      now_us = (fun () -> Sim.Engine.now engine);
+      set_timer = (fun delay_us f -> Sim.Engine.schedule engine ~delay_us f);
+      trace = (fun _ -> ());
+    }
+  in
+  let execute_of r exec_index update =
+    match Scada.Op.of_update update with
+    | Error _ -> ()
+    | Ok op ->
+      let effect = Scada.Master.apply t.masters.(r) op in
+      emit_replies t r ~exec_index ~update effect
+  in
+  (* Derive a TAT bound from the network diameter: twice the worst
+     round-trip plus proposal cadence headroom. *)
+  let max_one_way =
+    List.fold_left
+      (fun acc link -> max acc link.Overlay.Topology.latency_us)
+      0 (Overlay.Topology.links topo)
+  in
+  t.replicas <-
+    Array.init n (fun r ->
+        match cfg.protocol with
+        | Prime_protocol ->
+          let pcfg =
+            cfg.tweak_prime
+              {
+                (Prime.Replica.default_config cfg.quorum) with
+                Prime.Replica.tat_threshold_us =
+                  max 100_000 ((8 * max_one_way) + 60_000);
+              }
+          in
+          Prime_replica
+            (Prime.Replica.create pcfg (env_of r (fun m -> Prime_msg (r, m)))
+               ~execute:(execute_of r))
+        | Pbft_protocol ->
+          let pcfg = cfg.tweak_pbft (Pbft.Replica.default_config cfg.quorum) in
+          Pbft_replica
+            (Pbft.Replica.create pcfg (env_of r (fun m -> Pbft_msg (r, m)))
+               ~execute:(fun seq u -> execute_of r seq u)));
+  (* A replica that provably fell behind the quorum's checkpoints asks
+     the deployment for state transfer (deferred one event so the
+     transfer does not run inside a message handler). *)
+  Array.iteri
+    (fun r instance ->
+      match instance with
+      | Prime_replica p ->
+        Prime.Replica.set_on_fall_behind p (fun () ->
+            ignore
+              (Sim.Engine.schedule engine ~delay_us:0 (fun () ->
+                   if not (faults t r).Bft.Faults.crashed then
+                     resync_replica t r)
+                : Sim.Engine.timer))
+      | Pbft_replica _ -> ())
+    t.replicas;
+  (* Net handlers: replica nodes. *)
+  for r = 0 to n - 1 do
+    Overlay.Net.set_handler net r (fun delivery ->
+        let from = delivery.Overlay.Net.frame_src in
+        (* Only replica nodes originate protocol messages; client nodes
+           originate Client_update. *)
+        handle_replica_msg t r ~from delivery.Overlay.Net.payload)
+  done;
+  (* Clients. *)
+  let record_latency _update ~latency_us =
+    let ms = float_of_int latency_us /. 1000. in
+    Stats.Histogram.add t.hist ms;
+    Stats.Timeseries.add t.series ~time_us:(Sim.Engine.now engine) ms
+  in
+  (* Client-side origin failover. Each client has a home origin
+     (client mod n); when the origin it is currently using makes no
+     progress for a full retransmission timeout, the client suspects it
+     for a while and moves to the next replica. Retransmissions
+     themselves go to every replica (as Prime clients do) and
+     exactly-once delivery collapses the duplicates. *)
+  let clients = cfg.substations + cfg.hmis in
+  let suspected_until = Array.make_matrix clients n min_int in
+  let current_default = Array.make clients (-1) in
+  let default_since = Array.make clients 0 in
+  let pick_origin client now =
+    let start = client mod n in
+    let rec find i =
+      if i >= n then start
+      else begin
+        let o = (start + i) mod n in
+        if suspected_until.(client).(o) > now then find (i + 1) else o
+      end
+    in
+    let o = find 0 in
+    if o <> current_default.(client) then begin
+      current_default.(client) <- o;
+      default_since.(client) <- now
+    end;
+    o
+  in
+  let submit_of client ~attempt (u : Bft.Update.t) =
+    t.submitted <- t.submitted + 1;
+    let now = Sim.Engine.now engine in
+    if attempt = 0 then begin
+      let origin = pick_origin client now in
+      send_payload t ~src_node:(node_of_client t client)
+        ~dst_node:(node_of_replica t origin) (Client_update u)
+    end
+    else begin
+      (* Blame the current origin only once it has had a full timeout
+         to prove itself (the timed-out update may predate it). *)
+      let cur = pick_origin client now in
+      if now - default_since.(client) > cfg.resubmit_timeout_us then begin
+        suspected_until.(client).(cur) <- now + (8 * cfg.resubmit_timeout_us);
+        ignore (pick_origin client now : int)
+      end;
+      for r = 0 to n - 1 do
+        send_payload t ~src_node:(node_of_client t client)
+          ~dst_node:(node_of_replica t r) (Client_update u)
+      done
+    end
+  in
+  let proxies =
+    Array.init cfg.substations (fun i ->
+        let rtu =
+          Scada.Rtu.create ~id:i ~breakers:4 ~feeders:2 ~rng:(Sim.Engine.rng engine)
+        in
+        (* Mixed field-protocol fleet, as in real substations: even
+           RTUs speak DNP3, odd ones Modbus (the proxy gateways the
+           master's DNP3 commands accordingly). *)
+        let field_protocol = if i mod 2 = 0 then `Dnp3 else `Modbus in
+        let p =
+          Scada.Proxy.create ~field_protocol ~engine ~rtu ~client_id:i
+            ~poll_interval_us:cfg.poll_interval_us ~group
+            ~resubmit_timeout_us:cfg.resubmit_timeout_us
+            ~submit:(submit_of i) ()
+        in
+        Scada.Endpoint.set_on_complete (Scada.Proxy.endpoint p) record_latency;
+        Overlay.Net.set_handler net (node_of_client t i) (fun delivery ->
+            match delivery.Overlay.Net.payload with
+            | Replica_reply reply -> Scada.Proxy.handle_reply p reply
+            | Prime_msg _ | Pbft_msg _ | Client_update _ -> ());
+        p)
+  in
+  let hmis =
+    Array.init cfg.hmis (fun j ->
+        let client = cfg.substations + j in
+        let h =
+          Scada.Hmi.create ~engine ~client_id:client ~group
+            ~resubmit_timeout_us:cfg.resubmit_timeout_us
+            ~submit:(submit_of client)
+        in
+        Scada.Endpoint.set_on_complete (Scada.Hmi.endpoint h) record_latency;
+        Overlay.Net.set_handler net (node_of_client t client) (fun delivery ->
+            match delivery.Overlay.Net.payload with
+            | Replica_reply reply -> Scada.Hmi.handle_reply h reply
+            | Prime_msg _ | Pbft_msg _ | Client_update _ -> ());
+        h)
+  in
+  t.proxies <- proxies;
+  t.hmis <- hmis;
+  t
+
+let start t =
+  Array.iter
+    (function
+      | Prime_replica p -> Prime.Replica.start p
+      | Pbft_replica p -> Pbft.Replica.start p)
+    t.replicas;
+  Array.iter Scada.Proxy.start t.proxies;
+  Array.iter Scada.Hmi.start t.hmis
+
+let run t ~duration_us =
+  Sim.Engine.run t.engine ~until_us:(Sim.Engine.now t.engine + duration_us)
+
+(* ------------------------------------------------------------------ *)
+(* Safety check.                                                       *)
+
+let assert_agreement t =
+  let correct =
+    List.filter
+      (fun r ->
+        (not (faults t r).Bft.Faults.crashed)
+        && not (Bft.Faults.is_byzantine (faults t r)))
+      (List.init t.n Fun.id)
+  in
+  match correct with
+  | [] -> ()
+  | first :: rest ->
+    let l0 = exec_log t first in
+    List.iter
+      (fun r ->
+        let li = exec_log t r in
+        if not (Bft.Exec_log.prefix_equal l0 li) then
+          failwith
+            (Printf.sprintf "SAFETY VIOLATION: replicas %d and %d diverge" first r);
+        if
+          Bft.Exec_log.length l0 = Bft.Exec_log.length li
+          && Scada.Master.applied_count t.masters.(first)
+             = Scada.Master.applied_count t.masters.(r)
+          && not
+               (Cryptosim.Digest.equal
+                  (Scada.Master.state_digest t.masters.(first))
+                  (Scada.Master.state_digest t.masters.(r)))
+        then
+          failwith
+            (Printf.sprintf "SAFETY VIOLATION: master state of %d and %d diverge"
+               first r))
+      rest
+
+(* ------------------------------------------------------------------ *)
+(* Proactive recovery.                                                 *)
+
+let on_recovery_event t f =
+  t.recovery_listeners <- f :: t.recovery_listeners
+
+let notify_recovery t phase r =
+  List.iter (fun f -> f phase r) t.recovery_listeners
+
+let enable_recovery t ~rotation_period_us ~recovery_duration_us =
+  (match t.cfg.protocol with
+  | Prime_protocol -> ()
+  | Pbft_protocol ->
+    invalid_arg "System.enable_recovery: recovery requires the Prime protocol");
+  let k = t.cfg.quorum.Bft.Quorum.k in
+  if k < 1 then invalid_arg "System.enable_recovery: k must be >= 1";
+  let on_begin r =
+    (faults t r).Bft.Faults.crashed <- true;
+    notify_recovery t `Begin r
+  in
+  let on_complete r =
+    (* Clean image: honest behaviour, fresh diversity variant. *)
+    Bft.Faults.reset (faults t r);
+    ignore (Recovery.Diversity.rejuvenate t.diversity r : int);
+    resync_replica t r;
+    notify_recovery t `Complete r
+  in
+  let scheduler =
+    Recovery.Scheduler.create ~engine:t.engine
+      ~config:
+        {
+          Recovery.Scheduler.rotation_period_us;
+          recovery_duration_us;
+          max_concurrent = k;
+        }
+      ~n:t.n ~on_begin ~on_complete
+  in
+  t.scheduler <- Some scheduler;
+  Recovery.Scheduler.start scheduler;
+  scheduler
+
+(* Reactive recovery: every poll interval, each live Prime replica is
+   asked which peers it has not heard from; a peer accused by at least
+   f+k+1 distinct replicas (more than the faulty + recovering replicas
+   could fabricate) is rejuvenated immediately through the proactive
+   scheduler's budget. This cleanses silent compromised replicas long
+   before their next scheduled rotation. *)
+let enable_reactive_recovery t ~silence_threshold_us ~poll_interval_us =
+  let scheduler =
+    match t.scheduler with
+    | Some s -> s
+    | None ->
+      invalid_arg
+        "System.enable_reactive_recovery: call enable_recovery first"
+  in
+  let threshold = Bft.Quorum.suspect_threshold t.cfg.quorum in
+  (* Grace period: peers have not heard from a replica during its own
+     recovery downtime, so accusations are suppressed until it has had
+     time to be heard from again. *)
+  let completed_at = Array.make t.n (-1_000_000_000) in
+  on_recovery_event t (fun phase r ->
+      match phase with
+      | `Complete -> completed_at.(r) <- Sim.Engine.now t.engine
+      | `Begin -> ());
+  ignore
+    (Sim.Engine.periodic t.engine ~interval_us:poll_interval_us (fun () ->
+         let accusations = Array.make t.n 0 in
+         Array.iteri
+           (fun r instance ->
+             match instance with
+             | Prime_replica p ->
+               if not (faults t r).Bft.Faults.crashed then
+                 List.iter
+                   (fun j -> accusations.(j) <- accusations.(j) + 1)
+                   (Prime.Replica.unresponsive p
+                      ~threshold_us:silence_threshold_us)
+             | Pbft_replica _ -> ())
+           t.replicas;
+         Array.iteri
+           (fun j count ->
+             if
+               count >= threshold
+               && (not (Recovery.Scheduler.is_recovering scheduler j))
+               && Sim.Engine.now t.engine - completed_at.(j)
+                  > 2 * silence_threshold_us
+             then ignore (Recovery.Scheduler.trigger_now scheduler j : bool))
+           accusations)
+      : Sim.Engine.timer)
+
+(* ------------------------------------------------------------------ *)
+(* Attack / failure injection.                                         *)
+
+let set_leader_delay t ~delay_us =
+  let leader = current_leader t in
+  (faults t leader).Bft.Faults.proposal_delay_us <- delay_us
+
+let replicas_in_site t site =
+  List.filter (fun r -> t.replica_sites.(r) = site) (List.init t.n Fun.id)
+
+let kill_site t site =
+  List.iter
+    (fun r ->
+      Overlay.Net.kill_node t.net (node_of_replica t r);
+      (faults t r).Bft.Faults.crashed <- true)
+    (replicas_in_site t site)
+
+let restore_site t site =
+  List.iter
+    (fun r ->
+      Overlay.Net.restore_node t.net (node_of_replica t r);
+      (faults t r).Bft.Faults.crashed <- false;
+      resync_replica t r)
+    (replicas_in_site t site)
+
+(* Network-level site isolation: the site's overlay daemons go dark
+   but the replica processes keep running (the paper's control-center
+   disconnection is a network event, not a host crash). On reconnection
+   the replicas learn the installed view from peer traffic and catch up
+   through batched slot requests — no state transfer needed. *)
+let isolate_site t site =
+  List.iter
+    (fun r -> Overlay.Net.kill_node t.net (node_of_replica t r))
+    (replicas_in_site t site)
+
+let reconnect_site t site =
+  List.iter
+    (fun r -> Overlay.Net.restore_node t.net (node_of_replica t r))
+    (replicas_in_site t site)
+
+let crash_replica t r =
+  Overlay.Net.kill_node t.net (node_of_replica t r);
+  (faults t r).Bft.Faults.crashed <- true
+
+let restore_replica t r =
+  Overlay.Net.restore_node t.net (node_of_replica t r);
+  (faults t r).Bft.Faults.crashed <- false;
+  resync_replica t r

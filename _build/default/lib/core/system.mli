@@ -1,0 +1,154 @@
+(** The full Spire system wired over the intrusion-tolerant overlay.
+
+    A [System.t] instantiates, on one simulation engine:
+    - an overlay network whose sites contain the SCADA-master replicas
+      (control centers + data centers), one overlay node per replica,
+      plus one node per substation proxy and per HMI, each multi-homed
+      to both control centers;
+    - [n = 3f + 2k + 1] replicas running Prime (or the PBFT baseline
+      for comparisons), each with its own deterministic SCADA master
+      application;
+    - substation proxies polling emulated RTUs over byte-level DNP3 and
+      submitting status updates as ordered client updates;
+    - HMIs issuing supervisory commands;
+    - threshold-signed replica replies validated by the clients, which
+      is where end-to-end latency is measured;
+    - optional proactive recovery (diversity redraw + state transfer)
+      and attack injection hooks.
+
+    This is the object every experiment in the benchmark harness
+    drives. *)
+
+type protocol = Prime_protocol | Pbft_protocol
+
+type payload
+
+type config = {
+  quorum : Bft.Quorum.t;
+  protocol : protocol;
+  site_sizes : int list;  (** replicas per site; control centers first *)
+  control_centers : int;
+  substations : int;
+  hmis : int;
+  poll_interval_us : int;
+  dissemination : Overlay.Net.mode;  (** how protocol traffic is routed *)
+  lan_latency_us : int;
+  wan_latency_us : int -> int -> int;  (** per site pair, one way *)
+  client_link_latency_us : int;  (** substation/HMI to control center *)
+  lan_bandwidth_bps : int;
+  wan_bandwidth_bps : int;
+  resubmit_timeout_us : int;
+  diversity_variants : int;
+  seed : int64;
+  tweak_prime : Prime.Replica.config -> Prime.Replica.config;
+  tweak_pbft : Pbft.Replica.config -> Pbft.Replica.config;
+}
+
+(** [default_config ()] is the paper's wide-area deployment shape:
+    f=1, k=1, n=6 over 4 sites (2 control centers with 2 replicas, 2
+    data centers with 1), east-coast WAN latencies, 10 substations
+    polling every 100 ms, 1 HMI, Prime protocol, shortest-path
+    dissemination. *)
+val default_config : unit -> config
+
+type t
+
+val create : config -> t
+
+(** [start t] arms every component (replicas, proxies, HMIs). *)
+val start : t -> unit
+
+(** [run t ~duration_us] advances virtual time. *)
+val run : t -> duration_us:int -> unit
+
+val engine : t -> Sim.Engine.t
+val config : t -> config
+val net : t -> payload Overlay.Net.t
+
+(** {1 Component access} *)
+
+val replica_count : t -> int
+val proxy : t -> int -> Scada.Proxy.t
+val hmi : t -> int -> Scada.Hmi.t
+val master : t -> Bft.Types.replica -> Scada.Master.t
+val faults : t -> Bft.Types.replica -> Bft.Faults.t
+
+(** [view_of t r] / [current_leader t]: protocol view introspection.
+    [current_leader] is the leader of the highest view held by a
+    majority of live replicas. *)
+val view_of : t -> Bft.Types.replica -> Bft.Types.view
+
+val current_leader : t -> Bft.Types.replica
+
+val exec_log : t -> Bft.Types.replica -> Bft.Exec_log.t
+val node_of_replica : t -> Bft.Types.replica -> Overlay.Topology.node
+val node_of_client : t -> Bft.Types.client -> Overlay.Topology.node
+val site_of_replica : t -> Bft.Types.replica -> Overlay.Topology.site
+
+(** {1 Metrics} *)
+
+(** [latency_histogram t] — all confirmed client updates, milliseconds. *)
+val latency_histogram : t -> Stats.Histogram.t
+
+(** [latency_series t] — (confirmation time, latency ms) samples. *)
+val latency_series : t -> Stats.Timeseries.t
+
+val confirmed_updates : t -> int
+val submitted_updates : t -> int
+
+(** [assert_agreement t] checks that all correct replicas' execution
+    logs are prefix-compatible and masters at equal lengths have equal
+    digests. @raise Failure on divergence (a safety violation). *)
+val assert_agreement : t -> unit
+
+(** {1 Proactive recovery} *)
+
+(** [enable_recovery t ~rotation_period_us ~recovery_duration_us]
+    starts staggered rejuvenation with [max_concurrent = k]. Prime
+    only. Returns the scheduler for introspection.
+    @raise Invalid_argument on the PBFT baseline or k = 0. *)
+val enable_recovery :
+  t -> rotation_period_us:int -> recovery_duration_us:int -> Recovery.Scheduler.t
+
+val diversity : t -> Recovery.Diversity.t
+
+(** [enable_reactive_recovery t ~silence_threshold_us ~poll_interval_us]
+    adds accusation-based reactive recovery on top of the proactive
+    rotation: a replica that [f+k+1] live peers have not heard from for
+    [silence_threshold_us] is rejuvenated immediately (within the same
+    [k]-concurrency budget). Requires {!enable_recovery} first.
+    @raise Invalid_argument otherwise. *)
+val enable_reactive_recovery :
+  t -> silence_threshold_us:int -> poll_interval_us:int -> unit
+
+(** [on_recovery_event t f] registers [f `Begin r | `Complete r]. *)
+val on_recovery_event :
+  t -> ([ `Begin | `Complete ] -> Bft.Types.replica -> unit) -> unit
+
+(** {1 Attack and failure injection} *)
+
+(** [set_leader_delay t ~delay_us] makes the current leader delay every
+    proposal — the performance attack of experiment E4. *)
+val set_leader_delay : t -> delay_us:int -> unit
+
+(** [kill_site t site] takes a whole site down hard: overlay nodes down
+    AND replicas crashed. [restore_site] reverses it, resynchronising
+    the replicas by state transfer. *)
+val kill_site : t -> Overlay.Topology.site -> unit
+
+val restore_site : t -> Overlay.Topology.site -> unit
+
+(** [isolate_site t site] models the paper's network attack precisely:
+    the site's overlay daemons are unreachable but its replicas keep
+    running. [reconnect_site] restores connectivity; the replicas adopt
+    the quorum's installed view from peer traffic and catch up through
+    batched slot retrieval. *)
+val isolate_site : t -> Overlay.Topology.site -> unit
+
+val reconnect_site : t -> Overlay.Topology.site -> unit
+
+(** [crash_replica t r] / [restore_replica t r]: single-replica
+    granularity. *)
+val crash_replica : t -> Bft.Types.replica -> unit
+
+val restore_replica : t -> Bft.Types.replica -> unit

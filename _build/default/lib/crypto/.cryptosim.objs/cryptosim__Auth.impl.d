@@ -1,0 +1,1 @@
+lib/crypto/auth.ml: Digest Keyring Printf

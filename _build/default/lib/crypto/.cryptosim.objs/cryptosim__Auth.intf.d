@@ -1,0 +1,1 @@
+lib/crypto/auth.mli: Digest Keyring

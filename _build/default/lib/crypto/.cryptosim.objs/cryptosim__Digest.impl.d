@@ -1,0 +1,1 @@
+lib/crypto/digest.ml: Bytes Char Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/crypto/threshold.ml: Digest Keyring List Printf String

@@ -1,0 +1,25 @@
+type t = int64
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let of_string s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let combine a b =
+  let buf = Bytes.create 16 in
+  Bytes.set_int64_be buf 0 a;
+  Bytes.set_int64_be buf 8 b;
+  of_string (Bytes.to_string buf)
+
+let equal = Int64.equal
+let compare = Int64.compare
+let to_hex t = Printf.sprintf "%016Lx" t
+let to_int64 t = t
+let pp ppf t = Format.pp_print_string ppf (to_hex t)

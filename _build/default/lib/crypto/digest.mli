@@ -1,0 +1,29 @@
+(** Message digests for the simulated cryptography layer.
+
+    A digest is a 64-bit FNV-1a hash. It is obviously not
+    collision-resistant against a real adversary; in this simulation the
+    adversary is a model, and what matters is that digests are
+    deterministic, cheap, and distinct for distinct protocol messages in
+    practice. *)
+
+type t
+
+(** [of_string s] hashes the bytes of [s]. *)
+val of_string : string -> t
+
+(** [combine a b] hashes the concatenation of two digests (Merkle-style
+    chaining, used for checkpoint chains and threshold signatures). *)
+val combine : t -> t -> t
+
+(** [equal a b] is constant-time-irrelevant structural equality. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** [to_hex t] is a 16-character lowercase hex rendering. *)
+val to_hex : t -> string
+
+(** [to_int64 t] exposes the raw 64-bit value (for hashing into tables). *)
+val to_int64 : t -> int64
+
+val pp : Format.formatter -> t -> unit

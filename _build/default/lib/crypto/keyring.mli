@@ -1,0 +1,44 @@
+(** Key material for a fixed population of principals.
+
+    Each principal (replica, proxy, HMI, overlay daemon) owns a signing
+    secret derived from the keyring seed. The keyring is the trusted
+    distribution of public keys that the paper assumes is installed
+    out-of-band before deployment.
+
+    The API enforces the simulated security property: producing a
+    signature for principal [p] requires [p]'s {!secret}, which honest
+    code only hands to the component acting as [p]. Verification needs
+    only the keyring. *)
+
+type t
+
+(** Identity of a principal; the keyring covers ids [0 .. size-1]. *)
+type principal = int
+
+(** Secret signing material of one principal. *)
+type secret
+
+(** [create ~seed ~size] derives secrets for [size] principals. *)
+val create : seed:int64 -> size:int -> t
+
+(** [size t] is the number of principals. *)
+val size : t -> int
+
+(** [secret t p] is [p]'s signing secret.
+    @raise Invalid_argument if [p] is out of range. *)
+val secret : t -> principal -> secret
+
+(** [secret_owner s] is the principal a secret belongs to. *)
+val secret_owner : secret -> principal
+
+(** [secret_material s] is the raw secret value (used by {!Auth}). *)
+val secret_material : secret -> int64
+
+(** [material_of t p] is the secret value as known to the verifier side
+    (simulated public-key check). *)
+val material_of : t -> principal -> int64
+
+(** [rotate t p] replaces [p]'s secret with a fresh one (proactive
+    recovery installs new keys on rejuvenated replicas); returns the new
+    secret. Signatures made with the old secret no longer verify. *)
+val rotate : t -> principal -> secret

@@ -1,0 +1,1 @@
+lib/overlay/dedup_cache.mli:

@@ -1,0 +1,1 @@
+lib/overlay/event_heap_local.mli:

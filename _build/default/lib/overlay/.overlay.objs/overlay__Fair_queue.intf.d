@@ -1,0 +1,1 @@
+lib/overlay/fair_queue.mli:

@@ -1,0 +1,1 @@
+lib/overlay/net.ml: Array Dedup_cache Fair_queue Hashtbl List Option Routing Sim Topology

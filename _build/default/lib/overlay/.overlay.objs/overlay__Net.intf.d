@@ -1,0 +1,1 @@
+lib/overlay/net.mli: Fair_queue Routing Sim Topology

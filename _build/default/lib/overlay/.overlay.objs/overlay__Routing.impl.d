@@ -1,0 +1,1 @@
+lib/overlay/routing.ml: Array Event_heap_local Hashtbl List Topology

@@ -1,0 +1,26 @@
+type t = {
+  generation_size : int;
+  mutable current : (int, unit) Hashtbl.t;
+  mutable previous : (int, unit) Hashtbl.t;
+}
+
+let create ?(generation_size = 65536) () =
+  if generation_size < 1 then invalid_arg "Dedup_cache.create: size < 1";
+  {
+    generation_size;
+    current = Hashtbl.create 256;
+    previous = Hashtbl.create 16;
+  }
+
+let mem t id = Hashtbl.mem t.current id || Hashtbl.mem t.previous id
+
+let add t id =
+  if not (Hashtbl.mem t.current id) then begin
+    if Hashtbl.length t.current >= t.generation_size then begin
+      t.previous <- t.current;
+      t.current <- Hashtbl.create 256
+    end;
+    Hashtbl.replace t.current id ()
+  end
+
+let size t = Hashtbl.length t.current + Hashtbl.length t.previous

@@ -1,0 +1,72 @@
+type priority = Control | Bulk
+
+type 'a class_state = {
+  queues : (int, 'a Queue.t) Hashtbl.t;
+  mutable rotation : int list; (* sources with pending items, service order *)
+  mutable count : int;
+}
+
+type 'a t = {
+  per_source_cap : int;
+  control : 'a class_state;
+  bulk : 'a class_state;
+  mutable dropped : int;
+}
+
+let empty_class () = { queues = Hashtbl.create 17; rotation = []; count = 0 }
+
+let create ~per_source_cap =
+  if per_source_cap <= 0 then invalid_arg "Fair_queue.create: cap <= 0";
+  { per_source_cap; control = empty_class (); bulk = empty_class (); dropped = 0 }
+
+let class_of t = function Control -> t.control | Bulk -> t.bulk
+
+let queue_of cls source =
+  match Hashtbl.find_opt cls.queues source with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add cls.queues source q;
+    q
+
+let push t ~source ~priority item =
+  let cls = class_of t priority in
+  let q = queue_of cls source in
+  if Queue.length q >= t.per_source_cap then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    if Queue.is_empty q then cls.rotation <- cls.rotation @ [ source ];
+    Queue.push item q;
+    cls.count <- cls.count + 1;
+    true
+  end
+
+let pop_class cls =
+  match cls.rotation with
+  | [] -> None
+  | source :: rest ->
+    let q = queue_of cls source in
+    let item = Queue.pop q in
+    cls.count <- cls.count - 1;
+    cls.rotation <- (if Queue.is_empty q then rest else rest @ [ source ]);
+    Some (source, item)
+
+let pop t =
+  match pop_class t.control with
+  | Some (source, item) -> Some (source, Control, item)
+  | None -> (
+    match pop_class t.bulk with
+    | Some (source, item) -> Some (source, Bulk, item)
+    | None -> None)
+
+let length t = t.control.count + t.bulk.count
+let is_empty t = length t = 0
+let dropped t = t.dropped
+
+let backlog_of t ~source ~priority =
+  let cls = class_of t priority in
+  match Hashtbl.find_opt cls.queues source with
+  | Some q -> Queue.length q
+  | None -> 0

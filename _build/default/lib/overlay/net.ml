@@ -1,0 +1,412 @@
+type mode = Shortest | Redundant of int | Flood
+
+type 'a delivery = {
+  frame_src : Topology.node;
+  frame_dst : Topology.node;
+  payload : 'a;
+  sent_us : int;
+  delivered_us : int;
+  hops : int;
+}
+
+type stats = {
+  submitted : int;
+  delivered : int;
+  duplicates_suppressed : int;
+  dropped_queue_full : int;
+  dropped_link_down : int;
+  dropped_no_route : int;
+  junk_frames : int;
+}
+
+type 'a content = Payload of 'a | Junk
+
+(* Routing instructions carried by a frame. *)
+type route = Path of Topology.node list (* remaining hops, next first *) | Flooding
+
+type 'a frame = {
+  id : int;
+  src : Topology.node;
+  dst : Topology.node;
+  priority : Fair_queue.priority;
+  size_bytes : int;
+  content : 'a content;
+  sent_us : int;
+  mutable hops : int;
+  route : route;
+  dedup : bool;
+      (* only flooded / redundantly-routed frames can arrive more than
+         once; single-path frames skip dedup bookkeeping entirely *)
+}
+
+(* Directed link runtime state. *)
+type 'a link_state = {
+  latency_us : int;
+  bandwidth_bps : int;
+  queue : 'a frame Fair_queue.t;
+  mutable busy : bool;
+  mutable latency_factor : float;
+  mutable loss_probability : float;
+      (* per-transmission drop probability; the hop-by-hop ARQ below
+         retransmits lost frames, trading latency for reliability as
+         the real overlay daemons do *)
+  mutable retransmissions : int;
+}
+
+type 'a t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  topo : Topology.t;
+  links : (int * int, 'a link_state) Hashtbl.t; (* directed *)
+  link_up : (int * int, bool) Hashtbl.t; (* undirected, key normalised *)
+  node_up : bool array;
+  handlers : (Topology.node, 'a delivery -> unit) Hashtbl.t;
+  seen : Dedup_cache.t array; (* per node: flooded frame ids seen *)
+  delivered_ids : Dedup_cache.t array; (* per node: dedup'd frame ids delivered *)
+  mutable next_frame_id : int;
+  mutable submitted : int;
+  mutable delivered : int;
+  mutable duplicates_suppressed : int;
+  mutable dropped_queue_full : int;
+  mutable dropped_link_down : int;
+  mutable dropped_no_route : int;
+  mutable junk_frames : int;
+  per_source_cap : int;
+  (* Route caches: shortest paths and disjoint path sets are stable
+     between topology state changes (kill/restore); recomputing them
+     per frame dominates CPU otherwise. *)
+  route_cache : (int * int, Topology.node list option) Hashtbl.t;
+  kpath_cache : (int * int * int, Topology.node list list) Hashtbl.t;
+}
+
+let norm a b = if a < b then (a, b) else (b, a)
+
+let create ?(per_source_cap = 64) engine topo () =
+  let n = Topology.node_count topo in
+  let t =
+    {
+      engine;
+      rng = Sim.Engine.rng engine;
+      topo;
+      links = Hashtbl.create 97;
+      link_up = Hashtbl.create 97;
+      node_up = Array.make n true;
+      handlers = Hashtbl.create 17;
+      seen = Array.init n (fun _ -> Dedup_cache.create ());
+      delivered_ids = Array.init n (fun _ -> Dedup_cache.create ());
+      next_frame_id = 0;
+      submitted = 0;
+      delivered = 0;
+      duplicates_suppressed = 0;
+      dropped_queue_full = 0;
+      dropped_link_down = 0;
+      dropped_no_route = 0;
+      junk_frames = 0;
+      per_source_cap;
+      route_cache = Hashtbl.create 997;
+      kpath_cache = Hashtbl.create 997;
+    }
+  in
+  List.iter
+    (fun link ->
+      let a = link.Topology.endpoint_a and b = link.Topology.endpoint_b in
+      let mk () =
+        {
+          latency_us = link.Topology.latency_us;
+          bandwidth_bps = link.Topology.bandwidth_bps;
+          queue = Fair_queue.create ~per_source_cap;
+          busy = false;
+          latency_factor = 1.0;
+          loss_probability = 0.0;
+          retransmissions = 0;
+        }
+      in
+      Hashtbl.replace t.links (a, b) (mk ());
+      Hashtbl.replace t.links (b, a) (mk ());
+      Hashtbl.replace t.link_up (norm a b) true)
+    (Topology.links topo);
+  t
+
+let topology t = t.topo
+
+let set_handler t node f = Hashtbl.replace t.handlers node f
+
+let link_alive t a b =
+  match Hashtbl.find_opt t.link_up (norm a b) with
+  | Some up -> up
+  | None -> false
+
+let node_alive t n = t.node_up.(n)
+
+let usable t a b = link_alive t a b && t.node_up.(a) && t.node_up.(b)
+
+let link_state t a b =
+  match Hashtbl.find_opt t.links (a, b) with
+  | Some ls -> ls
+  | None -> invalid_arg "Net: no such link"
+
+(* Deliver a frame that has arrived at its destination. *)
+let deliver t node frame =
+  if frame.dedup && Dedup_cache.mem t.delivered_ids.(node) frame.id then
+    t.duplicates_suppressed <- t.duplicates_suppressed + 1
+  else begin
+    if frame.dedup then Dedup_cache.add t.delivered_ids.(node) frame.id;
+    match frame.content with
+    | Junk -> ()
+    | Payload payload ->
+      t.delivered <- t.delivered + 1;
+      (match Hashtbl.find_opt t.handlers node with
+      | None -> ()
+      | Some handler ->
+        handler
+          {
+            frame_src = frame.src;
+            frame_dst = frame.dst;
+            payload;
+            sent_us = frame.sent_us;
+            delivered_us = Sim.Engine.now t.engine;
+            hops = frame.hops;
+          })
+  end
+
+(* Start transmitting the head frame of the (u,v) link if idle.
+
+   Hop-by-hop reliability (ARQ): each transmission is lost with the
+   link's loss probability; lost frames are retransmitted after a
+   timeout of one RTT, up to [max_retransmissions] attempts. This is
+   the overlay daemons' per-hop recovery; end-to-end modes (redundant
+   paths, flooding) sit on top of it. *)
+let max_retransmissions = 8
+
+let rec maybe_transmit t u v =
+  let ls = link_state t u v in
+  if not ls.busy then begin
+    match Fair_queue.pop ls.queue with
+    | None -> ()
+    | Some (_, _, frame) -> transmit_frame t u v ls frame 0
+  end
+
+and transmit_frame t u v ls frame attempt =
+  ls.busy <- true;
+  let tx_us = max 1 (frame.size_bytes * 1_000_000 / ls.bandwidth_bps) in
+  ignore
+    (Sim.Engine.schedule t.engine ~delay_us:tx_us (fun () ->
+         let prop =
+           int_of_float (float_of_int ls.latency_us *. ls.latency_factor)
+         in
+         let lost =
+           ls.loss_probability > 0.
+           && Sim.Rng.bernoulli t.rng ls.loss_probability
+         in
+         if lost && attempt < max_retransmissions then begin
+           (* The sender detects the loss after ~one round trip and
+              retransmits; the link stays occupied meanwhile. *)
+           ls.retransmissions <- ls.retransmissions + 1;
+           ignore
+             (Sim.Engine.schedule t.engine ~delay_us:(2 * prop) (fun () ->
+                  transmit_frame t u v ls frame (attempt + 1))
+               : Sim.Engine.timer)
+         end
+         else begin
+           ls.busy <- false;
+           if not lost then
+             ignore
+               (Sim.Engine.schedule t.engine ~delay_us:prop (fun () ->
+                    arrive t u v frame)
+                 : Sim.Engine.timer);
+           maybe_transmit t u v
+         end)
+      : Sim.Engine.timer)
+
+(* Frame arrives at node v over link (u,v). *)
+and arrive t u v frame =
+  if not (usable t u v) then t.dropped_link_down <- t.dropped_link_down + 1
+  else begin
+    frame.hops <- frame.hops + 1;
+    match frame.route with
+    | Flooding ->
+      if not (Dedup_cache.mem t.seen.(v) frame.id) then begin
+        Dedup_cache.add t.seen.(v) frame.id;
+        if v = frame.dst then deliver t v frame;
+        (* Constrained flooding: forward on all usable links except the
+           one the frame came in on. *)
+        List.iter
+          (fun w -> if w <> u && usable t v w then enqueue t v w frame)
+          (Topology.neighbors t.topo v)
+      end
+    | Path remaining -> (
+      if v = frame.dst then deliver t v frame
+      else
+        match remaining with
+        | next :: rest when next = v -> (
+          match rest with
+          | [] -> if v = frame.dst then deliver t v frame
+          | hop :: _ ->
+            if usable t v hop then
+              enqueue t v hop { frame with route = Path rest }
+            else t.dropped_link_down <- t.dropped_link_down + 1)
+        | _ -> t.dropped_link_down <- t.dropped_link_down + 1)
+  end
+
+and enqueue t u v frame =
+  let ls = link_state t u v in
+  if Fair_queue.push ls.queue ~source:frame.src ~priority:frame.priority frame
+  then maybe_transmit t u v
+  else t.dropped_queue_full <- t.dropped_queue_full + 1
+
+let invalidate_routes t =
+  Hashtbl.reset t.route_cache;
+  Hashtbl.reset t.kpath_cache
+
+let cached_shortest t ~src ~dst =
+  match Hashtbl.find_opt t.route_cache (src, dst) with
+  | Some path -> path
+  | None ->
+    let path = Routing.shortest_path t.topo ~usable:(usable t) ~src ~dst in
+    Hashtbl.replace t.route_cache (src, dst) path;
+    path
+
+let cached_disjoint t ~src ~dst ~k =
+  match Hashtbl.find_opt t.kpath_cache (src, dst, k) with
+  | Some paths -> paths
+  | None ->
+    let paths = Routing.disjoint_paths t.topo ~usable:(usable t) ~src ~dst ~k in
+    Hashtbl.replace t.kpath_cache (src, dst, k) paths;
+    paths
+
+let fresh_id t =
+  let id = t.next_frame_id in
+  t.next_frame_id <- id + 1;
+  id
+
+let submit t ~priority ~size_bytes ~src ~dst ~mode content =
+  t.submitted <- t.submitted + 1;
+  (match content with Junk -> t.junk_frames <- t.junk_frames + 1 | Payload _ -> ());
+  if not t.node_up.(src) then t.dropped_link_down <- t.dropped_link_down + 1
+  else begin
+    let base_frame ?(dedup = false) route =
+      {
+        id = fresh_id t;
+        src;
+        dst;
+        priority;
+        size_bytes;
+        content;
+        sent_us = Sim.Engine.now t.engine;
+        hops = 0;
+        route;
+        dedup;
+      }
+    in
+    if src = dst then begin
+      let frame = base_frame (Path []) in
+      ignore
+        (Sim.Engine.schedule t.engine ~delay_us:0 (fun () ->
+             if t.node_up.(src) then deliver t src frame)
+          : Sim.Engine.timer)
+    end
+    else
+      match mode with
+      | Flood ->
+        let frame = base_frame ~dedup:true Flooding in
+        Dedup_cache.add t.seen.(src) frame.id;
+        List.iter
+          (fun w -> if usable t src w then enqueue t src w frame)
+          (Topology.neighbors t.topo src)
+      | Shortest -> (
+        match cached_shortest t ~src ~dst with
+        | None -> t.dropped_no_route <- t.dropped_no_route + 1
+        | Some (_ :: rest) ->
+          let frame = base_frame (Path rest) in
+          (match rest with
+          | hop :: _ -> enqueue t src hop frame
+          | [] -> deliver t src frame)
+        | Some [] -> t.dropped_no_route <- t.dropped_no_route + 1)
+      | Redundant k -> (
+        let paths = cached_disjoint t ~src ~dst ~k:(max 1 k) in
+        match paths with
+        | [] -> t.dropped_no_route <- t.dropped_no_route + 1
+        | paths ->
+          (* One frame id shared by all copies so the destination
+             delivers exactly one. *)
+          let id = fresh_id t in
+          List.iter
+            (fun path ->
+              match path with
+              | _ :: (hop :: _ as rest) ->
+                let frame =
+                  {
+                    id;
+                    src;
+                    dst;
+                    priority;
+                    size_bytes;
+                    content;
+                    sent_us = Sim.Engine.now t.engine;
+                    hops = 0;
+                    route = Path rest;
+                    dedup = true;
+                  }
+                in
+                enqueue t src hop frame
+              | _ -> ())
+            paths)
+  end
+
+let send t ?(priority = Fair_queue.Control) ?(size_bytes = 256) ~src ~dst ~mode
+    payload =
+  submit t ~priority ~size_bytes ~src ~dst ~mode (Payload payload)
+
+let inject_junk t ~src ~dst ~size_bytes ~priority =
+  submit t ~priority ~size_bytes ~src ~dst ~mode:Shortest Junk
+
+let kill_link t a b =
+  if not (Hashtbl.mem t.link_up (norm a b)) then
+    invalid_arg "Net.kill_link: no such link";
+  Hashtbl.replace t.link_up (norm a b) false;
+  invalidate_routes t
+
+let restore_link t a b =
+  if not (Hashtbl.mem t.link_up (norm a b)) then
+    invalid_arg "Net.restore_link: no such link";
+  Hashtbl.replace t.link_up (norm a b) true;
+  invalidate_routes t
+
+let kill_node t n =
+  t.node_up.(n) <- false;
+  invalidate_routes t
+
+let restore_node t n =
+  t.node_up.(n) <- true;
+  invalidate_routes t
+
+let set_latency_factor t a b factor =
+  if factor < 1.0 then invalid_arg "Net.set_latency_factor: factor < 1";
+  (link_state t a b).latency_factor <- factor;
+  (link_state t b a).latency_factor <- factor
+
+let set_loss_probability t a b p =
+  if p < 0. || p >= 1. then
+    invalid_arg "Net.set_loss_probability: need 0 <= p < 1";
+  (link_state t a b).loss_probability <- p;
+  (link_state t b a).loss_probability <- p
+
+let retransmissions t =
+  Hashtbl.fold (fun _ ls acc -> acc + ls.retransmissions) t.links 0
+
+let current_route t ~src ~dst =
+  Routing.shortest_path t.topo ~usable:(usable t) ~src ~dst
+
+let estimated_latency_us t ~src ~dst =
+  Option.map (Routing.path_latency_us t.topo) (current_route t ~src ~dst)
+
+let stats t =
+  {
+    submitted = t.submitted;
+    delivered = t.delivered;
+    duplicates_suppressed = t.duplicates_suppressed;
+    dropped_queue_full = t.dropped_queue_full;
+    dropped_link_down = t.dropped_link_down;
+    dropped_no_route = t.dropped_no_route;
+    junk_frames = t.junk_frames;
+  }

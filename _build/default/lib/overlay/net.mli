@@ -1,0 +1,123 @@
+(** Runtime of the intrusion-tolerant overlay network.
+
+    A ['a Net.t] instantiates a {!Topology} on a simulation engine:
+    every node runs an overlay daemon that queues, forwards and delivers
+    frames carrying ['a] payloads. Three dissemination modes mirror the
+    Spines modes Spire relies on:
+
+    - [Shortest]: latency-weighted single-path unicast (normal routing);
+    - [Redundant k]: the frame is sent over up to [k] node-disjoint
+      paths, and the destination delivers the first copy — an adversary
+      must cut every path to suppress the message;
+    - [Flood]: constrained flooding over all usable links with per-node
+      duplicate suppression — delivery is guaranteed whenever any
+      correct path exists, at the cost of bandwidth.
+
+    Links serialise frames at finite bandwidth through a two-class
+    priority queue with round-robin source fairness ({!Fair_queue}), the
+    overlay's defence against flooding DoS. Links and nodes can be
+    killed, restored, and degraded at runtime; single-path routes are
+    recomputed on change. *)
+
+type mode = Shortest | Redundant of int | Flood
+
+type 'a delivery = {
+  frame_src : Topology.node;
+  frame_dst : Topology.node;
+  payload : 'a;
+  sent_us : int;  (** virtual time the frame entered the overlay *)
+  delivered_us : int;
+  hops : int;  (** overlay hops traversed by the delivered copy *)
+}
+
+type 'a t
+
+type stats = {
+  submitted : int;
+  delivered : int;
+  duplicates_suppressed : int;
+  dropped_queue_full : int;
+  dropped_link_down : int;
+  dropped_no_route : int;
+  junk_frames : int;
+}
+
+(** [create engine topo ()] builds the runtime. [per_source_cap] bounds
+    each (source, class) link backlog (default 64 frames). *)
+val create :
+  ?per_source_cap:int -> Sim.Engine.t -> Topology.t -> unit -> 'a t
+
+val topology : 'a t -> Topology.t
+
+(** [set_handler t node f] installs the delivery callback for [node];
+    replaces any previous handler. *)
+val set_handler : 'a t -> Topology.node -> ('a delivery -> unit) -> unit
+
+(** [send t ~src ~dst ~mode payload] submits a frame.
+    [priority] defaults to [Control]; [size_bytes] defaults to 256.
+    Self-sends deliver immediately (next event). *)
+val send :
+  'a t ->
+  ?priority:Fair_queue.priority ->
+  ?size_bytes:int ->
+  src:Topology.node ->
+  dst:Topology.node ->
+  mode:mode ->
+  'a ->
+  unit
+
+(** [inject_junk t ~src ~dst ~size_bytes ~priority] submits an
+    attacker frame that consumes link capacity but is never delivered to
+    a handler. Used by DoS scenarios. *)
+val inject_junk :
+  'a t ->
+  src:Topology.node ->
+  dst:Topology.node ->
+  size_bytes:int ->
+  priority:Fair_queue.priority ->
+  unit
+
+(** {1 Failure and attack injection} *)
+
+(** [kill_link t a b] marks the undirected link down (frames queued or
+    in flight on it are lost); no-op if already down.
+    @raise Invalid_argument if no such link. *)
+val kill_link : 'a t -> Topology.node -> Topology.node -> unit
+
+val restore_link : 'a t -> Topology.node -> Topology.node -> unit
+
+(** [link_alive t a b] is the current state. *)
+val link_alive : 'a t -> Topology.node -> Topology.node -> bool
+
+(** [kill_node t n] takes the daemon down: nothing is delivered to or
+    forwarded by [n]. *)
+val kill_node : 'a t -> Topology.node -> unit
+
+val restore_node : 'a t -> Topology.node -> unit
+val node_alive : 'a t -> Topology.node -> bool
+
+(** [set_latency_factor t a b factor] scales the link's propagation
+    delay (e.g. 10x under congestion attack). Factor must be >= 1. *)
+val set_latency_factor : 'a t -> Topology.node -> Topology.node -> float -> unit
+
+(** [set_loss_probability t a b p] makes each transmission over the
+    link drop with probability [p] (0 <= p < 1). Hop-by-hop ARQ
+    retransmits lost frames (up to 8 attempts), converting loss into
+    latency — the overlay daemons' per-hop recovery. *)
+val set_loss_probability : 'a t -> Topology.node -> Topology.node -> float -> unit
+
+(** [retransmissions t] counts ARQ retransmissions performed so far. *)
+val retransmissions : 'a t -> int
+
+(** {1 Introspection} *)
+
+(** [current_route t ~src ~dst] is the shortest usable path right now. *)
+val current_route :
+  'a t -> src:Topology.node -> dst:Topology.node -> Routing.path option
+
+(** [estimated_latency_us t ~src ~dst] is the propagation latency of the
+    current shortest route (excluding queueing), if routable. *)
+val estimated_latency_us :
+  'a t -> src:Topology.node -> dst:Topology.node -> int option
+
+val stats : 'a t -> stats

@@ -1,0 +1,95 @@
+type path = Topology.node list
+
+let shortest_path topo ~usable ~src ~dst =
+  let n = Topology.node_count topo in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Routing.shortest_path: node out of range";
+  if src = dst then Some [ src ]
+  else begin
+    let dist = Array.make n max_int in
+    let prev = Array.make n (-1) in
+    let visited = Array.make n false in
+    dist.(src) <- 0;
+    (* Priority queue of (distance, node). *)
+    let heap = Event_heap_local.create () in
+    Event_heap_local.push heap ~key:0 src;
+    let finished = ref false in
+    while not !finished do
+      match Event_heap_local.pop heap with
+      | None -> finished := true
+      | Some (d, u) ->
+        if (not visited.(u)) && d = dist.(u) then begin
+          visited.(u) <- true;
+          if u = dst then finished := true
+          else
+            List.iter
+              (fun v ->
+                if (not visited.(v)) && usable u v then
+                  match Topology.link_between topo u v with
+                  | None -> ()
+                  | Some link ->
+                    let weight = max 1 link.Topology.latency_us in
+                    let alt = dist.(u) + weight in
+                    if alt < dist.(v) then begin
+                      dist.(v) <- alt;
+                      prev.(v) <- u;
+                      Event_heap_local.push heap ~key:alt v
+                    end)
+              (Topology.neighbors topo u)
+        end
+    done;
+    if dist.(dst) = max_int then None
+    else begin
+      let rec build acc v = if v = src then src :: acc else build (v :: acc) prev.(v) in
+      Some (build [] dst)
+    end
+  end
+
+let path_latency_us topo path =
+  let rec loop acc = function
+    | [] | [ _ ] -> acc
+    | a :: (b :: _ as rest) -> (
+      match Topology.link_between topo a b with
+      | None -> invalid_arg "Routing.path_latency_us: hop without link"
+      | Some link -> loop (acc + link.Topology.latency_us) rest)
+  in
+  loop 0 path
+
+let disjoint_paths topo ~usable ~src ~dst ~k =
+  let banned_nodes = Hashtbl.create 17 in
+  let banned_edges = Hashtbl.create 17 in
+  let usable' a b =
+    usable a b
+    && (not (Hashtbl.mem banned_nodes a))
+    && (not (Hashtbl.mem banned_nodes b))
+    && not (Hashtbl.mem banned_edges (min a b, max a b))
+  in
+  let rec ban_edges = function
+    | a :: (b :: _ as rest) ->
+      Hashtbl.replace banned_edges (min a b, max a b) ();
+      ban_edges rest
+    | [] | [ _ ] -> ()
+  in
+  let rec loop acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match shortest_path topo ~usable:usable' ~src ~dst with
+      | None -> List.rev acc
+      | Some path ->
+        (* Ban the internal nodes and every edge of this path for
+           subsequent searches (a direct src-dst edge has no internal
+           node, so edge banning is what forces true alternatives). *)
+        List.iter
+          (fun node ->
+            if node <> src && node <> dst then
+              Hashtbl.replace banned_nodes node ())
+          path;
+        ban_edges path;
+        loop (path :: acc) (remaining - 1)
+  in
+  loop [] (max 0 k)
+
+let max_disjoint topo ~src ~dst =
+  disjoint_paths topo ~usable:(fun _ _ -> true) ~src ~dst
+    ~k:(Topology.node_count topo)
+  |> List.length

@@ -1,0 +1,45 @@
+(** Route computation over an overlay topology.
+
+    Two route families back the overlay's dissemination modes:
+    single shortest paths (latency-weighted Dijkstra) for normal
+    unicast, and sets of node-disjoint paths for the intrusion-tolerant
+    redundant mode, in which a message travels every path so that an
+    adversary must cut (or compromise a node on) {e all} of them to
+    suppress it.
+
+    All functions take a [usable] predicate so the runtime can exclude
+    failed links/nodes and recompute routes after failures. *)
+
+type path = Topology.node list
+(** A path as the full node sequence, source first, destination last. *)
+
+(** [shortest_path topo ~usable ~src ~dst] is the minimum-latency usable
+    path, or [None] if [dst] is unreachable. [usable a b] says whether
+    the directed hop a->b may be used. *)
+val shortest_path :
+  Topology.t ->
+  usable:(Topology.node -> Topology.node -> bool) ->
+  src:Topology.node ->
+  dst:Topology.node ->
+  path option
+
+(** [path_latency_us topo path] is the summed one-way link latency.
+    @raise Invalid_argument if consecutive hops are not linked. *)
+val path_latency_us : Topology.t -> path -> int
+
+(** [disjoint_paths topo ~usable ~src ~dst ~k] is up to [k]
+    pairwise internally-node-disjoint paths (they share only [src] and
+    [dst]), greedily shortest-first. Returns fewer than [k] when the
+    topology does not admit them. *)
+val disjoint_paths :
+  Topology.t ->
+  usable:(Topology.node -> Topology.node -> bool) ->
+  src:Topology.node ->
+  dst:Topology.node ->
+  k:int ->
+  path list
+
+(** [max_disjoint topo ~src ~dst] is the number of internally
+    node-disjoint paths found greedily with all links usable — a lower
+    bound on the min node cut between [src] and [dst]. *)
+val max_disjoint : Topology.t -> src:Topology.node -> dst:Topology.node -> int

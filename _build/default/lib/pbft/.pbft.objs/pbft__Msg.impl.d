@@ -1,0 +1,1 @@
+lib/pbft/msg.ml: Bft Cryptosim Format List Printf

@@ -1,0 +1,1 @@
+lib/pbft/replica.ml: Bft Cryptosim Delivery Env Exec_log Faults Hashtbl List Msg Option Printf Quorum Sim Types Update

@@ -1,0 +1,1 @@
+lib/pbft/replica.mli: Bft Msg

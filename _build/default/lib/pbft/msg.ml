@@ -1,0 +1,53 @@
+type proposal = { seq : Bft.Types.seqno; update : Bft.Update.t option }
+
+let proposal_digest p =
+  match p.update with
+  | None -> Cryptosim.Digest.of_string (Printf.sprintf "noop:%d" p.seq)
+  | Some u ->
+    Cryptosim.Digest.combine
+      (Cryptosim.Digest.of_string (Printf.sprintf "prop:%d" p.seq))
+      (Bft.Update.digest u)
+
+type prepared_entry = {
+  entry_seq : Bft.Types.seqno;
+  entry_view : Bft.Types.view;
+  entry_update : Bft.Update.t option;
+}
+
+type t =
+  | Request of { update : Bft.Update.t; broadcast : bool }
+  | Preprepare of { view : Bft.Types.view; proposal : proposal }
+  | Prepare of {
+      view : Bft.Types.view;
+      seq : Bft.Types.seqno;
+      digest : Cryptosim.Digest.t;
+    }
+  | Commit of {
+      view : Bft.Types.view;
+      seq : Bft.Types.seqno;
+      digest : Cryptosim.Digest.t;
+    }
+  | Checkpoint of { seq : Bft.Types.seqno; chain : Cryptosim.Digest.t }
+  | Viewchange of {
+      new_view : Bft.Types.view;
+      last_stable : Bft.Types.seqno;
+      prepared : prepared_entry list;
+    }
+  | Newview of {
+      view : Bft.Types.view;
+      proposals : proposal list;
+      stable_seq : Bft.Types.seqno;
+    }
+
+let pp ppf = function
+  | Request { update; broadcast } ->
+    Format.fprintf ppf "Request(%a%s)" Bft.Update.pp update
+      (if broadcast then ",bcast" else "")
+  | Preprepare { view; proposal } ->
+    Format.fprintf ppf "Preprepare(v%d,s%d)" view proposal.seq
+  | Prepare { view; seq; _ } -> Format.fprintf ppf "Prepare(v%d,s%d)" view seq
+  | Commit { view; seq; _ } -> Format.fprintf ppf "Commit(v%d,s%d)" view seq
+  | Checkpoint { seq; _ } -> Format.fprintf ppf "Checkpoint(s%d)" seq
+  | Viewchange { new_view; _ } -> Format.fprintf ppf "Viewchange(v%d)" new_view
+  | Newview { view; proposals; _ } ->
+    Format.fprintf ppf "Newview(v%d,%d props)" view (List.length proposals)

@@ -1,0 +1,50 @@
+(** Message vocabulary of the baseline leader-based protocol (PBFT).
+
+    This is the "standard BFT protocol" the paper compares Prime
+    against: three-phase ordering with view changes driven by request
+    timeouts. Its known weakness — a malicious leader can delay every
+    request just under the view-change timeout without being replaced —
+    is exactly what experiment E4 measures. *)
+
+type proposal = {
+  seq : Bft.Types.seqno;
+  update : Bft.Update.t option;  (** [None] is a no-op hole filler *)
+}
+
+(** [proposal_digest p] identifies the proposal's content for the
+    prepare/commit phases. *)
+val proposal_digest : proposal -> Cryptosim.Digest.t
+
+type prepared_entry = {
+  entry_seq : Bft.Types.seqno;
+  entry_view : Bft.Types.view;  (** view in which it prepared *)
+  entry_update : Bft.Update.t option;
+}
+
+type t =
+  | Request of { update : Bft.Update.t; broadcast : bool }
+      (** client request, possibly a retransmission broadcast to all *)
+  | Preprepare of { view : Bft.Types.view; proposal : proposal }
+  | Prepare of {
+      view : Bft.Types.view;
+      seq : Bft.Types.seqno;
+      digest : Cryptosim.Digest.t;
+    }
+  | Commit of {
+      view : Bft.Types.view;
+      seq : Bft.Types.seqno;
+      digest : Cryptosim.Digest.t;
+    }
+  | Checkpoint of { seq : Bft.Types.seqno; chain : Cryptosim.Digest.t }
+  | Viewchange of {
+      new_view : Bft.Types.view;
+      last_stable : Bft.Types.seqno;
+      prepared : prepared_entry list;
+    }
+  | Newview of {
+      view : Bft.Types.view;
+      proposals : proposal list;
+      stable_seq : Bft.Types.seqno;
+    }
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,492 @@
+open Bft
+
+type config = {
+  quorum : Quorum.t;
+  request_timeout_us : int;
+  viewchange_timeout_us : int;
+  checkpoint_interval : int;
+  watchdog_interval_us : int;
+}
+
+let default_config quorum =
+  {
+    quorum;
+    request_timeout_us = 2_000_000;
+    viewchange_timeout_us = 4_000_000;
+    checkpoint_interval = 128;
+    watchdog_interval_us = 250_000;
+  }
+
+type slot = {
+  mutable slot_view : Types.view;
+  mutable proposal : Msg.proposal option;
+  mutable digest : Cryptosim.Digest.t option;
+  prepares : (Types.replica, unit) Hashtbl.t;
+  commits : (Types.replica, unit) Hashtbl.t;
+  (* Votes that arrived before the pre-prepare, waiting to be counted. *)
+  buffered_prepares : (Types.replica, Types.view * Cryptosim.Digest.t) Hashtbl.t;
+  buffered_commits : (Types.replica, Types.view * Cryptosim.Digest.t) Hashtbl.t;
+  mutable prepared : bool;
+  mutable committed : bool;
+}
+
+type mode = Normal | View_changing of { target : Types.view; since_us : int }
+
+type t = {
+  config : config;
+  env : Msg.t Env.t;
+  execute : Types.seqno -> Update.t -> unit;
+  faults : Faults.t;
+  log : Exec_log.t;
+  delivery : Delivery.t;
+  slots : (Types.seqno, slot) Hashtbl.t;
+  pending : (Types.client * int, Update.t * int) Hashtbl.t;
+  mutable assigned : (Types.client * int, Types.seqno) Hashtbl.t;
+  mutable view : Types.view;
+  mutable mode : mode;
+  mutable next_seq : Types.seqno;
+  mutable last_executed : Types.seqno;
+  mutable stable_seq : Types.seqno;
+  vc_votes :
+    ( Types.view,
+      (Types.replica, Types.seqno * Msg.prepared_entry list) Hashtbl.t )
+    Hashtbl.t;
+  ckpt_votes :
+    (Types.seqno * Cryptosim.Digest.t, (Types.replica, unit) Hashtbl.t) Hashtbl.t;
+  mutable view_changes : int;
+  mutable running : bool;
+}
+
+let faults t = t.faults
+let view t = t.view
+let last_executed t = t.last_executed
+let exec_log t = t.log
+let view_changes t = t.view_changes
+let pending_count t = Hashtbl.length t.pending
+
+let n t = t.config.quorum.Quorum.n
+let quorum_size t = Quorum.quorum_size t.config.quorum
+let leader_of t view = Types.leader_of ~n:(n t) view
+let is_leader t = leader_of t t.view = t.env.Env.self && not t.faults.Faults.crashed
+
+let create config env ~execute =
+  {
+    config;
+    env;
+    execute;
+    faults = Faults.honest ();
+    log = Exec_log.create ();
+    delivery = Delivery.create ();
+    slots = Hashtbl.create 997;
+    pending = Hashtbl.create 97;
+    assigned = Hashtbl.create 97;
+    view = 0;
+    mode = Normal;
+    next_seq = 1;
+    last_executed = 0;
+    stable_seq = 0;
+    vc_votes = Hashtbl.create 17;
+    ckpt_votes = Hashtbl.create 17;
+    view_changes = 0;
+    running = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sending through the fault filter.                                   *)
+
+let send_to t dst msg =
+  if
+    (not t.faults.Faults.crashed)
+    && (not t.faults.Faults.silent)
+    && not (t.faults.Faults.drop_to dst)
+  then t.env.Env.send dst msg
+
+let broadcast t msg = List.iter (fun r -> send_to t r msg) (Env.others t.env)
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        slot_view = -1;
+        proposal = None;
+        digest = None;
+        prepares = Hashtbl.create 7;
+        commits = Hashtbl.create 7;
+        buffered_prepares = Hashtbl.create 7;
+        buffered_commits = Hashtbl.create 7;
+        prepared = false;
+        committed = false;
+      }
+    in
+    Hashtbl.replace t.slots seq s;
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Ordering pipeline: execute committed slots in sequence order, emit
+   checkpoints, track stability.                                       *)
+
+let rec try_execute t =
+  let seq = t.last_executed + 1 in
+  match Hashtbl.find_opt t.slots seq with
+  | Some s when s.committed ->
+    t.last_executed <- seq;
+    (match s.proposal with
+    | Some { Msg.update = Some u; _ } ->
+      Hashtbl.remove t.pending (Update.key u);
+      (* Exactly-once, per-client-FIFO release. *)
+      List.iter
+        (fun released ->
+          Hashtbl.remove t.pending (Update.key released);
+          ignore (Exec_log.append t.log released : int);
+          t.execute seq released)
+        (Delivery.offer t.delivery u)
+    | Some { Msg.update = None; _ } | None -> ());
+    if seq mod t.config.checkpoint_interval = 0 then begin
+      let chain = Exec_log.chain_digest t.log in
+      broadcast t (Msg.Checkpoint { seq; chain });
+      record_checkpoint_vote t ~from:t.env.Env.self ~seq ~chain
+    end;
+    try_execute t
+  | Some _ | None -> ()
+
+and record_checkpoint_vote t ~from ~seq ~chain =
+  let key = (seq, chain) in
+  let voters =
+    match Hashtbl.find_opt t.ckpt_votes key with
+    | Some v -> v
+    | None ->
+      let v = Hashtbl.create 7 in
+      Hashtbl.replace t.ckpt_votes key v;
+      v
+  in
+  Hashtbl.replace voters from ();
+  if Hashtbl.length voters >= quorum_size t && seq > t.stable_seq then begin
+    t.stable_seq <- seq;
+    let stale =
+      Hashtbl.fold
+        (fun s _ acc ->
+          if s <= t.stable_seq && s <= t.last_executed then s :: acc else acc)
+        t.slots []
+    in
+    List.iter (Hashtbl.remove t.slots) stale
+  end
+
+let rec maybe_prepared t seq =
+  let s = slot t seq in
+  if (not s.prepared) && Option.is_some s.proposal
+     && Hashtbl.length s.prepares >= quorum_size t
+  then begin
+    s.prepared <- true;
+    match s.digest with
+    | None -> ()
+    | Some digest ->
+      broadcast t (Msg.Commit { view = s.slot_view; seq; digest });
+      Hashtbl.replace s.commits t.env.Env.self ();
+      maybe_committed t seq
+  end
+
+and maybe_committed t seq =
+  let s = slot t seq in
+  if (not s.committed) && s.prepared && Hashtbl.length s.commits >= quorum_size t
+  then begin
+    s.committed <- true;
+    try_execute t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pre-prepare acceptance (both normal case and new-view replay).      *)
+
+let accept_preprepare t ~view ~(proposal : Msg.proposal) =
+  let seq = proposal.Msg.seq in
+  if seq > t.last_executed then begin
+    let s = slot t seq in
+    let fresh = s.proposal = None || s.slot_view < view in
+    if fresh then begin
+      s.slot_view <- view;
+      s.proposal <- Some proposal;
+      let digest = Msg.proposal_digest proposal in
+      s.digest <- Some digest;
+      Hashtbl.reset s.prepares;
+      Hashtbl.reset s.commits;
+      s.prepared <- false;
+      (match proposal.Msg.update with
+      | Some u ->
+        if
+          (not (Hashtbl.mem t.pending (Update.key u)))
+          && not (Delivery.seen t.delivery (Update.key u))
+        then Hashtbl.replace t.pending (Update.key u) (u, t.env.Env.now_us ())
+      | None -> ());
+      (* The pre-prepare stands for the proposer's prepare vote; our own
+         prepare vote is implicit in the broadcast below. *)
+      Hashtbl.replace s.prepares (leader_of t view) ();
+      Hashtbl.replace s.prepares t.env.Env.self ();
+      broadcast t (Msg.Prepare { view; seq; digest });
+      (* Count any votes that raced ahead of the pre-prepare. *)
+      Hashtbl.iter
+        (fun from (v, d) ->
+          if v = view && Cryptosim.Digest.equal d digest then
+            Hashtbl.replace s.prepares from ())
+        s.buffered_prepares;
+      Hashtbl.reset s.buffered_prepares;
+      Hashtbl.iter
+        (fun from (v, d) ->
+          if v = view && Cryptosim.Digest.equal d digest then
+            Hashtbl.replace s.commits from ())
+        s.buffered_commits;
+      Hashtbl.reset s.buffered_commits;
+      maybe_prepared t seq
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Leader proposal path (with Byzantine hooks).                        *)
+
+let propose t update =
+  let key = Update.key update in
+  if
+    (not (Hashtbl.mem t.assigned key))
+    && not (Delivery.seen t.delivery key)
+  then begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Hashtbl.replace t.assigned key seq;
+    let proposal = { Msg.seq; update = Some update } in
+    let proposal_view = t.view in
+    let send_preprepare () =
+      if t.faults.Faults.equivocate then begin
+        let twin =
+          Update.create ~client:(fst key) ~client_seq:(snd key)
+            ~operation:"equivocation-twin"
+            ~submitted_us:update.Update.submitted_us
+        in
+        List.iter
+          (fun r ->
+            let p =
+              if r mod 2 = 0 then proposal else { Msg.seq; update = Some twin }
+            in
+            send_to t r (Msg.Preprepare { view = proposal_view; proposal = p }))
+          (Env.others t.env)
+      end
+      else broadcast t (Msg.Preprepare { view = proposal_view; proposal });
+      accept_preprepare t ~view:proposal_view ~proposal
+    in
+    let delay = t.faults.Faults.proposal_delay_us in
+    if delay > 0 then
+      ignore
+        (t.env.Env.set_timer delay (fun () ->
+             if t.view = proposal_view && is_leader t then send_preprepare ())
+          : Sim.Engine.timer)
+    else send_preprepare ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* View changes.                                                       *)
+
+let prepared_entries t =
+  Hashtbl.fold
+    (fun seq s acc ->
+      if s.prepared && seq > t.stable_seq then
+        match s.proposal with
+        | Some p ->
+          {
+            Msg.entry_seq = seq;
+            entry_view = s.slot_view;
+            entry_update = p.Msg.update;
+          }
+          :: acc
+        | None -> acc
+      else acc)
+    t.slots []
+
+let rec start_view_change t target =
+  let should =
+    target > t.view
+    &&
+    match t.mode with
+    | View_changing { target = cur; _ } -> target > cur
+    | Normal -> true
+  in
+  if should then begin
+    t.mode <- View_changing { target; since_us = t.env.Env.now_us () };
+    t.env.Env.trace (Printf.sprintf "view-change -> v%d" target);
+    let prepared = prepared_entries t in
+    broadcast t
+      (Msg.Viewchange { new_view = target; last_stable = t.stable_seq; prepared });
+    record_vc_vote t ~from:t.env.Env.self ~target ~last_stable:t.stable_seq
+      ~prepared
+  end
+
+and record_vc_vote t ~from ~target ~last_stable ~prepared =
+  if target > t.view then begin
+    let votes =
+      match Hashtbl.find_opt t.vc_votes target with
+      | Some v -> v
+      | None ->
+        let v = Hashtbl.create 7 in
+        Hashtbl.replace t.vc_votes target v;
+        v
+    in
+    Hashtbl.replace votes from (last_stable, prepared);
+    (* Liveness amplification: join any view change backed by f+1. *)
+    if Hashtbl.length votes >= Quorum.reply_threshold t.config.quorum then
+      start_view_change t target;
+    if
+      Hashtbl.length votes >= quorum_size t
+      && leader_of t target = t.env.Env.self
+    then install_new_view t target votes
+  end
+
+and install_new_view t target votes =
+  let merged : (Types.seqno, Msg.prepared_entry) Hashtbl.t =
+    Hashtbl.create 97
+  in
+  let max_stable = ref t.stable_seq in
+  let max_seq = ref t.last_executed in
+  Hashtbl.iter
+    (fun _from (last_stable, prepared) ->
+      if last_stable > !max_stable then max_stable := last_stable;
+      List.iter
+        (fun (e : Msg.prepared_entry) ->
+          if e.Msg.entry_seq > !max_seq then max_seq := e.Msg.entry_seq;
+          match Hashtbl.find_opt merged e.Msg.entry_seq with
+          | Some prev when prev.Msg.entry_view >= e.Msg.entry_view -> ()
+          | Some _ | None -> Hashtbl.replace merged e.Msg.entry_seq e)
+        prepared)
+    votes;
+  (* Re-propose everything above the stable checkpoint — including
+     slots this leader already executed; replicas that executed them
+     skip the replay, replicas that missed the commits re-run them
+     with identical content. *)
+  let start = !max_stable in
+  let proposals =
+    List.init
+      (max 0 (!max_seq - start))
+      (fun i ->
+        let seq = start + 1 + i in
+        match Hashtbl.find_opt merged seq with
+        | Some e -> { Msg.seq; update = e.Msg.entry_update }
+        | None -> { Msg.seq; update = None })
+  in
+  t.view <- target;
+  t.mode <- Normal;
+  t.view_changes <- t.view_changes + 1;
+  t.next_seq <- !max_seq + 1;
+  t.assigned <- Hashtbl.create 97;
+  broadcast t (Msg.Newview { view = target; proposals; stable_seq = !max_stable });
+  List.iter (fun p -> accept_preprepare t ~view:target ~proposal:p) proposals;
+  let pending_now = Hashtbl.fold (fun _ (u, _) acc -> u :: acc) t.pending [] in
+  List.iter (fun u -> propose t u) pending_now
+
+let adopt_new_view t ~view ~proposals =
+  if view > t.view then begin
+    t.view <- view;
+    t.mode <- Normal;
+    t.view_changes <- t.view_changes + 1;
+    t.assigned <- Hashtbl.create 97;
+    List.iter (fun p -> accept_preprepare t ~view ~proposal:p) proposals;
+    (* Give the new leader a full timeout for everything pending. *)
+    let now = t.env.Env.now_us () in
+    let entries = Hashtbl.fold (fun k (u, _) acc -> (k, u) :: acc) t.pending [] in
+    List.iter (fun (k, u) -> Hashtbl.replace t.pending k (u, now)) entries;
+    let leader = leader_of t t.view in
+    if leader <> t.env.Env.self then
+      List.iter
+        (fun (_, u) ->
+          send_to t leader (Msg.Request { update = u; broadcast = false }))
+        entries
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog: request timeouts and view-change escalation.              *)
+
+let oldest_pending_age t =
+  let now = t.env.Env.now_us () in
+  Hashtbl.fold (fun _ (_, since) acc -> max acc (now - since)) t.pending 0
+
+let watchdog t =
+  if not t.faults.Faults.crashed then
+    match t.mode with
+    | View_changing { target; since_us } ->
+      if t.env.Env.now_us () - since_us > t.config.viewchange_timeout_us then
+        start_view_change t (target + 1)
+    | Normal ->
+      if
+        Hashtbl.length t.pending > 0
+        && oldest_pending_age t > t.config.request_timeout_us
+      then begin
+        (* Retransmit starved requests to everyone so every correct
+           replica observes the starvation and joins the view change
+           (the role the client's broadcast retransmission plays in
+           PBFT). *)
+        Hashtbl.iter
+          (fun _ (u, _) ->
+            broadcast t (Msg.Request { update = u; broadcast = true }))
+          t.pending;
+        start_view_change t (t.view + 1)
+      end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    let rec arm () =
+      ignore
+        (t.env.Env.set_timer t.config.watchdog_interval_us (fun () ->
+             watchdog t;
+             arm ())
+          : Sim.Engine.timer)
+    in
+    arm ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                       *)
+
+let submit t update =
+  if not t.faults.Faults.crashed then begin
+    let key = Update.key update in
+    if not (Delivery.seen t.delivery key) then begin
+      if not (Hashtbl.mem t.pending key) then
+        Hashtbl.replace t.pending key (update, t.env.Env.now_us ());
+      if is_leader t then propose t update
+      else
+        send_to t (leader_of t t.view) (Msg.Request { update; broadcast = false })
+    end
+  end
+
+let handle t ~from msg =
+  if not t.faults.Faults.crashed then
+    match msg with
+    | Msg.Request { update; broadcast = _ } -> submit t update
+    | Msg.Preprepare { view; proposal } ->
+      (* No ordering participation while view-changing: the prepared
+         set reported in our view-change vote must stay frozen. *)
+      if t.mode = Normal && view = t.view && from = leader_of t view then
+        accept_preprepare t ~view ~proposal
+    | Msg.Prepare { view; seq; digest } ->
+      if t.mode = Normal && seq > t.last_executed then begin
+        let s = slot t seq in
+        match s.digest with
+        | Some d when view = s.slot_view ->
+          if Cryptosim.Digest.equal d digest then begin
+            Hashtbl.replace s.prepares from ();
+            maybe_prepared t seq
+          end
+        | Some _ | None ->
+          Hashtbl.replace s.buffered_prepares from (view, digest)
+      end
+    | Msg.Commit { view; seq; digest } ->
+      if t.mode = Normal && seq > t.last_executed then begin
+        let s = slot t seq in
+        match s.digest with
+        | Some d when view = s.slot_view && Cryptosim.Digest.equal d digest ->
+          Hashtbl.replace s.commits from ();
+          maybe_committed t seq
+        | Some _ | None -> Hashtbl.replace s.buffered_commits from (view, digest)
+      end
+    | Msg.Checkpoint { seq; chain } -> record_checkpoint_vote t ~from ~seq ~chain
+    | Msg.Viewchange { new_view; last_stable; prepared } ->
+      record_vc_vote t ~from ~target:new_view ~last_stable ~prepared
+    | Msg.Newview { view; proposals; stable_seq = _ } ->
+      if from = leader_of t view then adopt_new_view t ~view ~proposals

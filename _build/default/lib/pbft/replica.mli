@@ -1,0 +1,71 @@
+(** PBFT replica state machine (the baseline protocol).
+
+    One instance implements one replica. The deployment layer delivers
+    network messages via {!handle} and client updates via {!submit}; the
+    instance emits messages through its {!Bft.Env.t} and applies ordered
+    updates through the [execute] callback.
+
+    Simplifications relative to Castro-Liskov PBFT, none of which affect
+    the measured behaviour:
+    - messages are assumed authenticated by the transport (the overlay
+      authenticates links; the simulation's Byzantine repertoire does
+      not include forging, as real signatures prevent it);
+    - view-change messages carry prepared entries without their
+      certificates (certificate verification always succeeds for
+      entries sent by correct replicas, and modelled attackers do not
+      fabricate entries).
+
+    The essential performance property is retained faithfully: a leader
+    is only replaced when a request remains unexecuted for the full
+    [request_timeout_us], so a malicious leader that serves each request
+    just under the timeout retains the role indefinitely. *)
+
+type config = {
+  quorum : Bft.Quorum.t;
+  request_timeout_us : int;
+      (** how long a request may stay unexecuted before the replica
+          votes to change views *)
+  viewchange_timeout_us : int;
+      (** how long to wait for a new view to install before escalating
+          to the next one *)
+  checkpoint_interval : int;  (** executions between checkpoints *)
+  watchdog_interval_us : int;  (** how often timeouts are polled *)
+}
+
+(** [default_config quorum] uses the paper-era constants: 2 s request
+    timeout, 4 s view-change timeout, checkpoint every 128 executions,
+    watchdog every 250 ms. *)
+val default_config : Bft.Quorum.t -> config
+
+type t
+
+(** [create config env ~execute] wires a replica; [execute seq update]
+    is invoked exactly once per executed non-noop slot in seq order. *)
+val create :
+  config ->
+  Msg.t Bft.Env.t ->
+  execute:(Bft.Types.seqno -> Bft.Update.t -> unit) ->
+  t
+
+(** [start t] arms the watchdog timer. Call once after creation. *)
+val start : t -> unit
+
+(** [submit t update] injects a client request at this replica. *)
+val submit : t -> Bft.Update.t -> unit
+
+(** [handle t ~from msg] processes a protocol message from peer [from]. *)
+val handle : t -> from:Bft.Types.replica -> Msg.t -> unit
+
+(** [faults t] is the fault-injection handle for this replica. *)
+val faults : t -> Bft.Faults.t
+
+val view : t -> Bft.Types.view
+val is_leader : t -> bool
+val last_executed : t -> Bft.Types.seqno
+val exec_log : t -> Bft.Exec_log.t
+
+(** [view_changes t] counts view changes this replica has joined. *)
+val view_changes : t -> int
+
+(** [pending_count t] is the number of known-but-unexecuted requests. *)
+val pending_count : t -> int

@@ -1,0 +1,1 @@
+lib/prime/matrix.ml: Array Buffer Cryptosim Format String

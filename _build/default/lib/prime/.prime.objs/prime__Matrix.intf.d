@@ -1,0 +1,1 @@
+lib/prime/matrix.mli: Cryptosim Format

@@ -1,0 +1,1 @@
+lib/prime/msg.ml: Bft Cryptosim Format List Matrix String

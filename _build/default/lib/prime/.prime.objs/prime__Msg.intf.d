@@ -1,0 +1,1 @@
+lib/prime/msg.mli: Bft Cryptosim Format Matrix

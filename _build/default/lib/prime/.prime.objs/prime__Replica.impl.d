@@ -1,0 +1,1 @@
+lib/prime/replica.ml: Array Bft Cryptosim Delivery Env Exec_log Faults Fun Hashtbl List Matrix Msg Option Printf Queue Quorum Sim String Types Update

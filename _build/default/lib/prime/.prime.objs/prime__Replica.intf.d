@@ -1,0 +1,1 @@
+lib/prime/replica.mli: Bft Cryptosim Matrix Msg

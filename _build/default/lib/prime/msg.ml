@@ -1,0 +1,84 @@
+type prepared_entry = {
+  entry_seq : Bft.Types.seqno;
+  entry_view : Bft.Types.view;
+  entry_matrix : Matrix.t;
+}
+
+type t =
+  | Po_request of {
+      origin : Bft.Types.replica;
+      po_seq : int;
+      update : Bft.Update.t;
+    }
+  | Po_aru of { vector : Matrix.vector }
+  | Preprepare of {
+      view : Bft.Types.view;
+      seq : Bft.Types.seqno;
+      matrix : Matrix.t;
+    }
+  | Prepare of {
+      view : Bft.Types.view;
+      seq : Bft.Types.seqno;
+      digest : Cryptosim.Digest.t;
+    }
+  | Commit of {
+      view : Bft.Types.view;
+      seq : Bft.Types.seqno;
+      digest : Cryptosim.Digest.t;
+    }
+  | Suspect of { view : Bft.Types.view }
+  | Viewchange of {
+      new_view : Bft.Types.view;
+      last_committed : Bft.Types.seqno;
+      prepared : prepared_entry list;
+    }
+  | Newview of {
+      view : Bft.Types.view;
+      proposals : (Bft.Types.seqno * Matrix.t) list;
+    }
+  | Recon_request of { origin : Bft.Types.replica; po_seq : int }
+  | Recon_reply of {
+      origin : Bft.Types.replica;
+      po_seq : int;
+      update : Bft.Update.t;
+    }
+  | Slot_request of { seq : Bft.Types.seqno }
+  | Slot_reply of { seq : Bft.Types.seqno; matrix : Matrix.t }
+  | Checkpoint of { executed : int; chain : Cryptosim.Digest.t }
+
+let pp ppf = function
+  | Po_request { origin; po_seq; update } ->
+    Format.fprintf ppf "Po_request(o%d,#%d,%a)" origin po_seq Bft.Update.pp
+      update
+  | Po_aru { vector } -> Format.fprintf ppf "Po_aru%a" Matrix.pp_vector vector
+  | Preprepare { view; seq; _ } ->
+    Format.fprintf ppf "Preprepare(v%d,s%d)" view seq
+  | Prepare { view; seq; _ } -> Format.fprintf ppf "Prepare(v%d,s%d)" view seq
+  | Commit { view; seq; _ } -> Format.fprintf ppf "Commit(v%d,s%d)" view seq
+  | Suspect { view } -> Format.fprintf ppf "Suspect(v%d)" view
+  | Viewchange { new_view; _ } -> Format.fprintf ppf "Viewchange(v%d)" new_view
+  | Newview { view; proposals } ->
+    Format.fprintf ppf "Newview(v%d,%d props)" view (List.length proposals)
+  | Recon_request { origin; po_seq } ->
+    Format.fprintf ppf "Recon_request(o%d,#%d)" origin po_seq
+  | Recon_reply { origin; po_seq; _ } ->
+    Format.fprintf ppf "Recon_reply(o%d,#%d)" origin po_seq
+  | Slot_request { seq } -> Format.fprintf ppf "Slot_request(s%d)" seq
+  | Slot_reply { seq; _ } -> Format.fprintf ppf "Slot_reply(s%d)" seq
+  | Checkpoint { executed; _ } -> Format.fprintf ppf "Checkpoint(%d)" executed
+
+let size_bytes msg ~n =
+  let header = 64 in
+  match msg with
+  | Po_request { update; _ } -> header + 32 + String.length update.Bft.Update.operation
+  | Po_aru _ -> header + (8 * n)
+  | Preprepare _ -> header + (8 * n * n)
+  | Prepare _ | Commit _ -> header + 16
+  | Suspect _ -> header
+  | Viewchange { prepared; _ } -> header + (List.length prepared * 8 * n * n)
+  | Newview { proposals; _ } -> header + (List.length proposals * 8 * n * n)
+  | Recon_request _ -> header
+  | Recon_reply { update; _ } -> header + 32 + String.length update.Bft.Update.operation
+  | Slot_request _ -> header
+  | Slot_reply _ -> header + (8 * n * n)
+  | Checkpoint _ -> header + 16

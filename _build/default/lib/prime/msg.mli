@@ -1,0 +1,68 @@
+(** Message vocabulary of the Prime protocol.
+
+    Relative to the published protocol, pre-order acknowledgements are
+    folded into the cumulative [Po_aru] vectors (which is what they
+    aggregate into in Prime as well); signatures and acknowledgement
+    certificates are carried implicitly by the authenticated transport.
+    The message flow that determines latency — PO-Request dissemination,
+    periodic vector exchange, leader summary-matrix pre-prepares, and
+    the prepare/commit votes — matches the paper's. *)
+
+type prepared_entry = {
+  entry_seq : Bft.Types.seqno;
+  entry_view : Bft.Types.view;
+  entry_matrix : Matrix.t;
+}
+
+type t =
+  | Po_request of {
+      origin : Bft.Types.replica;
+      po_seq : int;
+      update : Bft.Update.t;
+    }  (** origin disseminates a client update with its local order *)
+  | Po_aru of { vector : Matrix.vector }
+      (** sender's cumulative pre-order vector *)
+  | Preprepare of {
+      view : Bft.Types.view;
+      seq : Bft.Types.seqno;
+      matrix : Matrix.t;
+    }  (** leader's periodic summary-matrix proposal *)
+  | Prepare of {
+      view : Bft.Types.view;
+      seq : Bft.Types.seqno;
+      digest : Cryptosim.Digest.t;
+    }
+  | Commit of {
+      view : Bft.Types.view;
+      seq : Bft.Types.seqno;
+      digest : Cryptosim.Digest.t;
+    }
+  | Suspect of { view : Bft.Types.view }
+      (** the sender accuses the leader of [view] of violating the
+          turnaround-time bound *)
+  | Viewchange of {
+      new_view : Bft.Types.view;
+      last_committed : Bft.Types.seqno;
+      prepared : prepared_entry list;
+    }
+  | Newview of {
+      view : Bft.Types.view;
+      proposals : (Bft.Types.seqno * Matrix.t) list;
+    }
+  | Recon_request of { origin : Bft.Types.replica; po_seq : int }
+      (** ask peers for a pre-order request body this replica missed *)
+  | Recon_reply of {
+      origin : Bft.Types.replica;
+      po_seq : int;
+      update : Bft.Update.t;
+    }
+  | Slot_request of { seq : Bft.Types.seqno }
+      (** ask peers for an ordered slot this replica missed *)
+  | Slot_reply of { seq : Bft.Types.seqno; matrix : Matrix.t }
+  | Checkpoint of { executed : int; chain : Cryptosim.Digest.t }
+
+val pp : Format.formatter -> t -> unit
+
+(** [size_bytes msg ~n] approximates the wire size for the overlay's
+    bandwidth model ([n] = replica count, matrices are [n^2] entries). *)
+val size_bytes : t -> n:int -> int

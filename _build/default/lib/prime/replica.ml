@@ -1,0 +1,942 @@
+open Bft
+
+type config = {
+  quorum : Quorum.t;
+  aru_interval_us : int;
+  proposal_interval_us : int;
+  tat_threshold_us : int;
+  tat_violations_to_suspect : int;
+  viewchange_timeout_us : int;
+  checkpoint_interval : int;
+  watchdog_interval_us : int;
+  recon_retry_us : int;
+}
+
+let default_config quorum =
+  {
+    quorum;
+    aru_interval_us = 5_000;
+    proposal_interval_us = 10_000;
+    tat_threshold_us = 150_000;
+    tat_violations_to_suspect = 3;
+    viewchange_timeout_us = 1_000_000;
+    checkpoint_interval = 128;
+    watchdog_interval_us = 25_000;
+    recon_retry_us = 100_000;
+  }
+
+type slot = {
+  mutable slot_view : Types.view;
+  mutable matrix : Matrix.t option;
+  mutable digest : Cryptosim.Digest.t option;
+  prepares : (Types.replica, unit) Hashtbl.t;
+  commits : (Types.replica, unit) Hashtbl.t;
+  buffered_prepares : (Types.replica, Types.view * Cryptosim.Digest.t) Hashtbl.t;
+  buffered_commits : (Types.replica, Types.view * Cryptosim.Digest.t) Hashtbl.t;
+  mutable prepared : bool;
+  mutable committed : bool;
+}
+
+type mode = Normal | View_changing of { target : Types.view; since_us : int }
+
+type tat_probe = { target_total : int; sent_us : int }
+
+type snapshot = {
+  snap_exec_count : int;
+  snap_chain : Cryptosim.Digest.t;
+  snap_cursor : Matrix.vector;
+  snap_last_applied : Types.seqno;
+  snap_cum_matrix : Matrix.t;
+  snap_view : Types.view;
+  snap_delivery : Delivery.state;
+}
+
+type t = {
+  config : config;
+  env : Msg.t Env.t;
+  execute : int -> Update.t -> unit;
+  faults : Faults.t;
+  log : Exec_log.t;
+  delivery : Delivery.t;
+  (* --- pre-ordering --- *)
+  mutable po_next_seq : int;  (* own origin counter; survives recovery *)
+  po_store : (Types.replica * int, Update.t) Hashtbl.t;
+  mutable recv : Matrix.vector;  (* contiguous received per origin *)
+  mutable rows : Matrix.t;  (* latest reported vector per replica *)
+  mutable aru_dirty : bool;
+  mutable aru_heartbeat : int;
+  (* --- ordering --- *)
+  slots : (Types.seqno, slot) Hashtbl.t;
+  applied_matrices : (Types.seqno, Matrix.t) Hashtbl.t;
+  mutable view : Types.view;
+  mutable mode : mode;
+  mutable next_seq : Types.seqno;  (* leader: next proposal slot *)
+  mutable last_applied : Types.seqno;
+  mutable cum_matrix : Matrix.t;
+  mutable cursor : Matrix.vector;  (* per-origin executed cursor *)
+  mutable last_proposed : Matrix.t;
+  mutable proposal_heartbeat : int;
+  (* --- execution stall / reconciliation --- *)
+  mutable stalled_on : (Types.replica * int) option;
+  mutable stall_since_us : int;
+  mutable last_recon_us : int;
+  mutable max_seq_seen : Types.seqno;
+      (* highest ordering sequence referenced by any peer message;
+         evidence of slots we may have missed entirely *)
+  mutable last_apply_us : int;
+  (* --- TAT / suspicion --- *)
+  pending_tats : tat_probe Queue.t;
+  mutable frontier : Matrix.vector;
+      (* pre-order frontier whose ordering progress we are timing *)
+  mutable frontier_since_us : int;
+  mutable tat_violations : int;
+  mutable max_tat_us : int;
+  mutable suspected_view : Types.view;  (* highest view we suspected *)
+  suspects : (Types.view, (Types.replica, unit) Hashtbl.t) Hashtbl.t;
+  (* --- view change --- *)
+  vc_votes :
+    ( Types.view,
+      (Types.replica, Types.seqno * Msg.prepared_entry list) Hashtbl.t )
+    Hashtbl.t;
+  (* Evidence of higher views: a reconnecting replica that missed a
+     Newview learns the installed view once f+1 distinct peers send
+     ordering messages tagged with it. *)
+  view_evidence : (Types.view, (Types.replica, unit) Hashtbl.t) Hashtbl.t;
+  mutable view_changes : int;
+  (* --- checkpoints / catch-up --- *)
+  ckpt_votes :
+    (int * Cryptosim.Digest.t, (Types.replica, unit) Hashtbl.t) Hashtbl.t;
+  mutable stable_exec : int;
+  slot_reply_votes :
+    ( Types.seqno * Cryptosim.Digest.t,
+      (Types.replica, unit) Hashtbl.t * Matrix.t )
+    Hashtbl.t;
+  mutable on_fall_behind : unit -> unit;
+  mutable last_fall_behind_us : int;
+  last_heard_us : int array; (* per peer: when we last received anything *)
+  mutable running : bool;
+}
+
+let n t = t.config.quorum.Quorum.n
+let quorum_size t = Quorum.quorum_size t.config.quorum
+let leader_of t view = Types.leader_of ~n:(n t) view
+let is_leader t = leader_of t t.view = t.env.Env.self
+
+let faults t = t.faults
+let view t = t.view
+let exec_log t = t.log
+let executed_count t = Exec_log.length t.log
+let last_applied t = t.last_applied
+let recv_vector t = Array.copy t.recv
+let view_changes t = t.view_changes
+let max_tat_us t = t.max_tat_us
+let suspected t = t.suspected_view >= t.view
+let set_on_fall_behind t f = t.on_fall_behind <- f
+
+(* Peers this replica has not heard from within [threshold_us]
+   (self excluded); input to accusation-based reactive recovery. *)
+let unresponsive t ~threshold_us =
+  let now = t.env.Env.now_us () in
+  List.filter
+    (fun r -> r <> t.env.Env.self && now - t.last_heard_us.(r) > threshold_us)
+    (List.init (n t) Fun.id)
+
+let applied_matrix_digest t seq =
+  Option.map Matrix.digest (Hashtbl.find_opt t.applied_matrices seq)
+
+let create config env ~execute =
+  let nn = config.quorum.Quorum.n in
+  {
+    config;
+    env;
+    execute;
+    faults = Faults.honest ();
+    log = Exec_log.create ();
+    delivery = Delivery.create ();
+    po_next_seq = 1;
+    po_store = Hashtbl.create 4096;
+    recv = Matrix.empty_vector ~n:nn;
+    rows = Matrix.empty ~n:nn;
+    aru_dirty = false;
+    aru_heartbeat = 0;
+    slots = Hashtbl.create 997;
+    applied_matrices = Hashtbl.create 997;
+    view = 0;
+    mode = Normal;
+    next_seq = 1;
+    last_applied = 0;
+    cum_matrix = Matrix.empty ~n:nn;
+    cursor = Matrix.empty_vector ~n:nn;
+    last_proposed = Matrix.empty ~n:nn;
+    proposal_heartbeat = 0;
+    stalled_on = None;
+    stall_since_us = 0;
+    last_recon_us = 0;
+    max_seq_seen = 0;
+    last_apply_us = 0;
+    pending_tats = Queue.create ();
+    frontier = Matrix.empty_vector ~n:nn;
+    frontier_since_us = 0;
+    tat_violations = 0;
+    max_tat_us = 0;
+    suspected_view = -1;
+    suspects = Hashtbl.create 7;
+    vc_votes = Hashtbl.create 7;
+    view_evidence = Hashtbl.create 7;
+    view_changes = 0;
+    ckpt_votes = Hashtbl.create 17;
+    stable_exec = 0;
+    slot_reply_votes = Hashtbl.create 17;
+    on_fall_behind = (fun () -> ());
+    last_fall_behind_us = -1_000_000_000;
+    last_heard_us = Array.make nn 0;
+    running = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sending through the fault filter.                                   *)
+
+let send_to t dst msg =
+  if
+    (not t.faults.Faults.crashed)
+    && (not t.faults.Faults.silent)
+    && not (t.faults.Faults.drop_to dst)
+  then t.env.Env.send dst msg
+
+let broadcast t msg = List.iter (fun r -> send_to t r msg) (Env.others t.env)
+
+(* ------------------------------------------------------------------ *)
+(* Pre-ordering: receive bodies, advance the cumulative vector.        *)
+
+let vector_total v = Array.fold_left ( + ) 0 v
+
+let store_body t ~origin ~po_seq update =
+  let key = (origin, po_seq) in
+  if not (Hashtbl.mem t.po_store key) then begin
+    Hashtbl.replace t.po_store key update;
+    (* Advance the contiguous cursor for this origin. *)
+    let advanced = ref false in
+    while Hashtbl.mem t.po_store (origin, t.recv.(origin) + 1) do
+      t.recv.(origin) <- t.recv.(origin) + 1;
+      advanced := true
+    done;
+    if !advanced then begin
+      t.aru_dirty <- true;
+      (* Our own row of the matrix is always our own vector. *)
+      t.rows.(t.env.Env.self) <-
+        Matrix.merge_vector t.rows.(t.env.Env.self) t.recv
+    end;
+    !advanced
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Execution: apply committed slots in order; each slot's cumulative
+   matrix yields an eligibility vector; newly eligible updates execute
+   in deterministic (origin, po_seq) order.                            *)
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        slot_view = -1;
+        matrix = None;
+        digest = None;
+        prepares = Hashtbl.create 7;
+        commits = Hashtbl.create 7;
+        buffered_prepares = Hashtbl.create 7;
+        buffered_commits = Hashtbl.create 7;
+        prepared = false;
+        committed = false;
+      }
+    in
+    Hashtbl.replace t.slots seq s;
+    s
+
+let rec drain_exec t =
+  let seq = t.last_applied + 1 in
+  match Hashtbl.find_opt t.slots seq with
+  | Some s when s.committed -> (
+    match s.matrix with
+    | None -> ()
+    | Some m ->
+      let merged = Matrix.merge t.cum_matrix m in
+      let elig = Matrix.eligible merged ~threshold:(quorum_size t) in
+      (* Execute every newly eligible update, origin-major order. *)
+      let stalled = ref false in
+      let origin = ref 0 in
+      while (not !stalled) && !origin < n t do
+        let j = !origin in
+        while (not !stalled) && t.cursor.(j) < elig.(j) do
+          let po_seq = t.cursor.(j) + 1 in
+          match Hashtbl.find_opt t.po_store (j, po_seq) with
+          | None ->
+            (* Body missing: stall and reconcile. A quorum acknowledged
+               it, so at least one correct replica can supply it. *)
+            if t.stalled_on <> Some (j, po_seq) then begin
+              t.stalled_on <- Some (j, po_seq);
+              t.stall_since_us <- t.env.Env.now_us ();
+              t.last_recon_us <- t.env.Env.now_us ();
+              broadcast t (Msg.Recon_request { origin = j; po_seq })
+            end;
+            stalled := true
+          | Some update ->
+            t.cursor.(j) <- po_seq;
+            (* Exactly-once, per-client-FIFO release. *)
+            List.iter
+              (fun u ->
+                let idx = Exec_log.append t.log u in
+                t.execute idx u;
+                maybe_checkpoint t)
+              (Delivery.offer t.delivery update)
+        done;
+        incr origin
+      done;
+      if not !stalled then begin
+        t.stalled_on <- None;
+        t.cum_matrix <- merged;
+        t.last_applied <- seq;
+        t.last_apply_us <- t.env.Env.now_us ();
+        Hashtbl.replace t.applied_matrices seq m;
+        drain_exec t
+      end)
+  | Some _ | None -> ()
+
+and maybe_checkpoint t =
+  let count = Exec_log.length t.log in
+  if count mod t.config.checkpoint_interval = 0 then begin
+    let chain = Exec_log.chain_digest t.log in
+    broadcast t (Msg.Checkpoint { executed = count; chain });
+    record_checkpoint_vote t ~from:t.env.Env.self ~executed:count ~chain
+  end
+
+and record_checkpoint_vote t ~from ~executed ~chain =
+  let key = (executed, chain) in
+  let voters =
+    match Hashtbl.find_opt t.ckpt_votes key with
+    | Some v -> v
+    | None ->
+      let v = Hashtbl.create 7 in
+      Hashtbl.replace t.ckpt_votes key v;
+      v
+  in
+  Hashtbl.replace voters from ();
+  (* A checkpoint certificate far beyond our own execution means the
+     ordering history we need has been garbage-collected by our peers:
+     slot retrieval cannot catch us up, state transfer is required. *)
+  if
+    Hashtbl.length voters >= quorum_size t
+    && executed > Exec_log.length t.log + (2 * t.config.checkpoint_interval)
+    && t.env.Env.now_us () - t.last_fall_behind_us > 2_000_000
+  then begin
+    t.last_fall_behind_us <- t.env.Env.now_us ();
+    t.on_fall_behind ()
+  end;
+  if Hashtbl.length voters >= quorum_size t && executed > t.stable_exec then begin
+    t.stable_exec <- executed;
+    (* Garbage-collect: drop applied slots except a recent tail, and
+       pre-order bodies already executed everywhere. *)
+    let horizon = t.last_applied - 64 in
+    let stale =
+      Hashtbl.fold
+        (fun s _ acc -> if s < horizon then s :: acc else acc)
+        t.applied_matrices []
+    in
+    List.iter (Hashtbl.remove t.applied_matrices) stale;
+    List.iter (Hashtbl.remove t.slots) stale;
+    let dead_bodies =
+      Hashtbl.fold
+        (fun (o, ps) _ acc ->
+          if ps <= t.cursor.(o) - 16 then (o, ps) :: acc else acc)
+        t.po_store []
+    in
+    List.iter (Hashtbl.remove t.po_store) dead_bodies
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ordering phases (pre-prepare / prepare / commit).                   *)
+
+let rec maybe_prepared t seq =
+  let s = slot t seq in
+  if (not s.prepared) && Option.is_some s.matrix
+     && Hashtbl.length s.prepares >= quorum_size t
+  then begin
+    s.prepared <- true;
+    match s.digest with
+    | None -> ()
+    | Some digest ->
+      broadcast t (Msg.Commit { view = s.slot_view; seq; digest });
+      Hashtbl.replace s.commits t.env.Env.self ();
+      maybe_committed t seq
+  end
+
+and maybe_committed t seq =
+  let s = slot t seq in
+  if (not s.committed) && s.prepared && Hashtbl.length s.commits >= quorum_size t
+  then begin
+    s.committed <- true;
+    drain_exec t
+  end
+
+let accept_preprepare t ~view ~seq ~matrix =
+  if seq > t.last_applied then begin
+    let s = slot t seq in
+    let fresh = s.matrix = None || s.slot_view < view in
+    if fresh then begin
+      s.slot_view <- view;
+      s.matrix <- Some matrix;
+      let digest = Matrix.digest matrix in
+      s.digest <- Some digest;
+      Hashtbl.reset s.prepares;
+      Hashtbl.reset s.commits;
+      s.prepared <- false;
+      Hashtbl.replace s.prepares (leader_of t view) ();
+      Hashtbl.replace s.prepares t.env.Env.self ();
+      broadcast t (Msg.Prepare { view; seq; digest });
+      Hashtbl.iter
+        (fun from (v, d) ->
+          if v = view && Cryptosim.Digest.equal d digest then
+            Hashtbl.replace s.prepares from ())
+        s.buffered_prepares;
+      Hashtbl.reset s.buffered_prepares;
+      Hashtbl.iter
+        (fun from (v, d) ->
+          if v = view && Cryptosim.Digest.equal d digest then
+            Hashtbl.replace s.commits from ())
+        s.buffered_commits;
+      Hashtbl.reset s.buffered_commits;
+      maybe_prepared t seq
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* TAT measurement.                                                    *)
+
+let record_tat_sample t sample_us =
+  if sample_us > t.max_tat_us then t.max_tat_us <- sample_us;
+  if sample_us > t.config.tat_threshold_us then
+    t.tat_violations <- t.tat_violations + 1
+  else t.tat_violations <- 0
+
+let process_tat_on_preprepare t matrix =
+  let my_row_total = vector_total matrix.(t.env.Env.self) in
+  let now = t.env.Env.now_us () in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.pending_tats with
+    | Some probe when probe.target_total <= my_row_total ->
+      ignore (Queue.pop t.pending_tats : tat_probe);
+      record_tat_sample t (now - probe.sent_us)
+    | Some _ | None -> continue := false
+  done
+
+let rec maybe_suspect t =
+  if
+    t.tat_violations >= t.config.tat_violations_to_suspect
+    && t.suspected_view < t.view
+    && not (is_leader t)
+  then begin
+    t.suspected_view <- t.view;
+    t.tat_violations <- 0;
+    t.env.Env.trace (Printf.sprintf "suspect leader of v%d" t.view);
+    broadcast t (Msg.Suspect { view = t.view });
+    record_suspect t ~from:t.env.Env.self ~view:t.view
+  end
+
+and record_suspect t ~from ~view =
+  if view = t.view then begin
+    let voters =
+      match Hashtbl.find_opt t.suspects view with
+      | Some v -> v
+      | None ->
+        let v = Hashtbl.create 7 in
+        Hashtbl.replace t.suspects view v;
+        v
+    in
+    Hashtbl.replace voters from ();
+    (* Enough suspicions that at least one comes from a correct,
+       non-recovering replica: rotate the leader. *)
+    if Hashtbl.length voters >= Quorum.suspect_threshold t.config.quorum then
+      start_view_change t (view + 1)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* View changes (same shape as the PBFT baseline, but entries carry
+   matrices).                                                          *)
+
+and prepared_entries t =
+  (* Report EVERY retained prepared slot, including ones we already
+     applied: a slot committed at a single replica is prepared at a
+     quorum, and the new leader must re-propose it with the same
+     content or risk divergence (replicas that missed the commit would
+     otherwise fill the slot with a no-op). *)
+  Hashtbl.fold
+    (fun seq s acc ->
+      if s.prepared then
+        match s.matrix with
+        | Some m ->
+          { Msg.entry_seq = seq; entry_view = s.slot_view; entry_matrix = m }
+          :: acc
+        | None -> acc
+      else acc)
+    t.slots []
+
+and start_view_change t target =
+  let should =
+    target > t.view
+    &&
+    match t.mode with
+    | View_changing { target = cur; _ } -> target > cur
+    | Normal -> true
+  in
+  if should then begin
+    t.mode <- View_changing { target; since_us = t.env.Env.now_us () };
+    t.env.Env.trace (Printf.sprintf "view-change -> v%d" target);
+    let prepared = prepared_entries t in
+    broadcast t
+      (Msg.Viewchange
+         { new_view = target; last_committed = t.last_applied; prepared });
+    record_vc_vote t ~from:t.env.Env.self ~target ~last_committed:t.last_applied
+      ~prepared
+  end
+
+and record_vc_vote t ~from ~target ~last_committed ~prepared =
+  if target > t.view then begin
+    let votes =
+      match Hashtbl.find_opt t.vc_votes target with
+      | Some v -> v
+      | None ->
+        let v = Hashtbl.create 7 in
+        Hashtbl.replace t.vc_votes target v;
+        v
+    in
+    Hashtbl.replace votes from (last_committed, prepared);
+    if Hashtbl.length votes >= Quorum.reply_threshold t.config.quorum then
+      start_view_change t target;
+    if
+      Hashtbl.length votes >= quorum_size t
+      && leader_of t target = t.env.Env.self
+    then install_new_view t target votes
+  end
+
+and install_new_view t target votes =
+  let merged : (Types.seqno, Msg.prepared_entry) Hashtbl.t = Hashtbl.create 97 in
+  let max_seq = ref t.last_applied in
+  (* Re-proposals must start from the MINIMUM committed sequence among
+     the view-change quorum: every slot at or below it was applied by
+     all quorum members (committed sequences are contiguous), so
+     lagging replicas can retrieve those slots from f+1 appliers, while
+     everything above is re-ordered in the new view. *)
+  let min_committed = ref max_int in
+  let max_committed = ref 0 in
+  Hashtbl.iter
+    (fun _from (last_committed, prepared) ->
+      if last_committed > !max_seq then max_seq := last_committed;
+      if last_committed > !max_committed then max_committed := last_committed;
+      if last_committed < !min_committed then min_committed := last_committed;
+      List.iter
+        (fun (e : Msg.prepared_entry) ->
+          if e.Msg.entry_seq > !max_seq then max_seq := e.Msg.entry_seq;
+          match Hashtbl.find_opt merged e.Msg.entry_seq with
+          | Some prev when prev.Msg.entry_view >= e.Msg.entry_view -> ()
+          | Some _ | None -> Hashtbl.replace merged e.Msg.entry_seq e)
+        prepared)
+    votes;
+  (* No-op fillers are only safe for slots every reporter still retains
+     (anything older may have been committed and garbage-collected by
+     the appliers, and a filler would diverge from it). Cap the replay
+     window accordingly; replicas further behind catch up by slot
+     retrieval or state transfer instead. *)
+  let retention_margin = 32 in
+  let start =
+    if !min_committed = max_int then t.last_applied
+    else max !min_committed (!max_committed - retention_margin)
+  in
+  let nn = n t in
+  let proposals =
+    List.init
+      (max 0 (!max_seq - start))
+      (fun i ->
+        let seq = start + 1 + i in
+        match Hashtbl.find_opt merged seq with
+        | Some e -> (seq, e.Msg.entry_matrix)
+        | None -> (seq, Matrix.empty ~n:nn))
+  in
+  t.view <- target;
+  t.mode <- Normal;
+  t.view_changes <- t.view_changes + 1;
+  t.next_seq <- !max_seq + 1;
+  t.last_proposed <- Matrix.empty ~n:nn;
+  t.tat_violations <- 0;
+  Queue.clear t.pending_tats;
+  t.frontier <- Array.copy t.recv;
+  t.frontier_since_us <- t.env.Env.now_us ();
+  broadcast t (Msg.Newview { view = target; proposals });
+  List.iter
+    (fun (seq, matrix) -> accept_preprepare t ~view:target ~seq ~matrix)
+    proposals
+
+(* Jump to a view a quorum has demonstrably installed (used by
+   replicas that were partitioned away during the view change). *)
+let note_view_evidence t ~from ~view =
+  if view > t.view then begin
+    let voters =
+      match Hashtbl.find_opt t.view_evidence view with
+      | Some v -> v
+      | None ->
+        let v = Hashtbl.create 7 in
+        Hashtbl.replace t.view_evidence view v;
+        v
+    in
+    Hashtbl.replace voters from ();
+    if Hashtbl.length voters >= Quorum.reply_threshold t.config.quorum then begin
+      t.view <- view;
+      t.mode <- Normal;
+      t.view_changes <- t.view_changes + 1;
+      t.tat_violations <- 0;
+      Queue.clear t.pending_tats;
+      t.frontier <- Array.copy t.recv;
+      t.frontier_since_us <- t.env.Env.now_us ();
+      t.env.Env.trace (Printf.sprintf "adopted evidenced view v%d" view)
+    end
+  end
+
+let adopt_new_view t ~view ~proposals =
+  if view > t.view then begin
+    t.view <- view;
+    t.mode <- Normal;
+    t.view_changes <- t.view_changes + 1;
+    t.tat_violations <- 0;
+    Queue.clear t.pending_tats;
+    t.frontier <- Array.copy t.recv;
+    t.frontier_since_us <- t.env.Env.now_us ();
+    List.iter
+      (fun (seq, matrix) -> accept_preprepare t ~view ~seq ~matrix)
+      proposals
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Leader proposals.                                                   *)
+
+let current_summary t =
+  (* Fold our own live vector into our row before summarising. *)
+  let m = Matrix.copy t.rows in
+  m.(t.env.Env.self) <- Matrix.merge_vector m.(t.env.Env.self) t.recv;
+  m
+
+let proposal_tick t =
+  if (not t.faults.Faults.crashed) && is_leader t && t.mode = Normal then begin
+    let summary = current_summary t in
+    t.proposal_heartbeat <- t.proposal_heartbeat + 1;
+    let heartbeat_due = t.proposal_heartbeat mod 50 = 0 in
+    if (not (Matrix.equal summary t.last_proposed)) || heartbeat_due then begin
+      t.last_proposed <- summary;
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      let proposal_view = t.view in
+      let send () =
+        if t.view = proposal_view && is_leader t then begin
+          broadcast t (Msg.Preprepare { view = proposal_view; seq; matrix = summary });
+          accept_preprepare t ~view:proposal_view ~seq ~matrix:summary
+        end
+      in
+      let delay = t.faults.Faults.proposal_delay_us in
+      if delay > 0 then
+        ignore (t.env.Env.set_timer delay send : Sim.Engine.timer)
+      else send ()
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* ARU exchange.                                                       *)
+
+let aru_tick t =
+  if not t.faults.Faults.crashed then begin
+    t.aru_heartbeat <- t.aru_heartbeat + 1;
+    let heartbeat_due = t.aru_heartbeat mod 20 = 0 in
+    if t.aru_dirty || heartbeat_due then begin
+      let was_dirty = t.aru_dirty in
+      t.aru_dirty <- false;
+      broadcast t (Msg.Po_aru { vector = Array.copy t.recv });
+      (* Track the leader's turnaround for this report: we expect a
+         pre-prepare whose row for us covers this much progress. *)
+      if was_dirty && not (is_leader t) then
+        Queue.push
+          { target_total = vector_total t.recv; sent_us = t.env.Env.now_us () }
+          t.pending_tats
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog: TAT timeouts, view-change escalation, reconciliation
+   retries, ordered-slot catch-up.                                     *)
+
+let watchdog t =
+  if not t.faults.Faults.crashed then begin
+    let now = t.env.Env.now_us () in
+    (* TAT probes that never completed count as violations. *)
+    (match Queue.peek_opt t.pending_tats with
+    | Some probe when now - probe.sent_us > t.config.tat_threshold_us ->
+      ignore (Queue.pop t.pending_tats : tat_probe);
+      record_tat_sample t (now - probe.sent_us)
+    | Some _ | None -> ());
+    (* Frontier lag: the pre-order frontier must become ordered within
+       the TAT bound; otherwise the leader is withholding progress
+       (covers silent leaders that never emit pre-prepares at all). *)
+    if Matrix.vector_dominates t.cursor t.frontier then begin
+      t.frontier <- Array.copy t.recv;
+      t.frontier_since_us <- now
+    end
+    else if now - t.frontier_since_us > t.config.tat_threshold_us then begin
+      t.tat_violations <- t.tat_violations + 1;
+      if now - t.frontier_since_us > t.max_tat_us then
+        t.max_tat_us <- now - t.frontier_since_us;
+      t.frontier <- Array.copy t.recv;
+      t.frontier_since_us <- now
+    end;
+    maybe_suspect t;
+    (* View-change escalation. *)
+    (match t.mode with
+    | View_changing { target; since_us } ->
+      if now - since_us > t.config.viewchange_timeout_us then
+        start_view_change t (target + 1)
+    | Normal -> ());
+    (* Reconciliation retry for a stalled execution. *)
+    (match t.stalled_on with
+    | Some (origin, po_seq) when now - t.last_recon_us > t.config.recon_retry_us
+      ->
+      t.last_recon_us <- now;
+      broadcast t (Msg.Recon_request { origin; po_seq })
+    | Some _ | None -> ());
+    (* A long stall with peers demonstrably ahead means slot retrieval
+       is not converging (the missing slots may have too few appliers);
+       escalate to state transfer. *)
+    if
+      t.max_seq_seen > t.last_applied
+      && now - max t.last_apply_us t.last_fall_behind_us
+         > 20 * t.config.recon_retry_us
+    then begin
+      t.last_fall_behind_us <- now;
+      t.on_fall_behind ()
+    end;
+    (* Ordered-slot catch-up: peers referenced sequences beyond what we
+       have applied, and we are making no local progress — we missed
+       ordering traffic (e.g. a Byzantine leader excludes us). Fetch the
+       hole from peers; adoption needs f+1 matching replies. *)
+    let next = t.last_applied + 1 in
+    let next_uncommitted =
+      match Hashtbl.find_opt t.slots next with
+      | Some s -> not s.committed
+      | None -> true
+    in
+    if
+      next_uncommitted
+      && t.max_seq_seen > t.last_applied
+      && now - max t.last_apply_us t.last_recon_us > t.config.recon_retry_us
+    then begin
+      t.last_recon_us <- now;
+      broadcast t (Msg.Slot_request { seq = next })
+    end
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    let rec arm interval f =
+      ignore
+        (t.env.Env.set_timer interval (fun () ->
+             f t;
+             arm interval f)
+          : Sim.Engine.timer)
+    in
+    arm t.config.aru_interval_us aru_tick;
+    arm t.config.proposal_interval_us proposal_tick;
+    arm t.config.watchdog_interval_us watchdog
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                       *)
+
+let submit t update =
+  if not t.faults.Faults.crashed then begin
+    let key = Update.key update in
+    if not (Delivery.seen t.delivery key) then begin
+      let po_seq = t.po_next_seq in
+      t.po_next_seq <- po_seq + 1;
+      let origin = t.env.Env.self in
+      ignore (store_body t ~origin ~po_seq update : bool);
+      broadcast t (Msg.Po_request { origin; po_seq; update })
+    end
+  end
+
+let handle t ~from msg =
+  if not t.faults.Faults.crashed then begin
+    if from >= 0 && from < n t then
+      t.last_heard_us.(from) <- t.env.Env.now_us ();
+    match msg with
+    | Msg.Po_request { origin; po_seq; update } ->
+      if origin = from then begin
+        ignore (store_body t ~origin ~po_seq update : bool);
+        if t.stalled_on = Some (origin, po_seq) then drain_exec t
+      end
+    | Msg.Po_aru { vector } ->
+      if Array.length vector = n t then
+        t.rows.(from) <- Matrix.merge_vector t.rows.(from) vector
+    | Msg.Preprepare { view; seq; matrix } ->
+      if seq > t.max_seq_seen then t.max_seq_seen <- seq;
+      note_view_evidence t ~from ~view;
+      (* Safety-critical: once this replica has voted for a view change
+         its reported prepared set is frozen — participating further in
+         the old view's ordering would let slots commit without
+         appearing in any view-change report. *)
+      if t.mode = Normal && view = t.view && from = leader_of t view then begin
+        process_tat_on_preprepare t matrix;
+        accept_preprepare t ~view ~seq ~matrix
+      end
+    | Msg.Prepare { view; seq; digest } ->
+      if seq > t.max_seq_seen then t.max_seq_seen <- seq;
+      note_view_evidence t ~from ~view;
+      if t.mode = Normal && seq > t.last_applied then begin
+        let s = slot t seq in
+        match s.digest with
+        | Some d when view = s.slot_view ->
+          if Cryptosim.Digest.equal d digest then begin
+            Hashtbl.replace s.prepares from ();
+            maybe_prepared t seq
+          end
+        | Some _ | None -> Hashtbl.replace s.buffered_prepares from (view, digest)
+      end
+    | Msg.Commit { view; seq; digest } ->
+      if seq > t.max_seq_seen then t.max_seq_seen <- seq;
+      note_view_evidence t ~from ~view;
+      if t.mode = Normal && seq > t.last_applied then begin
+        let s = slot t seq in
+        match s.digest with
+        | Some d when view = s.slot_view && Cryptosim.Digest.equal d digest ->
+          Hashtbl.replace s.commits from ();
+          maybe_committed t seq
+        | Some _ | None -> Hashtbl.replace s.buffered_commits from (view, digest)
+      end
+    | Msg.Suspect { view } -> record_suspect t ~from ~view
+    | Msg.Viewchange { new_view; last_committed; prepared } ->
+      record_vc_vote t ~from ~target:new_view ~last_committed ~prepared
+    | Msg.Newview { view; proposals } ->
+      if from = leader_of t view then adopt_new_view t ~view ~proposals
+    | Msg.Recon_request { origin; po_seq } -> (
+      match Hashtbl.find_opt t.po_store (origin, po_seq) with
+      | Some update -> send_to t from (Msg.Recon_reply { origin; po_seq; update })
+      | None -> ())
+    | Msg.Recon_reply { origin; po_seq; update } ->
+      ignore (store_body t ~origin ~po_seq update : bool);
+      if t.stalled_on = Some (origin, po_seq) then begin
+        t.stalled_on <- None;
+        drain_exec t
+      end
+    | Msg.Slot_request { seq } ->
+      (* Serve a batch of consecutive applied slots to speed catch-up. *)
+      let continue = ref true in
+      let i = ref 0 in
+      while !continue && !i < 8 do
+        (match Hashtbl.find_opt t.applied_matrices (seq + !i) with
+        | Some matrix ->
+          send_to t from (Msg.Slot_reply { seq = seq + !i; matrix })
+        | None -> continue := false);
+        incr i
+      done
+    | Msg.Slot_reply { seq; matrix } ->
+      if seq > t.last_applied then begin
+        let digest = Matrix.digest matrix in
+        let voters, _ =
+          match Hashtbl.find_opt t.slot_reply_votes (seq, digest) with
+          | Some v -> v
+          | None ->
+            let v = (Hashtbl.create 7, matrix) in
+            Hashtbl.replace t.slot_reply_votes (seq, digest) v;
+            v
+        in
+        Hashtbl.replace voters from ();
+        if Hashtbl.length voters >= Quorum.reply_threshold t.config.quorum
+        then begin
+          (* f+1 matching replies: at least one correct replica applied
+             this matrix at this slot. Adopt it. *)
+          let s = slot t seq in
+          if not s.committed then begin
+            s.matrix <- Some matrix;
+            s.digest <- Some digest;
+            s.committed <- true;
+            s.prepared <- true;
+            drain_exec t;
+            (* Chain: if still behind, request the next hole without
+               waiting for the watchdog (rate-limited lightly). *)
+            let now = t.env.Env.now_us () in
+            if
+              t.max_seq_seen > t.last_applied
+              && now - t.last_recon_us > 2_000
+            then begin
+              t.last_recon_us <- now;
+              broadcast t (Msg.Slot_request { seq = t.last_applied + 1 })
+            end
+          end
+        end
+      end
+    | Msg.Checkpoint { executed; chain } ->
+      record_checkpoint_vote t ~from ~executed ~chain
+  end
+
+(* ------------------------------------------------------------------ *)
+(* State transfer.                                                     *)
+
+let snapshot t =
+  {
+    snap_exec_count = Exec_log.length t.log;
+    snap_chain = Exec_log.chain_digest t.log;
+    snap_cursor = Array.copy t.cursor;
+    snap_last_applied = t.last_applied;
+    snap_cum_matrix = Matrix.copy t.cum_matrix;
+    snap_view = t.view;
+    snap_delivery = Delivery.state t.delivery;
+  }
+
+let snapshot_digest s =
+  let cursor_str =
+    String.concat "," (Array.to_list (Array.map string_of_int s.snap_cursor))
+  in
+  Cryptosim.Digest.combine
+    (Cryptosim.Digest.of_string
+       (Printf.sprintf "snap:%d:%d:%d:%s" s.snap_exec_count s.snap_last_applied
+          s.snap_view cursor_str))
+    (Cryptosim.Digest.combine
+       (Cryptosim.Digest.combine s.snap_chain (Matrix.digest s.snap_cum_matrix))
+       (Delivery.digest_of_state s.snap_delivery))
+
+let install_snapshot t s =
+  Exec_log.install_snapshot t.log ~updates:s.snap_exec_count
+    ~chain:s.snap_chain;
+  t.cursor <- Array.copy s.snap_cursor;
+  Delivery.install t.delivery s.snap_delivery;
+  t.last_applied <- s.snap_last_applied;
+  t.cum_matrix <- Matrix.copy s.snap_cum_matrix;
+  t.view <- max t.view s.snap_view;
+  t.mode <- Normal;
+  (* Transient protocol state is rebuilt from live traffic. *)
+  Hashtbl.reset t.slots;
+  Hashtbl.reset t.applied_matrices;
+  Hashtbl.reset t.po_store;
+  t.recv <- Array.copy s.snap_cursor;
+  t.rows <- Matrix.empty ~n:(n t);
+  t.rows.(t.env.Env.self) <- Array.copy t.recv;
+  t.aru_dirty <- true;
+  t.stalled_on <- None;
+  Queue.clear t.pending_tats;
+  t.tat_violations <- 0;
+  t.suspected_view <- t.view - 1;
+  Hashtbl.reset t.suspects;
+  Hashtbl.reset t.vc_votes;
+  Hashtbl.reset t.view_evidence;
+  Hashtbl.reset t.ckpt_votes;
+  Hashtbl.reset t.slot_reply_votes;
+  t.stable_exec <- s.snap_exec_count;
+  t.last_proposed <- Matrix.empty ~n:(n t);
+  t.next_seq <- s.snap_last_applied + 1

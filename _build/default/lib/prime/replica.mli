@@ -1,0 +1,128 @@
+(** Prime replica state machine — bounded-delay Byzantine replication.
+
+    Prime is the replication engine of Spire. Its distinguishing
+    guarantee is {e performance under attack}: a malicious leader cannot
+    silently slow the system, because
+
+    + client updates are {e pre-ordered} by all replicas independently of
+      the leader (PO-Request dissemination + cumulative PO-ARU vector
+      exchange, {!Matrix});
+    + the leader's only job is to periodically propose a {e summary
+      matrix} of everyone's vectors; whether it does so promptly is
+      measurable by every replica (the {e turnaround time}, TAT);
+    + a leader whose measured TAT exceeds the acceptable bound —
+      computed from measured network round-trips — is {e suspected}, and
+      [f + k + 1] suspicions trigger a deterministic leader rotation.
+
+    Hence a faulty leader can delay updates by at most the TAT bound
+    before losing the role, whereas the PBFT baseline ({!Pbft.Replica})
+    tolerates delays up to its full request timeout forever.
+
+    Simplifications (documented in DESIGN.md): PO-Acks are folded into
+    the cumulative PO-ARU exchange; signatures/certificates are carried
+    by the authenticated transport; reconciliation fetches missing
+    bodies by broadcast request. The timing-relevant message flow
+    matches the published protocol. *)
+
+type config = {
+  quorum : Bft.Quorum.t;
+  aru_interval_us : int;
+      (** cadence of cumulative vector (PO-ARU) exchange *)
+  proposal_interval_us : int;  (** leader's summary-matrix cadence *)
+  tat_threshold_us : int;
+      (** acceptable turnaround bound; deployments derive it from the
+          network diameter: ~2 x max correct RTT + proposal interval *)
+  tat_violations_to_suspect : int;
+  viewchange_timeout_us : int;
+  checkpoint_interval : int;  (** executions between checkpoints *)
+  watchdog_interval_us : int;
+  recon_retry_us : int;  (** retry cadence for missing bodies/slots *)
+}
+
+(** [default_config quorum] uses LAN-scale defaults: 5 ms ARU cadence,
+    10 ms proposals, 150 ms TAT bound, 3 violations to suspect. *)
+val default_config : Bft.Quorum.t -> config
+
+type t
+
+val create :
+  config ->
+  Msg.t Bft.Env.t ->
+  execute:(int -> Bft.Update.t -> unit) ->
+  t
+(** [execute idx update]: [idx] is the 1-based global execution index. *)
+
+(** [start t] arms the periodic timers (ARU exchange, proposals,
+    watchdog). Call once. *)
+val start : t -> unit
+
+(** [submit t update] makes this replica the originator of [update]:
+    it assigns a local pre-order sequence and disseminates a
+    PO-Request. Duplicate keys already executed or pre-ordered by this
+    origin are ignored. *)
+val submit : t -> Bft.Update.t -> unit
+
+val handle : t -> from:Bft.Types.replica -> Msg.t -> unit
+val faults : t -> Bft.Faults.t
+val view : t -> Bft.Types.view
+val is_leader : t -> bool
+val exec_log : t -> Bft.Exec_log.t
+
+(** [executed_count t] is the number of updates executed. *)
+val executed_count : t -> int
+
+(** [last_applied t] is the highest ordered slot applied. *)
+val last_applied : t -> Bft.Types.seqno
+
+(** [recv_vector t] is a copy of the replica's cumulative pre-order
+    vector. *)
+val recv_vector : t -> Matrix.vector
+
+val view_changes : t -> int
+
+(** [max_tat_us t] is the largest turnaround time observed so far (0 if
+    none completed). *)
+val max_tat_us : t -> int
+
+(** [suspected t] says whether this replica currently suspects the
+    leader of its view. *)
+val suspected : t -> bool
+
+(** {1 State transfer (used by proactive recovery)} *)
+
+type snapshot = {
+  snap_exec_count : int;
+  snap_chain : Cryptosim.Digest.t;
+  snap_cursor : Matrix.vector;  (** per-origin executed cursor *)
+  snap_last_applied : Bft.Types.seqno;
+  snap_cum_matrix : Matrix.t;
+  snap_view : Bft.Types.view;
+  snap_delivery : Bft.Delivery.state;
+      (** exactly-once delivery filter state (per-client cursors) *)
+}
+
+(** [snapshot t] captures the durable application-visible state. *)
+val snapshot : t -> snapshot
+
+(** [snapshot_digest s] identifies a snapshot for f+1 cross-validation. *)
+val snapshot_digest : snapshot -> Cryptosim.Digest.t
+
+(** [install_snapshot t s] adopts [s], discarding transient protocol
+    state. The replica's own pre-order sequence counter survives (it is
+    identity, not state — see DESIGN.md on recovery). *)
+val install_snapshot : t -> snapshot -> unit
+
+(** [unresponsive t ~threshold_us] lists peers from which nothing has
+    been received for at least [threshold_us] — the local evidence fed
+    into accusation-based reactive recovery. *)
+val unresponsive : t -> threshold_us:int -> Bft.Types.replica list
+
+(** [applied_matrix_digest t seq] — digest of the matrix applied at
+    ordered slot [seq], if still retained (introspection/debugging). *)
+val applied_matrix_digest : t -> Bft.Types.seqno -> Cryptosim.Digest.t option
+
+(** [set_on_fall_behind t f] — [f] fires (rate-limited) when a quorum
+    checkpoint certificate proves this replica is too far behind for
+    slot retrieval to catch it up; the deployment should respond with a
+    state transfer. *)
+val set_on_fall_behind : t -> (unit -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/recovery/diversity.ml: Array Fun Hashtbl Option Sim

@@ -1,0 +1,1 @@
+lib/recovery/diversity.mli: Bft Sim

@@ -1,0 +1,1 @@
+lib/recovery/scheduler.ml: Bft Hashtbl List Sim

@@ -1,0 +1,1 @@
+lib/recovery/scheduler.mli: Bft Sim

@@ -1,0 +1,1 @@
+lib/recovery/state_transfer.ml: Bft Cryptosim Hashtbl List

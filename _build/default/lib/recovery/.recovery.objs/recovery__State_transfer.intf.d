@@ -1,0 +1,1 @@
+lib/recovery/state_transfer.mli: Bft Cryptosim

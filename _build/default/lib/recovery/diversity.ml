@@ -1,0 +1,81 @@
+type variant = int
+
+type t = {
+  variants : int;
+  rng : Sim.Rng.t;
+  current : variant array;
+  incarnations : int array;
+}
+
+let create ~variants ~n ~rng =
+  if variants < 1 then invalid_arg "Diversity.create: variants < 1";
+  if n < 1 then invalid_arg "Diversity.create: n < 1";
+  (* When the variant space allows, replicas start on pairwise-distinct
+     variants (operators deploy distinct builds; MultiCompiler output
+     is effectively unique per build). With a smaller space, sharing is
+     unavoidable and drawn uniformly. *)
+  let current =
+    if variants >= n then begin
+      let pool = Array.init variants Fun.id in
+      Sim.Rng.shuffle rng pool;
+      Array.sub pool 0 n
+    end
+    else Array.init n (fun _ -> Sim.Rng.int rng variants)
+  in
+  { variants; rng; current; incarnations = Array.make n 0 }
+
+let replica_count t = Array.length t.current
+let variant_space t = t.variants
+
+let check t r =
+  if r < 0 || r >= replica_count t then
+    invalid_arg "Diversity: replica out of range"
+
+let variant_of t r =
+  check t r;
+  t.current.(r)
+
+let rejuvenate t r =
+  check t r;
+  let n = Array.length t.current in
+  let in_use v = Array.exists (fun x -> x = v) t.current in
+  let fresh =
+    if t.variants = 1 then 0
+    else if t.variants > n then begin
+      (* Prefer a variant no replica currently runs (a fresh build). *)
+      let v = ref (Sim.Rng.int t.rng t.variants) in
+      while in_use !v do
+        v := Sim.Rng.int t.rng t.variants
+      done;
+      !v
+    end
+    else begin
+      let v = ref (Sim.Rng.int t.rng t.variants) in
+      while !v = t.current.(r) do
+        v := Sim.Rng.int t.rng t.variants
+      done;
+      !v
+    end
+  in
+  t.current.(r) <- fresh;
+  t.incarnations.(r) <- t.incarnations.(r) + 1;
+  fresh
+
+let incarnation t r =
+  check t r;
+  t.incarnations.(r)
+
+let replicas_running t variant =
+  let result = ref [] in
+  for r = replica_count t - 1 downto 0 do
+    if t.current.(r) = variant then result := r :: !result
+  done;
+  !result
+
+let max_sharing t =
+  let counts = Hashtbl.create 17 in
+  Array.iter
+    (fun v ->
+      Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    t.current;
+  Hashtbl.fold (fun _ c acc -> max c acc) counts 0

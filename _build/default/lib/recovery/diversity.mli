@@ -1,0 +1,42 @@
+(** Software diversity model (the MultiCompiler substitute).
+
+    Each replica runs a {e variant} — a distinct compilation of the
+    same software. An attacker's exploit targets one variant: it
+    compromises only replicas currently running that variant. Proactive
+    recovery re-randomizes: a rejuvenated replica comes back with a
+    fresh variant, forcing the attacker to start over.
+
+    The variant space is large in practice (MultiCompiler randomizes
+    layout per build); we model it as [variants] distinct ids with
+    fresh draws on rejuvenation. *)
+
+type variant = int
+type t
+
+(** [create ~variants ~n ~rng] assigns initial variants to [n]
+    replicas: pairwise distinct when [variants >= n] (operators deploy
+    distinct builds), uniform draws otherwise.
+    @raise Invalid_argument if [variants < 1] or [n < 1]. *)
+val create : variants:int -> n:int -> rng:Sim.Rng.t -> t
+
+val replica_count : t -> int
+val variant_space : t -> int
+
+(** [variant_of t replica] is the replica's current variant. *)
+val variant_of : t -> Bft.Types.replica -> variant
+
+(** [rejuvenate t replica] draws a fresh variant for [replica]: one no
+    replica currently runs when [variants > n], else merely different
+    from its current one when possible. Increments the replica's
+    incarnation. *)
+val rejuvenate : t -> Bft.Types.replica -> variant
+
+(** [incarnation t replica] counts rejuvenations of [replica]. *)
+val incarnation : t -> Bft.Types.replica -> int
+
+(** [replicas_running t variant] lists replicas currently on [variant]. *)
+val replicas_running : t -> variant -> Bft.Types.replica list
+
+(** [max_sharing t] is the size of the largest same-variant group — the
+    blast radius of a single exploit right now. *)
+val max_sharing : t -> int

@@ -1,0 +1,37 @@
+type 'snapshot source = {
+  peers : Bft.Types.replica list;
+  fetch : Bft.Types.replica -> 'snapshot option;
+  digest_of : 'snapshot -> Cryptosim.Digest.t;
+  newer : 'snapshot -> 'snapshot -> bool;
+}
+
+type 'snapshot outcome = Installed of 'snapshot | No_quorum of int
+
+let select ~f source =
+  if f < 0 then invalid_arg "State_transfer.select: negative f";
+  (* Group fetched snapshots by digest and count vouchers per group. *)
+  let groups : (int64, 'a * int) Hashtbl.t = Hashtbl.create 17 in
+  List.iter
+    (fun peer ->
+      match source.fetch peer with
+      | None -> ()
+      | Some snap ->
+        let key = Cryptosim.Digest.to_int64 (source.digest_of snap) in
+        let count =
+          match Hashtbl.find_opt groups key with Some (_, c) -> c | None -> 0
+        in
+        Hashtbl.replace groups key (snap, count + 1))
+    source.peers;
+  let all = Hashtbl.fold (fun _ entry acc -> entry :: acc) groups [] in
+  let qualifying =
+    List.filter_map (fun (snap, count) -> if count > f then Some snap else None) all
+  in
+  match qualifying with
+  | [] ->
+    No_quorum (List.fold_left (fun acc (_, count) -> max acc count) 0 all)
+  | first :: rest ->
+    (* Among digests vouched by f+1 peers, adopt the newest. *)
+    Installed
+      (List.fold_left
+         (fun acc snap -> if source.newer snap acc then snap else acc)
+         first rest)

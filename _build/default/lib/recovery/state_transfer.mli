@@ -1,0 +1,29 @@
+(** State transfer for rejuvenated replicas.
+
+    A replica returning from a clean reboot must adopt the current
+    application state without trusting any single peer: it fetches
+    snapshots from peers and installs one only when [f + 1] peers vouch
+    for the same snapshot digest — at least one of them is correct.
+
+    The module is protocol-agnostic: it works through a {!source}
+    record the deployment wires to the live replicas (including
+    whatever transfer delay the network imposes — fetches are
+    callback-based). *)
+
+type 'snapshot source = {
+  peers : Bft.Types.replica list;  (** candidate donors, self excluded *)
+  fetch : Bft.Types.replica -> 'snapshot option;
+      (** read a peer's current snapshot; [None] if unreachable *)
+  digest_of : 'snapshot -> Cryptosim.Digest.t;
+  newer : 'snapshot -> 'snapshot -> bool;
+      (** [newer a b] when [a] supersedes [b] (more executions) *)
+}
+
+type 'snapshot outcome =
+  | Installed of 'snapshot  (** f+1 peers agreed on this snapshot *)
+  | No_quorum of int  (** best agreement count achieved *)
+
+(** [select ~f source] fetches from every peer and returns the newest
+    snapshot vouched for by at least [f + 1] peers. Byzantine peers can
+    lie about their snapshot; they cannot forge agreement. *)
+val select : f:int -> 'snapshot source -> 'snapshot outcome

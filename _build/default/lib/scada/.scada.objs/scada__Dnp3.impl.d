@@ -1,0 +1,1 @@
+lib/scada/dnp3.ml: Buffer Bytes Char Format Int32 List Printf Result String

@@ -1,0 +1,1 @@
+lib/scada/dnp3.mli: Format

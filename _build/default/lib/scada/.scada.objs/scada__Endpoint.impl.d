@@ -1,0 +1,1 @@
+lib/scada/endpoint.ml: Bft Cryptosim Hashtbl Op Reply Sim

@@ -1,0 +1,1 @@
+lib/scada/endpoint.mli: Bft Cryptosim Op Reply Sim

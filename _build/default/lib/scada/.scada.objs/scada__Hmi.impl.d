@@ -1,0 +1,1 @@
+lib/scada/hmi.ml: Endpoint Op Reply Rtu Sim

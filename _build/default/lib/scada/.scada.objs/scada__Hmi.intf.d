@@ -1,0 +1,1 @@
+lib/scada/hmi.mli: Bft Cryptosim Endpoint Reply Sim

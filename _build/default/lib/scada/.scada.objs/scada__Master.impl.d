@@ -1,0 +1,1 @@
+lib/scada/master.ml: Bft Cryptosim Dnp3 List Op Printf Rtu

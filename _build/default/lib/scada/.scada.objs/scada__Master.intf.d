@@ -1,0 +1,1 @@
+lib/scada/master.mli: Bft Cryptosim Dnp3 Op Rtu

@@ -1,0 +1,1 @@
+lib/scada/modbus.ml: Array Buffer Char Format List Printf Result String

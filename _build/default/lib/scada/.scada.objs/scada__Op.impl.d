@@ -1,0 +1,1 @@
+lib/scada/op.ml: Array Bft Buffer Char Format Int32 List Printf Rtu String

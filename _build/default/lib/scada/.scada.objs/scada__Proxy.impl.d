@@ -1,0 +1,1 @@
+lib/scada/proxy.ml: Array Bft Cryptosim Dnp3 Endpoint Hashtbl List Modbus Op Option Reply Rtu Sim

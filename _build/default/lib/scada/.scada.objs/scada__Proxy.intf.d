@@ -1,0 +1,1 @@
+lib/scada/proxy.mli: Bft Cryptosim Endpoint Reply Rtu Sim

@@ -1,0 +1,1 @@
+lib/scada/reply.ml: Bft Cryptosim Format Printf

@@ -1,0 +1,1 @@
+lib/scada/reply.mli: Bft Cryptosim Format

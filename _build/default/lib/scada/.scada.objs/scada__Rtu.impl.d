@@ -1,0 +1,1 @@
+lib/scada/rtu.ml: Array Format List Sim String

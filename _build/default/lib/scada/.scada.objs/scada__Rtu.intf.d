@@ -1,0 +1,1 @@
+lib/scada/rtu.mli: Format Sim

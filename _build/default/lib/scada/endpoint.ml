@@ -1,0 +1,138 @@
+type pending = {
+  update : Bft.Update.t;
+  submitted_us : int;
+  mutable attempt : int;
+  mutable last_sent_us : int;
+  (* Shares received so far, grouped by claimed digest. *)
+  shares :
+    ( Cryptosim.Digest.t,
+      (Bft.Types.replica, Cryptosim.Threshold.share) Hashtbl.t * Reply.body )
+    Hashtbl.t;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  client_id : Bft.Types.client;
+  group : Cryptosim.Threshold.group;
+  resubmit_timeout_us : int;
+  submit : attempt:int -> Bft.Update.t -> unit;
+  pending : (int, pending) Hashtbl.t; (* client_seq -> pending *)
+  mutable next_seq : int;
+  mutable floor : int; (* lowest possibly-pending client_seq *)
+  mutable completed : int;
+  mutable resubmits : int;
+  mutable on_complete : Bft.Update.t -> latency_us:int -> unit;
+  mutable running : bool;
+}
+
+let create ~engine ~client_id ~group ~resubmit_timeout_us ~submit =
+  {
+    engine;
+    client_id;
+    group;
+    resubmit_timeout_us;
+    submit;
+    pending = Hashtbl.create 97;
+    next_seq = 1;
+    floor = 1;
+    completed = 0;
+    resubmits = 0;
+    on_complete = (fun _ ~latency_us:_ -> ());
+    running = false;
+  }
+
+let client_id t = t.client_id
+let pending_count t = Hashtbl.length t.pending
+let completed_count t = t.completed
+let resubmit_count t = t.resubmits
+let set_on_complete t f = t.on_complete <- f
+
+let send_op t op =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let now = Sim.Engine.now t.engine in
+  let update = Op.to_update op ~client:t.client_id ~client_seq:seq ~submitted_us:now in
+  Hashtbl.replace t.pending seq
+    {
+      update;
+      submitted_us = now;
+      attempt = 0;
+      last_sent_us = now;
+      shares = Hashtbl.create 7;
+    };
+  t.submit ~attempt:0 update;
+  update
+
+let handle_reply t (reply : Reply.t) =
+  let client, seq = reply.Reply.update_key in
+  if client <> t.client_id then None
+  else
+    match Hashtbl.find_opt t.pending seq with
+    | None -> None (* unknown or already confirmed *)
+    | Some p ->
+      let by_replica, body =
+        match Hashtbl.find_opt p.shares reply.Reply.digest with
+        | Some entry -> entry
+        | None ->
+          let entry = (Hashtbl.create 7, reply.Reply.body) in
+          Hashtbl.replace p.shares reply.Reply.digest entry;
+          entry
+      in
+      Hashtbl.replace by_replica reply.Reply.replica reply.Reply.share;
+      let shares = Hashtbl.fold (fun _ s acc -> s :: acc) by_replica [] in
+      (match
+         Cryptosim.Threshold.combine t.group ~digest:reply.Reply.digest shares
+       with
+      | None -> None
+      | Some combined ->
+        if
+          Cryptosim.Threshold.verify t.group ~digest:reply.Reply.digest combined
+        then begin
+          Hashtbl.remove t.pending seq;
+          t.completed <- t.completed + 1;
+          let latency_us = Sim.Engine.now t.engine - p.submitted_us in
+          t.on_complete p.update ~latency_us;
+          Some body
+        end
+        else None)
+
+(* Retransmission policy: execution is per-client FIFO, so only the
+   head of the pending line can unblock progress — retransmitting a
+   deep backlog is pure overhead. The watchdog therefore retransmits at
+   most [resubmit_window] of the lowest-sequence pendings, each under
+   exponential backoff. [floor] tracks the lowest possibly-pending
+   sequence so the scan is O(window) amortised. *)
+let resubmit_window = 8
+
+let watchdog t =
+  let now = Sim.Engine.now t.engine in
+  while t.floor < t.next_seq && not (Hashtbl.mem t.pending t.floor) do
+    t.floor <- t.floor + 1
+  done;
+  let examined = ref 0 in
+  let seq = ref t.floor in
+  while !examined < resubmit_window && !seq < t.next_seq do
+    (match Hashtbl.find_opt t.pending !seq with
+    | None -> ()
+    | Some p ->
+      incr examined;
+      (* Exponential backoff caps retransmission load when the system
+         is saturated rather than partitioned. *)
+      let backoff = t.resubmit_timeout_us * (1 lsl min p.attempt 4) in
+      if now - p.last_sent_us > backoff then begin
+        p.attempt <- p.attempt + 1;
+        p.last_sent_us <- now;
+        t.resubmits <- t.resubmits + 1;
+        t.submit ~attempt:p.attempt p.update
+      end);
+    incr seq
+  done
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    let interval = max 10_000 (t.resubmit_timeout_us / 4) in
+    ignore
+      (Sim.Engine.periodic t.engine ~interval_us:interval (fun () -> watchdog t)
+        : Sim.Engine.timer)
+  end

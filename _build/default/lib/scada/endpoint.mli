@@ -1,0 +1,40 @@
+(** Client-side endpoint logic shared by substation proxies and HMIs.
+
+    An endpoint assigns client sequence numbers, submits updates through
+    a deployment-provided hook, collects threshold-signature shares from
+    replica replies, validates the combined signature, measures
+    submission-to-validation latency, and retransmits updates that are
+    not confirmed within a timeout (covering origin-replica failures). *)
+
+type t
+
+(** [create ~engine ~client_id ~group ~resubmit_timeout_us ~submit] —
+    [submit ~attempt update] hands the update to the deployment for
+    routing; [attempt] starts at 0 and increments per retransmission. *)
+val create :
+  engine:Sim.Engine.t ->
+  client_id:Bft.Types.client ->
+  group:Cryptosim.Threshold.group ->
+  resubmit_timeout_us:int ->
+  submit:(attempt:int -> Bft.Update.t -> unit) ->
+  t
+
+(** [start t] arms the retransmission watchdog. *)
+val start : t -> unit
+
+(** [send_op t op] wraps [op] into the next update and submits it. *)
+val send_op : t -> Op.t -> Bft.Update.t
+
+(** [handle_reply t reply] ingests one replica's share. Returns
+    [Some body] the first time the shares for that update reach the
+    threshold and the combined signature verifies; [None] otherwise. *)
+val handle_reply : t -> Reply.t -> Reply.body option
+
+(** [set_on_complete t f]: [f update ~latency_us] fires once per
+    confirmed update. *)
+val set_on_complete : t -> (Bft.Update.t -> latency_us:int -> unit) -> unit
+
+val client_id : t -> Bft.Types.client
+val pending_count : t -> int
+val completed_count : t -> int
+val resubmit_count : t -> int

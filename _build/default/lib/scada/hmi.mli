@@ -1,0 +1,36 @@
+(** Human-Machine Interface model: the operator console.
+
+    An HMI issues supervisory commands (breaker open/close, transformer
+    tap moves) and ordered reads against the replicated SCADA master,
+    validating threshold-signed confirmations like any other client.
+    Scenario scripts drive it at chosen virtual times. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  client_id:Bft.Types.client ->
+  group:Cryptosim.Threshold.group ->
+  resubmit_timeout_us:int ->
+  submit:(attempt:int -> Bft.Update.t -> unit) ->
+  t
+
+val start : t -> unit
+
+(** [open_breaker t ~rtu ~breaker] / [close_breaker t ~rtu ~breaker]
+    issue a supervisory command; returns the submitted update. *)
+val open_breaker : t -> rtu:int -> breaker:int -> Bft.Update.t
+
+val close_breaker : t -> rtu:int -> breaker:int -> Bft.Update.t
+
+(** [set_tap t ~rtu ~position] issues a transformer-tap command. *)
+val set_tap : t -> rtu:int -> position:int -> Bft.Update.t
+
+(** [read_state t] issues an ordered read of the master state. *)
+val read_state : t -> Bft.Update.t
+
+val handle_reply : t -> Reply.t -> unit
+val endpoint : t -> Endpoint.t
+
+(** [confirmed_commands t] counts confirmed updates. *)
+val confirmed_commands : t -> int

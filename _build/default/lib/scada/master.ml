@@ -1,0 +1,86 @@
+type t = {
+  mutable statuses : (int * Rtu.status) list;  (* assoc rtu -> last status *)
+  mutable intents : ((int * int) * Rtu.breaker_state) list;
+  mutable applied : int;
+  mutable digest : Cryptosim.Digest.t;
+}
+
+type effect =
+  | No_effect
+  | Device_command of { rtu : int; command : Dnp3.app }
+  | Read_result of { hmi_id : int; state : Cryptosim.Digest.t }
+
+let create () =
+  {
+    statuses = [];
+    intents = [];
+    applied = 0;
+    digest = Cryptosim.Digest.of_string "scada-master-genesis";
+  }
+
+let applied_count t = t.applied
+let state_digest t = t.digest
+
+let advance_digest t op =
+  t.applied <- t.applied + 1;
+  t.digest <-
+    Cryptosim.Digest.combine t.digest (Cryptosim.Digest.of_string (Op.encode op))
+
+let apply t op =
+  advance_digest t op;
+  match op with
+  | Op.Status_report s ->
+    let rtu = s.Rtu.rtu_id in
+    let keep_newer =
+      match List.assoc_opt rtu t.statuses with
+      | Some prev -> prev.Rtu.seq < s.Rtu.seq
+      | None -> true
+    in
+    if keep_newer then
+      t.statuses <- (rtu, s) :: List.remove_assoc rtu t.statuses;
+    No_effect
+  | Op.Breaker_command { rtu; breaker; desired } ->
+    t.intents <-
+      ((rtu, breaker), desired) :: List.remove_assoc (rtu, breaker) t.intents;
+    let action =
+      match desired with Rtu.Open -> Dnp3.Trip | Rtu.Closed -> Dnp3.Close
+    in
+    Device_command { rtu; command = Dnp3.Operate { point = breaker; action } }
+  | Op.Tap_command { rtu; position } ->
+    (* Encoded as an operate on a reserved point id carrying the tap. *)
+    Device_command
+      {
+        rtu;
+        command =
+          Dnp3.Operate
+            {
+              point = 0x100 + (position + 16);
+              action = (if position >= 0 then Dnp3.Close else Dnp3.Trip);
+            };
+      }
+  | Op.Hmi_read { hmi_id } -> Read_result { hmi_id; state = t.digest }
+
+let last_status t ~rtu = List.assoc_opt rtu t.statuses
+let breaker_intent t ~rtu ~breaker = List.assoc_opt (rtu, breaker) t.intents
+let known_rtus t = List.sort compare (List.map fst t.statuses)
+
+let stale_rtus t ~now_seq ~window =
+  List.filter_map
+    (fun (rtu, s) -> if now_seq - s.Rtu.seq > window then Some rtu else None)
+    t.statuses
+  |> List.sort compare
+
+let reply_digest t ~exec_index ~update =
+  Cryptosim.Digest.combine
+    (Cryptosim.Digest.of_string (Printf.sprintf "reply:%d" exec_index))
+    (Cryptosim.Digest.combine (Bft.Update.digest update) t.digest)
+
+let snapshot_digest = state_digest
+
+let clone t =
+  {
+    statuses = t.statuses;
+    intents = t.intents;
+    applied = t.applied;
+    digest = t.digest;
+  }

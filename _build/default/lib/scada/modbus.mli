@@ -1,0 +1,40 @@
+(** Modbus/TCP wire codec (the subset Spire's proxies use).
+
+    Byte-accurate encoding of the MBAP header and the PDU function
+    codes needed to poll an RTU and operate breakers:
+    - [0x01] Read Coils (breaker states)
+    - [0x03] Read Holding Registers (analog measurements)
+    - [0x05] Write Single Coil (breaker open/close)
+    - [0x06] Write Single Register (transformer tap)
+
+    Responses mirror requests; exception responses carry
+    [function | 0x80] and an exception code. All multi-byte fields are
+    big-endian per the Modbus specification. *)
+
+type request =
+  | Read_coils of { start : int; count : int }
+  | Read_holding_registers of { start : int; count : int }
+  | Write_single_coil of { address : int; value : bool }
+  | Write_single_register of { address : int; value : int }
+
+type response =
+  | Coils of bool list
+  | Holding_registers of int list  (** 16-bit unsigned values *)
+  | Coil_written of { address : int; value : bool }
+  | Register_written of { address : int; value : int }
+  | Exception_response of { function_code : int; exception_code : int }
+
+type 'a frame = { transaction : int; unit_id : int; body : 'a }
+
+(** [encode_request f] renders an ADU (MBAP header + PDU) as bytes. *)
+val encode_request : request frame -> string
+
+(** [decode_request s] parses bytes back; [Error _] describes the first
+    malformation found. *)
+val decode_request : string -> (request frame, string) result
+
+val encode_response : response frame -> string
+val decode_response : string -> (response frame, string) result
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit

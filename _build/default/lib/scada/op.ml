@@ -1,0 +1,114 @@
+type t =
+  | Status_report of Rtu.status
+  | Breaker_command of { rtu : int; breaker : int; desired : Rtu.breaker_state }
+  | Tap_command of { rtu : int; position : int }
+  | Hmi_read of { hmi_id : int }
+
+let add_int_list b l =
+  Buffer.add_uint16_be b (List.length l);
+  List.iter (fun v -> Buffer.add_int32_be b (Int32.of_int v)) l
+
+let encode = function
+  | Status_report s ->
+    let b = Buffer.create 64 in
+    Buffer.add_uint8 b 0x01;
+    Buffer.add_uint16_be b s.Rtu.rtu_id;
+    Buffer.add_int32_be b (Int32.of_int s.Rtu.seq);
+    Buffer.add_uint8 b (Array.length s.Rtu.breakers);
+    Array.iter
+      (fun st -> Buffer.add_uint8 b (match st with Rtu.Closed -> 1 | Rtu.Open -> 0))
+      s.Rtu.breakers;
+    add_int_list b (Array.to_list s.Rtu.voltages_mv);
+    add_int_list b (Array.to_list s.Rtu.currents_ma);
+    Buffer.add_int32_be b (Int32.of_int s.Rtu.frequency_mhz);
+    Buffer.add_uint8 b (s.Rtu.tap_position + 16);
+    Buffer.contents b
+  | Breaker_command { rtu; breaker; desired } ->
+    let b = Buffer.create 8 in
+    Buffer.add_uint8 b 0x02;
+    Buffer.add_uint16_be b rtu;
+    Buffer.add_uint8 b breaker;
+    Buffer.add_uint8 b (match desired with Rtu.Closed -> 1 | Rtu.Open -> 0);
+    Buffer.contents b
+  | Tap_command { rtu; position } ->
+    let b = Buffer.create 8 in
+    Buffer.add_uint8 b 0x03;
+    Buffer.add_uint16_be b rtu;
+    Buffer.add_uint8 b (position + 16);
+    Buffer.contents b
+  | Hmi_read { hmi_id } ->
+    let b = Buffer.create 4 in
+    Buffer.add_uint8 b 0x04;
+    Buffer.add_uint16_be b hmi_id;
+    Buffer.contents b
+
+let get_u8 s pos = Char.code s.[pos]
+let get_u16 s pos = (get_u8 s pos lsl 8) lor get_u8 s (pos + 1)
+
+let get_i32 s pos =
+  Int32.to_int
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int (get_u16 s pos)) 16)
+       (Int32.of_int (get_u16 s (pos + 2))))
+
+let decode s =
+  try
+    if String.length s < 1 then Error "empty operation"
+    else
+      match get_u8 s 0 with
+      | 0x01 ->
+        let rtu_id = get_u16 s 1 in
+        let seq = get_i32 s 3 in
+        let nb = get_u8 s 7 in
+        let breakers =
+          Array.init nb (fun i ->
+              if get_u8 s (8 + i) = 1 then Rtu.Closed else Rtu.Open)
+        in
+        let pos = 8 + nb in
+        let nv = get_u16 s pos in
+        let voltages = Array.init nv (fun i -> get_i32 s (pos + 2 + (4 * i))) in
+        let pos = pos + 2 + (4 * nv) in
+        let nc = get_u16 s pos in
+        let currents = Array.init nc (fun i -> get_i32 s (pos + 2 + (4 * i))) in
+        let pos = pos + 2 + (4 * nc) in
+        let frequency = get_i32 s pos in
+        let tap = get_u8 s (pos + 4) - 16 in
+        if String.length s <> pos + 5 then Error "status length mismatch"
+        else
+          Ok
+            (Status_report
+               {
+                 Rtu.rtu_id;
+                 seq;
+                 breakers;
+                 voltages_mv = voltages;
+                 currents_ma = currents;
+                 frequency_mhz = frequency;
+                 tap_position = tap;
+               })
+      | 0x02 when String.length s = 5 ->
+        Ok
+          (Breaker_command
+             {
+               rtu = get_u16 s 1;
+               breaker = get_u8 s 3;
+               desired = (if get_u8 s 4 = 1 then Rtu.Closed else Rtu.Open);
+             })
+      | 0x03 when String.length s = 4 ->
+        Ok (Tap_command { rtu = get_u16 s 1; position = get_u8 s 3 - 16 })
+      | 0x04 when String.length s = 3 -> Ok (Hmi_read { hmi_id = get_u16 s 1 })
+      | tag -> Error (Printf.sprintf "unknown op tag 0x%02x" tag)
+  with Invalid_argument _ -> Error "truncated operation"
+
+let to_update op ~client ~client_seq ~submitted_us =
+  Bft.Update.create ~client ~client_seq ~operation:(encode op) ~submitted_us
+
+let of_update u = decode u.Bft.Update.operation
+
+let pp ppf = function
+  | Status_report s -> Format.fprintf ppf "Status(%a)" Rtu.pp_status s
+  | Breaker_command { rtu; breaker; desired } ->
+    Format.fprintf ppf "BreakerCmd(rtu%d,b%d,%s)" rtu breaker
+      (match desired with Rtu.Open -> "open" | Rtu.Closed -> "close")
+  | Tap_command { rtu; position } -> Format.fprintf ppf "TapCmd(rtu%d,%d)" rtu position
+  | Hmi_read { hmi_id } -> Format.fprintf ppf "HmiRead(%d)" hmi_id

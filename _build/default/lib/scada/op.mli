@@ -1,0 +1,27 @@
+(** SCADA operations — the application payloads ordered by the
+    replication engine.
+
+    A SCADA update is either a substation's status report (the polling
+    path), a supervisory command from an HMI (the control path), or an
+    ordered read. Operations are serialised into the opaque
+    [Bft.Update.operation] string with a compact binary encoding; both
+    directions are exercised by round-trip property tests. *)
+
+type t =
+  | Status_report of Rtu.status
+  | Breaker_command of { rtu : int; breaker : int; desired : Rtu.breaker_state }
+  | Tap_command of { rtu : int; position : int }
+  | Hmi_read of { hmi_id : int }
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+(** [to_update op ~client ~client_seq ~submitted_us] wraps an encoded
+    operation into a replication-layer update. *)
+val to_update :
+  t -> client:int -> client_seq:int -> submitted_us:int -> Bft.Update.t
+
+(** [of_update u] decodes the operation carried by [u]. *)
+val of_update : Bft.Update.t -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

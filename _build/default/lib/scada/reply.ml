@@ -1,0 +1,24 @@
+type body = Ack | Command of { rtu : int; frame : string }
+
+type t = {
+  replica : Bft.Types.replica;
+  update_key : Bft.Types.client * int;
+  exec_index : int;
+  digest : Cryptosim.Digest.t;
+  share : Cryptosim.Threshold.share;
+  body : body;
+}
+
+let body_digest ~exec_index ~update_digest ~state ~body =
+  let body_str =
+    match body with
+    | Ack -> "ack"
+    | Command { rtu; frame } -> Printf.sprintf "cmd:%d:%s" rtu frame
+  in
+  Cryptosim.Digest.combine
+    (Cryptosim.Digest.of_string (Printf.sprintf "reply:%d:%s" exec_index body_str))
+    (Cryptosim.Digest.combine update_digest state)
+
+let pp ppf t =
+  Format.fprintf ppf "reply(r%d,(%d,%d),idx=%d)" t.replica (fst t.update_key)
+    (snd t.update_key) t.exec_index

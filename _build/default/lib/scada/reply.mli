@@ -1,0 +1,35 @@
+(** Replica-to-client replies, threshold-signed.
+
+    When a replica executes an update it sends the client (proxy or
+    HMI) a reply carrying its threshold-signature {e share} over a
+    digest that binds the execution index, the update identity, the
+    resulting master state, and the reply body. The client combines
+    [threshold] shares into one signature: one cryptographic check
+    proves a quorum of replicas executed the update with the same
+    outcome — no [f+1] vote counting on the client. *)
+
+type body =
+  | Ack  (** plain completion (status reports, reads) *)
+  | Command of { rtu : int; frame : string }
+      (** an encoded DNP3 frame the proxy must actuate on its RTU *)
+
+type t = {
+  replica : Bft.Types.replica;
+  update_key : Bft.Types.client * int;
+  exec_index : int;
+  digest : Cryptosim.Digest.t;
+  share : Cryptosim.Threshold.share;
+  body : body;
+}
+
+(** [body_digest ~exec_index ~update_digest ~state ~body] is the digest
+    replicas sign; all fields are deterministic outputs of execution, so
+    correct replicas produce identical digests. *)
+val body_digest :
+  exec_index:int ->
+  update_digest:Cryptosim.Digest.t ->
+  state:Cryptosim.Digest.t ->
+  body:body ->
+  Cryptosim.Digest.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+type breaker_state = Open | Closed
+
+type status = {
+  rtu_id : int;
+  seq : int;
+  breakers : breaker_state array;
+  voltages_mv : int array;
+  currents_ma : int array;
+  frequency_mhz : int;
+  tap_position : int;
+}
+
+type pending_op = { target_index : int; desired : breaker_state; ticks_left : int }
+
+type t = {
+  rtu_id : int;
+  rng : Sim.Rng.t;
+  breakers : breaker_state array;
+  voltages_mv : int array;
+  currents_ma : int array;
+  mutable frequency_mhz : int;
+  mutable tap_position : int;
+  mutable status_seq : int;
+  mutable pending : pending_op list;
+}
+
+let nominal_voltage_mv = 13_800_000 (* 13.8 kV feeder *)
+let nominal_current_ma = 400_000
+let nominal_frequency_mhz = 60_000
+
+let create ~id ~breakers ~feeders ~rng =
+  if breakers <= 0 || feeders <= 0 then
+    invalid_arg "Rtu.create: need at least one breaker and feeder";
+  {
+    rtu_id = id;
+    rng;
+    breakers = Array.make breakers Closed;
+    voltages_mv = Array.make feeders nominal_voltage_mv;
+    currents_ma = Array.make feeders nominal_current_ma;
+    frequency_mhz = nominal_frequency_mhz;
+    tap_position = 0;
+    status_seq = 0;
+    pending = [];
+  }
+
+let id t = t.rtu_id
+
+let walk rng value ~nominal ~step ~spread =
+  (* Bounded random walk: drift plus mean reversion. *)
+  let drift = Sim.Rng.int rng (2 * step) - step in
+  let reverted = value + drift + ((nominal - value) / 16) in
+  max (nominal - spread) (min (nominal + spread) reverted)
+
+let tick t =
+  Array.iteri
+    (fun i v ->
+      t.voltages_mv.(i) <-
+        walk t.rng v ~nominal:nominal_voltage_mv ~step:20_000 ~spread:700_000)
+    t.voltages_mv;
+  Array.iteri
+    (fun i c ->
+      t.currents_ma.(i) <-
+        walk t.rng c ~nominal:nominal_current_ma ~step:5_000 ~spread:150_000)
+    t.currents_ma;
+  t.frequency_mhz <-
+    walk t.rng t.frequency_mhz ~nominal:nominal_frequency_mhz ~step:5 ~spread:100;
+  let due, waiting =
+    List.partition (fun op -> op.ticks_left <= 1) t.pending
+  in
+  List.iter (fun op -> t.breakers.(op.target_index) <- op.desired) due;
+  t.pending <- List.map (fun op -> { op with ticks_left = op.ticks_left - 1 }) waiting;
+  (* An open breaker drops its feeder current to (near) zero. *)
+  Array.iteri
+    (fun i state ->
+      if state = Open && i < Array.length t.currents_ma then
+        t.currents_ma.(i) <- Sim.Rng.int t.rng 1_000)
+    t.breakers
+
+let read_status t =
+  t.status_seq <- t.status_seq + 1;
+  {
+    rtu_id = t.rtu_id;
+    seq = t.status_seq;
+    breakers = Array.copy t.breakers;
+    voltages_mv = Array.copy t.voltages_mv;
+    currents_ma = Array.copy t.currents_ma;
+    frequency_mhz = t.frequency_mhz;
+    tap_position = t.tap_position;
+  }
+
+let operate_breaker t ~index ~desired =
+  if index < 0 || index >= Array.length t.breakers then
+    invalid_arg "Rtu.operate_breaker: index out of range";
+  t.pending <- { target_index = index; desired; ticks_left = 2 } :: t.pending
+
+let set_tap t ~position = t.tap_position <- max (-16) (min 16 position)
+let breaker t ~index = t.breakers.(index)
+let breaker_count t = Array.length t.breakers
+let feeder_count t = Array.length t.voltages_mv
+
+let pp_status ppf (s : status) =
+  Format.fprintf ppf "rtu%d#%d breakers=[%s] f=%dmHz tap=%d" s.rtu_id s.seq
+    (String.concat ""
+       (Array.to_list
+          (Array.map (function Open -> "O" | Closed -> "C") s.breakers)))
+    s.frequency_mhz s.tap_position

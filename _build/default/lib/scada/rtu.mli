@@ -1,0 +1,58 @@
+(** Remote Terminal Unit (RTU/PLC) device model.
+
+    Models the field device in a substation: a set of breakers
+    (discrete points) and analog measurements (voltage, current,
+    frequency, transformer tap). The analog process drifts with bounded
+    noise each {!tick}; breakers change state only on command, with a
+    configurable actuation delay expressed in ticks.
+
+    This is the paper's "10 emulated substations" substitute: the
+    polling workload and command round-trips exercise exactly the same
+    data path. *)
+
+type breaker_state = Open | Closed
+
+type status = {
+  rtu_id : int;
+  seq : int;  (** status sequence number, increments per read *)
+  breakers : breaker_state array;
+  voltages_mv : int array;  (** millivolts, per feeder *)
+  currents_ma : int array;  (** milliamps, per feeder *)
+  frequency_mhz : int;  (** millihertz, nominal 60_000 *)
+  tap_position : int;  (** transformer tap, [-16, 16] *)
+}
+
+type t
+
+(** [create ~id ~breakers ~feeders ~rng] builds a device with the given
+    point counts; all breakers start [Closed], analogs start at
+    nominal values. *)
+val create : id:int -> breakers:int -> feeders:int -> rng:Sim.Rng.t -> t
+
+val id : t -> int
+
+(** [tick t] advances the physical process one step: analog values take
+    a bounded random walk around nominal; pending breaker operations
+    complete when their actuation delay elapses. *)
+val tick : t -> unit
+
+(** [read_status t] samples the current state (increments the status
+    sequence number — one poll, one sample). *)
+val read_status : t -> status
+
+(** [operate_breaker t ~index ~desired] requests a breaker state change;
+    takes effect after 2 ticks (mechanical delay).
+    @raise Invalid_argument if [index] is out of range. *)
+val operate_breaker : t -> index:int -> desired:breaker_state -> unit
+
+(** [set_tap t ~position] moves the transformer tap (clamped to
+    [-16, 16]). *)
+val set_tap : t -> position:int -> unit
+
+(** [breaker t ~index] reads one breaker's current state. *)
+val breaker : t -> index:int -> breaker_state
+
+val breaker_count : t -> int
+val feeder_count : t -> int
+
+val pp_status : Format.formatter -> status -> unit

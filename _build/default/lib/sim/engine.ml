@@ -1,0 +1,84 @@
+type timer = { mutable cancelled : bool; mutable repeat : repeat option }
+
+and repeat = { interval_us : int; callback : unit -> unit }
+
+type event = { timer : timer; run : unit -> unit }
+
+type t = {
+  mutable clock_us : int;
+  heap : event Event_heap.t;
+  root_rng : Rng.t;
+  mutable processed : int;
+}
+
+let create ?(seed = 0xC0FFEEL) () =
+  {
+    clock_us = 0;
+    heap = Event_heap.create ();
+    root_rng = Rng.create seed;
+    processed = 0;
+  }
+
+let now t = t.clock_us
+let rng t = Rng.split t.root_rng
+
+let schedule_at t ~time_us f =
+  let time_us = max time_us t.clock_us in
+  let timer = { cancelled = false; repeat = None } in
+  Event_heap.push t.heap ~time:time_us { timer; run = f };
+  timer
+
+let schedule t ~delay_us f = schedule_at t ~time_us:(t.clock_us + max 0 delay_us) f
+
+let periodic t ~interval_us f =
+  if interval_us <= 0 then invalid_arg "Engine.periodic: interval_us <= 0";
+  let timer = { cancelled = false; repeat = Some { interval_us; callback = f } } in
+  let rec arm time_us =
+    Event_heap.push t.heap ~time:time_us
+      {
+        timer;
+        run =
+          (fun () ->
+            f ();
+            if not timer.cancelled then arm (t.clock_us + interval_us));
+      }
+  in
+  arm (t.clock_us + interval_us);
+  timer
+
+let cancel timer = timer.cancelled <- true
+
+let step t =
+  match Event_heap.pop t.heap with
+  | None -> false
+  | Some (time, ev) ->
+    t.clock_us <- max t.clock_us time;
+    if not ev.timer.cancelled then begin
+      t.processed <- t.processed + 1;
+      ev.run ()
+    end;
+    true
+
+let run t ~until_us =
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek_time t.heap with
+    | Some time when time <= until_us -> ignore (step t : bool)
+    | Some _ | None -> continue := false
+  done;
+  t.clock_us <- max t.clock_us until_us
+
+let run_until_quiescent ?(max_events = 100_000_000) t =
+  let budget = ref max_events in
+  while step t do
+    decr budget;
+    if !budget <= 0 then failwith "Engine.run_until_quiescent: event budget exceeded"
+  done
+
+let pending t = Event_heap.size t.heap
+let processed t = t.processed
+
+let pp_time_us ppf us =
+  if us >= 1_000_000 then Format.fprintf ppf "%.3fs" (float_of_int us /. 1e6)
+  else if us >= 1_000 then Format.fprintf ppf "%dms" (us / 1000)
+  else Format.fprintf ppf "%dus" us

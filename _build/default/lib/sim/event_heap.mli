@@ -1,0 +1,26 @@
+(** Binary min-heap of timed events.
+
+    Events are ordered by [(time, sequence)] where [sequence] is the
+    insertion order; this makes the simulation deterministic when many
+    events share a timestamp. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** [push t ~time event] inserts [event] at [time]. *)
+val push : 'a t -> time:int -> 'a -> unit
+
+(** [pop t] removes and returns the earliest event as [(time, event)],
+    or [None] if empty. *)
+val pop : 'a t -> (int * 'a) option
+
+(** [peek_time t] is the timestamp of the earliest event, if any. *)
+val peek_time : 'a t -> int option
+
+(** [size t] is the number of queued events. *)
+val size : 'a t -> int
+
+(** [is_empty t] is [size t = 0]. *)
+val is_empty : 'a t -> bool

@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (next_int64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Drop to 62 bits so the value fits a non-negative OCaml int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  (* 53 random bits mapped to [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992. *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0. then false else if p >= 1. then true else float t 1. < p
+
+let exponential t ~mean =
+  let u = float t 1. in
+  (* Guard against log 0. *)
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u
+
+let gaussian t ~mean ~stddev =
+  let u1 = Float.max 1e-12 (float t 1.) in
+  let u2 = float t 1. in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,22 @@
+type record = { time_us : int; category : string; message : string }
+
+type t = { mutable enabled : bool; mutable records : record list (* reversed *) }
+
+let create () = { enabled = false; records = [] }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+
+let emit t ~time_us ~category message =
+  if t.enabled then t.records <- { time_us; category; message } :: t.records
+
+let records t = List.rev t.records
+
+let by_category t cat =
+  List.filter (fun r -> String.equal r.category cat) (records t)
+
+let count t = List.length t.records
+let clear t = t.records <- []
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%a] %s: %s" Engine.pp_time_us r.time_us r.category
+    r.message

@@ -1,0 +1,36 @@
+(** Lightweight structured trace of simulation events.
+
+    Components emit trace records (category + message + virtual time);
+    tests and the scenario runner inspect them to assert ordering
+    properties without coupling to log formatting. Tracing is off by
+    default and cheap when disabled. *)
+
+type record = { time_us : int; category : string; message : string }
+
+type t
+
+(** [create ()] is a disabled trace (records are dropped). *)
+val create : unit -> t
+
+(** [enable t] starts retaining records; [disable t] stops. *)
+val enable : t -> unit
+
+val disable : t -> unit
+
+(** [emit t ~time_us ~category message] records an event if enabled. *)
+val emit : t -> time_us:int -> category:string -> string -> unit
+
+(** [records t] is all retained records, oldest first. *)
+val records : t -> record list
+
+(** [by_category t cat] filters records with the given category. *)
+val by_category : t -> string -> record list
+
+(** [count t] is the number of retained records. *)
+val count : t -> int
+
+(** [clear t] drops all retained records. *)
+val clear : t -> unit
+
+(** [pp_record ppf r] prints ["[12.345s] category: message"]. *)
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Attack List Overlay Recovery Sim

@@ -1,0 +1,1 @@
+test/test_bft.ml: Alcotest Bft Cryptosim List QCheck QCheck_alcotest Sim

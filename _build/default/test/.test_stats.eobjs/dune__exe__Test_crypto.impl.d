@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Cryptosim List QCheck QCheck_alcotest String

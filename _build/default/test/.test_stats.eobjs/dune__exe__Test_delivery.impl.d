@@ -1,0 +1,1 @@
+test/test_delivery.ml: Alcotest Bft Cryptosim List Overlay Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest List Option Overlay Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_pbft.ml: Alcotest Bft Hashtbl List Pbft Printf Sim

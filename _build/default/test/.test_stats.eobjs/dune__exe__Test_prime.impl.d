@@ -1,0 +1,1 @@
+test/test_prime.ml: Alcotest Array Bft Cryptosim Fun Hashtbl List Prime Printf QCheck QCheck_alcotest Sim

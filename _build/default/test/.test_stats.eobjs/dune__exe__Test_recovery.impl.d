@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Cryptosim List Printf QCheck QCheck_alcotest Recovery Sim

@@ -1,0 +1,1 @@
+test/test_scada.ml: Alcotest Array Bft Cryptosim List QCheck QCheck_alcotest Result Scada Sim String

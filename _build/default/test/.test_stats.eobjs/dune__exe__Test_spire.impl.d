@@ -1,0 +1,1 @@
+test/test_spire.ml: Alcotest Bft List Printf QCheck QCheck_alcotest Recovery Scada Sim Spire Stats

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Bft Fun Int64 List Overlay Prime Printf QCheck QCheck_alcotest Sim Spire

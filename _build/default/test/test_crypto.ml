@@ -1,0 +1,176 @@
+(* Tests for the simulated cryptography layer. *)
+
+module D = Cryptosim.Digest
+module K = Cryptosim.Keyring
+module A = Cryptosim.Auth
+module T = Cryptosim.Threshold
+
+let test_digest_deterministic () =
+  Alcotest.(check bool) "same input same digest" true
+    (D.equal (D.of_string "hello") (D.of_string "hello"));
+  Alcotest.(check bool) "different input different digest" false
+    (D.equal (D.of_string "hello") (D.of_string "world"))
+
+let test_digest_combine_order_sensitive () =
+  let a = D.of_string "a" and b = D.of_string "b" in
+  Alcotest.(check bool) "combine not commutative" false
+    (D.equal (D.combine a b) (D.combine b a))
+
+let test_digest_hex () =
+  Alcotest.(check int) "hex length" 16 (String.length (D.to_hex (D.of_string "x")))
+
+let test_sign_verify () =
+  let kr = K.create ~seed:1L ~size:4 in
+  let d = D.of_string "message" in
+  let s = A.sign (K.secret kr 2) d in
+  Alcotest.(check bool) "verifies" true (A.verify kr ~signer:2 ~digest:d s);
+  Alcotest.(check int) "signer recorded" 2 (A.signature_signer s)
+
+let test_verify_rejects_wrong_signer () =
+  let kr = K.create ~seed:1L ~size:4 in
+  let d = D.of_string "message" in
+  let s = A.sign (K.secret kr 2) d in
+  Alcotest.(check bool) "wrong signer" false (A.verify kr ~signer:3 ~digest:d s)
+
+let test_verify_rejects_wrong_digest () =
+  let kr = K.create ~seed:1L ~size:4 in
+  let s = A.sign (K.secret kr 1) (D.of_string "m1") in
+  Alcotest.(check bool) "wrong digest" false
+    (A.verify kr ~signer:1 ~digest:(D.of_string "m2") s)
+
+let test_forge_rejected () =
+  let kr = K.create ~seed:1L ~size:4 in
+  let d = D.of_string "command" in
+  let s = A.forge ~claimed_signer:0 ~digest:d in
+  Alcotest.(check bool) "forgery rejected" false
+    (A.verify kr ~signer:0 ~digest:d s)
+
+let test_rotate_invalidates_old_signatures () =
+  let kr = K.create ~seed:1L ~size:4 in
+  let d = D.of_string "m" in
+  let old = A.sign (K.secret kr 0) d in
+  let fresh_secret = K.rotate kr 0 in
+  Alcotest.(check bool) "old signature dead" false
+    (A.verify kr ~signer:0 ~digest:d old);
+  let s = A.sign fresh_secret d in
+  Alcotest.(check bool) "new signature lives" true
+    (A.verify kr ~signer:0 ~digest:d s)
+
+let test_mac_roundtrip () =
+  let kr = K.create ~seed:2L ~size:4 in
+  let d = D.of_string "pairwise" in
+  let m = A.mac (K.secret kr 1) ~peer:3 d in
+  Alcotest.(check bool) "mac verifies" true
+    (A.verify_mac kr ~sender:1 ~receiver:3 ~digest:d m);
+  Alcotest.(check bool) "wrong receiver" false
+    (A.verify_mac kr ~sender:1 ~receiver:2 ~digest:d m);
+  Alcotest.(check bool) "wrong sender" false
+    (A.verify_mac kr ~sender:2 ~receiver:3 ~digest:d m)
+
+(* ------------------------------------------------------------------ *)
+(* Threshold signatures *)
+
+let group () =
+  T.create_group ~seed:5L ~members:[ 0; 1; 2; 3; 4; 5 ] ~threshold:4
+
+let test_threshold_combine_success () =
+  let g = group () in
+  let d = D.of_string "state-update" in
+  let shares = List.map (fun m -> T.sign_share g ~member:m d) [ 0; 1; 2; 3 ] in
+  match T.combine g ~digest:d shares with
+  | None -> Alcotest.fail "combine should succeed with threshold shares"
+  | Some c -> Alcotest.(check bool) "verifies" true (T.verify g ~digest:d c)
+
+let test_threshold_too_few_shares () =
+  let g = group () in
+  let d = D.of_string "state-update" in
+  let shares = List.map (fun m -> T.sign_share g ~member:m d) [ 0; 1; 2 ] in
+  Alcotest.(check bool) "too few" true (T.combine g ~digest:d shares = None)
+
+let test_threshold_duplicate_members_dont_count () =
+  let g = group () in
+  let d = D.of_string "x" in
+  let s0 = T.sign_share g ~member:0 d in
+  let shares = [ s0; s0; s0; T.sign_share g ~member:1 d ] in
+  Alcotest.(check bool) "duplicates collapse" true
+    (T.combine g ~digest:d shares = None)
+
+let test_threshold_corrupt_share_rejected () =
+  let g = group () in
+  let d = D.of_string "y" in
+  let good = List.map (fun m -> T.sign_share g ~member:m d) [ 0; 1; 2 ] in
+  let bad = T.corrupt_share (T.sign_share g ~member:3 d) in
+  Alcotest.(check bool) "corrupt share invalid" false (T.verify_share g ~digest:d bad);
+  Alcotest.(check bool) "combine fails with corrupt 4th" true
+    (T.combine g ~digest:d (bad :: good) = None)
+
+let test_threshold_wrong_digest_shares () =
+  let g = group () in
+  let d1 = D.of_string "d1" and d2 = D.of_string "d2" in
+  let shares =
+    List.map (fun m -> T.sign_share g ~member:m d1) [ 0; 1; 2 ]
+    @ [ T.sign_share g ~member:3 d2 ]
+  in
+  Alcotest.(check bool) "mixed digests don't combine" true
+    (T.combine g ~digest:d1 shares = None)
+
+let test_threshold_nonmember_rejected () =
+  let g = group () in
+  Alcotest.check_raises "non-member"
+    (Invalid_argument "Threshold.sign_share: not a member") (fun () ->
+      ignore (T.sign_share g ~member:17 (D.of_string "z")))
+
+let prop_sign_verify_roundtrip =
+  QCheck.Test.make ~name:"sign/verify roundtrip for any message"
+    QCheck.(pair small_string (int_bound 3))
+    (fun (msg, signer) ->
+      let kr = K.create ~seed:99L ~size:4 in
+      let d = D.of_string msg in
+      A.verify kr ~signer ~digest:d (A.sign (K.secret kr signer) d))
+
+let prop_threshold_any_quorum_combines =
+  QCheck.Test.make ~name:"any 4-of-6 subset combines"
+    QCheck.(list_of_size (QCheck.Gen.return 6) bool)
+    (fun mask ->
+      let g = group () in
+      let d = D.of_string "q" in
+      let members = List.filteri (fun i _ -> List.nth mask i) [ 0; 1; 2; 3; 4; 5 ] in
+      let shares = List.map (fun m -> T.sign_share g ~member:m d) members in
+      let combined = T.combine g ~digest:d shares in
+      if List.length members >= 4 then combined <> None else combined = None)
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "digest",
+        [
+          Alcotest.test_case "deterministic" `Quick test_digest_deterministic;
+          Alcotest.test_case "combine order-sensitive" `Quick
+            test_digest_combine_order_sensitive;
+          Alcotest.test_case "hex" `Quick test_digest_hex;
+        ] );
+      ( "auth",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_sign_verify;
+          Alcotest.test_case "wrong signer" `Quick test_verify_rejects_wrong_signer;
+          Alcotest.test_case "wrong digest" `Quick test_verify_rejects_wrong_digest;
+          Alcotest.test_case "forgery rejected" `Quick test_forge_rejected;
+          Alcotest.test_case "rotation invalidates" `Quick
+            test_rotate_invalidates_old_signatures;
+          Alcotest.test_case "mac roundtrip" `Quick test_mac_roundtrip;
+          QCheck_alcotest.to_alcotest prop_sign_verify_roundtrip;
+        ] );
+      ( "threshold",
+        [
+          Alcotest.test_case "combine success" `Quick test_threshold_combine_success;
+          Alcotest.test_case "too few shares" `Quick test_threshold_too_few_shares;
+          Alcotest.test_case "duplicates don't count" `Quick
+            test_threshold_duplicate_members_dont_count;
+          Alcotest.test_case "corrupt share rejected" `Quick
+            test_threshold_corrupt_share_rejected;
+          Alcotest.test_case "mixed digests" `Quick test_threshold_wrong_digest_shares;
+          Alcotest.test_case "non-member rejected" `Quick
+            test_threshold_nonmember_rejected;
+          QCheck_alcotest.to_alcotest prop_threshold_any_quorum_combines;
+        ] );
+    ]

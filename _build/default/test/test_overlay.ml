@@ -1,0 +1,415 @@
+(* Tests for the intrusion-tolerant overlay: topology, routing, fair
+   queueing, and the network runtime. *)
+
+module T = Overlay.Topology
+module R = Overlay.Routing
+module FQ = Overlay.Fair_queue
+module N = Overlay.Net
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let test_full_mesh () =
+  let t = T.full_mesh ~nodes:4 ~latency_us:100 ~bandwidth_bps:1_000_000 in
+  Alcotest.(check int) "links" 6 (List.length (T.links t));
+  Alcotest.(check (list int)) "neighbors of 0" [ 1; 2; 3 ] (T.neighbors t 0);
+  Alcotest.(check bool) "connected" true (T.connected t)
+
+let test_duplicate_link_rejected () =
+  let t = T.create ~nodes:3 in
+  T.add_link t ~a:0 ~b:1 ~latency_us:10 ~bandwidth_bps:1000;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Topology.add_link: duplicate link") (fun () ->
+      T.add_link t ~a:1 ~b:0 ~latency_us:10 ~bandwidth_bps:1000)
+
+let test_self_link_rejected () =
+  let t = T.create ~nodes:3 in
+  Alcotest.check_raises "self" (Invalid_argument "Topology.add_link: self-link")
+    (fun () -> T.add_link t ~a:1 ~b:1 ~latency_us:10 ~bandwidth_bps:1000)
+
+let test_multi_site_structure () =
+  let t =
+    T.multi_site ~site_sizes:[ 2; 2; 1 ] ~lan_latency_us:50
+      ~wan_latency_us:(fun _ _ -> 5_000)
+      ~lan_bandwidth_bps:1_000_000 ~wan_bandwidth_bps:100_000
+  in
+  Alcotest.(check int) "nodes" 5 (T.node_count t);
+  Alcotest.(check int) "sites" 3 (T.site_count t);
+  Alcotest.(check (list int)) "site 0 members" [ 0; 1 ] (T.nodes_in_site t 0);
+  Alcotest.(check (list int)) "site 2 members" [ 4 ] (T.nodes_in_site t 2);
+  Alcotest.(check bool) "connected" true (T.connected t);
+  (* Redundant WAN links exist between 2-node sites. *)
+  Alcotest.(check bool) "redundant wan link" true
+    (Option.is_some (T.link_between t 1 3))
+
+let test_east_coast_topology () =
+  let t, sites = T.wide_area_east_coast () in
+  Alcotest.(check int) "nodes" 10 (T.node_count t);
+  Alcotest.(check int) "sites" 4 (List.length sites);
+  Alcotest.(check bool) "connected" true (T.connected t);
+  let ccs = List.filter (fun (_, k) -> k = `Control_center) sites in
+  Alcotest.(check int) "two control centers" 2 (List.length ccs)
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+(* A diamond: 0 - {1 fast, 2 slow} - 3 plus a long direct edge 0-3. *)
+let diamond () =
+  let t = T.create ~nodes:4 in
+  T.add_link t ~a:0 ~b:1 ~latency_us:10 ~bandwidth_bps:1_000_000;
+  T.add_link t ~a:1 ~b:3 ~latency_us:10 ~bandwidth_bps:1_000_000;
+  T.add_link t ~a:0 ~b:2 ~latency_us:50 ~bandwidth_bps:1_000_000;
+  T.add_link t ~a:2 ~b:3 ~latency_us:50 ~bandwidth_bps:1_000_000;
+  T.add_link t ~a:0 ~b:3 ~latency_us:500 ~bandwidth_bps:1_000_000;
+  t
+
+let all_usable _ _ = true
+
+let test_shortest_path_picks_fast_route () =
+  let t = diamond () in
+  match R.shortest_path t ~usable:all_usable ~src:0 ~dst:3 with
+  | Some path -> Alcotest.(check (list int)) "fast route" [ 0; 1; 3 ] path
+  | None -> Alcotest.fail "no path"
+
+let test_shortest_path_avoids_unusable () =
+  let t = diamond () in
+  let usable a b = not ((a = 0 && b = 1) || (a = 1 && b = 0)) in
+  match R.shortest_path t ~usable ~src:0 ~dst:3 with
+  | Some path -> Alcotest.(check (list int)) "detour" [ 0; 2; 3 ] path
+  | None -> Alcotest.fail "no path"
+
+let test_shortest_path_unreachable () =
+  let t = T.create ~nodes:3 in
+  T.add_link t ~a:0 ~b:1 ~latency_us:10 ~bandwidth_bps:1000;
+  Alcotest.(check bool) "no route" true
+    (R.shortest_path t ~usable:all_usable ~src:0 ~dst:2 = None)
+
+let test_path_latency () =
+  let t = diamond () in
+  Alcotest.(check int) "latency sums" 20 (R.path_latency_us t [ 0; 1; 3 ])
+
+let test_disjoint_paths () =
+  let t = diamond () in
+  let paths = R.disjoint_paths t ~usable:all_usable ~src:0 ~dst:3 ~k:3 in
+  Alcotest.(check int) "three disjoint routes" 3 (List.length paths);
+  (* Internal nodes must not repeat across paths. *)
+  let internals =
+    List.concat_map
+      (fun p -> List.filter (fun n -> n <> 0 && n <> 3) p)
+      paths
+  in
+  let dedup = List.sort_uniq compare internals in
+  Alcotest.(check int) "internally disjoint" (List.length internals)
+    (List.length dedup)
+
+let test_max_disjoint_east_coast () =
+  let t, _ = T.wide_area_east_coast () in
+  (* First nodes of sites 0 and 1 (0 and 3) have several disjoint
+     routes thanks to redundant WAN links. *)
+  Alcotest.(check bool) "at least 2 disjoint" true
+    (R.max_disjoint t ~src:0 ~dst:3 >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Fair queue *)
+
+let test_fair_queue_priority () =
+  let q = FQ.create ~per_source_cap:10 in
+  ignore (FQ.push q ~source:1 ~priority:FQ.Bulk "bulk1");
+  ignore (FQ.push q ~source:1 ~priority:FQ.Control "ctl1");
+  (match FQ.pop q with
+  | Some (_, FQ.Control, v) -> Alcotest.(check string) "control first" "ctl1" v
+  | _ -> Alcotest.fail "expected control class first");
+  match FQ.pop q with
+  | Some (_, FQ.Bulk, v) -> Alcotest.(check string) "then bulk" "bulk1" v
+  | _ -> Alcotest.fail "expected bulk"
+
+let test_fair_queue_round_robin () =
+  let q = FQ.create ~per_source_cap:10 in
+  (* Source 1 floods; source 2 sends one item. *)
+  for i = 1 to 5 do
+    ignore (FQ.push q ~source:1 ~priority:FQ.Control (Printf.sprintf "a%d" i))
+  done;
+  ignore (FQ.push q ~source:2 ~priority:FQ.Control "b1");
+  (* Service order must alternate: a1 then b1 (fair share), not a1..a5. *)
+  let first = FQ.pop q and second = FQ.pop q in
+  (match first with
+  | Some (1, _, "a1") -> ()
+  | _ -> Alcotest.fail "expected a1 first");
+  match second with
+  | Some (2, _, "b1") -> ()
+  | _ -> Alcotest.fail "expected b1 second (fairness)"
+
+let test_fair_queue_cap_drops () =
+  let q = FQ.create ~per_source_cap:3 in
+  let accepted = ref 0 in
+  for i = 1 to 10 do
+    if FQ.push q ~source:7 ~priority:FQ.Bulk i then incr accepted
+  done;
+  Alcotest.(check int) "cap respected" 3 !accepted;
+  Alcotest.(check int) "drops counted" 7 (FQ.dropped q);
+  Alcotest.(check int) "backlog" 3 (FQ.backlog_of q ~source:7 ~priority:FQ.Bulk)
+
+let prop_fair_queue_conserves_items =
+  QCheck.Test.make ~name:"fair queue: popped = pushed (under cap)"
+    QCheck.(list (pair (int_bound 4) (int_bound 100)))
+    (fun pushes ->
+      QCheck.assume (List.length pushes <= 32);
+      let q = FQ.create ~per_source_cap:1000 in
+      List.iter
+        (fun (source, v) ->
+          ignore (FQ.push q ~source ~priority:FQ.Control v))
+        pushes;
+      let rec drain acc =
+        match FQ.pop q with None -> acc | Some _ -> drain (acc + 1)
+      in
+      drain 0 = List.length pushes)
+
+(* ------------------------------------------------------------------ *)
+(* Net runtime *)
+
+type net_msg = Ping of int
+
+let make_net ?(per_source_cap = 64) topo =
+  let engine = Sim.Engine.create ~seed:7L () in
+  let net : net_msg N.t = N.create ~per_source_cap engine topo () in
+  (engine, net)
+
+let test_net_unicast_latency () =
+  let topo = diamond () in
+  let engine, net = make_net topo in
+  let received = ref [] in
+  N.set_handler net 3 (fun d -> received := d :: !received);
+  N.send net ~src:0 ~dst:3 ~mode:N.Shortest (Ping 1);
+  Sim.Engine.run_until_quiescent engine;
+  match !received with
+  | [ d ] ->
+    Alcotest.(check int) "hops" 2 d.N.hops;
+    (* 2 hops x 10us latency + 2 x ~transmission. *)
+    Alcotest.(check bool) "latency sane" true
+      (d.N.delivered_us - d.N.sent_us >= 20
+      && d.N.delivered_us - d.N.sent_us < 1_000)
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l)
+
+let test_net_reroutes_after_link_kill () =
+  let topo = diamond () in
+  let engine, net = make_net topo in
+  let received = ref 0 in
+  N.set_handler net 3 (fun _ -> incr received);
+  N.kill_link net 0 1;
+  N.send net ~src:0 ~dst:3 ~mode:N.Shortest (Ping 1);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "delivered via detour" 1 !received;
+  Alcotest.(check (option (list int))) "route avoids dead link"
+    (Some [ 0; 2; 3 ])
+    (N.current_route net ~src:0 ~dst:3)
+
+let test_net_redundant_survives_path_kill_in_flight () =
+  (* With redundant dissemination, killing one path right after send
+     still delivers via the others. *)
+  let topo = diamond () in
+  let engine, net = make_net topo in
+  let received = ref 0 in
+  N.set_handler net 3 (fun _ -> incr received);
+  N.send net ~src:0 ~dst:3 ~mode:(N.Redundant 3) (Ping 1);
+  (* Kill the fastest path's middle node before anything propagates. *)
+  N.kill_node net 1;
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "exactly one delivery" 1 !received
+
+let test_net_redundant_dedups () =
+  let topo = diamond () in
+  let engine, net = make_net topo in
+  let received = ref 0 in
+  N.set_handler net 3 (fun _ -> incr received);
+  N.send net ~src:0 ~dst:3 ~mode:(N.Redundant 3) (Ping 9);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "one delivery despite 3 copies" 1 !received;
+  let stats = N.stats net in
+  Alcotest.(check bool) "duplicates suppressed" true
+    (stats.N.duplicates_suppressed >= 1)
+
+let test_net_flood_reaches_all () =
+  let topo, _ = T.wide_area_east_coast () in
+  let engine, net = make_net topo in
+  let received = ref 0 in
+  N.set_handler net 9 (fun _ -> incr received);
+  N.send net ~src:0 ~dst:9 ~mode:N.Flood (Ping 1);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "flood delivers once" 1 !received
+
+let test_net_flood_survives_heavy_link_loss () =
+  let topo, _ = T.wide_area_east_coast () in
+  let engine, net = make_net topo in
+  let received = ref 0 in
+  N.set_handler net 9 (fun _ -> incr received);
+  (* Kill several WAN links; flooding still finds a way while the graph
+     stays connected. *)
+  N.kill_link net 0 3;
+  N.kill_link net 0 6;
+  N.kill_link net 0 8;
+  N.send net ~src:0 ~dst:9 ~mode:N.Flood (Ping 1);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "delivered" 1 !received
+
+let test_net_node_down_no_delivery () =
+  let topo = diamond () in
+  let engine, net = make_net topo in
+  let received = ref 0 in
+  N.set_handler net 3 (fun _ -> incr received);
+  N.kill_node net 3;
+  N.send net ~src:0 ~dst:3 ~mode:N.Shortest (Ping 1);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "nothing delivered" 0 !received
+
+let test_net_junk_does_not_reach_handlers () =
+  let topo = diamond () in
+  let engine, net = make_net topo in
+  let received = ref 0 in
+  N.set_handler net 3 (fun _ -> incr received);
+  N.inject_junk net ~src:0 ~dst:3 ~size_bytes:10_000
+    ~priority:FQ.Bulk;
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "junk invisible" 0 !received;
+  Alcotest.(check int) "junk counted" 1 (N.stats net).N.junk_frames
+
+let test_net_control_priority_beats_junk_flood () =
+  (* A bulk-class junk flood on the direct link must not starve control
+     traffic: control jumps the queue. *)
+  let t = T.create ~nodes:2 in
+  (* Slow link so that queueing matters: 10 KB/s. *)
+  T.add_link t ~a:0 ~b:1 ~latency_us:100 ~bandwidth_bps:10_000;
+  let engine, net = make_net t in
+  let delivered_at = ref (-1) in
+  N.set_handler net 1 (fun d -> delivered_at := d.N.delivered_us);
+  (* 50 junk frames of 1000 bytes: 100ms of serialisation each. *)
+  for _ = 1 to 50 do
+    N.inject_junk net ~src:0 ~dst:1 ~size_bytes:1_000 ~priority:FQ.Bulk
+  done;
+  N.send net ~src:0 ~dst:1 ~size_bytes:100 ~mode:N.Shortest (Ping 1);
+  Sim.Engine.run_until_quiescent engine;
+  (* The control frame waits at most for the junk frame already being
+     transmitted (~100ms), never the whole backlog (~5s). *)
+  Alcotest.(check bool) "delivered" true (!delivered_at >= 0);
+  Alcotest.(check bool) "control jumped the queue" true (!delivered_at < 350_000)
+
+let test_net_latency_factor () =
+  let t = T.create ~nodes:2 in
+  T.add_link t ~a:0 ~b:1 ~latency_us:1_000 ~bandwidth_bps:1_000_000;
+  let engine, net = make_net t in
+  let lat = ref 0 in
+  N.set_handler net 1 (fun d -> lat := d.N.delivered_us - d.N.sent_us);
+  N.set_latency_factor net 0 1 10.;
+  N.send net ~src:0 ~dst:1 ~mode:N.Shortest (Ping 1);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check bool) "10x latency" true (!lat >= 10_000)
+
+let test_net_lossy_link_arq_recovers () =
+  (* 30% loss: hop-by-hop ARQ retransmits and every frame arrives. *)
+  let t = T.create ~nodes:2 in
+  T.add_link t ~a:0 ~b:1 ~latency_us:1_000 ~bandwidth_bps:1_000_000;
+  let engine, net = make_net t in
+  N.set_loss_probability net 0 1 0.3;
+  let received = ref 0 in
+  N.set_handler net 1 (fun _ -> incr received);
+  for i = 1 to 100 do
+    ignore
+      (Sim.Engine.schedule_at engine ~time_us:(i * 50_000) (fun () ->
+           N.send net ~src:0 ~dst:1 ~mode:N.Shortest (Ping i))
+        : Sim.Engine.timer)
+  done;
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "all delivered despite loss" 100 !received;
+  Alcotest.(check bool) "retransmissions happened" true
+    (N.retransmissions net > 10)
+
+let test_net_loss_probability_validation () =
+  let t = T.create ~nodes:2 in
+  T.add_link t ~a:0 ~b:1 ~latency_us:1_000 ~bandwidth_bps:1_000_000;
+  let _, net = make_net t in
+  Alcotest.check_raises "p = 1 rejected"
+    (Invalid_argument "Net.set_loss_probability: need 0 <= p < 1") (fun () ->
+      N.set_loss_probability net 0 1 1.0)
+
+let test_net_loss_adds_latency_not_loss () =
+  let t = T.create ~nodes:2 in
+  T.add_link t ~a:0 ~b:1 ~latency_us:2_000 ~bandwidth_bps:1_000_000;
+  let engine, net = make_net t in
+  N.set_loss_probability net 0 1 0.5;
+  let latencies = ref [] in
+  N.set_handler net 1 (fun d ->
+      latencies := (d.N.delivered_us - d.N.sent_us) :: !latencies);
+  for i = 1 to 50 do
+    ignore
+      (Sim.Engine.schedule_at engine ~time_us:(i * 100_000) (fun () ->
+           N.send net ~src:0 ~dst:1 ~mode:N.Shortest (Ping i)))
+  done;
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "all delivered" 50 (List.length !latencies);
+  (* Some frames needed retries: their latency includes ARQ round trips. *)
+  Alcotest.(check bool) "some retried frames are slower" true
+    (List.exists (fun l -> l >= 6_000) !latencies)
+
+let test_net_self_send () =
+  let topo = diamond () in
+  let engine, net = make_net topo in
+  let received = ref 0 in
+  N.set_handler net 0 (fun _ -> incr received);
+  N.send net ~src:0 ~dst:0 ~mode:N.Shortest (Ping 1);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "self delivery" 1 !received
+
+let () =
+  Alcotest.run "overlay"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "full mesh" `Quick test_full_mesh;
+          Alcotest.test_case "duplicate link" `Quick test_duplicate_link_rejected;
+          Alcotest.test_case "self link" `Quick test_self_link_rejected;
+          Alcotest.test_case "multi-site" `Quick test_multi_site_structure;
+          Alcotest.test_case "east coast" `Quick test_east_coast_topology;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "shortest path" `Quick
+            test_shortest_path_picks_fast_route;
+          Alcotest.test_case "avoids unusable" `Quick
+            test_shortest_path_avoids_unusable;
+          Alcotest.test_case "unreachable" `Quick test_shortest_path_unreachable;
+          Alcotest.test_case "path latency" `Quick test_path_latency;
+          Alcotest.test_case "disjoint paths" `Quick test_disjoint_paths;
+          Alcotest.test_case "east coast redundancy" `Quick
+            test_max_disjoint_east_coast;
+        ] );
+      ( "fair_queue",
+        [
+          Alcotest.test_case "priority" `Quick test_fair_queue_priority;
+          Alcotest.test_case "round robin" `Quick test_fair_queue_round_robin;
+          Alcotest.test_case "cap drops" `Quick test_fair_queue_cap_drops;
+          QCheck_alcotest.to_alcotest prop_fair_queue_conserves_items;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "unicast latency" `Quick test_net_unicast_latency;
+          Alcotest.test_case "reroute after kill" `Quick
+            test_net_reroutes_after_link_kill;
+          Alcotest.test_case "redundant survives kill" `Quick
+            test_net_redundant_survives_path_kill_in_flight;
+          Alcotest.test_case "redundant dedups" `Quick test_net_redundant_dedups;
+          Alcotest.test_case "flood reaches" `Quick test_net_flood_reaches_all;
+          Alcotest.test_case "flood survives link loss" `Quick
+            test_net_flood_survives_heavy_link_loss;
+          Alcotest.test_case "node down" `Quick test_net_node_down_no_delivery;
+          Alcotest.test_case "junk invisible" `Quick
+            test_net_junk_does_not_reach_handlers;
+          Alcotest.test_case "control beats junk flood" `Quick
+            test_net_control_priority_beats_junk_flood;
+          Alcotest.test_case "latency factor" `Quick test_net_latency_factor;
+          Alcotest.test_case "lossy link ARQ" `Quick test_net_lossy_link_arq_recovers;
+          Alcotest.test_case "loss validation" `Quick
+            test_net_loss_probability_validation;
+          Alcotest.test_case "loss becomes latency" `Quick
+            test_net_loss_adds_latency_not_loss;
+          Alcotest.test_case "self send" `Quick test_net_self_send;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* Unit and property tests for the simulation engine. *)
+
+let test_schedule_ordering () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  ignore (Sim.Engine.schedule e ~delay_us:30 (fun () -> order := 3 :: !order));
+  ignore (Sim.Engine.schedule e ~delay_us:10 (fun () -> order := 1 :: !order));
+  ignore (Sim.Engine.schedule e ~delay_us:20 (fun () -> order := 2 :: !order));
+  Sim.Engine.run_until_quiescent e;
+  Alcotest.(check (list int)) "timestamp order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_same_time_fifo () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Engine.schedule e ~delay_us:100 (fun () -> order := i :: !order))
+  done;
+  Sim.Engine.run_until_quiescent e;
+  Alcotest.(check (list int)) "insertion order at equal time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_clock_advances () =
+  let e = Sim.Engine.create () in
+  let seen = ref (-1) in
+  ignore (Sim.Engine.schedule e ~delay_us:500 (fun () -> seen := Sim.Engine.now e));
+  Sim.Engine.run e ~until_us:1_000;
+  Alcotest.(check int) "callback saw its own time" 500 !seen;
+  Alcotest.(check int) "clock at horizon" 1_000 (Sim.Engine.now e)
+
+let test_run_until_horizon_only () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  ignore (Sim.Engine.schedule e ~delay_us:2_000 (fun () -> fired := true));
+  Sim.Engine.run e ~until_us:1_000;
+  Alcotest.(check bool) "not yet fired" false !fired;
+  Sim.Engine.run e ~until_us:3_000;
+  Alcotest.(check bool) "fired" true !fired
+
+let test_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let timer = Sim.Engine.schedule e ~delay_us:100 (fun () -> fired := true) in
+  Sim.Engine.cancel timer;
+  Sim.Engine.run_until_quiescent e;
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_periodic () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let timer = Sim.Engine.periodic e ~interval_us:100 (fun () -> incr count) in
+  Sim.Engine.run e ~until_us:550;
+  Alcotest.(check int) "five firings" 5 !count;
+  Sim.Engine.cancel timer;
+  Sim.Engine.run e ~until_us:2_000;
+  Alcotest.(check int) "no more after cancel" 5 !count
+
+let test_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let times = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~delay_us:10 (fun () ->
+         times := Sim.Engine.now e :: !times;
+         ignore
+           (Sim.Engine.schedule e ~delay_us:10 (fun () ->
+                times := Sim.Engine.now e :: !times))));
+  Sim.Engine.run_until_quiescent e;
+  Alcotest.(check (list int)) "nested times" [ 10; 20 ] (List.rev !times)
+
+let test_schedule_at_past_clamps () =
+  let e = Sim.Engine.create () in
+  let fired_at = ref (-1) in
+  ignore
+    (Sim.Engine.schedule e ~delay_us:100 (fun () ->
+         ignore
+           (Sim.Engine.schedule_at e ~time_us:50 (fun () ->
+                fired_at := Sim.Engine.now e))));
+  Sim.Engine.run_until_quiescent e;
+  Alcotest.(check int) "clamped to now" 100 !fired_at
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Sim.Rng.create 7L and b = Sim.Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.next_int64 a)
+      (Sim.Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let root = Sim.Rng.create 7L in
+  let a = Sim.Rng.split root in
+  let b = Sim.Rng.split root in
+  Alcotest.(check bool) "split streams differ" true
+    (Sim.Rng.next_int64 a <> Sim.Rng.next_int64 b)
+
+let test_rng_bounds () =
+  let r = Sim.Rng.create 3L in
+  for _ = 1 to 1_000 do
+    let x = Sim.Rng.int r 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let f = Sim.Rng.float r 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 2.5)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let r = Sim.Rng.create 9L in
+  Alcotest.(check bool) "p=0 never" false (Sim.Rng.bernoulli r 0.);
+  Alcotest.(check bool) "p=1 always" true (Sim.Rng.bernoulli r 1.)
+
+let test_rng_exponential_positive () =
+  let r = Sim.Rng.create 11L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "exp >= 0" true (Sim.Rng.exponential r ~mean:5. >= 0.)
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Sim.Rng.create 13L in
+  let arr = Array.init 20 Fun.id in
+  Sim.Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 20 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Event heap *)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"event heap pops in time order"
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Sim.Event_heap.create () in
+      List.iteri (fun i time -> Sim.Event_heap.push h ~time i) times;
+      let rec drain prev =
+        match Sim.Event_heap.pop h with
+        | None -> true
+        | Some (time, _) -> time >= prev && drain time
+      in
+      drain min_int)
+
+let prop_heap_stable_at_equal_times =
+  QCheck.Test.make ~name:"equal timestamps pop in insertion order"
+    QCheck.(int_range 1 50)
+    (fun count ->
+      let h = Sim.Event_heap.create () in
+      for i = 0 to count - 1 do
+        Sim.Event_heap.push h ~time:42 i
+      done;
+      let rec drain expected =
+        match Sim.Event_heap.pop h with
+        | None -> expected = count
+        | Some (_, v) -> v = expected && drain (expected + 1)
+      in
+      drain 0)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "schedule ordering" `Quick test_schedule_ordering;
+          Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "run horizon" `Quick test_run_until_horizon_only;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "periodic" `Quick test_periodic;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "schedule_at clamps" `Quick
+            test_schedule_at_past_clamps;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick
+            test_rng_bernoulli_extremes;
+          Alcotest.test_case "exponential positive" `Quick
+            test_rng_exponential_positive;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_rng_shuffle_permutation;
+        ] );
+      ( "event_heap",
+        [
+          QCheck_alcotest.to_alcotest prop_heap_sorted;
+          QCheck_alcotest.to_alcotest prop_heap_stable_at_equal_times;
+        ] );
+    ]
