@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every table and figure of the
-   reconstructed evaluation (experiments E1..E9, see DESIGN.md), plus
+   reconstructed evaluation (experiments E1..E10, see DESIGN.md), plus
    Bechamel microbenchmarks of the performance-critical primitives.
 
    Usage:
@@ -424,6 +424,98 @@ let e9 () =
      removing either lets compromises accumulate past f"
 
 (* ------------------------------------------------------------------ *)
+(* E10: chaos soak — random fault schedules vs the runtime oracles      *)
+
+let e10 () =
+  section "E10"
+    "Chaos soak: seeded random fault schedules under runtime safety/liveness \
+     oracles";
+  let seeds = if scale_full then 50 else 12 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "%d seeded within-budget schedules (<= f Byzantine, <= k down, \
+            quorum preserved); every oracle must stay green"
+           seeds)
+      ~columns:
+        [
+          "seed";
+          "faults";
+          "confirmed";
+          "min avail";
+          "worst ms";
+          "baseline p50";
+          "post p50";
+          "result";
+        ]
+  in
+  let dirty = ref 0 in
+  for i = 1 to seeds do
+    let seed = Int64.of_int ((i * 104_729) + 7) in
+    let r = Chaos.Harness.soak ~seed () in
+    if not (Chaos.Harness.clean r) then begin
+      incr dirty;
+      Format.printf "%a@." Chaos.Harness.pp_report r
+    end;
+    Stats.Table.add_row table
+      [
+        Int64.to_string seed;
+        string_of_int (List.length r.Chaos.Harness.schedule.Chaos.Schedule.events);
+        string_of_int r.Chaos.Harness.confirmed;
+        string_of_int r.Chaos.Harness.min_available;
+        Printf.sprintf "%.0f" r.Chaos.Harness.worst_latency_ms;
+        Printf.sprintf "%.1f" r.Chaos.Harness.baseline_p50_ms;
+        Printf.sprintf "%.1f" r.Chaos.Harness.post_p50_ms;
+        (if Chaos.Harness.clean r then "CLEAN"
+         else
+           String.concat ","
+             (List.map fst (Chaos.Harness.failures r)));
+      ]
+  done;
+  Stats.Table.print table;
+  (* Non-vacuousness: an over-budget schedule (f + k + 1 simultaneous
+     crashes) must both fail validation and trip the quorum watchdog
+     when forced through anyway. *)
+  let over =
+    Chaos.Schedule.
+      {
+        horizon_us = 3_000_000;
+        events =
+          [
+            {
+              at_us = 200_000;
+              fault = Crash_restart { replica = 0; down_us = 2_000_000 };
+            };
+            {
+              at_us = 200_000;
+              fault = Crash_restart { replica = 2; down_us = 2_000_000 };
+            };
+            {
+              at_us = 200_000;
+              fault = Crash_restart { replica = 4; down_us = 2_000_000 };
+            };
+          ];
+      }
+  in
+  let sys = Spire.System.create (Spire.System.default_config ()) in
+  let profile = Chaos.Injector.profile_of_system sys in
+  let budget = Chaos.Schedule.budget_of_quorum profile.Chaos.Schedule.quorum in
+  (match Chaos.Schedule.validate ~profile ~budget over with
+  | Ok () -> Printf.printf "  over-budget schedule WRONGLY validated\n"
+  | Error m -> Printf.printf "  validator rejects over-budget schedule: %s\n" m);
+  let r = Chaos.Harness.run ~seed:424_242L ~schedule:over () in
+  List.iter
+    (fun (name, v) ->
+      Format.printf "  forced anyway: %-10s %a@." name Oracle.Verdict.pp v)
+    r.Chaos.Harness.verdicts;
+  shape
+    "%d/%d within-budget schedules clean; failing seeds reproduce the exact \
+     run; 3 simultaneous crashes drop availability below the 2f+k+1 quorum \
+     and the watchdog latches"
+    (seeds - !dirty) seeds
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 
 let microbenches () =
@@ -534,7 +626,7 @@ let () =
   let experiments =
     [
       ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-      ("E6B", e6b); ("E7", e7); ("E8", e8); ("E9", e9);
+      ("E6B", e6b); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
     ]
   in
   List.iter (fun (id, f) -> if enabled id then f ()) experiments;

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Pre-commit check: tier-1 build + test suites, then a quick chaos soak
+# (5 seeded within-budget schedules; every oracle must stay green).
+set -e
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec dev/debug_chaos.exe -- 5
+
+echo "check.sh: all green"

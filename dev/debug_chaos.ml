@@ -1,0 +1,29 @@
+(* Quick chaos-harness driver: run N seeded soaks, print every report
+   that is not clean (plus the first clean one for eyeballing). Usage:
+     dune exec dev/debug_chaos.exe -- [count] [first_seed]   *)
+
+let () =
+  let count =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 10
+  in
+  let first =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1
+  in
+  let t0 = Unix.gettimeofday () in
+  let dirty = ref 0 in
+  for i = first to first + count - 1 do
+    let seed = Int64.of_int (i * 1_000_003) in
+    let r = Chaos.Harness.soak ~seed () in
+    if not (Chaos.Harness.clean r) then begin
+      incr dirty;
+      Format.printf "%a@." Chaos.Harness.pp_report r
+    end
+    else if i = first then Format.printf "%a@." Chaos.Harness.pp_report r
+    else
+      Format.printf "seed %Ld: clean (%d faults, %d confirmed, worst %.0fms)@."
+        seed
+        (List.length r.Chaos.Harness.schedule.Chaos.Schedule.events)
+        r.Chaos.Harness.confirmed r.Chaos.Harness.worst_latency_ms
+  done;
+  Format.printf "%d/%d dirty, %.1fs wall@." !dirty count
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,35 @@
+(* Bisect a dirty chaos schedule: rerun every subset of its events and
+   report the minimal subsets that still violate an oracle.
+   Usage: dune exec dev/debug_chaos2.exe -- <seed-int> *)
+
+let () =
+  let seed_int =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 9000027
+  in
+  let seed = Int64.of_int seed_int in
+  let full = Chaos.Harness.soak ~seed () in
+  Format.printf "full run:@.%a@." Chaos.Harness.pp_report full;
+  let events = Array.of_list full.Chaos.Harness.schedule.Chaos.Schedule.events in
+  let horizon = full.Chaos.Harness.schedule.Chaos.Schedule.horizon_us in
+  let m = Array.length events in
+  let dirty_masks = ref [] in
+  for mask = 1 to (1 lsl m) - 1 do
+    let subset =
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list events)
+    in
+    let schedule = { Chaos.Schedule.horizon_us = horizon; events = subset } in
+    let r = Chaos.Harness.run ~seed ~schedule () in
+    if not (Chaos.Harness.clean r) then dirty_masks := (mask, r) :: !dirty_masks
+  done;
+  (* Print minimal dirty subsets (no dirty strict subset). *)
+  let masks = List.map fst !dirty_masks in
+  List.iter
+    (fun (mask, r) ->
+      let strictly_within other = other land mask = other && other <> mask in
+      if not (List.exists strictly_within masks) then begin
+        Format.printf "@.MINIMAL dirty subset (mask %d):@." mask;
+        Format.printf "%a@." Chaos.Harness.pp_report r
+      end)
+    !dirty_masks;
+  Format.printf "%d/%d subsets dirty@." (List.length !dirty_masks)
+    ((1 lsl m) - 1)

@@ -1,0 +1,210 @@
+type config = {
+  system : Spire.System.config;
+  budget : Schedule.budget option;
+  baseline_us : int;
+  turbulence_us : int;
+  settle_us : int;
+  post_us : int;
+  inflight_guard_us : int;
+  sample_interval_us : int;
+  calm_bound_ms : float;
+  turbulent_bound_ms : float;
+  recovery_factor : float;
+  recovery_slack_ms : float;
+}
+
+let default_config () =
+  {
+    system =
+      { (Spire.System.default_config ()) with Spire.System.substations = 3 };
+    budget = None;
+    baseline_us = 3_000_000;
+    turbulence_us = 6_000_000;
+    (* Settle must outlast the worst client resubmission chain: an
+       update lost twice during turbulence retries under exponential
+       backoff (2 s then 4 s), and per-client FIFO successors drain
+       only once the head confirms — up to ~4 s after the last fault
+       heals. *)
+    settle_us = 4_500_000;
+    post_us = 4_000_000;
+    inflight_guard_us = 1_000_000;
+    sample_interval_us = 100_000;
+    calm_bound_ms = 250.;
+    turbulent_bound_ms = 20_000.;
+    recovery_factor = 3.;
+    recovery_slack_ms = 10.;
+  }
+
+type report = {
+  seed : int64;
+  schedule : Schedule.t;
+  verdicts : (string * Oracle.Verdict.t) list;
+  submitted : int;
+  confirmed : int;
+  baseline_p50_ms : float;
+  post_p50_ms : float;
+  min_available : int;
+  worst_latency_ms : float;
+  agreement_checks : int;
+}
+
+let clean r = List.for_all (fun (_, v) -> Oracle.Verdict.is_pass v) r.verdicts
+
+let failures r =
+  List.filter (fun (_, v) -> not (Oracle.Verdict.is_pass v)) r.verdicts
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>chaos report (seed %Ld): %s@,%a@,\
+     submitted %d, confirmed %d; baseline p50 %.1fms, post-heal p50 %.1fms; \
+     min quorum availability %d; worst latency %.1fms@,"
+    r.seed
+    (if clean r then "CLEAN" else "VIOLATIONS")
+    Schedule.pp r.schedule r.submitted r.confirmed r.baseline_p50_ms
+    r.post_p50_ms r.min_available r.worst_latency_ms;
+  List.iter
+    (fun (name, v) ->
+      Format.fprintf ppf "  %-10s %a@," name Oracle.Verdict.pp v)
+    r.verdicts;
+  Format.fprintf ppf "@]"
+
+(* Availability as the quorum watchdog defines it: correct (no fault
+   knob set), process up, and overlay daemon reachable. *)
+let available_count sys =
+  let n = Spire.System.replica_count sys in
+  let net = Spire.System.net sys in
+  List.length
+    (List.filter
+       (fun r ->
+         let f = Spire.System.faults sys r in
+         (not f.Bft.Faults.crashed)
+         && (not (Bft.Faults.is_byzantine f))
+         && Overlay.Net.node_alive net (Spire.System.node_of_replica sys r))
+       (List.init n Fun.id))
+
+let correct_replicas sys =
+  let n = Spire.System.replica_count sys in
+  List.filter
+    (fun r ->
+      let f = Spire.System.faults sys r in
+      (not f.Bft.Faults.crashed) && not (Bft.Faults.is_byzantine f))
+    (List.init n Fun.id)
+
+let execute cfg ~seed sys (schedule : Schedule.t) =
+  let engine = Spire.System.engine sys in
+  let turb_start = cfg.baseline_us in
+  let heal_us = turb_start + schedule.Schedule.horizon_us in
+  let calm_start = heal_us + cfg.settle_us in
+  let end_us = calm_start + cfg.post_us in
+  (* Submissions inside [turb_window] are held to the relaxed bound:
+     the guard also covers updates already in flight when the first
+     fault lands. *)
+  let turbulent_from = turb_start - cfg.inflight_guard_us in
+  let agreement = Oracle.Agreement.create () in
+  let quorum_watch =
+    Oracle.Quorum_watch.create ~quorum:cfg.system.Spire.System.quorum
+  in
+  let sla =
+    Oracle.Sla.create ~turbulent_bound_ms:cfg.turbulent_bound_ms
+      ~calm_bound_ms:cfg.calm_bound_ms
+  in
+  let baseline_hist = Stats.Histogram.create () in
+  let post_hist = Stats.Histogram.create () in
+  let series = Spire.System.latency_series sys in
+  let drained = ref 0 in
+  let drain_series () =
+    let samples = Stats.Timeseries.to_list series in
+    let fresh = List.filteri (fun i _ -> i >= !drained) samples in
+    drained := List.length samples;
+    List.iter
+      (fun (confirmed_us, latency_ms) ->
+        let submitted_us = confirmed_us - int_of_float (latency_ms *. 1000.) in
+        let turbulent =
+          submitted_us >= turbulent_from && submitted_us < calm_start
+        in
+        Oracle.Sla.set_phase sla
+          (if turbulent then Oracle.Sla.Turbulent else Oracle.Sla.Calm);
+        Oracle.Sla.observe sla ~time_us:confirmed_us ~latency_ms;
+        if submitted_us < turbulent_from then
+          Stats.Histogram.add baseline_hist latency_ms
+        else if submitted_us >= calm_start then
+          Stats.Histogram.add post_hist latency_ms)
+      fresh
+  in
+  let sample () =
+    let now = Sim.Engine.now engine in
+    let correct = correct_replicas sys in
+    Oracle.Agreement.observe agreement
+      ~logs:(List.map (fun r -> (r, Spire.System.exec_log sys r)) correct)
+      ~states:
+        (List.map
+           (fun r ->
+             let m = Spire.System.master sys r in
+             (r, Scada.Master.applied_count m, Scada.Master.state_digest m))
+           correct);
+    Oracle.Quorum_watch.observe quorum_watch ~time_us:now
+      ~available:(available_count sys);
+    drain_series ()
+  in
+  ignore
+    (Sim.Engine.periodic engine ~interval_us:cfg.sample_interval_us sample
+      : Sim.Engine.timer);
+  Injector.apply sys ~offset_us:turb_start schedule;
+  Spire.System.start sys;
+  Spire.System.run sys ~duration_us:end_us;
+  sample ();
+  (* Post-heal recovery: service resumed and latency back near the
+     fault-free baseline. Expect at least a third of the calm-window
+     polls to have confirmed. *)
+  let min_confirmed =
+    cfg.system.Spire.System.substations * cfg.post_us
+    / cfg.system.Spire.System.poll_interval_us
+    / 3
+  in
+  let recovery =
+    Oracle.Recovery_check.check ~factor:cfg.recovery_factor
+      ~slack_ms:cfg.recovery_slack_ms ~min_confirmed ~baseline:baseline_hist
+      ~post:post_hist
+  in
+  {
+    seed;
+    schedule;
+    verdicts =
+      [
+        ("agreement", Oracle.Agreement.verdict agreement);
+        ("sla", Oracle.Sla.verdict sla);
+        ("quorum", Oracle.Quorum_watch.verdict quorum_watch);
+        ("recovery", recovery.Oracle.Recovery_check.verdict);
+      ];
+    submitted = Spire.System.submitted_updates sys;
+    confirmed = Spire.System.confirmed_updates sys;
+    baseline_p50_ms = recovery.Oracle.Recovery_check.baseline_p50_ms;
+    post_p50_ms = recovery.Oracle.Recovery_check.post_p50_ms;
+    min_available = Oracle.Quorum_watch.min_available quorum_watch;
+    worst_latency_ms = Oracle.Sla.worst_ms sla;
+    agreement_checks = Oracle.Agreement.checks agreement;
+  }
+
+let build_system cfg ~seed =
+  Spire.System.create { cfg.system with Spire.System.seed }
+
+let run ?(config = default_config ()) ~seed ~schedule () =
+  execute config ~seed (build_system config ~seed) schedule
+
+let soak ?(config = default_config ()) ~seed () =
+  let sys = build_system config ~seed in
+  let profile = Injector.profile_of_system sys in
+  let budget =
+    match config.budget with
+    | Some b -> b
+    | None -> Schedule.budget_of_quorum profile.Schedule.quorum
+  in
+  let schedule =
+    Schedule.generate ~profile ~budget
+      ~seed:(Int64.logxor seed 0x5EEDFACEL)
+      ~horizon_us:config.turbulence_us
+  in
+  (match Schedule.validate ~profile ~budget schedule with
+  | Ok () -> ()
+  | Error msg -> failwith ("Chaos.Harness.soak: generator emitted " ^ msg));
+  execute config ~seed sys schedule

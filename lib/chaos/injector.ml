@@ -1,0 +1,103 @@
+let profile_of_system sys =
+  let n = Spire.System.replica_count sys in
+  let quorum = (Spire.System.config sys).Spire.System.quorum in
+  let topo = Overlay.Net.topology (Spire.System.net sys) in
+  let site_ids =
+    List.sort_uniq compare
+      (List.init n (fun r -> Spire.System.site_of_replica sys r))
+  in
+  let sites =
+    List.map
+      (fun s ->
+        ( s,
+          List.filter
+            (fun r -> Spire.System.site_of_replica sys r = s)
+            (List.init n Fun.id) ))
+      site_ids
+  in
+  let wan_links =
+    List.filter_map
+      (fun l ->
+        let a = l.Overlay.Topology.endpoint_a
+        and b = l.Overlay.Topology.endpoint_b in
+        if
+          a < n && b < n
+          && Overlay.Topology.site_of topo a <> Overlay.Topology.site_of topo b
+        then Some (a, b)
+        else None)
+      (Overlay.Topology.links topo)
+  in
+  { Schedule.n; quorum; sites; wan_links }
+
+let ramp_steps = 4
+
+let at sys time_us f =
+  ignore
+    (Sim.Engine.schedule_at (Spire.System.engine sys) ~time_us f
+      : Sim.Engine.timer)
+
+let inject_fault sys ~start_us (fault : Schedule.fault) =
+  let net = Spire.System.net sys in
+  let ends_us = start_us + Schedule.duration_us fault in
+  match fault with
+  | Schedule.Link_flap { a; b; _ } ->
+    at sys start_us (fun () -> Overlay.Net.kill_link net a b);
+    at sys ends_us (fun () -> Overlay.Net.restore_link net a b)
+  | Schedule.Daemon_churn { replica; _ } ->
+    at sys start_us (fun () ->
+        Overlay.Net.kill_node net (Spire.System.node_of_replica sys replica));
+    at sys ends_us (fun () ->
+        Overlay.Net.restore_node net (Spire.System.node_of_replica sys replica))
+  | Schedule.Partition_site { site; _ } ->
+    at sys start_us (fun () -> Spire.System.isolate_site sys site);
+    at sys ends_us (fun () -> Spire.System.reconnect_site sys site)
+  | Schedule.Loss_ramp { a; b; peak; ramp_us; _ } ->
+    for i = 1 to ramp_steps do
+      at sys
+        (start_us + (i * ramp_us / ramp_steps))
+        (fun () ->
+          Overlay.Net.set_loss_probability net a b
+            (peak *. float_of_int i /. float_of_int ramp_steps))
+    done;
+    at sys ends_us (fun () -> Overlay.Net.set_loss_probability net a b 0.)
+  | Schedule.Latency_ramp { a; b; peak_factor; ramp_us; _ } ->
+    for i = 1 to ramp_steps do
+      at sys
+        (start_us + (i * ramp_us / ramp_steps))
+        (fun () ->
+          let frac = float_of_int i /. float_of_int ramp_steps in
+          Overlay.Net.set_latency_factor net a b
+            (1. +. ((peak_factor -. 1.) *. frac)))
+    done;
+    at sys ends_us (fun () -> Overlay.Net.set_latency_factor net a b 1.)
+  | Schedule.Crash_restart { replica; _ } ->
+    at sys start_us (fun () -> Spire.System.crash_replica sys replica);
+    at sys ends_us (fun () -> Spire.System.restore_replica sys replica)
+  | Schedule.Silence { replica; _ } ->
+    at sys start_us (fun () ->
+        (Spire.System.faults sys replica).Bft.Faults.silent <- true);
+    at sys ends_us (fun () ->
+        (Spire.System.faults sys replica).Bft.Faults.silent <- false)
+  | Schedule.Clock_skew { replica; delay_us; _ } ->
+    at sys start_us (fun () ->
+        (Spire.System.faults sys replica).Bft.Faults.proposal_delay_us <-
+          delay_us);
+    at sys ends_us (fun () ->
+        (Spire.System.faults sys replica).Bft.Faults.proposal_delay_us <- 0)
+  | Schedule.Message_delay { replica; factor; _ } ->
+    let node = Spire.System.node_of_replica sys replica in
+    let topo = Overlay.Net.topology net in
+    let set f =
+      List.iter
+        (fun w -> Overlay.Net.set_latency_factor net node w f)
+        (Overlay.Topology.neighbors topo node)
+    in
+    at sys start_us (fun () -> set factor);
+    at sys ends_us (fun () -> set 1.)
+
+let apply sys ~offset_us (schedule : Schedule.t) =
+  List.iter
+    (fun ev ->
+      inject_fault sys ~start_us:(offset_us + ev.Schedule.at_us)
+        ev.Schedule.fault)
+    schedule.Schedule.events

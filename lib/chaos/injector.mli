@@ -1,0 +1,17 @@
+(** Applies a {!Schedule} to a running {!Spire.System}.
+
+    Every fault is translated into engine events against the system's
+    existing injection surface: overlay kill/restore/degrade hooks,
+    replica fault knobs, site isolation, and crash/restore with state
+    transfer. Injection is itself deterministic — the schedule plus the
+    system seed reproduce a run exactly. *)
+
+(** [profile_of_system sys] derives the generator/validator profile
+    (replica sites and inter-site links) from a built system. *)
+val profile_of_system : Spire.System.t -> Schedule.profile
+
+(** [apply sys ~offset_us schedule] arms every fault of [schedule],
+    shifted by [offset_us] of virtual time (the chaos harness runs a
+    fault-free baseline first). Call before or during the run; events
+    in the past fire immediately. *)
+val apply : Spire.System.t -> offset_us:int -> Schedule.t -> unit

@@ -116,6 +116,16 @@ let exec_log t r =
   | Prime_replica p -> Prime.Replica.exec_log p
   | Pbft_replica p -> Pbft.Replica.exec_log p
 
+let last_applied_of t r =
+  match t.replicas.(r) with
+  | Prime_replica p -> Prime.Replica.last_applied p
+  | Pbft_replica p -> Bft.Exec_log.length (Pbft.Replica.exec_log p)
+
+let applied_matrix_digest_of t r seq =
+  match t.replicas.(r) with
+  | Prime_replica p -> Prime.Replica.applied_matrix_digest p seq
+  | Pbft_replica _ -> None
+
 let current_leader t =
   (* Leader of the median view among live replicas. *)
   let views =
@@ -307,8 +317,18 @@ let resync_replica t r =
     in
     (match Recovery.State_transfer.select ~f:t.cfg.quorum.Bft.Quorum.f source with
     | Recovery.State_transfer.Installed (snap, master) ->
-      Prime.Replica.install_snapshot prime snap;
-      t.masters.(r) <- master
+      (* Install only a strictly newer snapshot. Re-installing our own
+         (or an equal) state is not a harmless no-op: it discards
+         committed-but-unapplied slots and pre-order bodies, and a
+         leader doing it re-proposes sequence numbers that other
+         replicas may already hold committed — a safety hazard. *)
+      if
+        snap.Prime.Replica.snap_exec_count
+        > Bft.Exec_log.length (Prime.Replica.exec_log prime)
+      then begin
+        Prime.Replica.install_snapshot prime snap;
+        t.masters.(r) <- master
+      end
     | Recovery.State_transfer.No_quorum _ ->
       (* Rare: peers disagree transiently; rejoin from live traffic and
          catch up through slot requests / checkpoints. *)

@@ -81,6 +81,17 @@ val view_of : t -> Bft.Types.replica -> Bft.Types.view
 val current_leader : t -> Bft.Types.replica
 
 val exec_log : t -> Bft.Types.replica -> Bft.Exec_log.t
+
+(** [last_applied_of t r] — highest ordered slot replica [r] has applied
+    (equals executed count for PBFT; for Prime, ordered slots can run
+    ahead of executed updates while bodies are still being fetched). *)
+val last_applied_of : t -> Bft.Types.replica -> int
+
+(** [applied_matrix_digest_of t r seq] — digest of the summary matrix
+    replica [r] applied at ordered slot [seq], if still retained
+    (Prime only; [None] for PBFT or garbage-collected slots). *)
+val applied_matrix_digest_of :
+  t -> Bft.Types.replica -> Bft.Types.seqno -> Cryptosim.Digest.t option
 val node_of_replica : t -> Bft.Types.replica -> Overlay.Topology.node
 val node_of_client : t -> Bft.Types.client -> Overlay.Topology.node
 val site_of_replica : t -> Bft.Types.replica -> Overlay.Topology.site

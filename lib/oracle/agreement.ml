@@ -1,0 +1,46 @@
+type t = { mutable verdict : Verdict.t; mutable checks : int }
+
+let create () = { verdict = Verdict.pass; checks = 0 }
+let verdict t = t.verdict
+let checks t = t.checks
+
+let check_logs logs =
+  let rec pairwise = function
+    | [] | [ _ ] -> Verdict.pass
+    | (r0, l0) :: rest ->
+      let bad =
+        List.find_opt (fun (_, li) -> not (Bft.Exec_log.prefix_equal l0 li)) rest
+      in
+      (match bad with
+      | Some (ri, li) ->
+        Verdict.failf
+          "exec-log divergence: replicas %d (len %d) and %d (len %d) are not \
+           prefix-compatible"
+          r0 (Bft.Exec_log.length l0) ri (Bft.Exec_log.length li)
+      | None -> pairwise rest)
+  in
+  pairwise logs
+
+let check_states states =
+  let rec scan = function
+    | [] | [ _ ] -> Verdict.pass
+    | (r0, n0, d0) :: rest ->
+      let bad =
+        List.find_opt
+          (fun (_, ni, di) -> ni = n0 && not (Cryptosim.Digest.equal d0 di))
+          rest
+      in
+      (match bad with
+      | Some (ri, _, _) ->
+        Verdict.failf
+          "application-state divergence: replicas %d and %d applied %d \
+           updates each but hold different state digests"
+          r0 ri n0
+      | None -> scan rest)
+  in
+  scan states
+
+let observe t ~logs ~states =
+  t.checks <- t.checks + 1;
+  if Verdict.is_pass t.verdict then
+    t.verdict <- Verdict.combine [ check_logs logs; check_states states ]

@@ -1,0 +1,44 @@
+(** Cross-replica agreement oracle.
+
+    The safety invariant of the replicated SCADA master: all {e correct}
+    replicas execute the same totally-ordered sequence of updates.
+    Checked two ways, both O(number of replicas) thanks to the digest
+    chain of {!Bft.Exec_log}:
+
+    - execution logs of any two correct replicas are prefix-compatible
+      (the shorter is a digest-chain prefix of the longer);
+    - two correct replicas that applied the same number of updates to
+      their application state hold identical state digests.
+
+    The caller samples the system periodically and feeds only replicas
+    it considers correct at that instant (not crashed, not Byzantine,
+    not mid-recovery); lagging replicas are fine — a lagging log is
+    still a prefix. *)
+
+type t
+
+val create : unit -> t
+
+(** [observe t ~logs ~states] runs one consistency check over the given
+    correct replicas. [logs] pairs each replica with its execution log;
+    [states] is [(replica, applied_count, state_digest)]. A violation
+    latches the verdict to [Fail]. *)
+val observe :
+  t ->
+  logs:(Bft.Types.replica * Bft.Exec_log.t) list ->
+  states:(Bft.Types.replica * int * Cryptosim.Digest.t) list ->
+  unit
+
+(** [check_logs logs] is the pure prefix-compatibility check (exposed
+    for direct use and for testing the oracle itself). *)
+val check_logs : (Bft.Types.replica * Bft.Exec_log.t) list -> Verdict.t
+
+(** [check_states states] is the pure equal-length/equal-digest check. *)
+val check_states :
+  (Bft.Types.replica * int * Cryptosim.Digest.t) list -> Verdict.t
+
+val verdict : t -> Verdict.t
+
+(** [checks t] counts observations made (to assert the oracle actually
+    ran). *)
+val checks : t -> int

@@ -1,0 +1,37 @@
+type result = {
+  verdict : Verdict.t;
+  baseline_p50_ms : float;
+  post_p50_ms : float;
+  post_confirmed : int;
+}
+
+let check ~factor ~slack_ms ~min_confirmed ~baseline ~post =
+  if factor < 1.0 then invalid_arg "Recovery_check.check: factor < 1";
+  let count_post = Stats.Histogram.count post in
+  let baseline_p50 =
+    if Stats.Histogram.count baseline = 0 then 0.
+    else Stats.Histogram.percentile baseline 50.
+  in
+  let post_p50 =
+    if count_post = 0 then 0. else Stats.Histogram.percentile post 50.
+  in
+  let verdict =
+    if Stats.Histogram.count baseline = 0 then
+      Verdict.fail "recovery check: empty fault-free baseline"
+    else if count_post < min_confirmed then
+      Verdict.failf
+        "no recovery: only %d updates confirmed after heal (need >= %d) — \
+         service did not resume"
+        count_post min_confirmed
+    else begin
+      let bound = (baseline_p50 *. factor) +. slack_ms in
+      if post_p50 > bound then
+        Verdict.failf
+          "no recovery: post-heal p50 latency %.1fms exceeds %.1fms (%.1fx \
+           fault-free baseline p50 %.1fms + %.1fms slack)"
+          post_p50 bound factor baseline_p50 slack_ms
+      else Verdict.pass
+    end
+  in
+  { verdict; baseline_p50_ms = baseline_p50; post_p50_ms = post_p50;
+    post_confirmed = count_post }

@@ -1,0 +1,29 @@
+(** Post-heal recovery oracle.
+
+    After a fault schedule has fully healed and a settle window has
+    elapsed, the system must return to fault-free service: updates keep
+    confirming, and median latency returns to within a small factor of
+    the fault-free baseline measured before the turbulence started. A
+    system that "survives" a fault schedule but limps forever after is
+    not intrusion-tolerant in the paper's sense. *)
+
+type result = {
+  verdict : Verdict.t;
+  baseline_p50_ms : float;
+  post_p50_ms : float;
+  post_confirmed : int;
+}
+
+(** [check ~factor ~slack_ms ~min_confirmed ~baseline ~post] compares
+    the post-heal latency distribution against the fault-free baseline:
+    at least [min_confirmed] updates confirmed after heal, and post-heal
+    p50 within [factor * baseline_p50 + slack_ms] ([slack_ms] absorbs
+    quantisation on very fast baselines).
+    @raise Invalid_argument if [factor < 1]. *)
+val check :
+  factor:float ->
+  slack_ms:float ->
+  min_confirmed:int ->
+  baseline:Stats.Histogram.t ->
+  post:Stats.Histogram.t ->
+  result

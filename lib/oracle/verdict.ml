@@ -1,0 +1,15 @@
+type t = Pass | Fail of string
+
+let pass = Pass
+let fail msg = Fail msg
+let failf fmt = Format.kasprintf (fun msg -> Fail msg) fmt
+let is_pass = function Pass -> true | Fail _ -> false
+
+let combine verdicts =
+  match List.find_opt (fun v -> not (is_pass v)) verdicts with
+  | Some failure -> failure
+  | None -> Pass
+
+let pp ppf = function
+  | Pass -> Format.fprintf ppf "PASS"
+  | Fail msg -> Format.fprintf ppf "FAIL: %s" msg

@@ -1,0 +1,22 @@
+(** Oracle verdicts.
+
+    Every runtime oracle reduces to a verdict: [Pass], or [Fail reason]
+    with a human-readable description of the violated invariant.
+    Oracles {e latch}: once an invariant is observed violated the
+    verdict stays [Fail] even if later observations look healthy — a
+    transient safety violation is still a violation. *)
+
+type t = Pass | Fail of string
+
+val pass : t
+val fail : string -> t
+
+(** [failf fmt ...] is [Fail] of a formatted message. *)
+val failf : ('a, Format.formatter, unit, t) format4 -> 'a
+
+val is_pass : t -> bool
+
+(** [combine vs] is the first failure in [vs], or [Pass]. *)
+val combine : t list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -16,6 +16,7 @@ type stats = {
   dropped_queue_full : int;
   dropped_link_down : int;
   dropped_no_route : int;
+  dropped_arq_exhausted : int;
   junk_frames : int;
 }
 
@@ -70,6 +71,7 @@ type 'a t = {
   mutable dropped_queue_full : int;
   mutable dropped_link_down : int;
   mutable dropped_no_route : int;
+  mutable dropped_arq_exhausted : int;
   mutable junk_frames : int;
   per_source_cap : int;
   (* Route caches: shortest paths and disjoint path sets are stable
@@ -101,6 +103,7 @@ let create ?(per_source_cap = 64) engine topo () =
       dropped_queue_full = 0;
       dropped_link_down = 0;
       dropped_no_route = 0;
+      dropped_arq_exhausted = 0;
       junk_frames = 0;
       per_source_cap;
       route_cache = Hashtbl.create 997;
@@ -209,7 +212,12 @@ and transmit_frame t u v ls frame attempt =
          end
          else begin
            ls.busy <- false;
-           if not lost then
+           if lost then
+             (* All ARQ attempts failed: the frame is gone for good.
+                Surface the drop in stats and keep the queue draining —
+                a hot-loss link must not wedge its fair queue. *)
+             t.dropped_arq_exhausted <- t.dropped_arq_exhausted + 1
+           else
              ignore
                (Sim.Engine.schedule t.engine ~delay_us:prop (fun () ->
                     arrive t u v frame)
@@ -408,5 +416,6 @@ let stats t =
     dropped_queue_full = t.dropped_queue_full;
     dropped_link_down = t.dropped_link_down;
     dropped_no_route = t.dropped_no_route;
+    dropped_arq_exhausted = t.dropped_arq_exhausted;
     junk_frames = t.junk_frames;
   }

@@ -39,6 +39,9 @@ type stats = {
   dropped_queue_full : int;
   dropped_link_down : int;
   dropped_no_route : int;
+  dropped_arq_exhausted : int;
+      (** frames lost after all hop-by-hop ARQ retransmission attempts
+          failed (sustained loss beyond what per-hop recovery absorbs) *)
   junk_frames : int;
 }
 

@@ -80,6 +80,10 @@ type t = {
   mutable stalled_on : (Types.replica * int) option;
   mutable stall_since_us : int;
   mutable last_recon_us : int;
+  mutable last_repair_us : int;
+      (* last leader re-broadcast of lost pre-prepares *)
+  mutable last_po_resend_us : int;
+      (* last re-broadcast of own unacknowledged pre-orders *)
   mutable max_seq_seen : Types.seqno;
       (* highest ordering sequence referenced by any peer message;
          evidence of slots we may have missed entirely *)
@@ -172,6 +176,8 @@ let create config env ~execute =
     stalled_on = None;
     stall_since_us = 0;
     last_recon_us = 0;
+    last_repair_us = 0;
+    last_po_resend_us = 0;
     max_seq_seen = 0;
     last_apply_us = 0;
     pending_tats = Queue.create ();
@@ -710,6 +716,34 @@ let watchdog t =
       t.last_recon_us <- now;
       broadcast t (Msg.Recon_request { origin; po_seq })
     | Some _ | None -> ());
+    (* Pre-order ARQ. A po_request is broadcast exactly once at
+       submission; if that broadcast was lost (origin silenced, overlay
+       daemon dark, site partitioned) peers can never acknowledge past
+       the gap, and since unacknowledged pre-orders never become
+       eligible, nothing downstream ever reconciles them — the origin's
+       whole pipeline wedges permanently. Re-broadcast the oldest own
+       pre-orders that an ordering quorum has not yet cumulatively
+       acknowledged (per the Po_aru vectors peers report). *)
+    let last_own = t.po_next_seq - 1 in
+    if last_own >= 1 && now - t.last_po_resend_us > t.config.recon_retry_us
+    then begin
+      let self = t.env.Env.self in
+      let acks = Array.map (fun row -> row.(self)) t.rows in
+      Array.sort compare acks;
+      (* The quorum-ack watermark: the q-th largest reported aru for our
+         origin. Stale rows from up to [n - q] crashed or lagging peers
+         cannot hold it down. *)
+      let quorum_ack = acks.(Array.length acks - quorum_size t) in
+      if quorum_ack < last_own then begin
+        t.last_po_resend_us <- now;
+        for s = quorum_ack + 1 to min last_own (quorum_ack + 8) do
+          match Hashtbl.find_opt t.po_store (self, s) with
+          | Some update ->
+            broadcast t (Msg.Po_request { origin = self; po_seq = s; update })
+          | None -> ()
+        done
+      end
+    end;
     (* A long stall with peers demonstrably ahead means slot retrieval
        is not converging (the missing slots may have too few appliers);
        escalate to state transfer. *)
@@ -721,16 +755,45 @@ let watchdog t =
       t.last_fall_behind_us <- now;
       t.on_fall_behind ()
     end;
-    (* Ordered-slot catch-up: peers referenced sequences beyond what we
-       have applied, and we are making no local progress — we missed
-       ordering traffic (e.g. a Byzantine leader excludes us). Fetch the
-       hole from peers; adoption needs f+1 matching replies. *)
     let next = t.last_applied + 1 in
     let next_uncommitted =
       match Hashtbl.find_opt t.slots next with
       | Some s -> not s.committed
       | None -> true
     in
+    (* Leader hole repair: we proposed past [next] but [next] never
+       committed — the pre-prepare may have been lost in transit (e.g.
+       our overlay daemon was dark when it went out). Re-broadcast the
+       pre-prepares for the lowest uncommitted slots we still hold at
+       the current view; duplicates are idempotent at receivers.
+       Without this, a hole below already-committed slots wedges the
+       whole deployment: slot retrieval only serves applied slots, and
+       nobody can apply anything past the hole. *)
+    if
+      is_leader t && t.mode = Normal && next_uncommitted
+      && t.next_seq > next
+      && now - max t.last_apply_us t.last_repair_us > t.config.recon_retry_us
+    then begin
+      t.last_repair_us <- now;
+      let continue = ref true in
+      let i = ref 0 in
+      while !continue && !i < 8 do
+        (match Hashtbl.find_opt t.slots (next + !i) with
+        | Some s when s.slot_view = t.view -> (
+          if not s.committed then
+            match s.matrix with
+            | Some matrix ->
+              broadcast t
+                (Msg.Preprepare { view = t.view; seq = next + !i; matrix })
+            | None -> continue := false)
+        | Some _ | None -> continue := false);
+        incr i
+      done
+    end;
+    (* Ordered-slot catch-up: peers referenced sequences beyond what we
+       have applied, and we are making no local progress — we missed
+       ordering traffic (e.g. a Byzantine leader excludes us). Fetch the
+       hole from peers; adoption needs f+1 matching replies. *)
     if
       next_uncommitted
       && t.max_seq_seen > t.last_applied
@@ -939,4 +1002,7 @@ let install_snapshot t s =
   Hashtbl.reset t.slot_reply_votes;
   t.stable_exec <- s.snap_exec_count;
   t.last_proposed <- Matrix.empty ~n:(n t);
-  t.next_seq <- s.snap_last_applied + 1
+  (* Monotone: never step back below sequences we already proposed —
+     re-burning a sequence number with a fresh matrix would equivocate
+     against any replica that committed the original. *)
+  t.next_seq <- max t.next_seq (s.snap_last_applied + 1)

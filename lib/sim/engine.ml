@@ -33,6 +33,9 @@ let schedule t ~delay_us f = schedule_at t ~time_us:(t.clock_us + max 0 delay_us
 let periodic t ~interval_us f =
   if interval_us <= 0 then invalid_arg "Engine.periodic: interval_us <= 0";
   let timer = { cancelled = false; repeat = Some { interval_us; callback = f } } in
+  (* Re-arm relative to the firing's *scheduled* time, not the clock at
+     callback return: a callback that advances the clock (nested [run])
+     or pops late must not skew subsequent firings. *)
   let rec arm time_us =
     Event_heap.push t.heap ~time:time_us
       {
@@ -40,7 +43,7 @@ let periodic t ~interval_us f =
         run =
           (fun () ->
             f ();
-            if not timer.cancelled then arm (t.clock_us + interval_us));
+            if not timer.cancelled then arm (time_us + interval_us));
       }
   in
   arm (t.clock_us + interval_us);

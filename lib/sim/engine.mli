@@ -31,7 +31,11 @@ val schedule : t -> delay_us:int -> (unit -> unit) -> timer
 val schedule_at : t -> time_us:int -> (unit -> unit) -> timer
 
 (** [periodic t ~interval_us f] runs [f ()] every [interval_us] starting
-    [interval_us] from now, until cancelled.
+    [interval_us] from now, until cancelled. Firings stay anchored to the
+    original cadence: each one is re-armed at [scheduled_time +
+    interval_us], so a callback that advances the clock (e.g. a nested
+    {!run}) does not drift later firings; a timer that falls behind
+    catches up by firing in quick succession.
     @raise Invalid_argument if [interval_us <= 0]. *)
 val periodic : t -> interval_us:int -> (unit -> unit) -> timer
 

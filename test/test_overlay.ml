@@ -349,6 +349,37 @@ let test_net_loss_adds_latency_not_loss () =
   Alcotest.(check bool) "some retried frames are slower" true
     (List.exists (fun l -> l >= 6_000) !latencies)
 
+let test_net_arq_exhaustion_counted_not_wedged () =
+  (* Loss so high that some frames exhaust all 8 retransmission
+     attempts: the drops must surface in stats (not vanish silently)
+     and the link's fair queue must keep draining afterwards. *)
+  let t = T.create ~nodes:2 in
+  T.add_link t ~a:0 ~b:1 ~latency_us:1_000 ~bandwidth_bps:1_000_000;
+  let engine, net = make_net t in
+  N.set_loss_probability net 0 1 0.95;
+  let received = ref 0 in
+  N.set_handler net 1 (fun _ -> incr received);
+  for i = 1 to 40 do
+    ignore
+      (Sim.Engine.schedule_at engine ~time_us:(i * 100_000) (fun () ->
+           N.send net ~src:0 ~dst:1 ~mode:N.Shortest (Ping i))
+        : Sim.Engine.timer)
+  done;
+  Sim.Engine.run_until_quiescent engine;
+  let s = N.stats net in
+  (* With p=0.95 each frame survives its 9 transmissions with
+     probability 1 - 0.95^9 ~ 0.37; both outcomes occur in 40 frames. *)
+  Alcotest.(check bool) "some frames exhausted ARQ" true
+    (s.N.dropped_arq_exhausted > 0);
+  Alcotest.(check int) "every submitted frame accounted for" 40
+    (!received + s.N.dropped_arq_exhausted);
+  (* The queue is not wedged: after the loss clears, traffic flows. *)
+  N.set_loss_probability net 0 1 0.0;
+  N.send net ~src:0 ~dst:1 ~mode:N.Shortest (Ping 0);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check bool) "link usable after exhaustion" true
+    (!received > 0 && (N.stats net).N.delivered = !received)
+
 let test_net_self_send () =
   let topo = diamond () in
   let engine, net = make_net topo in
@@ -408,6 +439,8 @@ let () =
           Alcotest.test_case "lossy link ARQ" `Quick test_net_lossy_link_arq_recovers;
           Alcotest.test_case "loss validation" `Quick
             test_net_loss_probability_validation;
+          Alcotest.test_case "ARQ exhaustion counted, queue drains" `Quick
+            test_net_arq_exhaustion_counted_not_wedged;
           Alcotest.test_case "loss becomes latency" `Quick
             test_net_loss_adds_latency_not_loss;
           Alcotest.test_case "self send" `Quick test_net_self_send;

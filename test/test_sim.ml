@@ -54,6 +54,42 @@ let test_periodic () =
   Sim.Engine.run e ~until_us:2_000;
   Alcotest.(check int) "no more after cancel" 5 !count
 
+let test_periodic_no_drift () =
+  (* A periodic callback that advances the clock (nested [run]) must not
+     skew subsequent firings: re-arming happens at scheduled + interval,
+     not at clock-at-return + interval. *)
+  let e = Sim.Engine.create () in
+  let times = ref [] in
+  let timer =
+    Sim.Engine.periodic e ~interval_us:100 (fun () ->
+        times := Sim.Engine.now e :: !times;
+        (* Burn 30us of virtual time inside the callback. *)
+        Sim.Engine.run e ~until_us:(Sim.Engine.now e + 30))
+  in
+  Sim.Engine.run e ~until_us:350;
+  Sim.Engine.cancel timer;
+  Alcotest.(check (list int)) "firings anchored to cadence" [ 100; 200; 300 ]
+    (List.rev !times)
+
+let test_periodic_catches_up () =
+  (* A callback that falls behind by more than one interval fires in
+     quick succession until back on cadence (no firing is skipped). *)
+  let e = Sim.Engine.create () in
+  let times = ref [] in
+  let first = ref true in
+  let timer =
+    Sim.Engine.periodic e ~interval_us:100 (fun () ->
+        times := Sim.Engine.now e :: !times;
+        if !first then begin
+          first := false;
+          Sim.Engine.run e ~until_us:(Sim.Engine.now e + 250)
+        end)
+  in
+  Sim.Engine.run e ~until_us:450;
+  Sim.Engine.cancel timer;
+  Alcotest.(check (list int)) "late firings catch up"
+    [ 100; 350; 350; 400 ] (List.rev !times)
+
 let test_nested_scheduling () =
   let e = Sim.Engine.create () in
   let times = ref [] in
@@ -165,6 +201,9 @@ let () =
           Alcotest.test_case "run horizon" `Quick test_run_until_horizon_only;
           Alcotest.test_case "cancel" `Quick test_cancel;
           Alcotest.test_case "periodic" `Quick test_periodic;
+          Alcotest.test_case "periodic no drift" `Quick test_periodic_no_drift;
+          Alcotest.test_case "periodic catches up" `Quick
+            test_periodic_catches_up;
           Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
           Alcotest.test_case "schedule_at clamps" `Quick
             test_schedule_at_past_clamps;
