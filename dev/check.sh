@@ -1,11 +1,17 @@
 #!/bin/sh
-# Pre-commit check: tier-1 build + test suites, then a quick chaos soak
-# (5 seeded within-budget schedules; every oracle must stay green).
+# Pre-commit check: tier-1 build + test suites, a quick chaos soak
+# (5 seeded within-budget schedules; every oracle must stay green),
+# then a release-profile build with E2 + E6 bench smoke runs (exercises
+# the wire layer and the byte-accounting tables end to end).
 set -e
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
 dune exec dev/debug_chaos.exe -- 5
+
+dune build --profile release
+EXPERIMENT=E2 MICRO=0 dune exec --profile release bench/main.exe
+EXPERIMENT=E6 MICRO=0 dune exec --profile release bench/main.exe
 
 echo "check.sh: all green"

@@ -12,10 +12,16 @@ let start_flood t ~net ~src ~dst ~frame_bytes ~frames_per_burst
     invalid_arg "Dos.flood: non-positive burst parameters";
   let handle = t.next_handle in
   t.next_handle <- handle + 1;
+  let rand = Sim.Rng.int (Sim.Engine.rng t.engine) in
   let timer =
     Sim.Engine.periodic t.engine ~interval_us:burst_interval_us (fun () ->
         for _ = 1 to frames_per_burst do
-          Overlay.Net.inject_junk net ~src ~dst ~size_bytes:frame_bytes ~priority
+          (* Each flood frame is a fresh string of genuinely undecodable
+             bytes: what the victim daemon receives fails
+             [Wire.Envelope.decode], so dropping it is the modelled
+             behaviour, not an assumption. *)
+          let bytes = Wire.Junk.undecodable ~rand ~size_bytes:frame_bytes in
+          Overlay.Net.inject_junk_bytes net ~src ~dst ~bytes ~priority
         done)
   in
   Hashtbl.replace t.timers handle timer;

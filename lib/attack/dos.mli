@@ -5,7 +5,9 @@
     degradation (latency inflation), and outright link kills. Floods
     are generated as periodic junk-frame bursts so the overlay's
     fair-queueing and priority discipline are what decides their
-    impact. *)
+    impact. Every flood frame carries real attacker bytes built by
+    {!Wire.Junk} — guaranteed to fail {!Wire.Envelope.decode} at the
+    receiving daemon. *)
 
 type t
 

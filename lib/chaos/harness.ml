@@ -46,9 +46,12 @@ type report = {
   min_available : int;
   worst_latency_ms : float;
   agreement_checks : int;
+  wire_decode_errors : int;
 }
 
-let clean r = List.for_all (fun (_, v) -> Oracle.Verdict.is_pass v) r.verdicts
+let clean r =
+  r.wire_decode_errors = 0
+  && List.for_all (fun (_, v) -> Oracle.Verdict.is_pass v) r.verdicts
 
 let failures r =
   List.filter (fun (_, v) -> not (Oracle.Verdict.is_pass v)) r.verdicts
@@ -62,6 +65,8 @@ let pp_report ppf r =
     (if clean r then "CLEAN" else "VIOLATIONS")
     Schedule.pp r.schedule r.submitted r.confirmed r.baseline_p50_ms
     r.post_p50_ms r.min_available r.worst_latency_ms;
+  if r.wire_decode_errors > 0 then
+    Format.fprintf ppf "  wire decode errors: %d@," r.wire_decode_errors;
   List.iter
     (fun (name, v) ->
       Format.fprintf ppf "  %-10s %a@," name Oracle.Verdict.pp v)
@@ -183,6 +188,7 @@ let execute cfg ~seed sys (schedule : Schedule.t) =
     min_available = Oracle.Quorum_watch.min_available quorum_watch;
     worst_latency_ms = Oracle.Sla.worst_ms sla;
     agreement_checks = Oracle.Agreement.checks agreement;
+    wire_decode_errors = Spire.System.wire_decode_errors sys;
   }
 
 let build_system cfg ~seed =

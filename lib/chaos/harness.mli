@@ -60,9 +60,12 @@ type report = {
   min_available : int;
   worst_latency_ms : float;
   agreement_checks : int;
+  wire_decode_errors : int;
+      (** decode-on-delivery failures; always 0 unless the system config
+          sets [wire_debug], and any non-zero value is a codec bug *)
 }
 
-(** [clean r] — every oracle passed. *)
+(** [clean r] — every oracle passed and no wire decode errors. *)
 val clean : report -> bool
 
 (** [failures r] — the failing oracles, if any. *)

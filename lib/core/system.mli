@@ -21,7 +21,10 @@
 
 type protocol = Prime_protocol | Pbft_protocol
 
-type payload
+(** The overlay payload is the wire-layer message union: every frame
+    the system sends has an exact byte-level encoding
+    ({!Wire.Envelope.encode}), and the overlay charges that length. *)
+type payload = Wire.Message.t
 
 type config = {
   quorum : Bft.Quorum.t;
@@ -40,6 +43,9 @@ type config = {
   resubmit_timeout_us : int;
   diversity_variants : int;
   seed : int64;
+  wire_debug : bool;
+      (** re-decode every delivered frame through the wire codecs and
+          count mismatches (see {!wire_decode_errors}); off by default *)
   tweak_prime : Prime.Replica.config -> Prime.Replica.config;
   tweak_pbft : Pbft.Replica.config -> Pbft.Replica.config;
 }
@@ -106,6 +112,17 @@ val latency_series : t -> Stats.Timeseries.t
 
 val confirmed_updates : t -> int
 val submitted_updates : t -> int
+
+(** [wire_traffic t] — per message-kind traffic totals as
+    [(kind, frames, bytes)], descending by bytes. Kinds are
+    {!Wire.Message.kind} labels (e.g. ["prime/preprepare"]); bytes are
+    full frame lengths including envelope overhead. *)
+val wire_traffic : t -> (string * int * int) list
+
+(** [wire_decode_errors t] — frames whose decode-on-delivery round-trip
+    failed. Always 0 unless [wire_debug] is set; any non-zero value is
+    a codec bug. *)
+val wire_decode_errors : t -> int
 
 (** [assert_agreement t] checks that all correct replicas' execution
     logs are prefix-compatible and masters at equal lengths have equal

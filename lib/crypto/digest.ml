@@ -22,4 +22,5 @@ let equal = Int64.equal
 let compare = Int64.compare
 let to_hex t = Printf.sprintf "%016Lx" t
 let to_int64 t = t
+let of_int64 v = v
 let pp ppf t = Format.pp_print_string ppf (to_hex t)

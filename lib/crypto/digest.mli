@@ -26,4 +26,9 @@ val to_hex : t -> string
 (** [to_int64 t] exposes the raw 64-bit value (for hashing into tables). *)
 val to_int64 : t -> int64
 
+(** [of_int64 v] reconstructs a digest from its raw value — the inverse
+    of {!to_int64}, used by wire codecs that transport digests as eight
+    big-endian bytes. *)
+val of_int64 : int64 -> t
+
 val pp : Format.formatter -> t -> unit

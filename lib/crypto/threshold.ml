@@ -47,6 +47,8 @@ let verify_share g ~digest s =
   && Digest.equal s.tag (share_tag g s.member digest)
 
 let share_member s = s.member
+let share_repr s = (s.member, s.share_digest, s.tag)
+let share_of_repr ~member ~digest ~tag = { member; share_digest = digest; tag }
 
 let combined_tag g digest =
   Digest.of_string

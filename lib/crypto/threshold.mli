@@ -38,6 +38,17 @@ val verify_share : group -> digest:Digest.t -> share -> bool
 (** [share_member share] is the claimed producer. *)
 val share_member : share -> Keyring.principal
 
+(** [share_repr share] is the share's transportable representation:
+    (claimed member, signed digest, share tag). Wire codecs serialise
+    shares through this triple. *)
+val share_repr : share -> Keyring.principal * Digest.t * Digest.t
+
+(** [share_of_repr ~member ~digest ~tag] rebuilds a share from its wire
+    representation. Decoding does not confer validity: a share forged or
+    damaged in transit still fails {!verify_share}. *)
+val share_of_repr :
+  member:Keyring.principal -> digest:Digest.t -> tag:Digest.t -> share
+
 (** [combine group ~digest shares] combines [shares] into a group
     signature. Returns [None] when fewer than [threshold group] valid
     shares from distinct members over [digest] are present. *)

@@ -18,9 +18,15 @@ type stats = {
   dropped_no_route : int;
   dropped_arq_exhausted : int;
   junk_frames : int;
+  submitted_bytes : int;
+  delivered_bytes : int;
+  dropped_bytes : int;
 }
 
-type 'a content = Payload of 'a | Junk
+(* Junk carries the attacker's actual bytes ("" when a raw test only
+   cares about the size); it consumes bandwidth but is never delivered
+   to a handler — the daemon's decode-and-authenticate step drops it. *)
+type 'a content = Payload of 'a | Junk of string
 
 (* Routing instructions carried by a frame. *)
 type route = Path of Topology.node list (* remaining hops, next first *) | Flooding
@@ -52,6 +58,8 @@ type 'a link_state = {
          retransmits lost frames, trading latency for reliability as
          the real overlay daemons do *)
   mutable retransmissions : int;
+  mutable tx_bytes : int; (* bytes serialised, retransmissions included *)
+  mutable tx_busy_us : int; (* virtual time spent serialising frames *)
 }
 
 type 'a t = {
@@ -73,6 +81,9 @@ type 'a t = {
   mutable dropped_no_route : int;
   mutable dropped_arq_exhausted : int;
   mutable junk_frames : int;
+  mutable submitted_bytes : int;
+  mutable delivered_bytes : int;
+  mutable dropped_bytes : int;
   per_source_cap : int;
   (* Route caches: shortest paths and disjoint path sets are stable
      between topology state changes (kill/restore); recomputing them
@@ -105,6 +116,9 @@ let create ?(per_source_cap = 64) engine topo () =
       dropped_no_route = 0;
       dropped_arq_exhausted = 0;
       junk_frames = 0;
+      submitted_bytes = 0;
+      delivered_bytes = 0;
+      dropped_bytes = 0;
       per_source_cap;
       route_cache = Hashtbl.create 997;
       kpath_cache = Hashtbl.create 997;
@@ -122,6 +136,8 @@ let create ?(per_source_cap = 64) engine topo () =
           latency_factor = 1.0;
           loss_probability = 0.0;
           retransmissions = 0;
+          tx_bytes = 0;
+          tx_busy_us = 0;
         }
       in
       Hashtbl.replace t.links (a, b) (mk ());
@@ -155,9 +171,10 @@ let deliver t node frame =
   else begin
     if frame.dedup then Dedup_cache.add t.delivered_ids.(node) frame.id;
     match frame.content with
-    | Junk -> ()
+    | Junk _ -> ()
     | Payload payload ->
       t.delivered <- t.delivered + 1;
+      t.delivered_bytes <- t.delivered_bytes + frame.size_bytes;
       (match Hashtbl.find_opt t.handlers node with
       | None -> ()
       | Some handler ->
@@ -192,6 +209,8 @@ let rec maybe_transmit t u v =
 and transmit_frame t u v ls frame attempt =
   ls.busy <- true;
   let tx_us = max 1 (frame.size_bytes * 1_000_000 / ls.bandwidth_bps) in
+  ls.tx_bytes <- ls.tx_bytes + frame.size_bytes;
+  ls.tx_busy_us <- ls.tx_busy_us + tx_us;
   ignore
     (Sim.Engine.schedule t.engine ~delay_us:tx_us (fun () ->
          let prop =
@@ -212,11 +231,13 @@ and transmit_frame t u v ls frame attempt =
          end
          else begin
            ls.busy <- false;
-           if lost then
+           if lost then begin
              (* All ARQ attempts failed: the frame is gone for good.
                 Surface the drop in stats and keep the queue draining —
                 a hot-loss link must not wedge its fair queue. *)
-             t.dropped_arq_exhausted <- t.dropped_arq_exhausted + 1
+             t.dropped_arq_exhausted <- t.dropped_arq_exhausted + 1;
+             t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
+           end
            else
              ignore
                (Sim.Engine.schedule t.engine ~delay_us:prop (fun () ->
@@ -228,7 +249,10 @@ and transmit_frame t u v ls frame attempt =
 
 (* Frame arrives at node v over link (u,v). *)
 and arrive t u v frame =
-  if not (usable t u v) then t.dropped_link_down <- t.dropped_link_down + 1
+  if not (usable t u v) then begin
+    t.dropped_link_down <- t.dropped_link_down + 1;
+    t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
+  end
   else begin
     frame.hops <- frame.hops + 1;
     match frame.route with
@@ -252,15 +276,23 @@ and arrive t u v frame =
           | hop :: _ ->
             if usable t v hop then
               enqueue t v hop { frame with route = Path rest }
-            else t.dropped_link_down <- t.dropped_link_down + 1)
-        | _ -> t.dropped_link_down <- t.dropped_link_down + 1)
+            else begin
+              t.dropped_link_down <- t.dropped_link_down + 1;
+              t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
+            end)
+        | _ ->
+          t.dropped_link_down <- t.dropped_link_down + 1;
+          t.dropped_bytes <- t.dropped_bytes + frame.size_bytes)
   end
 
 and enqueue t u v frame =
   let ls = link_state t u v in
   if Fair_queue.push ls.queue ~source:frame.src ~priority:frame.priority frame
   then maybe_transmit t u v
-  else t.dropped_queue_full <- t.dropped_queue_full + 1
+  else begin
+    t.dropped_queue_full <- t.dropped_queue_full + 1;
+    t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
+  end
 
 let invalidate_routes t =
   Hashtbl.reset t.route_cache;
@@ -289,8 +321,14 @@ let fresh_id t =
 
 let submit t ~priority ~size_bytes ~src ~dst ~mode content =
   t.submitted <- t.submitted + 1;
-  (match content with Junk -> t.junk_frames <- t.junk_frames + 1 | Payload _ -> ());
-  if not t.node_up.(src) then t.dropped_link_down <- t.dropped_link_down + 1
+  t.submitted_bytes <- t.submitted_bytes + size_bytes;
+  (match content with
+  | Junk _ -> t.junk_frames <- t.junk_frames + 1
+  | Payload _ -> ());
+  if not t.node_up.(src) then begin
+    t.dropped_link_down <- t.dropped_link_down + 1;
+    t.dropped_bytes <- t.dropped_bytes + size_bytes
+  end
   else begin
     let base_frame ?(dedup = false) route =
       {
@@ -323,17 +361,23 @@ let submit t ~priority ~size_bytes ~src ~dst ~mode content =
           (Topology.neighbors t.topo src)
       | Shortest -> (
         match cached_shortest t ~src ~dst with
-        | None -> t.dropped_no_route <- t.dropped_no_route + 1
+        | None ->
+          t.dropped_no_route <- t.dropped_no_route + 1;
+          t.dropped_bytes <- t.dropped_bytes + size_bytes
         | Some (_ :: rest) ->
           let frame = base_frame (Path rest) in
           (match rest with
           | hop :: _ -> enqueue t src hop frame
           | [] -> deliver t src frame)
-        | Some [] -> t.dropped_no_route <- t.dropped_no_route + 1)
+        | Some [] ->
+          t.dropped_no_route <- t.dropped_no_route + 1;
+          t.dropped_bytes <- t.dropped_bytes + size_bytes)
       | Redundant k -> (
         let paths = cached_disjoint t ~src ~dst ~k:(max 1 k) in
         match paths with
-        | [] -> t.dropped_no_route <- t.dropped_no_route + 1
+        | [] ->
+          t.dropped_no_route <- t.dropped_no_route + 1;
+          t.dropped_bytes <- t.dropped_bytes + size_bytes
         | paths ->
           (* One frame id shared by all copies so the destination
              delivers exactly one. *)
@@ -361,12 +405,16 @@ let submit t ~priority ~size_bytes ~src ~dst ~mode content =
             paths)
   end
 
-let send t ?(priority = Fair_queue.Control) ?(size_bytes = 256) ~src ~dst ~mode
-    payload =
+let send t ?(priority = Fair_queue.Control) ~size_bytes ~src ~dst ~mode payload
+    =
   submit t ~priority ~size_bytes ~src ~dst ~mode (Payload payload)
 
 let inject_junk t ~src ~dst ~size_bytes ~priority =
-  submit t ~priority ~size_bytes ~src ~dst ~mode:Shortest Junk
+  submit t ~priority ~size_bytes ~src ~dst ~mode:Shortest (Junk "")
+
+let inject_junk_bytes t ~src ~dst ~bytes ~priority =
+  submit t ~priority ~size_bytes:(String.length bytes) ~src ~dst ~mode:Shortest
+    (Junk bytes)
 
 let kill_link t a b =
   if not (Hashtbl.mem t.link_up (norm a b)) then
@@ -402,6 +450,35 @@ let set_loss_probability t a b p =
 let retransmissions t =
   Hashtbl.fold (fun _ ls acc -> acc + ls.retransmissions) t.links 0
 
+type link_report = {
+  link_src : Topology.node;
+  link_dst : Topology.node;
+  tx_bytes : int;
+  tx_busy_us : int;
+}
+
+let link_reports t =
+  Hashtbl.fold
+    (fun (u, v) (ls : _ link_state) acc ->
+      if ls.tx_bytes = 0 then acc
+      else
+        {
+          link_src = u;
+          link_dst = v;
+          tx_bytes = ls.tx_bytes;
+          tx_busy_us = ls.tx_busy_us;
+        }
+        :: acc)
+    t.links []
+  |> List.sort (fun a b ->
+         match compare b.tx_bytes a.tx_bytes with
+         | 0 -> compare (a.link_src, a.link_dst) (b.link_src, b.link_dst)
+         | c -> c)
+
+let link_utilisation _t ~elapsed_us report =
+  if elapsed_us <= 0 then 0.
+  else min 1. (float_of_int report.tx_busy_us /. float_of_int elapsed_us)
+
 let current_route t ~src ~dst =
   Routing.shortest_path t.topo ~usable:(usable t) ~src ~dst
 
@@ -418,4 +495,7 @@ let stats t =
     dropped_no_route = t.dropped_no_route;
     dropped_arq_exhausted = t.dropped_arq_exhausted;
     junk_frames = t.junk_frames;
+    submitted_bytes = t.submitted_bytes;
+    delivered_bytes = t.delivered_bytes;
+    dropped_bytes = t.dropped_bytes;
   }

@@ -43,6 +43,11 @@ type stats = {
       (** frames lost after all hop-by-hop ARQ retransmission attempts
           failed (sustained loss beyond what per-hop recovery absorbs) *)
   junk_frames : int;
+  submitted_bytes : int;  (** payload bytes of submitted frames (junk included) *)
+  delivered_bytes : int;  (** bytes of frames delivered to a handler *)
+  dropped_bytes : int;
+      (** bytes of dropped frame copies, across every drop cause (a
+          flooded frame losing one copy counts that copy's bytes) *)
 }
 
 (** [create engine topo ()] builds the runtime. [per_source_cap] bounds
@@ -56,13 +61,17 @@ val topology : 'a t -> Topology.t
     replaces any previous handler. *)
 val set_handler : 'a t -> Topology.node -> ('a delivery -> unit) -> unit
 
-(** [send t ~src ~dst ~mode payload] submits a frame.
-    [priority] defaults to [Control]; [size_bytes] defaults to 256.
-    Self-sends deliver immediately (next event). *)
+(** [send t ~size_bytes ~src ~dst ~mode payload] submits a frame.
+    [priority] defaults to [Control]. [size_bytes] is the frame's wire
+    length and is {e always} supplied by the caller: protocol traffic
+    derives it from the encoded frame ([Wire.Envelope] in the system
+    layer), so there is no magic default that would let a summary-matrix
+    pre-prepare cost the same as a one-word vote. Self-sends deliver
+    immediately (next event). *)
 val send :
   'a t ->
   ?priority:Fair_queue.priority ->
-  ?size_bytes:int ->
+  size_bytes:int ->
   src:Topology.node ->
   dst:Topology.node ->
   mode:mode ->
@@ -71,12 +80,24 @@ val send :
 
 (** [inject_junk t ~src ~dst ~size_bytes ~priority] submits an
     attacker frame that consumes link capacity but is never delivered to
-    a handler. Used by DoS scenarios. *)
+    a handler (the receiving daemon's decode-and-authenticate step drops
+    it). Raw size-only form for overlay-level tests. *)
 val inject_junk :
   'a t ->
   src:Topology.node ->
   dst:Topology.node ->
   size_bytes:int ->
+  priority:Fair_queue.priority ->
+  unit
+
+(** [inject_junk_bytes t ~src ~dst ~bytes ~priority] — same, but the
+    junk is the attacker's actual byte string (e.g. from [Wire.Junk]);
+    the charged size is [String.length bytes]. *)
+val inject_junk_bytes :
+  'a t ->
+  src:Topology.node ->
+  dst:Topology.node ->
+  bytes:string ->
   priority:Fair_queue.priority ->
   unit
 
@@ -111,6 +132,23 @@ val set_loss_probability : 'a t -> Topology.node -> Topology.node -> float -> un
 
 (** [retransmissions t] counts ARQ retransmissions performed so far. *)
 val retransmissions : 'a t -> int
+
+(** {1 Per-link byte accounting} *)
+
+type link_report = {
+  link_src : Topology.node;
+  link_dst : Topology.node;  (** directed: frames serialised src -> dst *)
+  tx_bytes : int;  (** bytes transmitted, retransmissions included *)
+  tx_busy_us : int;  (** virtual time the link spent serialising *)
+}
+
+(** [link_reports t] lists every directed link that transmitted at least
+    one frame, descending by [tx_bytes]. *)
+val link_reports : 'a t -> link_report list
+
+(** [link_utilisation t ~elapsed_us report] is the fraction of
+    [elapsed_us] the reported link spent serialising frames, in [0, 1]. *)
+val link_utilisation : 'a t -> elapsed_us:int -> link_report -> float
 
 (** {1 Introspection} *)
 

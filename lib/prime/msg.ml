@@ -67,18 +67,3 @@ let pp ppf = function
   | Slot_reply { seq; _ } -> Format.fprintf ppf "Slot_reply(s%d)" seq
   | Checkpoint { executed; _ } -> Format.fprintf ppf "Checkpoint(%d)" executed
 
-let size_bytes msg ~n =
-  let header = 64 in
-  match msg with
-  | Po_request { update; _ } -> header + 32 + String.length update.Bft.Update.operation
-  | Po_aru _ -> header + (8 * n)
-  | Preprepare _ -> header + (8 * n * n)
-  | Prepare _ | Commit _ -> header + 16
-  | Suspect _ -> header
-  | Viewchange { prepared; _ } -> header + (List.length prepared * 8 * n * n)
-  | Newview { proposals; _ } -> header + (List.length proposals * 8 * n * n)
-  | Recon_request _ -> header
-  | Recon_reply { update; _ } -> header + 32 + String.length update.Bft.Update.operation
-  | Slot_request _ -> header
-  | Slot_reply _ -> header + (8 * n * n)
-  | Checkpoint _ -> header + 16

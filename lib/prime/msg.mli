@@ -62,7 +62,3 @@ type t =
   | Checkpoint of { executed : int; chain : Cryptosim.Digest.t }
 
 val pp : Format.formatter -> t -> unit
-
-(** [size_bytes msg ~n] approximates the wire size for the overlay's
-    bandwidth model ([n] = replica count, matrices are [n^2] entries). *)
-val size_bytes : t -> n:int -> int

@@ -35,3 +35,69 @@ let select ~f source =
       (List.fold_left
          (fun acc snap -> if source.newer snap acc then snap else acc)
          first rest)
+
+(* ------------------------------------------------------------------ *)
+(* Chunked snapshot transport.                                         *)
+
+type chunk = {
+  xfer_id : int;
+  chunk_index : int;
+  chunk_count : int;
+  total_digest : Cryptosim.Digest.t;
+  data : string;
+}
+
+let chunk_blob ~xfer_id ~chunk_bytes blob =
+  if chunk_bytes <= 0 then
+    invalid_arg "State_transfer.chunk_blob: chunk_bytes <= 0";
+  let total = String.length blob in
+  let count = max 1 ((total + chunk_bytes - 1) / chunk_bytes) in
+  let digest = Cryptosim.Digest.of_string blob in
+  List.init count (fun i ->
+      let off = i * chunk_bytes in
+      let len = min chunk_bytes (total - off) in
+      {
+        xfer_id;
+        chunk_index = i;
+        chunk_count = count;
+        total_digest = digest;
+        data = String.sub blob off len;
+      })
+
+let reassemble chunks =
+  match chunks with
+  | [] -> Error "no chunks"
+  | first :: _ ->
+    let count = first.chunk_count in
+    if count < 1 then Error "chunk_count < 1"
+    else if List.length chunks <> count then
+      Error
+        (Printf.sprintf "expected %d chunks, got %d" count
+           (List.length chunks))
+    else if
+      not
+        (List.for_all
+           (fun c ->
+             c.xfer_id = first.xfer_id
+             && c.chunk_count = count
+             && Cryptosim.Digest.equal c.total_digest first.total_digest)
+           chunks)
+    then Error "chunks mix transfer sessions"
+    else begin
+      let sorted =
+        List.sort (fun a b -> compare a.chunk_index b.chunk_index) chunks
+      in
+      let contiguous =
+        List.for_all2
+          (fun c i -> c.chunk_index = i)
+          sorted
+          (List.init count Fun.id)
+      in
+      if not contiguous then Error "missing or duplicated chunk index"
+      else begin
+        let blob = String.concat "" (List.map (fun c -> c.data) sorted) in
+        if Cryptosim.Digest.equal (Cryptosim.Digest.of_string blob) first.total_digest
+        then Ok blob
+        else Error "reassembled blob fails digest check"
+      end
+    end

@@ -27,3 +27,30 @@ type 'snapshot outcome =
     snapshot vouched for by at least [f + 1] peers. Byzantine peers can
     lie about their snapshot; they cannot forge agreement. *)
 val select : f:int -> 'snapshot source -> 'snapshot outcome
+
+(** {1 Chunked snapshot transport}
+
+    On the wire a snapshot travels as a sequence of bounded chunks, each
+    carrying the digest of the {e whole} blob so the receiver can verify
+    the reassembled snapshot against the digest its [f + 1] vouchers
+    agreed on before installing anything. *)
+
+type chunk = {
+  xfer_id : int;  (** transfer session, so interleaved transfers keep apart *)
+  chunk_index : int;  (** position in [0 .. chunk_count - 1] *)
+  chunk_count : int;
+  total_digest : Cryptosim.Digest.t;  (** digest of the full blob *)
+  data : string;
+}
+
+(** [chunk_blob ~xfer_id ~chunk_bytes blob] splits [blob] into chunks of
+    at most [chunk_bytes] payload bytes each. An empty blob yields one
+    empty chunk (the transfer still announces its digest).
+    @raise Invalid_argument if [chunk_bytes <= 0]. *)
+val chunk_blob : xfer_id:int -> chunk_bytes:int -> string -> chunk list
+
+(** [reassemble chunks] rebuilds the blob. Fails (with a reason) when
+    chunks mix transfer sessions, indices are missing or duplicated,
+    counts disagree, or the digest of the reassembled bytes does not
+    match the announced [total_digest]. Order-insensitive. *)
+val reassemble : chunk list -> (string, string) result

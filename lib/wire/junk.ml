@@ -1,0 +1,36 @@
+let random_bytes ~rand n = String.init n (fun _ -> Char.chr (rand 256))
+
+let ensure_undecodable s =
+  match Envelope.decode s with
+  | Error _ -> s
+  | Ok _ ->
+    (* Random bytes formed a valid authenticated frame: spoil the magic. *)
+    let b = Bytes.of_string s in
+    Bytes.set b 0 '\000';
+    Bytes.to_string b
+
+let undecodable ~rand ~size_bytes =
+  if size_bytes < 1 then invalid_arg "Wire.Junk.undecodable: size_bytes < 1";
+  ensure_undecodable (random_bytes ~rand size_bytes)
+
+let spoofed_header ~rand ~size_bytes =
+  if size_bytes < 3 then invalid_arg "Wire.Junk.spoofed_header: size_bytes < 3";
+  let s =
+    "Sp\001" ^ random_bytes ~rand (size_bytes - 3)
+  in
+  match Envelope.decode s with
+  | Error _ -> s
+  | Ok _ ->
+    let b = Bytes.of_string s in
+    Bytes.set b 2 '\255' (* break the version byte instead of the magic *);
+    Bytes.to_string b
+
+let corrupt ~rand s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let at = rand (String.length s) in
+    let bit = 1 lsl rand 8 in
+    Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor bit));
+    Bytes.to_string b
+  end

@@ -1,0 +1,24 @@
+(** Attacker byte-strings for DoS and fuzz scenarios.
+
+    The attack layer used to inject abstract "junk frames" that only
+    existed as a byte count; with real codecs, junk is real bytes that
+    the decoders must reject. [rand] is the attacker's entropy source
+    ([rand bound] uniform in [0, bound), e.g. [Sim.Rng.int rng]). *)
+
+(** [undecodable ~rand ~size_bytes] is a [size_bytes]-long byte string
+    guaranteed to fail {!Envelope.decode} (random bytes, with the magic
+    spoiled in the astronomically unlikely case they form a valid
+    frame). [size_bytes] must be >= 1.
+    @raise Invalid_argument otherwise. *)
+val undecodable : rand:(int -> int) -> size_bytes:int -> string
+
+(** [spoofed_header ~rand ~size_bytes] starts with valid magic and
+    version followed by random bytes — junk that gets past the cheap
+    header checks and must be rejected by the length/auth/body layers.
+    Still guaranteed undecodable. Needs [size_bytes >= 3].
+    @raise Invalid_argument otherwise. *)
+val spoofed_header : rand:(int -> int) -> size_bytes:int -> string
+
+(** [corrupt ~rand s] flips one random bit of [s] (uniform position) —
+    the bit-flip mutation the fuzz suite drives through every decoder. *)
+val corrupt : rand:(int -> int) -> string -> string

@@ -1,0 +1,91 @@
+type t =
+  | Prime_msg of Bft.Types.replica * Prime.Msg.t
+  | Pbft_msg of Bft.Types.replica * Pbft.Msg.t
+  | Client_update of Bft.Update.t
+  | Replica_reply of Scada.Reply.t
+  | Transfer_chunk of Recovery.State_transfer.chunk
+
+let kind = function
+  | Prime_msg (_, m) -> (
+    match m with
+    | Prime.Msg.Po_request _ -> "prime/po_request"
+    | Prime.Msg.Po_aru _ -> "prime/po_aru"
+    | Prime.Msg.Preprepare _ -> "prime/preprepare"
+    | Prime.Msg.Prepare _ -> "prime/prepare"
+    | Prime.Msg.Commit _ -> "prime/commit"
+    | Prime.Msg.Suspect _ -> "prime/suspect"
+    | Prime.Msg.Viewchange _ -> "prime/viewchange"
+    | Prime.Msg.Newview _ -> "prime/newview"
+    | Prime.Msg.Recon_request _ -> "prime/recon_request"
+    | Prime.Msg.Recon_reply _ -> "prime/recon_reply"
+    | Prime.Msg.Slot_request _ -> "prime/slot_request"
+    | Prime.Msg.Slot_reply _ -> "prime/slot_reply"
+    | Prime.Msg.Checkpoint _ -> "prime/checkpoint")
+  | Pbft_msg (_, m) -> (
+    match m with
+    | Pbft.Msg.Request _ -> "pbft/request"
+    | Pbft.Msg.Preprepare _ -> "pbft/preprepare"
+    | Pbft.Msg.Prepare _ -> "pbft/prepare"
+    | Pbft.Msg.Commit _ -> "pbft/commit"
+    | Pbft.Msg.Checkpoint _ -> "pbft/checkpoint"
+    | Pbft.Msg.Viewchange _ -> "pbft/viewchange"
+    | Pbft.Msg.Newview _ -> "pbft/newview")
+  | Client_update _ -> "client_update"
+  | Replica_reply _ -> "replica_reply"
+  | Transfer_chunk _ -> "transfer_chunk"
+
+(* Every constituent is immutable first-order data (ints, int64 digests,
+   strings, arrays, records), so structural equality is the value
+   equality the decode-on-delivery check needs. *)
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | Prime_msg (r, m) -> Format.fprintf ppf "prime[r%d] %a" r Prime.Msg.pp m
+  | Pbft_msg (r, m) -> Format.fprintf ppf "pbft[r%d] %a" r Pbft.Msg.pp m
+  | Client_update u -> Format.fprintf ppf "update %a" Bft.Update.pp u
+  | Replica_reply t -> Format.fprintf ppf "reply %a" Scada.Reply.pp t
+  | Transfer_chunk c ->
+    Format.fprintf ppf "chunk xfer=%d %d/%d (%d B)"
+      c.Recovery.State_transfer.xfer_id c.Recovery.State_transfer.chunk_index
+      c.Recovery.State_transfer.chunk_count
+      (String.length c.Recovery.State_transfer.data)
+
+let w b = function
+  | Prime_msg (sender, m) ->
+    Rw.w_u8 b 0x01;
+    Rw.w_u16 b sender;
+    Codec.w_prime b m
+  | Pbft_msg (sender, m) ->
+    Rw.w_u8 b 0x02;
+    Rw.w_u16 b sender;
+    Codec.w_pbft b m
+  | Client_update u ->
+    Rw.w_u8 b 0x03;
+    Codec.w_update b u
+  | Replica_reply t ->
+    Rw.w_u8 b 0x04;
+    Codec.w_reply b t
+  | Transfer_chunk c ->
+    Rw.w_u8 b 0x05;
+    Codec.w_chunk b c
+
+let r reader =
+  let ctx = "message" in
+  match Rw.r_u8 ctx reader with
+  | 0x01 ->
+    let sender = Rw.r_u16 ctx reader in
+    Prime_msg (sender, Codec.r_prime reader)
+  | 0x02 ->
+    let sender = Rw.r_u16 ctx reader in
+    Pbft_msg (sender, Codec.r_pbft reader)
+  | 0x03 -> Client_update (Codec.r_update reader)
+  | 0x04 -> Replica_reply (Codec.r_reply reader)
+  | 0x05 -> Transfer_chunk (Codec.r_chunk reader)
+  | tag -> raise (Rw.Fail (Rw.Unknown_tag { context = ctx; tag }))
+
+let encode m =
+  let b = Buffer.create 160 in
+  w b m;
+  Buffer.contents b
+
+let decode s = Rw.run s r

@@ -1,0 +1,38 @@
+(** The system message union — everything any Spire component ever puts
+    on the overlay.
+
+    [Core.System]'s payload type {e is} this type: defining it here lets
+    the wire layer encode/decode complete frames without a dependency
+    cycle, and leaves the protocol state machines sans-IO (they emit
+    values; the deployment serialises them at the network boundary). *)
+
+type t =
+  | Prime_msg of Bft.Types.replica * Prime.Msg.t
+      (** protocol message from a Prime replica *)
+  | Pbft_msg of Bft.Types.replica * Pbft.Msg.t
+      (** protocol message from a PBFT replica *)
+  | Client_update of Bft.Update.t  (** client (proxy/HMI) submission *)
+  | Replica_reply of Scada.Reply.t  (** threshold-signed execution reply *)
+  | Transfer_chunk of Recovery.State_transfer.chunk
+      (** state-transfer snapshot fragment *)
+
+(** [kind m] is a stable per-variant label (drilling into the protocol
+    message variant, e.g. ["prime/preprepare"]) used for per-class
+    traffic accounting. *)
+val kind : t -> string
+
+(** [equal a b] — structural value equality (used by the
+    decode-on-delivery debug check). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Bare body codec (no envelope): tag byte + message body. *)
+val encode : t -> string
+
+val decode : string -> (t, Rw.error) result
+
+(** Writer/reader forms for the envelope codec. *)
+val w : Rw.writer -> t -> unit
+
+val r : Rw.reader -> t

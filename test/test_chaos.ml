@@ -282,6 +282,45 @@ let test_regression_seed_9000027 () =
     Alcotest.failf "leader-hole regression resurfaced:@.%a"
       Chaos.Harness.pp_report report
 
+(* Wire regression: a turbulent run with decode-on-delivery enabled.
+   Every frame delivered during crashes, daemon churn and recovery
+   storms is round-tripped through the binary codecs; a single decode
+   mismatch fails [clean]. Pins down codec bugs that only bite on
+   recovery-path traffic (state-transfer chunks, view changes). *)
+let test_wire_debug_under_turbulence () =
+  let config =
+    let c = Chaos.Harness.default_config () in
+    {
+      c with
+      Chaos.Harness.system =
+        { c.Chaos.Harness.system with Spire.System.wire_debug = true };
+    }
+  in
+  let schedule =
+    Chaos.Schedule.
+      {
+        horizon_us = 6_000_000;
+        events =
+          [
+            {
+              at_us = 1_500_000;
+              fault = Crash_restart { replica = 2; down_us = 900_000 };
+            };
+            {
+              at_us = 3_200_000;
+              fault = Daemon_churn { replica = 4; down_us = 400_000 };
+            };
+          ];
+      }
+  in
+  let report = Chaos.Harness.run ~config ~seed:0x31BEL ~schedule () in
+  Alcotest.(check int)
+    "no wire decode errors under turbulence" 0
+    report.Chaos.Harness.wire_decode_errors;
+  if not (Chaos.Harness.clean report) then
+    Alcotest.failf "wire-debug chaos run not clean:@.%a" Chaos.Harness.pp_report
+      report
+
 let () =
   Alcotest.run "chaos"
     [
@@ -308,6 +347,8 @@ let () =
             `Quick test_over_budget_trips_quorum_oracle;
           Alcotest.test_case "regression: leader hole + state-transfer reset"
             `Slow test_regression_seed_9000027;
+          Alcotest.test_case "decode-on-delivery stays clean under turbulence"
+            `Slow test_wire_debug_under_turbulence;
           QCheck_alcotest.to_alcotest prop_soak_clean;
         ] );
     ]

@@ -179,7 +179,7 @@ let test_net_unicast_latency () =
   let engine, net = make_net topo in
   let received = ref [] in
   N.set_handler net 3 (fun d -> received := d :: !received);
-  N.send net ~src:0 ~dst:3 ~mode:N.Shortest (Ping 1);
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 1);
   Sim.Engine.run_until_quiescent engine;
   match !received with
   | [ d ] ->
@@ -196,7 +196,7 @@ let test_net_reroutes_after_link_kill () =
   let received = ref 0 in
   N.set_handler net 3 (fun _ -> incr received);
   N.kill_link net 0 1;
-  N.send net ~src:0 ~dst:3 ~mode:N.Shortest (Ping 1);
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 1);
   Sim.Engine.run_until_quiescent engine;
   Alcotest.(check int) "delivered via detour" 1 !received;
   Alcotest.(check (option (list int))) "route avoids dead link"
@@ -210,7 +210,7 @@ let test_net_redundant_survives_path_kill_in_flight () =
   let engine, net = make_net topo in
   let received = ref 0 in
   N.set_handler net 3 (fun _ -> incr received);
-  N.send net ~src:0 ~dst:3 ~mode:(N.Redundant 3) (Ping 1);
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:(N.Redundant 3) (Ping 1);
   (* Kill the fastest path's middle node before anything propagates. *)
   N.kill_node net 1;
   Sim.Engine.run_until_quiescent engine;
@@ -221,7 +221,7 @@ let test_net_redundant_dedups () =
   let engine, net = make_net topo in
   let received = ref 0 in
   N.set_handler net 3 (fun _ -> incr received);
-  N.send net ~src:0 ~dst:3 ~mode:(N.Redundant 3) (Ping 9);
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:(N.Redundant 3) (Ping 9);
   Sim.Engine.run_until_quiescent engine;
   Alcotest.(check int) "one delivery despite 3 copies" 1 !received;
   let stats = N.stats net in
@@ -233,7 +233,7 @@ let test_net_flood_reaches_all () =
   let engine, net = make_net topo in
   let received = ref 0 in
   N.set_handler net 9 (fun _ -> incr received);
-  N.send net ~src:0 ~dst:9 ~mode:N.Flood (Ping 1);
+  N.send net ~src:0 ~dst:9 ~size_bytes:256 ~mode:N.Flood (Ping 1);
   Sim.Engine.run_until_quiescent engine;
   Alcotest.(check int) "flood delivers once" 1 !received
 
@@ -247,7 +247,7 @@ let test_net_flood_survives_heavy_link_loss () =
   N.kill_link net 0 3;
   N.kill_link net 0 6;
   N.kill_link net 0 8;
-  N.send net ~src:0 ~dst:9 ~mode:N.Flood (Ping 1);
+  N.send net ~src:0 ~dst:9 ~size_bytes:256 ~mode:N.Flood (Ping 1);
   Sim.Engine.run_until_quiescent engine;
   Alcotest.(check int) "delivered" 1 !received
 
@@ -257,7 +257,7 @@ let test_net_node_down_no_delivery () =
   let received = ref 0 in
   N.set_handler net 3 (fun _ -> incr received);
   N.kill_node net 3;
-  N.send net ~src:0 ~dst:3 ~mode:N.Shortest (Ping 1);
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 1);
   Sim.Engine.run_until_quiescent engine;
   Alcotest.(check int) "nothing delivered" 0 !received
 
@@ -299,7 +299,7 @@ let test_net_latency_factor () =
   let lat = ref 0 in
   N.set_handler net 1 (fun d -> lat := d.N.delivered_us - d.N.sent_us);
   N.set_latency_factor net 0 1 10.;
-  N.send net ~src:0 ~dst:1 ~mode:N.Shortest (Ping 1);
+  N.send net ~src:0 ~dst:1 ~size_bytes:256 ~mode:N.Shortest (Ping 1);
   Sim.Engine.run_until_quiescent engine;
   Alcotest.(check bool) "10x latency" true (!lat >= 10_000)
 
@@ -314,7 +314,7 @@ let test_net_lossy_link_arq_recovers () =
   for i = 1 to 100 do
     ignore
       (Sim.Engine.schedule_at engine ~time_us:(i * 50_000) (fun () ->
-           N.send net ~src:0 ~dst:1 ~mode:N.Shortest (Ping i))
+           N.send net ~src:0 ~dst:1 ~size_bytes:256 ~mode:N.Shortest (Ping i))
         : Sim.Engine.timer)
   done;
   Sim.Engine.run_until_quiescent engine;
@@ -341,7 +341,7 @@ let test_net_loss_adds_latency_not_loss () =
   for i = 1 to 50 do
     ignore
       (Sim.Engine.schedule_at engine ~time_us:(i * 100_000) (fun () ->
-           N.send net ~src:0 ~dst:1 ~mode:N.Shortest (Ping i)))
+           N.send net ~src:0 ~dst:1 ~size_bytes:256 ~mode:N.Shortest (Ping i)))
   done;
   Sim.Engine.run_until_quiescent engine;
   Alcotest.(check int) "all delivered" 50 (List.length !latencies);
@@ -362,7 +362,7 @@ let test_net_arq_exhaustion_counted_not_wedged () =
   for i = 1 to 40 do
     ignore
       (Sim.Engine.schedule_at engine ~time_us:(i * 100_000) (fun () ->
-           N.send net ~src:0 ~dst:1 ~mode:N.Shortest (Ping i))
+           N.send net ~src:0 ~dst:1 ~size_bytes:256 ~mode:N.Shortest (Ping i))
         : Sim.Engine.timer)
   done;
   Sim.Engine.run_until_quiescent engine;
@@ -375,7 +375,7 @@ let test_net_arq_exhaustion_counted_not_wedged () =
     (!received + s.N.dropped_arq_exhausted);
   (* The queue is not wedged: after the loss clears, traffic flows. *)
   N.set_loss_probability net 0 1 0.0;
-  N.send net ~src:0 ~dst:1 ~mode:N.Shortest (Ping 0);
+  N.send net ~src:0 ~dst:1 ~size_bytes:256 ~mode:N.Shortest (Ping 0);
   Sim.Engine.run_until_quiescent engine;
   Alcotest.(check bool) "link usable after exhaustion" true
     (!received > 0 && (N.stats net).N.delivered = !received)
@@ -385,7 +385,7 @@ let test_net_self_send () =
   let engine, net = make_net topo in
   let received = ref 0 in
   N.set_handler net 0 (fun _ -> incr received);
-  N.send net ~src:0 ~dst:0 ~mode:N.Shortest (Ping 1);
+  N.send net ~src:0 ~dst:0 ~size_bytes:256 ~mode:N.Shortest (Ping 1);
   Sim.Engine.run_until_quiescent engine;
   Alcotest.(check int) "self delivery" 1 !received
 

@@ -177,6 +177,52 @@ let test_state_transfer_unreachable_peers () =
   | ST.Installed s -> Alcotest.(check int) "works around dead peer" 5 s.version
   | ST.No_quorum _ -> Alcotest.fail "expected quorum"
 
+(* Chunking: a snapshot blob split for the wire reassembles exactly,
+   and tampering with any chunk is caught by the total digest. *)
+
+let test_chunk_roundtrip () =
+  let blob = String.init 3000 (fun i -> Char.chr (i mod 256)) in
+  let chunks = ST.chunk_blob ~xfer_id:7 ~chunk_bytes:1024 blob in
+  Alcotest.(check int) "ceil-div chunk count" 3 (List.length chunks);
+  List.iter
+    (fun c -> Alcotest.(check int) "consistent count" 3 c.ST.chunk_count)
+    chunks;
+  (match ST.reassemble (List.rev chunks) with
+  | Ok blob' -> Alcotest.(check string) "reassembles out of order" blob blob'
+  | Error e -> Alcotest.failf "reassemble failed: %s" e);
+  match ST.reassemble [] with
+  | Ok _ -> Alcotest.fail "empty chunk list must not reassemble"
+  | Error _ -> ()
+
+let test_chunk_empty_blob () =
+  match ST.chunk_blob ~xfer_id:1 ~chunk_bytes:64 "" with
+  | [ c ] ->
+    Alcotest.(check int) "one empty chunk" 0 (String.length c.ST.data);
+    (match ST.reassemble [ c ] with
+    | Ok blob -> Alcotest.(check string) "empty roundtrip" "" blob
+    | Error e -> Alcotest.failf "reassemble failed: %s" e)
+  | chunks ->
+    Alcotest.failf "empty blob must yield one chunk, got %d"
+      (List.length chunks)
+
+let test_chunk_tamper_detected () =
+  let blob = String.init 2000 (fun i -> Char.chr ((i * 31) mod 256)) in
+  let chunks = ST.chunk_blob ~xfer_id:3 ~chunk_bytes:512 blob in
+  let tampered =
+    List.mapi
+      (fun i c ->
+        if i = 1 then
+          { c with ST.data = "X" ^ String.sub c.ST.data 1 (String.length c.ST.data - 1) }
+        else c)
+      chunks
+  in
+  (match ST.reassemble tampered with
+  | Ok _ -> Alcotest.fail "tampered chunk data must not reassemble"
+  | Error _ -> ());
+  match ST.reassemble (List.tl chunks) with
+  | Ok _ -> Alcotest.fail "missing chunk must not reassemble"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "recovery"
     [
@@ -211,5 +257,9 @@ let () =
             test_state_transfer_prefers_newest_quorum;
           Alcotest.test_case "unreachable peers" `Quick
             test_state_transfer_unreachable_peers;
+          Alcotest.test_case "chunking roundtrip" `Quick test_chunk_roundtrip;
+          Alcotest.test_case "chunking empty blob" `Quick test_chunk_empty_blob;
+          Alcotest.test_case "chunk tamper detected" `Quick
+            test_chunk_tamper_detected;
         ] );
     ]
