@@ -7,6 +7,7 @@
      EXPERIMENT=E4 dune exec bench/main.exe   # one experiment
      SCALE=full dune exec bench/main.exe      # paper-scale durations
      MICRO=0 dune exec bench/main.exe         # skip microbenchmarks
+     PERF=1 dune exec bench/main.exe          # perf trajectory -> BENCH_PERF.json
 
    Absolute numbers depend on the simulated substrate; the properties
    that must match the paper are the *shapes*: who wins, by what rough
@@ -23,6 +24,9 @@ let wanted =
 
 let run_micro =
   match Sys.getenv_opt "MICRO" with Some "0" -> false | _ -> true
+
+let perf_mode =
+  match Sys.getenv_opt "PERF" with Some "1" -> true | _ -> false
 
 let sec s = s * 1_000_000
 let minutes m = m * 60 * 1_000_000
@@ -691,12 +695,15 @@ let microbenches () =
 
 let () =
   let t0 = Unix.gettimeofday () in
-  let experiments =
-    [
-      ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-      ("E6B", e6b); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
-    ]
-  in
-  List.iter (fun (id, f) -> if enabled id then f ()) experiments;
-  if run_micro && (wanted = None || wanted = Some "MICRO") then microbenches ();
+  if perf_mode then Perf.run ~scale_full ()
+  else begin
+    let experiments =
+      [
+        ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+        ("E6B", e6b); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
+      ]
+    in
+    List.iter (fun (id, f) -> if enabled id then f ()) experiments;
+    if run_micro && (wanted = None || wanted = Some "MICRO") then microbenches ()
+  end;
   Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,219 @@
+(* Perf-trajectory harness (PERF=1 bench mode).
+
+   Runs the three throughput-critical experiment workloads — E2
+   (fault-free latency), E3 (long fault-free soak) and E6 (flooded
+   overlay under attack) — and reports wall-clock seconds plus
+   simulated-events-per-second for each, alongside manual-loop codec
+   microbenchmarks comparing a full envelope encode against the
+   measured-size pass that replaced it on the send path.
+
+   Results go to stdout and to [BENCH_PERF.json] in the current
+   directory, so successive sessions can track the perf trajectory in
+   version control. The JSON carries:
+
+   - the pre-optimisation baseline (release profile, quick scale),
+     recorded once when this harness was introduced;
+   - a sticky [floor_events_per_sec]: established on the first run as
+     half the measured E3 events/sec, then re-read from the existing
+     file on later runs. At quick scale the harness exits non-zero if
+     E3 throughput falls below the floor — a regression gate for the
+     hot path. *)
+
+let json_path = "BENCH_PERF.json"
+
+(* Release-profile, quick-scale measurements taken immediately before
+   the zero-allocation hot-path work, for the speedup column. *)
+let pre_pr_e2_wall_s = 7.73
+let pre_pr_e3_wall_s = 57.48
+let pre_pr_e3_events_per_sec = 479_685.
+let pre_pr_e6_wall_s = 12.19
+
+let sec s = s * 1_000_000
+let minutes m = m * 60 * 1_000_000
+let hours h = h * 3600 * 1_000_000
+
+type run = { id : string; wall_s : float; events : int }
+
+let events_per_sec r =
+  if r.wall_s <= 0. then 0. else float_of_int r.events /. r.wall_s
+
+let timed id f =
+  let t0 = Unix.gettimeofday () in
+  let sys = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let events = Sim.Engine.processed (Spire.System.engine sys) in
+  let r = { id; wall_s; events } in
+  Printf.printf "  %-4s wall=%6.2fs events=%9d events/sec=%9.0f\n%!" id wall_s
+    events (events_per_sec r);
+  r
+
+let workloads ~scale_full () =
+  let e2 =
+    timed "E2" (fun () ->
+        let dur = if scale_full then hours 1 else minutes 5 in
+        fst (Spire.Scenarios.fault_free ~duration_us:dur ()))
+  in
+  let e3 =
+    timed "E3" (fun () ->
+        let dur = if scale_full then hours 30 else minutes 30 in
+        fst (Spire.Scenarios.fault_free ~duration_us:dur ()))
+  in
+  let e6 =
+    timed "E6" (fun () ->
+        let dur = if scale_full then minutes 2 else sec 20 in
+        fst
+          (Spire.Scenarios.link_degradation ~mode:Overlay.Net.Flood ~factor:20.
+             ~attack_from_us:(dur / 4) ~duration_us:dur ()))
+  in
+  (e2, e3, e6)
+
+(* ------------------------------------------------------------------ *)
+(* Codec microbenches: full encode vs measured size, manual loops.     *)
+
+let ns_per_op ~iters f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let microbenches () =
+  let matrix = Array.init 6 (fun i -> Array.init 6 (fun j -> (i * 7) + j)) in
+  let preprepare =
+    Wire.Message.Prime_msg (0, Prime.Msg.Preprepare { view = 3; seq = 42; matrix })
+  in
+  let commit =
+    Wire.Message.Prime_msg
+      (0, Prime.Msg.Commit { view = 3; seq = 42; digest = Cryptosim.Digest.of_string "c" })
+  in
+  let group =
+    Cryptosim.Threshold.create_group ~seed:1L ~members:[ 0; 1; 2; 3; 4; 5 ]
+      ~threshold:2
+  in
+  let digest = Cryptosim.Digest.of_string "bench" in
+  let reply =
+    Wire.Message.Replica_reply
+      {
+        Scada.Reply.replica = 0;
+        update_key = (1, 2);
+        exec_index = 3;
+        digest;
+        share = Cryptosim.Threshold.sign_share group ~member:0 digest;
+        body = Scada.Reply.Ack;
+      }
+  in
+  let bench name msg =
+    let encode_ns =
+      ns_per_op ~iters:100_000 (fun () ->
+          ignore (Wire.Envelope.encode ~sender:0 msg : string))
+    in
+    let size_ns =
+      ns_per_op ~iters:1_000_000 (fun () ->
+          ignore (Wire.Envelope.size ~sender:0 msg : int))
+    in
+    Printf.printf "  %-10s encode=%7.1f ns/op   measured size=%6.1f ns/op\n%!"
+      name encode_ns size_ns;
+    (name, encode_ns, size_ns)
+  in
+  let b1 = bench "preprepare" preprepare in
+  let b2 = bench "commit" commit in
+  let b3 = bench "reply" reply in
+  [ b1; b2; b3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Sticky floor: parse it back out of an existing BENCH_PERF.json.     *)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let existing_floor () =
+  if not (Sys.file_exists json_path) then None
+  else begin
+    let ic = open_in json_path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match find_sub s "\"floor_events_per_sec\":" with
+    | None -> None
+    | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length s
+        && (match s.[!stop] with
+           | '0' .. '9' | '.' | ' ' | '-' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.trim (String.sub s start (!stop - start)))
+  end
+
+let write_json ~scale ~floor ~e2 ~e3 ~e6 ~micros =
+  let oc = open_out json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"spire-bench-perf/1\",\n";
+  p "  \"scale\": \"%s\",\n" scale;
+  p "  \"floor_events_per_sec\": %.0f,\n" floor;
+  p "  \"pre_pr\": {\n";
+  p "    \"note\": \"release profile, quick scale, before the zero-allocation hot-path work\",\n";
+  p "    \"e2_wall_s\": %.2f,\n" pre_pr_e2_wall_s;
+  p "    \"e3_wall_s\": %.2f,\n" pre_pr_e3_wall_s;
+  p "    \"e3_events_per_sec\": %.0f,\n" pre_pr_e3_events_per_sec;
+  p "    \"e6_wall_s\": %.2f\n" pre_pr_e6_wall_s;
+  p "  },\n";
+  p "  \"runs\": [\n";
+  let run_line last r =
+    p "    { \"id\": \"%s\", \"wall_s\": %.2f, \"events\": %d, \"events_per_sec\": %.0f }%s\n"
+      r.id r.wall_s r.events (events_per_sec r)
+      (if last then "" else ",")
+  in
+  run_line false e2;
+  run_line false e3;
+  run_line true e6;
+  p "  ],\n";
+  p "  \"speedup_e3_wall_vs_pre_pr\": %.2f,\n" (pre_pr_e3_wall_s /. e3.wall_s);
+  p "  \"micro_ns_per_op\": {\n";
+  let rec emit = function
+    | [] -> ()
+    | (name, enc, sz) :: rest ->
+      p "    \"envelope_encode_%s\": %.1f,\n" name enc;
+      p "    \"measured_size_%s\": %.1f%s\n" name sz
+        (if rest = [] then "" else ",");
+      emit rest
+  in
+  emit micros;
+  p "  }\n";
+  p "}\n";
+  close_out oc
+
+let run ~scale_full () =
+  Printf.printf "PERF %s: wall-clock + simulated events/sec\n%!"
+    (if scale_full then "[full scale]" else "[quick scale]");
+  let e2, e3, e6 = workloads ~scale_full () in
+  let micros = microbenches () in
+  let floor =
+    match existing_floor () with
+    | Some f ->
+      Printf.printf "  floor: %.0f events/sec (from existing %s)\n%!" f json_path;
+      f
+    | None ->
+      let f = Float.round (0.5 *. events_per_sec e3) in
+      Printf.printf "  floor: %.0f events/sec (established: half of measured E3)\n%!" f;
+      f
+  in
+  write_json ~scale:(if scale_full then "full" else "quick") ~floor ~e2 ~e3 ~e6
+    ~micros;
+  Printf.printf "  wrote %s (E3 speedup vs pre-PR: %.2fx)\n%!" json_path
+    (pre_pr_e3_wall_s /. e3.wall_s);
+  (* The floor was measured at quick scale; only enforce it there. *)
+  if (not scale_full) && events_per_sec e3 < floor then begin
+    Printf.printf "PERF FAIL: E3 %.0f events/sec below floor %.0f\n%!"
+      (events_per_sec e3) floor;
+    exit 1
+  end

@@ -14,4 +14,8 @@ dune build --profile release
 EXPERIMENT=E2 MICRO=0 dune exec --profile release bench/main.exe
 EXPERIMENT=E6 MICRO=0 dune exec --profile release bench/main.exe
 
+# Perf trajectory: regenerates BENCH_PERF.json and fails if E3
+# events/sec falls below the floor recorded in the file.
+PERF=1 dune exec --profile release bench/main.exe
+
 echo "check.sh: all green"

@@ -1,0 +1,25 @@
+(* Throwaway probe: golden values + wall-clock for the perf PR. *)
+let () =
+  let t0 = Unix.gettimeofday () in
+  let sys, r = Spire.Scenarios.fault_free ~duration_us:(5 * 60 * 1_000_000) () in
+  let wall_e2 = Unix.gettimeofday () -. t0 in
+  Printf.printf "E2 confirmed=%d max_view=%d wall=%.2fs events=%d\n"
+    r.Spire.Scenarios.confirmed r.Spire.Scenarios.max_view wall_e2
+    (Sim.Engine.processed (Spire.System.engine sys));
+  List.iter
+    (fun (kind, frames, bytes) ->
+      Printf.printf "  ledger %s frames=%d bytes=%d\n" kind frames bytes)
+    (Spire.System.wire_traffic sys);
+  let t1 = Unix.gettimeofday () in
+  let sys3, r3 = Spire.Scenarios.fault_free ~duration_us:(30 * 60 * 1_000_000) () in
+  let wall_e3 = Unix.gettimeofday () -. t1 in
+  Printf.printf "E3 confirmed=%d wall=%.2fs events=%d ev/s=%.0f\n"
+    r3.Spire.Scenarios.confirmed wall_e3
+    (Sim.Engine.processed (Spire.System.engine sys3))
+    (float_of_int (Sim.Engine.processed (Spire.System.engine sys3)) /. wall_e3);
+  let t2 = Unix.gettimeofday () in
+  let _sys6, _r6 =
+    Spire.Scenarios.link_degradation ~mode:Overlay.Net.Flood ~factor:20.
+      ~attack_from_us:(5 * 1_000_000) ~duration_us:(20 * 1_000_000) ()
+  in
+  Printf.printf "E6(flood) wall=%.2fs\n" (Unix.gettimeofday () -. t2)

@@ -85,7 +85,10 @@ type t = {
   mutable recovery_listeners :
     ([ `Begin | `Complete ] -> Bft.Types.replica -> unit) list;
   share_cost_us : int;
-  wire_traffic : (string, int * int) Hashtbl.t; (* kind -> frames, bytes *)
+  wire_frames : int array; (* per Wire.Message.kind_index *)
+  wire_bytes : int array;
+  mutable size_memo_payload : payload; (* last measured payload (physical) *)
+  mutable size_memo_bytes : int;
   mutable wire_decode_errors : int;
 }
 
@@ -215,26 +218,41 @@ let build_topology cfg =
 (* ------------------------------------------------------------------ *)
 (* Creation.                                                           *)
 
-(* Every protocol send is serialised through the wire codecs: the
-   overlay's bandwidth model is charged the exact frame length
-   (envelope header + encoded body + authenticator), never an
-   approximation. Per-kind totals feed the traffic breakdown in the
-   benchmark harness. *)
+(* Every protocol send is charged the exact frame length (envelope
+   header + encoded body + authenticator) via the measured-size pass,
+   never an approximation — and never a serialisation: Wire.Measure
+   walks the value arithmetically. A broadcast hands the same physical
+   payload to every recipient, and frame size is sender-independent, so
+   a one-slot memo keyed by physical identity measures each payload
+   once per n-1-way broadcast. Per-kind totals live in preallocated
+   counter arrays indexed by Wire.Message.kind_index. *)
 let send_payload t ~src_node ~dst_node payload =
-  let size_bytes = Wire.Envelope.size ~sender:src_node payload in
-  let kind = Wire.Message.kind payload in
-  let frames, bytes =
-    Option.value (Hashtbl.find_opt t.wire_traffic kind) ~default:(0, 0)
+  let size_bytes =
+    if payload == t.size_memo_payload then t.size_memo_bytes
+    else begin
+      let s = Wire.Envelope.size ~sender:src_node payload in
+      t.size_memo_payload <- payload;
+      t.size_memo_bytes <- s;
+      s
+    end
   in
-  Hashtbl.replace t.wire_traffic kind (frames + 1, bytes + size_bytes);
+  let k = Wire.Message.kind_index payload in
+  t.wire_frames.(k) <- t.wire_frames.(k) + 1;
+  t.wire_bytes.(k) <- t.wire_bytes.(k) + size_bytes;
   Overlay.Net.send t.net ~priority:Overlay.Fair_queue.Control ~size_bytes
     ~src:src_node ~dst:dst_node ~mode:t.cfg.dissemination payload
 
 let wire_traffic t =
-  Hashtbl.fold (fun kind (frames, bytes) acc -> (kind, frames, bytes) :: acc)
-    t.wire_traffic []
-  |> List.sort (fun (ka, _, ba) (kb, _, bb) ->
-         match compare bb ba with 0 -> compare ka kb | c -> c)
+  let acc = ref [] in
+  for k = Wire.Message.kind_count - 1 downto 0 do
+    if t.wire_frames.(k) > 0 then
+      acc :=
+        (Wire.Message.kind_name k, t.wire_frames.(k), t.wire_bytes.(k)) :: !acc
+  done;
+  List.sort
+    (fun (ka, _, ba) (kb, _, bb) ->
+      match compare bb ba with 0 -> compare ka kb | c -> c)
+    !acc
 
 let wire_decode_errors t = t.wire_decode_errors
 
@@ -426,19 +444,39 @@ let create cfg =
       scheduler = None;
       recovery_listeners = [];
       share_cost_us = Cryptosim.Threshold.default_cost.Cryptosim.Threshold.share_us;
-      wire_traffic = Hashtbl.create 31;
+      wire_frames = Array.make Wire.Message.kind_count 0;
+      wire_bytes = Array.make Wire.Message.kind_count 0;
+      (* Fresh dummy payload: physically distinct from anything ever
+         sent, so the first real send always misses the memo. *)
+      size_memo_payload =
+        Client_update
+          (Bft.Update.create ~client:0 ~client_seq:0 ~operation:""
+             ~submitted_us:0);
+      size_memo_bytes = 0;
       wire_decode_errors = 0;
     }
   in
-  (* Replica environments. *)
+  (* Replica environments. A protocol broadcast hands the same physical
+     message to every recipient; memoising the wrapped payload by the
+     inner message's physical identity lets [send_payload]'s size memo
+     hit on every recipient after the first. *)
   let env_of r wrap =
+    let wrap_memo = ref None in
+    let wrap_shared msg =
+      match !wrap_memo with
+      | Some (m, p) when m == msg -> p
+      | _ ->
+        let p = wrap msg in
+        wrap_memo := Some (msg, p);
+        p
+    in
     {
       Bft.Env.self = r;
       replica_count = n;
       send =
         (fun dst msg ->
           send_payload t ~src_node:(node_of_replica t r)
-            ~dst_node:(node_of_replica t dst) (wrap msg));
+            ~dst_node:(node_of_replica t dst) (wrap_shared msg));
       now_us = (fun () -> Sim.Engine.now engine);
       set_timer = (fun delay_us f -> Sim.Engine.schedule engine ~delay_us f);
       trace = (fun _ -> ());
@@ -537,10 +575,11 @@ let create cfg =
   let submit_of client ~attempt (u : Bft.Update.t) =
     t.submitted <- t.submitted + 1;
     let now = Sim.Engine.now engine in
+    let payload = Client_update u in
     if attempt = 0 then begin
       let origin = pick_origin client now in
       send_payload t ~src_node:(node_of_client t client)
-        ~dst_node:(node_of_replica t origin) (Client_update u)
+        ~dst_node:(node_of_replica t origin) payload
     end
     else begin
       (* Blame the current origin only once it has had a full timeout
@@ -550,9 +589,10 @@ let create cfg =
         suspected_until.(client).(cur) <- now + (8 * cfg.resubmit_timeout_us);
         ignore (pick_origin client now : int)
       end;
+      (* One physical payload for the whole retransmission broadcast. *)
       for r = 0 to n - 1 do
         send_payload t ~src_node:(node_of_client t client)
-          ~dst_node:(node_of_replica t r) (Client_update u)
+          ~dst_node:(node_of_replica t r) payload
       done
     end
   in

@@ -1,22 +1,61 @@
 type t = int64
 
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
+(* FNV-1a, 64-bit. The running hash is tracked as two 32-bit limbs held
+   in native ints: without flambda every [Int64] operation allocates a
+   boxed value, which made this — the innermost loop of every simulated
+   authenticator — a dominant allocation site. The limb arithmetic is
+   bit-exact with the Int64 formulation: with
+   [fnv_prime = 0x100000001b3 = 2^40 + 0x1b3] and state [(hi:lo)],
+
+     (hi:lo) * prime mod 2^64  has
+       lo' = (lo * 0x1b3) mod 2^32
+       hi' = (hi * 0x1b3 + carry + lo * 2^8) mod 2^32,
+       carry = (lo * 0x1b3) / 2^32
+
+   (the 2^40 term only reaches the high limb), and every intermediate
+   fits comfortably in a 63-bit native int. The offset basis
+   0xcbf29ce484222325 splits into hi = 0xcbf29ce4, lo = 0x84222325. *)
+
+let mask32 = 0xFFFFFFFF
+let prime_low = 0x1b3
+let offset_hi = 0xcbf29ce4
+let offset_lo = 0x84222325
+
+let[@inline] mix hi lo c =
+  let l = !lo lxor c in
+  let p = l * prime_low in
+  lo := p land mask32;
+  hi := ((!hi * prime_low) + (p lsr 32) + (l lsl 8)) land mask32
+
+let[@inline] join hi lo =
+  Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
 
 let of_string s =
-  let h = ref fnv_offset in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h fnv_prime)
-    s;
-  !h
+  let hi = ref offset_hi and lo = ref offset_lo in
+  for i = 0 to String.length s - 1 do
+    mix hi lo (Char.code (String.unsafe_get s i))
+  done;
+  join !hi !lo
 
+(* Equivalent to hashing the 16 big-endian bytes of [a] then [b], as the
+   previous implementation did via an intermediate [Bytes.t]. *)
 let combine a b =
-  let buf = Bytes.create 16 in
-  Bytes.set_int64_be buf 0 a;
-  Bytes.set_int64_be buf 8 b;
-  of_string (Bytes.to_string buf)
+  let hi = ref offset_hi and lo = ref offset_lo in
+  let feed v =
+    let v_hi = Int64.to_int (Int64.shift_right_logical v 32) land mask32 in
+    let v_lo = Int64.to_int v land mask32 in
+    mix hi lo (v_hi lsr 24);
+    mix hi lo ((v_hi lsr 16) land 0xff);
+    mix hi lo ((v_hi lsr 8) land 0xff);
+    mix hi lo (v_hi land 0xff);
+    mix hi lo (v_lo lsr 24);
+    mix hi lo ((v_lo lsr 16) land 0xff);
+    mix hi lo ((v_lo lsr 8) land 0xff);
+    mix hi lo (v_lo land 0xff)
+  in
+  feed a;
+  feed b;
+  join !hi !lo
 
 let equal = Int64.equal
 let compare = Int64.compare

@@ -14,8 +14,12 @@ let create ?(generation_size = 65536) () =
 
 let mem t id = Hashtbl.mem t.current id || Hashtbl.mem t.previous id
 
+(* An id already remembered — in either generation — must not be
+   re-inserted: adding a [previous]-generation id to [current] would
+   double-count it in [size] and retain it past its window, inflating
+   memory exactly when flood-heavy traffic re-touches old ids. *)
 let add t id =
-  if not (Hashtbl.mem t.current id) then begin
+  if not (Hashtbl.mem t.current id || Hashtbl.mem t.previous id) then begin
     if Hashtbl.length t.current >= t.generation_size then begin
       t.previous <- t.current;
       t.current <- Hashtbl.create 256

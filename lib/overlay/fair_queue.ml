@@ -1,8 +1,36 @@
 type priority = Control | Bulk
 
+(* Round-robin rotation as a growable ring buffer of source ids. The
+   previous implementation rotated with [rest @ [source]], an O(n) list
+   append (and n fresh cons cells) per pop; the ring does the same
+   rotation with two index updates and no allocation in steady state. *)
+type ring = { mutable buf : int array; mutable head : int; mutable len : int }
+
+let ring_create () = { buf = Array.make 16 0; head = 0; len = 0 }
+
+let ring_push r v =
+  let cap = Array.length r.buf in
+  if r.len = cap then begin
+    let buf = Array.make (2 * cap) 0 in
+    for i = 0 to r.len - 1 do
+      buf.(i) <- r.buf.((r.head + i) mod cap)
+    done;
+    r.buf <- buf;
+    r.head <- 0
+  end;
+  r.buf.((r.head + r.len) mod Array.length r.buf) <- v;
+  r.len <- r.len + 1
+
+(* Precondition: [r.len > 0]. *)
+let ring_pop r =
+  let v = r.buf.(r.head) in
+  r.head <- (r.head + 1) mod Array.length r.buf;
+  r.len <- r.len - 1;
+  v
+
 type 'a class_state = {
   queues : (int, 'a Queue.t) Hashtbl.t;
-  mutable rotation : int list; (* sources with pending items, service order *)
+  rotation : ring; (* sources with pending items, service order *)
   mutable count : int;
 }
 
@@ -13,7 +41,8 @@ type 'a t = {
   mutable dropped : int;
 }
 
-let empty_class () = { queues = Hashtbl.create 17; rotation = []; count = 0 }
+let empty_class () =
+  { queues = Hashtbl.create 17; rotation = ring_create (); count = 0 }
 
 let create ~per_source_cap =
   if per_source_cap <= 0 then invalid_arg "Fair_queue.create: cap <= 0";
@@ -37,21 +66,22 @@ let push t ~source ~priority item =
     false
   end
   else begin
-    if Queue.is_empty q then cls.rotation <- cls.rotation @ [ source ];
+    if Queue.is_empty q then ring_push cls.rotation source;
     Queue.push item q;
     cls.count <- cls.count + 1;
     true
   end
 
 let pop_class cls =
-  match cls.rotation with
-  | [] -> None
-  | source :: rest ->
+  if cls.rotation.len = 0 then None
+  else begin
+    let source = ring_pop cls.rotation in
     let q = queue_of cls source in
     let item = Queue.pop q in
     cls.count <- cls.count - 1;
-    cls.rotation <- (if Queue.is_empty q then rest else rest @ [ source ]);
+    if not (Queue.is_empty q) then ring_push cls.rotation source;
     Some (source, item)
+  end
 
 let pop t =
   match pop_class t.control with

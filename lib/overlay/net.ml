@@ -66,10 +66,14 @@ type 'a t = {
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
   topo : Topology.t;
-  links : (int * int, 'a link_state) Hashtbl.t; (* directed *)
-  link_up : (int * int, bool) Hashtbl.t; (* undirected, key normalised *)
+  nodes : int;
+  (* Flat [src * nodes + dst] arrays: the per-hop path touches link and
+     liveness state several times per frame, and tuple-keyed hashtables
+     there cost a key allocation plus hashing per access. *)
+  links : 'a link_state option array; (* directed, [u * nodes + v] *)
+  link_up : bool array; (* undirected, normalised index *)
   node_up : bool array;
-  handlers : (Topology.node, 'a delivery -> unit) Hashtbl.t;
+  handlers : ('a delivery -> unit) option array;
   seen : Dedup_cache.t array; (* per node: flooded frame ids seen *)
   delivered_ids : Dedup_cache.t array; (* per node: dedup'd frame ids delivered *)
   mutable next_frame_id : int;
@@ -87,12 +91,14 @@ type 'a t = {
   per_source_cap : int;
   (* Route caches: shortest paths and disjoint path sets are stable
      between topology state changes (kill/restore); recomputing them
-     per frame dominates CPU otherwise. *)
-  route_cache : (int * int, Topology.node list option) Hashtbl.t;
-  kpath_cache : (int * int * int, Topology.node list list) Hashtbl.t;
+     per frame dominates CPU otherwise. [route_cache.(src * nodes +
+     dst)] is [None] when not yet computed. *)
+  route_cache : Topology.node list option option array;
+  kpath_cache : (int, Topology.node list list) Hashtbl.t;
+      (* key = (src * nodes + dst) * 1024 + min k 1023 *)
 }
 
-let norm a b = if a < b then (a, b) else (b, a)
+let norm_idx t a b = if a < b then (a * t.nodes) + b else (b * t.nodes) + a
 
 let create ?(per_source_cap = 64) engine topo () =
   let n = Topology.node_count topo in
@@ -101,10 +107,11 @@ let create ?(per_source_cap = 64) engine topo () =
       engine;
       rng = Sim.Engine.rng engine;
       topo;
-      links = Hashtbl.create 97;
-      link_up = Hashtbl.create 97;
+      nodes = n;
+      links = Array.make (n * n) None;
+      link_up = Array.make (n * n) false;
       node_up = Array.make n true;
-      handlers = Hashtbl.create 17;
+      handlers = Array.make n None;
       seen = Array.init n (fun _ -> Dedup_cache.create ());
       delivered_ids = Array.init n (fun _ -> Dedup_cache.create ());
       next_frame_id = 0;
@@ -120,7 +127,7 @@ let create ?(per_source_cap = 64) engine topo () =
       delivered_bytes = 0;
       dropped_bytes = 0;
       per_source_cap;
-      route_cache = Hashtbl.create 997;
+      route_cache = Array.make (n * n) None;
       kpath_cache = Hashtbl.create 997;
     }
   in
@@ -140,27 +147,21 @@ let create ?(per_source_cap = 64) engine topo () =
           tx_busy_us = 0;
         }
       in
-      Hashtbl.replace t.links (a, b) (mk ());
-      Hashtbl.replace t.links (b, a) (mk ());
-      Hashtbl.replace t.link_up (norm a b) true)
+      t.links.((a * n) + b) <- Some (mk ());
+      t.links.((b * n) + a) <- Some (mk ());
+      t.link_up.(norm_idx t a b) <- true)
     (Topology.links topo);
   t
 
 let topology t = t.topo
 
-let set_handler t node f = Hashtbl.replace t.handlers node f
-
-let link_alive t a b =
-  match Hashtbl.find_opt t.link_up (norm a b) with
-  | Some up -> up
-  | None -> false
-
+let set_handler t node f = t.handlers.(node) <- Some f
+let link_alive t a b = t.link_up.(norm_idx t a b)
 let node_alive t n = t.node_up.(n)
-
 let usable t a b = link_alive t a b && t.node_up.(a) && t.node_up.(b)
 
 let link_state t a b =
-  match Hashtbl.find_opt t.links (a, b) with
+  match t.links.((a * t.nodes) + b) with
   | Some ls -> ls
   | None -> invalid_arg "Net: no such link"
 
@@ -175,7 +176,7 @@ let deliver t node frame =
     | Payload payload ->
       t.delivered <- t.delivered + 1;
       t.delivered_bytes <- t.delivered_bytes + frame.size_bytes;
-      (match Hashtbl.find_opt t.handlers node with
+      (match t.handlers.(node) with
       | None -> ()
       | Some handler ->
         handler
@@ -295,23 +296,24 @@ and enqueue t u v frame =
   end
 
 let invalidate_routes t =
-  Hashtbl.reset t.route_cache;
+  Array.fill t.route_cache 0 (Array.length t.route_cache) None;
   Hashtbl.reset t.kpath_cache
 
 let cached_shortest t ~src ~dst =
-  match Hashtbl.find_opt t.route_cache (src, dst) with
+  match t.route_cache.((src * t.nodes) + dst) with
   | Some path -> path
   | None ->
     let path = Routing.shortest_path t.topo ~usable:(usable t) ~src ~dst in
-    Hashtbl.replace t.route_cache (src, dst) path;
+    t.route_cache.((src * t.nodes) + dst) <- Some path;
     path
 
 let cached_disjoint t ~src ~dst ~k =
-  match Hashtbl.find_opt t.kpath_cache (src, dst, k) with
+  let key = (((src * t.nodes) + dst) * 1024) + min k 1023 in
+  match Hashtbl.find_opt t.kpath_cache key with
   | Some paths -> paths
   | None ->
     let paths = Routing.disjoint_paths t.topo ~usable:(usable t) ~src ~dst ~k in
-    Hashtbl.replace t.kpath_cache (src, dst, k) paths;
+    Hashtbl.replace t.kpath_cache key paths;
     paths
 
 let fresh_id t =
@@ -416,16 +418,16 @@ let inject_junk_bytes t ~src ~dst ~bytes ~priority =
   submit t ~priority ~size_bytes:(String.length bytes) ~src ~dst ~mode:Shortest
     (Junk bytes)
 
+let has_link t a b = t.links.((a * t.nodes) + b) <> None
+
 let kill_link t a b =
-  if not (Hashtbl.mem t.link_up (norm a b)) then
-    invalid_arg "Net.kill_link: no such link";
-  Hashtbl.replace t.link_up (norm a b) false;
+  if not (has_link t a b) then invalid_arg "Net.kill_link: no such link";
+  t.link_up.(norm_idx t a b) <- false;
   invalidate_routes t
 
 let restore_link t a b =
-  if not (Hashtbl.mem t.link_up (norm a b)) then
-    invalid_arg "Net.restore_link: no such link";
-  Hashtbl.replace t.link_up (norm a b) true;
+  if not (has_link t a b) then invalid_arg "Net.restore_link: no such link";
+  t.link_up.(norm_idx t a b) <- true;
   invalidate_routes t
 
 let kill_node t n =
@@ -447,8 +449,17 @@ let set_loss_probability t a b p =
   (link_state t a b).loss_probability <- p;
   (link_state t b a).loss_probability <- p
 
-let retransmissions t =
-  Hashtbl.fold (fun _ ls acc -> acc + ls.retransmissions) t.links 0
+let fold_links t f acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun i ls ->
+      match ls with
+      | None -> ()
+      | Some ls -> acc := f (i / t.nodes) (i mod t.nodes) ls !acc)
+    t.links;
+  !acc
+
+let retransmissions t = fold_links t (fun _ _ ls acc -> acc + ls.retransmissions) 0
 
 type link_report = {
   link_src : Topology.node;
@@ -458,8 +469,8 @@ type link_report = {
 }
 
 let link_reports t =
-  Hashtbl.fold
-    (fun (u, v) (ls : _ link_state) acc ->
+  fold_links t
+    (fun u v (ls : _ link_state) acc ->
       if ls.tx_bytes = 0 then acc
       else
         {
@@ -469,7 +480,7 @@ let link_reports t =
           tx_busy_us = ls.tx_busy_us;
         }
         :: acc)
-    t.links []
+    []
   |> List.sort (fun a b ->
          match compare b.tx_bytes a.tx_bytes with
          | 0 -> compare (a.link_src, a.link_dst) (b.link_src, b.link_dst)

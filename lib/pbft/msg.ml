@@ -2,10 +2,10 @@ type proposal = { seq : Bft.Types.seqno; update : Bft.Update.t option }
 
 let proposal_digest p =
   match p.update with
-  | None -> Cryptosim.Digest.of_string (Printf.sprintf "noop:%d" p.seq)
+  | None -> Cryptosim.Digest.of_string ("noop:" ^ string_of_int p.seq)
   | Some u ->
     Cryptosim.Digest.combine
-      (Cryptosim.Digest.of_string (Printf.sprintf "prop:%d" p.seq))
+      (Cryptosim.Digest.of_string ("prop:" ^ string_of_int p.seq))
       (Bft.Update.digest u)
 
 type prepared_entry = {

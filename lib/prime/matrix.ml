@@ -35,7 +35,11 @@ let digest m =
   let buf = Buffer.create 256 in
   Array.iter
     (fun row ->
-      Array.iter (fun v -> Buffer.add_string buf (string_of_int v ^ ",")) row;
+      Array.iter
+        (fun v ->
+          Buffer.add_string buf (string_of_int v);
+          Buffer.add_char buf ',')
+        row;
       Buffer.add_char buf ';')
     m;
   Cryptosim.Digest.of_string (Buffer.contents buf)

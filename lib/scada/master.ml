@@ -72,7 +72,7 @@ let stale_rtus t ~now_seq ~window =
 
 let reply_digest t ~exec_index ~update =
   Cryptosim.Digest.combine
-    (Cryptosim.Digest.of_string (Printf.sprintf "reply:%d" exec_index))
+    (Cryptosim.Digest.of_string ("reply:" ^ string_of_int exec_index))
     (Cryptosim.Digest.combine (Bft.Update.digest update) t.digest)
 
 let snapshot_digest = state_digest

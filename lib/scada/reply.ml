@@ -13,10 +13,11 @@ let body_digest ~exec_index ~update_digest ~state ~body =
   let body_str =
     match body with
     | Ack -> "ack"
-    | Command { rtu; frame } -> Printf.sprintf "cmd:%d:%s" rtu frame
+    | Command { rtu; frame } -> "cmd:" ^ string_of_int rtu ^ ":" ^ frame
   in
   Cryptosim.Digest.combine
-    (Cryptosim.Digest.of_string (Printf.sprintf "reply:%d:%s" exec_index body_str))
+    (Cryptosim.Digest.of_string
+       ("reply:" ^ string_of_int exec_index ^ ":" ^ body_str))
     (Cryptosim.Digest.combine update_digest state)
 
 let pp ppf t =

@@ -1,14 +1,27 @@
-type timer = { mutable cancelled : bool; mutable repeat : repeat option }
-
-and repeat = { interval_us : int; callback : unit -> unit }
-
-type event = { timer : timer; run : unit -> unit }
+(* Allocation-lean scheduler core: one timer record per scheduled
+   callback is the only per-event allocation. A periodic timer is a
+   single record re-pushed into the heap at each firing (no fresh
+   closure or event box per period), and the heap itself stores events
+   in parallel arrays. Cancelled-but-queued entries are purged lazily
+   once they are numerous enough to matter, so cancel/re-arm-heavy
+   workloads (client resubmit timers, chaos schedules) cannot bloat the
+   heap. *)
 
 type t = {
   mutable clock_us : int;
-  heap : event Event_heap.t;
+  heap : timer Event_heap.t;
   root_rng : Rng.t;
   mutable processed : int;
+  mutable cancelled_queued : int; (* cancelled entries still in the heap *)
+}
+
+and timer = {
+  engine : t;
+  callback : unit -> unit;
+  interval_us : int; (* 0 = one-shot *)
+  mutable next_at : int; (* scheduled firing time (cadence anchor) *)
+  mutable cancelled : bool;
+  mutable queued : bool; (* currently has an entry in the heap *)
 }
 
 let create ?(seed = 0xC0FFEEL) () =
@@ -17,6 +30,7 @@ let create ?(seed = 0xC0FFEEL) () =
     heap = Event_heap.create ();
     root_rng = Rng.create seed;
     processed = 0;
+    cancelled_queued = 0;
   }
 
 let now t = t.clock_us
@@ -24,50 +38,92 @@ let rng t = Rng.split t.root_rng
 
 let schedule_at t ~time_us f =
   let time_us = max time_us t.clock_us in
-  let timer = { cancelled = false; repeat = None } in
-  Event_heap.push t.heap ~time:time_us { timer; run = f };
+  let timer =
+    {
+      engine = t;
+      callback = f;
+      interval_us = 0;
+      next_at = time_us;
+      cancelled = false;
+      queued = true;
+    }
+  in
+  Event_heap.push t.heap ~time:time_us timer;
   timer
 
 let schedule t ~delay_us f = schedule_at t ~time_us:(t.clock_us + max 0 delay_us) f
 
 let periodic t ~interval_us f =
   if interval_us <= 0 then invalid_arg "Engine.periodic: interval_us <= 0";
-  let timer = { cancelled = false; repeat = Some { interval_us; callback = f } } in
-  (* Re-arm relative to the firing's *scheduled* time, not the clock at
-     callback return: a callback that advances the clock (nested [run])
-     or pops late must not skew subsequent firings. *)
-  let rec arm time_us =
-    Event_heap.push t.heap ~time:time_us
-      {
-        timer;
-        run =
-          (fun () ->
-            f ();
-            if not timer.cancelled then arm (time_us + interval_us));
-      }
+  let timer =
+    {
+      engine = t;
+      callback = f;
+      interval_us;
+      next_at = t.clock_us + interval_us;
+      cancelled = false;
+      queued = true;
+    }
   in
-  arm (t.clock_us + interval_us);
+  Event_heap.push t.heap ~time:timer.next_at timer;
   timer
 
-let cancel timer = timer.cancelled <- true
+(* Purge threshold: compaction is O(heap) and resets the debt, so
+   amortised cost stays O(1) per cancel; requiring the cancelled share
+   to be at least half the heap bounds heap size at 2x the live load. *)
+let compact_min_cancelled = 64
+
+let maybe_compact t =
+  if
+    t.cancelled_queued >= compact_min_cancelled
+    && 2 * t.cancelled_queued >= Event_heap.size t.heap
+  then begin
+    Event_heap.compact t.heap ~keep:(fun tm -> not tm.cancelled);
+    t.cancelled_queued <- 0
+  end
+
+let cancel timer =
+  if not timer.cancelled then begin
+    timer.cancelled <- true;
+    if timer.queued then begin
+      let e = timer.engine in
+      e.cancelled_queued <- e.cancelled_queued + 1;
+      maybe_compact e
+    end
+  end
 
 let step t =
-  match Event_heap.pop t.heap with
-  | None -> false
-  | Some (time, ev) ->
-    t.clock_us <- max t.clock_us time;
-    if not ev.timer.cancelled then begin
+  if Event_heap.is_empty t.heap then false
+  else begin
+    let time = Event_heap.min_time t.heap in
+    let tm = Event_heap.pop_min t.heap in
+    if time > t.clock_us then t.clock_us <- time;
+    tm.queued <- false;
+    if tm.cancelled then t.cancelled_queued <- t.cancelled_queued - 1
+    else begin
       t.processed <- t.processed + 1;
-      ev.run ()
+      tm.callback ();
+      (* Re-arm relative to the firing's *scheduled* time, not the
+         clock at callback return: a callback that advances the clock
+         (nested [run]) or pops late must not skew subsequent firings.
+         Re-arming after the callback keeps insertion order — and hence
+         same-timestamp tie-breaking — identical to scheduling done
+         inside the callback itself. *)
+      if tm.interval_us > 0 && not tm.cancelled then begin
+        tm.next_at <- tm.next_at + tm.interval_us;
+        tm.queued <- true;
+        Event_heap.push t.heap ~time:tm.next_at tm
+      end
     end;
     true
+  end
 
 let run t ~until_us =
   let continue = ref true in
   while !continue do
-    match Event_heap.peek_time t.heap with
-    | Some time when time <= until_us -> ignore (step t : bool)
-    | Some _ | None -> continue := false
+    if Event_heap.is_empty t.heap then continue := false
+    else if Event_heap.min_time t.heap <= until_us then ignore (step t : bool)
+    else continue := false
   done;
   t.clock_us <- max t.clock_us until_us
 

@@ -1,4 +1,5 @@
-(** Binary min-heap of timed events.
+(** Binary min-heap of timed events, held in parallel unboxed arrays so
+    pushes allocate nothing in steady state.
 
     Events are ordered by [(time, sequence)] where [sequence] is the
     insertion order; this makes the simulation deterministic when many
@@ -13,11 +14,27 @@ val create : unit -> 'a t
 val push : 'a t -> time:int -> 'a -> unit
 
 (** [pop t] removes and returns the earliest event as [(time, event)],
-    or [None] if empty. *)
+    or [None] if empty. Allocates the option/tuple; the hot loop should
+    use {!min_time} + {!pop_min} instead. *)
 val pop : 'a t -> (int * 'a) option
+
+(** [min_time t] is the timestamp of the earliest event without
+    removing it. @raise Invalid_argument on an empty heap — check
+    {!is_empty} first on the hot path. *)
+val min_time : 'a t -> int
+
+(** [pop_min t] removes and returns the earliest event with no
+    option/tuple boxing. @raise Invalid_argument on an empty heap. *)
+val pop_min : 'a t -> 'a
 
 (** [peek_time t] is the timestamp of the earliest event, if any. *)
 val peek_time : 'a t -> int option
+
+(** [compact t ~keep] removes every queued event for which [keep]
+    returns [false]. Surviving entries retain their original
+    [(time, sequence)] keys, so subsequent pop order is unchanged —
+    used to purge cancelled timers without disturbing determinism. *)
+val compact : 'a t -> keep:('a -> bool) -> unit
 
 (** [size t] is the number of queued events. *)
 val size : 'a t -> int

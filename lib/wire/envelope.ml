@@ -45,7 +45,11 @@ let encode ~sender msg =
   Buffer.add_string b (String.make (tag_bytes scheme - 8) '\000');
   Buffer.contents b
 
-let size ~sender msg = String.length (encode ~sender msg)
+(* Frame length is sender-independent (the sender travels as a fixed
+   u16), so it can be computed arithmetically from the message alone —
+   no frame allocation, no body encode, no authenticator digest. *)
+let size ~sender:_ msg =
+  overhead (scheme_of msg) + Measure.message msg
 
 let decode s =
   Rw.run s (fun r ->

@@ -55,5 +55,7 @@ val encode : sender:int -> Message.t -> string
     [Error]. *)
 val decode : string -> (envelope, Rw.error) result
 
-(** [size ~sender msg] = [String.length (encode ~sender msg)]. *)
+(** [size ~sender msg] = [String.length (encode ~sender msg)], computed
+    directly via {!Measure} without encoding (frame length does not
+    depend on the sender). *)
 val size : sender:int -> Message.t -> int

@@ -5,34 +5,53 @@ type t =
   | Replica_reply of Scada.Reply.t
   | Transfer_chunk of Recovery.State_transfer.chunk
 
-let kind = function
+(* Kinds form a dense index so per-kind traffic accounting can live in
+   a preallocated counter array instead of a hashtable keyed by the
+   label strings. *)
+let kind_count = 23
+
+let kind_names =
+  [|
+    "prime/po_request"; "prime/po_aru"; "prime/preprepare"; "prime/prepare";
+    "prime/commit"; "prime/suspect"; "prime/viewchange"; "prime/newview";
+    "prime/recon_request"; "prime/recon_reply"; "prime/slot_request";
+    "prime/slot_reply"; "prime/checkpoint"; "pbft/request"; "pbft/preprepare";
+    "pbft/prepare"; "pbft/commit"; "pbft/checkpoint"; "pbft/viewchange";
+    "pbft/newview"; "client_update"; "replica_reply"; "transfer_chunk";
+  |]
+
+let kind_name i = kind_names.(i)
+
+let kind_index = function
   | Prime_msg (_, m) -> (
     match m with
-    | Prime.Msg.Po_request _ -> "prime/po_request"
-    | Prime.Msg.Po_aru _ -> "prime/po_aru"
-    | Prime.Msg.Preprepare _ -> "prime/preprepare"
-    | Prime.Msg.Prepare _ -> "prime/prepare"
-    | Prime.Msg.Commit _ -> "prime/commit"
-    | Prime.Msg.Suspect _ -> "prime/suspect"
-    | Prime.Msg.Viewchange _ -> "prime/viewchange"
-    | Prime.Msg.Newview _ -> "prime/newview"
-    | Prime.Msg.Recon_request _ -> "prime/recon_request"
-    | Prime.Msg.Recon_reply _ -> "prime/recon_reply"
-    | Prime.Msg.Slot_request _ -> "prime/slot_request"
-    | Prime.Msg.Slot_reply _ -> "prime/slot_reply"
-    | Prime.Msg.Checkpoint _ -> "prime/checkpoint")
+    | Prime.Msg.Po_request _ -> 0
+    | Prime.Msg.Po_aru _ -> 1
+    | Prime.Msg.Preprepare _ -> 2
+    | Prime.Msg.Prepare _ -> 3
+    | Prime.Msg.Commit _ -> 4
+    | Prime.Msg.Suspect _ -> 5
+    | Prime.Msg.Viewchange _ -> 6
+    | Prime.Msg.Newview _ -> 7
+    | Prime.Msg.Recon_request _ -> 8
+    | Prime.Msg.Recon_reply _ -> 9
+    | Prime.Msg.Slot_request _ -> 10
+    | Prime.Msg.Slot_reply _ -> 11
+    | Prime.Msg.Checkpoint _ -> 12)
   | Pbft_msg (_, m) -> (
     match m with
-    | Pbft.Msg.Request _ -> "pbft/request"
-    | Pbft.Msg.Preprepare _ -> "pbft/preprepare"
-    | Pbft.Msg.Prepare _ -> "pbft/prepare"
-    | Pbft.Msg.Commit _ -> "pbft/commit"
-    | Pbft.Msg.Checkpoint _ -> "pbft/checkpoint"
-    | Pbft.Msg.Viewchange _ -> "pbft/viewchange"
-    | Pbft.Msg.Newview _ -> "pbft/newview")
-  | Client_update _ -> "client_update"
-  | Replica_reply _ -> "replica_reply"
-  | Transfer_chunk _ -> "transfer_chunk"
+    | Pbft.Msg.Request _ -> 13
+    | Pbft.Msg.Preprepare _ -> 14
+    | Pbft.Msg.Prepare _ -> 15
+    | Pbft.Msg.Commit _ -> 16
+    | Pbft.Msg.Checkpoint _ -> 17
+    | Pbft.Msg.Viewchange _ -> 18
+    | Pbft.Msg.Newview _ -> 19)
+  | Client_update _ -> 20
+  | Replica_reply _ -> 21
+  | Transfer_chunk _ -> 22
+
+let kind m = kind_names.(kind_index m)
 
 (* Every constituent is immutable first-order data (ints, int64 digests,
    strings, arrays, records), so structural equality is the value

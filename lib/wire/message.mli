@@ -21,6 +21,19 @@ type t =
     traffic accounting. *)
 val kind : t -> string
 
+(** Kinds also form a dense index [0 .. kind_count - 1] so per-kind
+    accounting can use preallocated counter arrays on the send fast
+    path instead of hashing label strings. *)
+val kind_count : int
+
+(** [kind_index m] is the dense index of [m]'s kind;
+    [kind_name (kind_index m) = kind m]. *)
+val kind_index : t -> int
+
+(** [kind_name i] is the label of kind index [i].
+    @raise Invalid_argument if [i] is out of range. *)
+val kind_name : int -> string
+
 (** [equal a b] — structural value equality (used by the
     decode-on-delivery debug check). *)
 val equal : t -> t -> bool

@@ -139,6 +139,38 @@ let prop_threshold_any_quorum_combines =
       let combined = T.combine g ~digest:d shares in
       if List.length members >= 4 then combined <> None else combined = None)
 
+(* Reference FNV-1a 64-bit, written directly over Int64 as the digest
+   module originally was. The shipping implementation tracks the hash
+   as two unboxed 32-bit limbs; it must agree bit-for-bit, or every
+   recorded golden run would silently shift. *)
+let reference_fnv s =
+  let fnv_offset = 0xcbf29ce484222325L in
+  let fnv_prime = 0x100000001b3L in
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let prop_digest_matches_reference_fnv =
+  QCheck.Test.make ~count:1000 ~name:"limb digest = reference Int64 FNV-1a"
+    QCheck.(string_gen QCheck.Gen.char)
+    (fun s -> Int64.equal (D.to_int64 (D.of_string s)) (reference_fnv s))
+
+let prop_digest_combine_matches_reference =
+  QCheck.Test.make ~count:1000 ~name:"combine = FNV over 16 big-endian bytes"
+    QCheck.(pair (string_gen QCheck.Gen.char) (string_gen QCheck.Gen.char))
+    (fun (sa, sb) ->
+      let a = D.of_string sa and b = D.of_string sb in
+      let buf = Bytes.create 16 in
+      Bytes.set_int64_be buf 0 (D.to_int64 a);
+      Bytes.set_int64_be buf 8 (D.to_int64 b);
+      Int64.equal
+        (D.to_int64 (D.combine a b))
+        (reference_fnv (Bytes.to_string buf)))
+
 let () =
   Alcotest.run "crypto"
     [
@@ -148,6 +180,8 @@ let () =
           Alcotest.test_case "combine order-sensitive" `Quick
             test_digest_combine_order_sensitive;
           Alcotest.test_case "hex" `Quick test_digest_hex;
+          QCheck_alcotest.to_alcotest prop_digest_matches_reference_fnv;
+          QCheck_alcotest.to_alcotest prop_digest_combine_matches_reference;
         ] );
       ( "auth",
         [

@@ -149,6 +149,28 @@ let test_dedup_cache_generational_expiry () =
     (Overlay.Dedup_cache.mem c 1);
   Alcotest.(check bool) "recent kept" true (Overlay.Dedup_cache.mem c 5)
 
+(* Regression: re-adding an id that is still remembered in the
+   [previous] generation must be a no-op. The old code re-inserted it
+   into [current], double-counting it and extending its lifetime. *)
+let test_dedup_cache_no_reinsert_from_previous () =
+  let c = Overlay.Dedup_cache.create ~generation_size:2 () in
+  Overlay.Dedup_cache.add c 1;
+  Overlay.Dedup_cache.add c 2;
+  (* Rotation: previous = {1,2}, current = {3}. *)
+  Overlay.Dedup_cache.add c 3;
+  (* 1 is remembered; re-adding must not copy it into [current]. *)
+  Overlay.Dedup_cache.add c 1;
+  Alcotest.(check int) "size not inflated by re-add" 3
+    (Overlay.Dedup_cache.size c);
+  (* Fill and rotate again: previous = {3,4}, current = {5}. With the
+     old bug, 1 would have been resurrected into the newer generation
+     and still be remembered here. *)
+  Overlay.Dedup_cache.add c 4;
+  Overlay.Dedup_cache.add c 5;
+  Alcotest.(check bool) "re-added id expires on schedule" false
+    (Overlay.Dedup_cache.mem c 1);
+  Alcotest.(check bool) "younger ids kept" true (Overlay.Dedup_cache.mem c 3)
+
 let prop_dedup_cache_bounded =
   QCheck.Test.make ~name:"dedup cache memory is bounded by 2 generations"
     QCheck.(list_of_size (QCheck.Gen.int_range 0 500) (int_bound 10_000))
@@ -183,5 +205,7 @@ let () =
           Alcotest.test_case "generational expiry" `Quick
             test_dedup_cache_generational_expiry;
           QCheck_alcotest.to_alcotest prop_dedup_cache_bounded;
+          Alcotest.test_case "no re-insert from previous generation" `Quick
+            test_dedup_cache_no_reinsert_from_previous;
         ] );
     ]

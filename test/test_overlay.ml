@@ -164,6 +164,96 @@ let prop_fair_queue_conserves_items =
       in
       drain 0 = List.length pushes)
 
+(* Exact round-robin order: a source re-enters the rotation behind
+   every other backlogged source after being served. Regression for the
+   O(1) ring rotation — the order must match the list-rotation
+   semantics it replaced. *)
+let test_fair_queue_exact_rotation () =
+  let q = FQ.create ~per_source_cap:10 in
+  List.iter
+    (fun (s, v) -> ignore (FQ.push q ~source:s ~priority:FQ.Control v))
+    [ (1, "a1"); (2, "b1"); (3, "c1"); (1, "a2"); (3, "c2"); (3, "c3") ];
+  let rec drain acc =
+    match FQ.pop q with
+    | Some (_, _, v) -> drain (v :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list string))
+    "round-robin service order"
+    [ "a1"; "b1"; "c1"; "a2"; "c2"; "c3" ]
+    (drain [])
+
+(* Reference model: per-source FIFOs with the rotation kept as a plain
+   list rotated with [rest @ [src]]. Arbitrary interleaving of pushes
+   and pops must give the ring implementation the same observable
+   behaviour (accepted pushes and popped values alike). *)
+let prop_fair_queue_matches_list_model =
+  QCheck.Test.make ~count:300 ~name:"fair queue: ring matches list-rotation model"
+    QCheck.(
+      list
+        (pair bool (pair (int_bound 5) (int_bound 1000)) (* push / pop steps *)))
+    (fun steps ->
+      let cap = 3 in
+      let q = FQ.create ~per_source_cap:cap in
+      let model_queues : (int, int Queue.t) Hashtbl.t = Hashtbl.create 7 in
+      let model_rotation = ref [] in
+      let model_q src =
+        match Hashtbl.find_opt model_queues src with
+        | Some mq -> mq
+        | None ->
+          let mq = Queue.create () in
+          Hashtbl.add model_queues src mq;
+          mq
+      in
+      let model_push src v =
+        let mq = model_q src in
+        if Queue.length mq >= cap then false
+        else begin
+          if Queue.is_empty mq then model_rotation := !model_rotation @ [ src ];
+          Queue.push v mq;
+          true
+        end
+      in
+      let model_pop () =
+        match !model_rotation with
+        | [] -> None
+        | src :: rest ->
+          let mq = model_q src in
+          let v = Queue.pop mq in
+          model_rotation :=
+            (if Queue.is_empty mq then rest else rest @ [ src ]);
+          Some (src, v)
+      in
+      List.for_all
+        (fun (is_push, (src, v)) ->
+          if is_push then
+            FQ.push q ~source:src ~priority:FQ.Control v = model_push src v
+          else
+            match (FQ.pop q, model_pop ()) with
+            | None, None -> true
+            | Some (s, FQ.Control, x), Some (s', x') -> s = s' && x = x'
+            | _ -> false)
+        steps)
+
+(* The rotation ring starts at capacity 16; exceed it to cover growth. *)
+let test_fair_queue_many_sources () =
+  let q = FQ.create ~per_source_cap:4 in
+  for s = 0 to 99 do
+    ignore (FQ.push q ~source:s ~priority:FQ.Bulk s)
+  done;
+  let order = ref [] in
+  let rec drain () =
+    match FQ.pop q with
+    | Some (s, _, _) ->
+      order := s :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "one pass, push order" (List.init 100 Fun.id)
+    (List.rev !order);
+  Alcotest.(check bool) "empty after drain" true (FQ.is_empty q)
+
 (* ------------------------------------------------------------------ *)
 (* Net runtime *)
 
@@ -418,6 +508,11 @@ let () =
           Alcotest.test_case "round robin" `Quick test_fair_queue_round_robin;
           Alcotest.test_case "cap drops" `Quick test_fair_queue_cap_drops;
           QCheck_alcotest.to_alcotest prop_fair_queue_conserves_items;
+          Alcotest.test_case "exact rotation" `Quick
+            test_fair_queue_exact_rotation;
+          QCheck_alcotest.to_alcotest prop_fair_queue_matches_list_model;
+          Alcotest.test_case "ring growth past 16 sources" `Quick
+            test_fair_queue_many_sources;
         ] );
       ( "net",
         [

@@ -1,0 +1,74 @@
+(* Determinism regression for the hot-path optimisations.
+
+   The zero-allocation work (measured-size codecs, frame-size
+   memoization, ring-based fair queueing, the engine's closure-free
+   periodic timers and lazy cancelled-entry purge, unboxed digest
+   limbs) must be *unobservable*: the simulation trajectory, the
+   confirmed count, the view count, and the per-kind wire-byte ledger
+   have to be bit-identical to what the straightforward implementations
+   produced. The golden values below were recorded from the E2
+   fault-free workload (60 s virtual time, default config and seed) and
+   verified identical on the pre-optimisation code; any drift means a
+   semantic change snuck into the "pure performance" layer. *)
+
+let duration_us = 60 * 1_000_000
+
+let golden_confirmed = 5990
+let golden_max_view = 0
+let golden_events = 917_538
+
+let golden_ledger =
+  [
+    ("replica_reply", 35940, 6397320);
+    ("prime/po_aru", 62925, 4530600);
+    ("prime/prepare", 57485, 3564070);
+    ("prime/commit", 57480, 3563760);
+    ("prime/po_request", 31450, 3365150);
+    ("prime/preprepare", 9585, 2032020);
+    ("client_update", 6000, 1932000);
+    ("prime/checkpoint", 1380, 80040);
+  ]
+
+type snapshot = {
+  confirmed : int;
+  max_view : int;
+  events : int;
+  ledger : (string * int * int) list;
+}
+
+let run () =
+  let sys, r = Spire.Scenarios.fault_free ~duration_us () in
+  {
+    confirmed = r.Spire.Scenarios.confirmed;
+    max_view = r.Spire.Scenarios.max_view;
+    events = Sim.Engine.processed (Spire.System.engine sys);
+    ledger = Spire.System.wire_traffic sys;
+  }
+
+let ledger_testable =
+  Alcotest.(list (triple string int int))
+
+let test_golden_trajectory () =
+  let s = run () in
+  Alcotest.(check int) "confirmed" golden_confirmed s.confirmed;
+  Alcotest.(check int) "max view" golden_max_view s.max_view;
+  Alcotest.(check int) "events processed" golden_events s.events;
+  Alcotest.check ledger_testable "per-kind wire ledger" golden_ledger s.ledger
+
+let test_run_to_run_identical () =
+  let a = run () and b = run () in
+  Alcotest.(check int) "confirmed" a.confirmed b.confirmed;
+  Alcotest.(check int) "events" a.events b.events;
+  Alcotest.check ledger_testable "ledger" a.ledger b.ledger
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "E2 golden trajectory and byte ledger" `Slow
+            test_golden_trajectory;
+          Alcotest.test_case "run-to-run bit-identical" `Slow
+            test_run_to_run_identical;
+        ] );
+    ]

@@ -190,6 +190,70 @@ let prop_heap_stable_at_equal_times =
       in
       drain 0)
 
+(* Compaction removes filtered entries but must not disturb the pop
+   order of survivors: original (time, seq) keys are preserved. *)
+let prop_heap_compact_preserves_order =
+  QCheck.Test.make ~name:"compact preserves survivor pop order"
+    QCheck.(list (int_bound 1_000))
+    (fun times ->
+      let keep v = v mod 3 <> 0 in
+      let h = Sim.Event_heap.create () in
+      List.iteri (fun i time -> Sim.Event_heap.push h ~time i) times;
+      Sim.Event_heap.compact h ~keep;
+      let survivors =
+        List.length (List.filteri (fun i _ -> keep i) times)
+      in
+      let rec drain acc =
+        match Sim.Event_heap.pop h with
+        | None -> List.rev acc
+        | Some (time, v) -> drain ((time, v) :: acc)
+      in
+      let popped = drain [] in
+      let rec ordered = function
+        | (ta, va) :: ((tb, vb) :: _ as rest) ->
+          (* Nondecreasing time; insertion order breaks ties (values
+             were pushed in ascending order, so seq order = value
+             order). *)
+          (ta < tb || (ta = tb && va < vb)) && ordered rest
+        | _ -> true
+      in
+      List.length popped = survivors
+      && List.for_all (fun (_, v) -> keep v) popped
+      && ordered popped)
+
+(* Engine-level purge: cancelling queued timers past the threshold must
+   shrink the pending count without firing anything. *)
+let test_engine_purges_cancelled () =
+  let e = Sim.Engine.create ~seed:1L () in
+  let fired = ref 0 in
+  let timers =
+    List.init 200 (fun i ->
+        Sim.Engine.schedule e ~delay_us:(1_000 + i) (fun () -> incr fired))
+  in
+  Alcotest.(check int) "all queued" 200 (Sim.Engine.pending e);
+  List.iter Sim.Engine.cancel timers;
+  Alcotest.(check bool) "cancelled entries purged lazily" true
+    (Sim.Engine.pending e < 200);
+  Sim.Engine.run_until_quiescent e;
+  Alcotest.(check int) "nothing fired" 0 !fired;
+  Alcotest.(check int) "no events processed" 0 (Sim.Engine.processed e);
+  Alcotest.(check int) "heap drained" 0 (Sim.Engine.pending e)
+
+(* A periodic timer that keeps running while unrelated timers are
+   cancelled in bulk must be unaffected by compaction. *)
+let test_engine_compact_keeps_live_periodic () =
+  let e = Sim.Engine.create ~seed:1L () in
+  let ticks = ref 0 in
+  let _p = Sim.Engine.periodic e ~interval_us:10 (fun () -> incr ticks) in
+  let doomed =
+    List.init 300 (fun i ->
+        Sim.Engine.schedule e ~delay_us:(10_000 + i) (fun () ->
+            Alcotest.fail "cancelled timer fired"))
+  in
+  List.iter Sim.Engine.cancel doomed;
+  Sim.Engine.run e ~until_us:100;
+  Alcotest.(check int) "periodic survived compaction" 10 !ticks
+
 let () =
   Alcotest.run "sim"
     [
@@ -225,5 +289,10 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_heap_sorted;
           QCheck_alcotest.to_alcotest prop_heap_stable_at_equal_times;
+          QCheck_alcotest.to_alcotest prop_heap_compact_preserves_order;
+          Alcotest.test_case "engine purges cancelled timers" `Quick
+            test_engine_purges_cancelled;
+          Alcotest.test_case "compaction keeps live periodic" `Quick
+            test_engine_compact_keeps_live_periodic;
         ] );
     ]

@@ -267,6 +267,67 @@ let prop_envelope_size_accounts_overhead =
         + Wire.Envelope.overhead (Wire.Envelope.scheme_of msg))
 
 (* ------------------------------------------------------------------ *)
+(* Measure law: the direct size computation used on the send hot path
+   must equal the length of the actual encoding, for every codec and
+   every constructor the generators can reach.                          *)
+
+let measure_law ~name gen pp measure encode =
+  QCheck.Test.make ~count:500 ~name (arb gen pp) (fun v ->
+      measure v = String.length (encode v))
+
+let prop_measure_update =
+  measure_law ~name:"measure law: update" gen_update Bft.Update.pp
+    Wire.Measure.update Wire.Codec.encode_update
+
+let prop_measure_prime =
+  measure_law ~name:"measure law: prime msg" gen_prime Prime.Msg.pp
+    Wire.Measure.prime Wire.Codec.encode_prime
+
+let prop_measure_pbft =
+  measure_law ~name:"measure law: pbft msg" gen_pbft Pbft.Msg.pp
+    Wire.Measure.pbft Wire.Codec.encode_pbft
+
+let prop_measure_reply =
+  measure_law ~name:"measure law: replica reply" gen_reply Scada.Reply.pp
+    Wire.Measure.reply Wire.Codec.encode_reply
+
+let prop_measure_chunk =
+  measure_law ~name:"measure law: transfer chunk" gen_chunk
+    (fun ppf c ->
+      Format.fprintf ppf "chunk %d/%d" c.Recovery.State_transfer.chunk_index
+        c.Recovery.State_transfer.chunk_count)
+    Wire.Measure.chunk Wire.Codec.encode_chunk
+
+let prop_measure_message =
+  measure_law ~name:"measure law: message union" gen_message Wire.Message.pp
+    Wire.Measure.message Wire.Message.encode
+
+let prop_measure_envelope =
+  QCheck.Test.make ~count:500 ~name:"measure law: size msg = length (encode msg)"
+    (arb (G.pair gen_u16 gen_message) (fun ppf (s, m) ->
+         Format.fprintf ppf "sender=%d %a" s Wire.Message.pp m))
+    (fun (sender, msg) ->
+      Wire.Envelope.size ~sender msg
+      = String.length (Wire.Envelope.encode ~sender msg))
+
+let test_kind_index_table () =
+  Alcotest.(check int) "kind_count" 23 Wire.Message.kind_count;
+  let names =
+    List.init Wire.Message.kind_count Wire.Message.kind_name
+  in
+  Alcotest.(check int) "kind names distinct"
+    Wire.Message.kind_count
+    (List.length (List.sort_uniq compare names))
+
+let prop_kind_index_consistent =
+  QCheck.Test.make ~count:300 ~name:"kind m = kind_name (kind_index m)"
+    (arb gen_message Wire.Message.pp) (fun m ->
+      let k = Wire.Message.kind_index m in
+      k >= 0
+      && k < Wire.Message.kind_count
+      && String.equal (Wire.Message.kind m) (Wire.Message.kind_name k))
+
+(* ------------------------------------------------------------------ *)
 (* Fuzz: truncation, bit flips, junk — decoders must return Error and
    must never raise.                                                   *)
 
@@ -493,6 +554,18 @@ let () =
           QCheck_alcotest.to_alcotest prop_envelope_roundtrip;
           QCheck_alcotest.to_alcotest prop_encoding_deterministic;
           QCheck_alcotest.to_alcotest prop_envelope_size_accounts_overhead;
+        ] );
+      ( "measure",
+        [
+          QCheck_alcotest.to_alcotest prop_measure_update;
+          QCheck_alcotest.to_alcotest prop_measure_prime;
+          QCheck_alcotest.to_alcotest prop_measure_pbft;
+          QCheck_alcotest.to_alcotest prop_measure_reply;
+          QCheck_alcotest.to_alcotest prop_measure_chunk;
+          QCheck_alcotest.to_alcotest prop_measure_message;
+          QCheck_alcotest.to_alcotest prop_measure_envelope;
+          Alcotest.test_case "kind index table" `Quick test_kind_index_table;
+          QCheck_alcotest.to_alcotest prop_kind_index_consistent;
         ] );
       ( "fuzz",
         [
