@@ -5,6 +5,7 @@
    Usage:
      dune exec bench/main.exe                 # all experiments, quick scale
      EXPERIMENT=E4 dune exec bench/main.exe   # one experiment
+     ONLY=E2,E4,E6 dune exec bench/main.exe   # comma-separated subset
      SCALE=full dune exec bench/main.exe      # paper-scale durations
      MICRO=0 dune exec bench/main.exe         # skip microbenchmarks
      PERF=1 dune exec bench/main.exe          # perf trajectory -> BENCH_PERF.json
@@ -21,6 +22,19 @@ let wanted =
   match Sys.getenv_opt "EXPERIMENT" with
   | Some e -> Some (String.uppercase_ascii e)
   | None -> None
+
+(* ONLY=E2,E4,E6 — comma-separated experiment subset (composes with
+   EXPERIMENT, which selects exactly one). *)
+let only =
+  match Sys.getenv_opt "ONLY" with
+  | None -> None
+  | Some s ->
+    Some
+      (String.split_on_char ',' s
+      |> List.filter_map (fun e ->
+             match String.trim e with
+             | "" -> None
+             | e -> Some (String.uppercase_ascii e)))
 
 let run_micro =
   match Sys.getenv_opt "MICRO" with Some "0" -> false | _ -> true
@@ -40,7 +54,8 @@ let section id title =
 let shape fmt = Printf.printf ("  shape: " ^^ fmt ^^ "\n%!")
 
 let enabled id =
-  match wanted with None -> true | Some w -> String.equal w id
+  (match wanted with None -> true | Some w -> String.equal w id)
+  && match only with None -> true | Some ids -> List.mem id ids
 
 let pct hist p = Stats.Histogram.percentile hist p
 
@@ -103,7 +118,8 @@ let e1 () =
 let e2 () =
   section "E2" "Fault-free wide-area deployment: update latency CDF";
   let duration = if scale_full then hours 1 else minutes 5 in
-  let _, r = Spire.Scenarios.fault_free ~duration_us:duration () in
+  let cfg = { (Spire.System.default_config ()) with Spire.System.telemetry = true } in
+  let sys, r = Spire.Scenarios.fault_free ~config:cfg ~duration_us:duration () in
   let table = Stats.Table.create ~title:"latency distribution" ~columns:latency_columns in
   Stats.Table.add_row table (latency_row "wide-area fault-free" r);
   Stats.Table.print table;
@@ -125,6 +141,9 @@ let e2 () =
     r.Spire.Scenarios.confirmed
     (100. *. float_of_int r.Spire.Scenarios.confirmed
     /. float_of_int (max 1 r.Spire.Scenarios.submitted));
+  let sink = Spire.System.telemetry sys in
+  Telemetry.Attribution.print ~title:"latency attribution, fault-free (µs, virtual)" sink;
+  Telemetry.Attribution.print_net sink;
   shape "nearly all updates within 100 ms over the wide area; no view changes"
 
 (* ------------------------------------------------------------------ *)
@@ -170,13 +189,25 @@ let e4 () =
       ~columns:latency_columns
   in
   let post_attack_mean = Hashtbl.create 7 in
+  let ordering_mean = Hashtbl.create 7 in
+  let attributions = ref [] in
   List.iter
     (fun (name, protocol, delay_us) ->
-      let _, r =
-        Spire.Scenarios.leader_attack ~protocol ~delay_us
-          ~attack_from_us:attack_from ~duration_us:duration ()
+      let sys, r =
+        Spire.Scenarios.leader_attack
+          ~tweak:(fun c -> { c with Spire.System.telemetry = true })
+          ~protocol ~delay_us ~attack_from_us:attack_from ~duration_us:duration
+          ()
       in
       Stats.Table.add_row table (latency_row name r);
+      let sink = Spire.System.telemetry sys in
+      let attr = Telemetry.Attribution.build sink in
+      attributions := (name, sink) :: !attributions;
+      List.iter
+        (fun (row : Telemetry.Attribution.row) ->
+          if row.Telemetry.Attribution.phase = Telemetry.Span.Ordering then
+            Hashtbl.replace ordering_mean name row.Telemetry.Attribution.mean_us)
+        attr.Telemetry.Attribution.rows;
       (* Post-attack steady-state mean (skip the transition bucket). *)
       let post =
         Stats.Timeseries.bucketed r.Spire.Scenarios.series
@@ -195,10 +226,25 @@ let e4 () =
       ("pbft, 1s delay", Spire.System.Pbft_protocol, 1_000_000);
     ];
   Stats.Table.print table;
+  (* Where does the injected delay land? Per-phase attribution, one
+     table per scenario: under PBFT the whole second shows up in the
+     ordering phase; Prime rotates the leader so ordering stays near
+     baseline after the view change. *)
+  List.iter
+    (fun (name, sink) ->
+      Telemetry.Attribution.print
+        ~title:(Printf.sprintf "attribution — %s (µs, virtual)" name)
+        sink)
+    (List.rev !attributions);
   let get name = try Hashtbl.find post_attack_mean name with Not_found -> nan in
+  let om name = try Hashtbl.find ordering_mean name with Not_found -> nan in
   Printf.printf
     "  post-attack steady-state mean: prime %.1fms vs pbft %.1fms (1s delay)\n"
     (get "prime, 1s delay") (get "pbft, 1s delay");
+  Printf.printf
+    "  ordering-phase mean (1s delay): prime %.0fµs vs pbft %.0fµs — the \
+     attack's delay lands in the ordering phase under PBFT\n"
+    (om "prime, 1s delay") (om "pbft, 1s delay");
   shape
     "Prime suspects and rotates the slow leader (views > 0), returning to \
      baseline latency; PBFT keeps it (views = 0) and every update pays the \
@@ -247,13 +293,17 @@ let e6 () =
       ~title:"wire bytes per dissemination mode (redundancy's bandwidth price)"
       ~columns:[ "mode"; "submitted MB"; "delivered MB"; "dropped MB"; "link tx MB" ]
   in
+  let attributions = ref [] in
   List.iter
     (fun (name, mode) ->
       let sys, r =
-        Spire.Scenarios.link_degradation ~mode ~factor:20.
-          ~attack_from_us:(duration / 4) ~duration_us:duration ()
+        Spire.Scenarios.link_degradation
+          ~tweak:(fun c -> { c with Spire.System.telemetry = true })
+          ~mode ~factor:20. ~attack_from_us:(duration / 4)
+          ~duration_us:duration ()
       in
       Stats.Table.add_row table (latency_row name r);
+      attributions := (name, Spire.System.telemetry sys) :: !attributions;
       let net = Spire.System.net sys in
       let s = Overlay.Net.stats net in
       let link_tx =
@@ -277,6 +327,20 @@ let e6 () =
     ];
   Stats.Table.print table;
   Stats.Table.print bytes_table;
+  (* Where is the link delay absorbed? Under single-path routing every
+     lifecycle phase that crosses the attacked WAN links inflates (the
+     per-hop net tables show the propagation delay directly); with
+     redundant/flooding dissemination the first clean copy wins and the
+     lifecycle attribution stays near the fault-free baseline. *)
+  List.iter
+    (fun (name, sink) ->
+      Telemetry.Attribution.print
+        ~title:(Printf.sprintf "attribution — %s (µs, virtual)" name)
+        sink;
+      Telemetry.Attribution.print_net
+        ~title:(Printf.sprintf "per-hop net spans — %s (µs, virtual)" name)
+        sink)
+    (List.rev !attributions);
   shape
     "single-path routing keeps trusting the attacked links and suffers the \
      full delay; redundant/flooding dissemination delivers the first clean \

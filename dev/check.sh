@@ -10,12 +10,17 @@ dune build
 dune runtest
 dune exec dev/debug_chaos.exe -- 5
 
+# Telemetry-enabled E2 smoke: zero orphan spans, bounded open spans,
+# per-phase attribution reconciling with end-to-end latency.
+dune exec dev/telemetry_smoke.exe
+
 dune build --profile release
 EXPERIMENT=E2 MICRO=0 dune exec --profile release bench/main.exe
 EXPERIMENT=E6 MICRO=0 dune exec --profile release bench/main.exe
 
-# Perf trajectory: regenerates BENCH_PERF.json and fails if E3
-# events/sec falls below the floor recorded in the file.
+# Perf trajectory (telemetry disabled, as in production hot paths):
+# regenerates BENCH_PERF.json and fails if E3 events/sec falls below
+# the floor recorded in the file.
 PERF=1 dune exec --profile release bench/main.exe
 
 echo "check.sh: all green"

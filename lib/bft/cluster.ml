@@ -50,6 +50,7 @@ let create ~engine ~n ~latency_us ~make ~deliver =
       now_us = (fun () -> Sim.Engine.now engine);
       set_timer = (fun delay_us f -> Sim.Engine.schedule engine ~delay_us f);
       trace = (fun _ -> ());
+      telemetry = Telemetry.Sink.null;
     }
   in
   t.instances <- Array.init n (fun i -> make i (env_of i));

@@ -5,6 +5,7 @@ type 'msg t = {
   now_us : unit -> int;
   set_timer : int -> (unit -> unit) -> Sim.Engine.timer;
   trace : string -> unit;
+  telemetry : Telemetry.Sink.t;
 }
 
 let others env =

@@ -14,6 +14,9 @@ type 'msg t = {
   set_timer : int -> (unit -> unit) -> Sim.Engine.timer;
       (** [set_timer delay_us callback] *)
   trace : string -> unit;  (** protocol-level trace hook *)
+  telemetry : Telemetry.Sink.t;
+      (** span sink for update-lifecycle milestones; {!Telemetry.Sink.null}
+          when tracing is off *)
 }
 
 (** [broadcast env msg] sends to every replica except [env.self]. *)

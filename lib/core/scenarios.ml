@@ -39,8 +39,9 @@ let fault_free ?config ~duration_us () =
   System.run sys ~duration_us;
   finish sys ~duration_us
 
-let leader_attack ~protocol ~delay_us ~attack_from_us ~duration_us () =
-  let cfg = { (System.default_config ()) with System.protocol } in
+let leader_attack ?(tweak = fun c -> c) ~protocol ~delay_us ~attack_from_us
+    ~duration_us () =
+  let cfg = tweak { (System.default_config ()) with System.protocol } in
   let sys = System.create cfg in
   System.start sys;
   ignore
@@ -66,8 +67,9 @@ let proactive_recovery ~rotation_period_us ~recovery_duration_us ~duration_us
   System.assert_agreement sys;
   (sys, result_of sys ~duration_us, List.rev !events)
 
-let link_degradation ~mode ~factor ~attack_from_us ~duration_us () =
-  let cfg = { (System.default_config ()) with System.dissemination = mode } in
+let link_degradation ?(tweak = fun c -> c) ~mode ~factor ~attack_from_us
+    ~duration_us () =
+  let cfg = tweak { (System.default_config ()) with System.dissemination = mode } in
   let sys = System.create cfg in
   System.start sys;
   ignore

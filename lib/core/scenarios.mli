@@ -26,8 +26,11 @@ val fault_free :
 (** [leader_attack ~protocol ~delay_us ~attack_from_us ~duration_us ()] —
     experiment E4: the leader delays every proposal by [delay_us]
     starting at [attack_from_us]. Under Prime the leader is suspected
-    and rotated; under PBFT it keeps the role while latency balloons. *)
+    and rotated; under PBFT it keeps the role while latency balloons.
+    [tweak] (default identity) post-processes the scenario config —
+    e.g. to switch telemetry on. *)
 val leader_attack :
+  ?tweak:(System.config -> System.config) ->
   protocol:System.protocol ->
   delay_us:int ->
   attack_from_us:int ->
@@ -51,8 +54,10 @@ val proactive_recovery :
     link's latency is inflated by [factor] (an undetected delay attack:
     links stay "up" so shortest-path routing keeps using them).
     Compare [mode = Shortest] (suffers) against [Redundant 2] / [Flood]
-    (first copy wins over clean paths). *)
+    (first copy wins over clean paths). [tweak] (default identity)
+    post-processes the scenario config — e.g. to switch telemetry on. *)
 val link_degradation :
+  ?tweak:(System.config -> System.config) ->
   mode:Overlay.Net.mode ->
   factor:float ->
   attack_from_us:int ->

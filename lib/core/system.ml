@@ -24,6 +24,8 @@ type config = {
   diversity_variants : int;
   seed : int64;
   wire_debug : bool;
+  telemetry : bool;
+  telemetry_capacity : int;
   tweak_prime : Prime.Replica.config -> Prime.Replica.config;
   tweak_pbft : Pbft.Replica.config -> Pbft.Replica.config;
 }
@@ -57,6 +59,8 @@ let default_config () =
     diversity_variants = 8;
     seed = 0x5917EL;
     wire_debug = false;
+    telemetry = false;
+    telemetry_capacity = 65536;
     tweak_prime = Fun.id;
     tweak_pbft = Fun.id;
   }
@@ -90,11 +94,13 @@ type t = {
   mutable size_memo_payload : payload; (* last measured payload (physical) *)
   mutable size_memo_bytes : int;
   mutable wire_decode_errors : int;
+  telemetry : Telemetry.Sink.t;
 }
 
 let config t = t.cfg
 let engine t = t.engine
 let net t = t.net
+let telemetry t = t.telemetry
 let replica_count t = t.n
 let proxy t i = t.proxies.(i)
 let hmi t i = t.hmis.(i)
@@ -218,6 +224,28 @@ let build_topology cfg =
 (* ------------------------------------------------------------------ *)
 (* Creation.                                                           *)
 
+let trace_of_update (u : Bft.Update.t) =
+  Telemetry.Span.trace_id ~client:u.Bft.Update.client
+    ~seq:u.Bft.Update.client_seq
+
+(* The trace context a payload carries through the overlay: the update
+   identity it transports, for the message kinds that transport one.
+   Only consulted when the sink is enabled, so the disabled-path cost
+   in [send_payload] is a single bool load. *)
+let trace_of_payload payload =
+  match payload with
+  | Client_update u -> trace_of_update u
+  | Replica_reply r ->
+    let client, seq = r.Scada.Reply.update_key in
+    Telemetry.Span.trace_id ~client ~seq
+  | Prime_msg (_, Prime.Msg.Po_request { update; _ }) -> trace_of_update update
+  | Prime_msg (_, Prime.Msg.Recon_reply { update; _ }) -> trace_of_update update
+  | Pbft_msg (_, Pbft.Msg.Request { update; _ }) -> trace_of_update update
+  | Pbft_msg (_, Pbft.Msg.Preprepare { proposal = { update = Some u; _ }; _ })
+    ->
+    trace_of_update u
+  | Prime_msg _ | Pbft_msg _ | Transfer_chunk _ -> Telemetry.Span.no_trace
+
 (* Every protocol send is charged the exact frame length (envelope
    header + encoded body + authenticator) via the measured-size pass,
    never an approximation — and never a serialisation: Wire.Measure
@@ -239,7 +267,11 @@ let send_payload t ~src_node ~dst_node payload =
   let k = Wire.Message.kind_index payload in
   t.wire_frames.(k) <- t.wire_frames.(k) + 1;
   t.wire_bytes.(k) <- t.wire_bytes.(k) + size_bytes;
-  Overlay.Net.send t.net ~priority:Overlay.Fair_queue.Control ~size_bytes
+  let trace =
+    if Telemetry.Sink.enabled t.telemetry then trace_of_payload payload
+    else Telemetry.Span.no_trace
+  in
+  Overlay.Net.send t.net ~priority:Overlay.Fair_queue.Control ~trace ~size_bytes
     ~src:src_node ~dst:dst_node ~mode:t.cfg.dissemination payload
 
 let wire_traffic t =
@@ -278,7 +310,13 @@ let handle_replica_msg t r ~from payload =
   match (t.replicas.(r), payload) with
   | Prime_replica p, Prime_msg (_, m) -> Prime.Replica.handle p ~from m
   | Pbft_replica p, Pbft_msg (_, m) -> Pbft.Replica.handle p ~from m
-  | _, Client_update u -> submit_to_replica t r u
+  | _, Client_update u ->
+    (* Origin milestone: the first replica to receive the update ends
+       the ingress phase (first-writer-wins in the sink). *)
+    if Telemetry.Sink.enabled t.telemetry then
+      Telemetry.Sink.update_at_origin t.telemetry ~trace:(trace_of_update u)
+        ~now:(Sim.Engine.now t.engine);
+    submit_to_replica t r u
   | _, Transfer_chunk _ ->
     (* Snapshot installation is synchronous in [resync_replica]; the
        chunk frames exist to charge the transfer's bandwidth. *)
@@ -305,9 +343,14 @@ let emit_replies t r ~exec_index ~(update : Bft.Update.t) effect =
     (* Charge the threshold-share signing cost before the send. *)
     ignore
       (Sim.Engine.schedule t.engine ~delay_us:t.share_cost_us (fun () ->
-           if not (faults t r).Bft.Faults.crashed then
+           if not (faults t r).Bft.Faults.crashed then begin
+             if Telemetry.Sink.enabled t.telemetry then
+               Telemetry.Sink.update_reply_sent t.telemetry
+                 ~trace:(trace_of_update update) ~replica:r
+                 ~now:(Sim.Engine.now t.engine);
              send_payload t ~src_node:(node_of_replica t r)
-               ~dst_node (Replica_reply reply))
+               ~dst_node (Replica_reply reply)
+           end)
         : Sim.Engine.timer)
   in
   let client_node = node_of_client t update.Bft.Update.client in
@@ -413,6 +456,22 @@ let create cfg =
   let engine = Sim.Engine.create ~seed:cfg.seed () in
   let topo, site_members = build_topology cfg in
   let net = Overlay.Net.create ~per_source_cap:256 engine topo () in
+  let sink =
+    if cfg.telemetry then begin
+      let s =
+        Telemetry.Sink.create ~capacity:cfg.telemetry_capacity ~enabled:true ()
+      in
+      (* The orderable milestone needs an ordering quorum of pre-order
+         body stores; the execution milestone needs the reply (f+1)
+         quorum of distinct executions. *)
+      Telemetry.Sink.set_quorums s
+        ~order:(Bft.Quorum.quorum_size cfg.quorum)
+        ~reply:(Bft.Quorum.reply_threshold cfg.quorum);
+      Overlay.Net.set_telemetry net s;
+      s
+    end
+    else Telemetry.Sink.null
+  in
   let group =
     Cryptosim.Threshold.create_group ~seed:cfg.seed
       ~members:(List.init n Fun.id)
@@ -454,6 +513,7 @@ let create cfg =
              ~submitted_us:0);
       size_memo_bytes = 0;
       wire_decode_errors = 0;
+      telemetry = sink;
     }
   in
   (* Replica environments. A protocol broadcast hands the same physical
@@ -480,9 +540,15 @@ let create cfg =
       now_us = (fun () -> Sim.Engine.now engine);
       set_timer = (fun delay_us f -> Sim.Engine.schedule engine ~delay_us f);
       trace = (fun _ -> ());
+      telemetry = sink;
     }
   in
   let execute_of r exec_index update =
+    (* Execution milestone: the reply-quorum-th distinct replica to get
+       here fixes the end of the ordering phase (sink-side count). *)
+    if Telemetry.Sink.enabled sink then
+      Telemetry.Sink.update_executed sink ~trace:(trace_of_update update)
+        ~replica:r ~now:(Sim.Engine.now engine);
     match Scada.Op.of_update update with
     | Error _ -> ()
     | Ok op ->
@@ -606,8 +672,8 @@ let create cfg =
            master's DNP3 commands accordingly). *)
         let field_protocol = if i mod 2 = 0 then `Dnp3 else `Modbus in
         let p =
-          Scada.Proxy.create ~field_protocol ~engine ~rtu ~client_id:i
-            ~poll_interval_us:cfg.poll_interval_us ~group
+          Scada.Proxy.create ~field_protocol ~telemetry:sink ~engine ~rtu
+            ~client_id:i ~poll_interval_us:cfg.poll_interval_us ~group
             ~resubmit_timeout_us:cfg.resubmit_timeout_us
             ~submit:(submit_of i) ()
         in
@@ -625,9 +691,9 @@ let create cfg =
     Array.init cfg.hmis (fun j ->
         let client = cfg.substations + j in
         let h =
-          Scada.Hmi.create ~engine ~client_id:client ~group
+          Scada.Hmi.create ~telemetry:sink ~engine ~client_id:client ~group
             ~resubmit_timeout_us:cfg.resubmit_timeout_us
-            ~submit:(submit_of client)
+            ~submit:(submit_of client) ()
         in
         Scada.Endpoint.set_on_complete (Scada.Hmi.endpoint h) record_latency;
         Overlay.Net.set_handler net (node_of_client t client) (fun delivery ->

@@ -46,6 +46,12 @@ type config = {
   wire_debug : bool;
       (** re-decode every delivered frame through the wire codecs and
           count mismatches (see {!wire_decode_errors}); off by default *)
+  telemetry : bool;
+      (** trace every update's lifecycle (and per-hop overlay activity
+          of the frames carrying it) into a {!Telemetry.Sink}; off by
+          default — the disabled hot path costs one bool/int compare
+          per potential span *)
+  telemetry_capacity : int;  (** finished-span ring bound (see {!Telemetry.Sink.create}) *)
   tweak_prime : Prime.Replica.config -> Prime.Replica.config;
   tweak_pbft : Pbft.Replica.config -> Pbft.Replica.config;
 }
@@ -70,6 +76,11 @@ val run : t -> duration_us:int -> unit
 val engine : t -> Sim.Engine.t
 val config : t -> config
 val net : t -> payload Overlay.Net.t
+
+(** [telemetry t] is the system's span sink: live when the config set
+    [telemetry = true], {!Telemetry.Sink.null} otherwise. Feed it to
+    {!Telemetry.Attribution} / {!Telemetry.Export} after a run. *)
+val telemetry : t -> Telemetry.Sink.t
 
 (** {1 Component access} *)
 

@@ -44,6 +44,10 @@ type 'a frame = {
   dedup : bool;
       (* only flooded / redundantly-routed frames can arrive more than
          once; single-path frames skip dedup bookkeeping entirely *)
+  trace : int;
+      (* telemetry trace context riding alongside the payload; -1 when
+         the frame is untraced, making the hot-path guard one int
+         compare *)
 }
 
 (* Directed link runtime state. *)
@@ -96,6 +100,12 @@ type 'a t = {
   route_cache : Topology.node list option option array;
   kpath_cache : (int, Topology.node list list) Hashtbl.t;
       (* key = (src * nodes + dst) * 1024 + min k 1023 *)
+  mutable telemetry : Telemetry.Sink.t;
+  queue_spans : (int, int) Hashtbl.t;
+      (* open Net_queue span per queued traced frame, keyed by
+         [frame.id * nodes² + link index] — a frame record is shared
+         across links when flooding, so the span id cannot live on the
+         frame itself *)
 }
 
 let norm_idx t a b = if a < b then (a * t.nodes) + b else (b * t.nodes) + a
@@ -129,6 +139,8 @@ let create ?(per_source_cap = 64) engine topo () =
       per_source_cap;
       route_cache = Array.make (n * n) None;
       kpath_cache = Hashtbl.create 997;
+      telemetry = Telemetry.Sink.null;
+      queue_spans = Hashtbl.create 64;
     }
   in
   List.iter
@@ -154,6 +166,25 @@ let create ?(per_source_cap = 64) engine topo () =
   t
 
 let topology t = t.topo
+let set_telemetry t sink = t.telemetry <- sink
+
+(* Per-hop telemetry. Traced frames ([frame.trace >= 0], sink enabled)
+   get root-level spans for each thing that can cost them time on a
+   link: waiting in the fair queue, occupying the link, waiting out an
+   ARQ retransmission, and propagating. Span ids are captured in the
+   transmission closures, so no per-link mutable state is needed. *)
+let traced t frame = frame.trace >= 0 && Telemetry.Sink.enabled t.telemetry
+
+let qspan_key t u v frame_id = (frame_id * t.nodes * t.nodes) + (u * t.nodes) + v
+
+let link_label u v = string_of_int u ^ "->" ^ string_of_int v
+
+let open_hop_span t ~phase ~node ~label frame =
+  Telemetry.Sink.open_span t.telemetry ~trace:frame.trace ~phase ~node ~label
+    ~now:(Sim.Engine.now t.engine) ()
+
+let close_hop_span t sid =
+  Telemetry.Sink.close_span t.telemetry ~id:sid ~now:(Sim.Engine.now t.engine)
 
 let set_handler t node f = t.handlers.(node) <- Some f
 let link_alive t a b = t.link_up.(norm_idx t a b)
@@ -204,7 +235,16 @@ let rec maybe_transmit t u v =
   if not ls.busy then begin
     match Fair_queue.pop ls.queue with
     | None -> ()
-    | Some (_, _, frame) -> transmit_frame t u v ls frame 0
+    | Some (_, _, frame) ->
+      if traced t frame then begin
+        let key = qspan_key t u v frame.id in
+        match Hashtbl.find_opt t.queue_spans key with
+        | Some sid ->
+          Hashtbl.remove t.queue_spans key;
+          close_hop_span t sid
+        | None -> ()
+      end;
+      transmit_frame t u v ls frame 0
   end
 
 and transmit_frame t u v ls frame attempt =
@@ -212,8 +252,15 @@ and transmit_frame t u v ls frame attempt =
   let tx_us = max 1 (frame.size_bytes * 1_000_000 / ls.bandwidth_bps) in
   ls.tx_bytes <- ls.tx_bytes + frame.size_bytes;
   ls.tx_busy_us <- ls.tx_busy_us + tx_us;
+  let tx_sid =
+    if traced t frame then
+      open_hop_span t ~phase:Telemetry.Span.Net_transmit ~node:u
+        ~label:(link_label u v) frame
+    else -1
+  in
   ignore
     (Sim.Engine.schedule t.engine ~delay_us:tx_us (fun () ->
+         if tx_sid >= 0 then close_hop_span t tx_sid;
          let prop =
            int_of_float (float_of_int ls.latency_us *. ls.latency_factor)
          in
@@ -225,8 +272,15 @@ and transmit_frame t u v ls frame attempt =
            (* The sender detects the loss after ~one round trip and
               retransmits; the link stays occupied meanwhile. *)
            ls.retransmissions <- ls.retransmissions + 1;
+           let arq_sid =
+             if traced t frame then
+               open_hop_span t ~phase:Telemetry.Span.Net_arq ~node:u
+                 ~label:(link_label u v) frame
+             else -1
+           in
            ignore
              (Sim.Engine.schedule t.engine ~delay_us:(2 * prop) (fun () ->
+                  if arq_sid >= 0 then close_hop_span t arq_sid;
                   transmit_frame t u v ls frame (attempt + 1))
                : Sim.Engine.timer)
          end
@@ -239,11 +293,19 @@ and transmit_frame t u v ls frame attempt =
              t.dropped_arq_exhausted <- t.dropped_arq_exhausted + 1;
              t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
            end
-           else
+           else begin
+             let prop_sid =
+               if traced t frame then
+                 open_hop_span t ~phase:Telemetry.Span.Net_propagate ~node:u
+                   ~label:(link_label u v) frame
+               else -1
+             in
              ignore
                (Sim.Engine.schedule t.engine ~delay_us:prop (fun () ->
+                    if prop_sid >= 0 then close_hop_span t prop_sid;
                     arrive t u v frame)
-                 : Sim.Engine.timer);
+                 : Sim.Engine.timer)
+           end;
            maybe_transmit t u v
          end)
       : Sim.Engine.timer)
@@ -289,7 +351,18 @@ and arrive t u v frame =
 and enqueue t u v frame =
   let ls = link_state t u v in
   if Fair_queue.push ls.queue ~source:frame.src ~priority:frame.priority frame
-  then maybe_transmit t u v
+  then begin
+    (* Open the queue-wait span before [maybe_transmit]: an idle link
+       pops the frame straight back out and closes it at zero width. *)
+    if traced t frame then begin
+      let sid =
+        open_hop_span t ~phase:Telemetry.Span.Net_queue ~node:u
+          ~label:(link_label u v) frame
+      in
+      if sid >= 0 then Hashtbl.replace t.queue_spans (qspan_key t u v frame.id) sid
+    end;
+    maybe_transmit t u v
+  end
   else begin
     t.dropped_queue_full <- t.dropped_queue_full + 1;
     t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
@@ -321,7 +394,7 @@ let fresh_id t =
   t.next_frame_id <- id + 1;
   id
 
-let submit t ~priority ~size_bytes ~src ~dst ~mode content =
+let submit t ~priority ~size_bytes ~src ~dst ~mode ~trace content =
   t.submitted <- t.submitted + 1;
   t.submitted_bytes <- t.submitted_bytes + size_bytes;
   (match content with
@@ -344,6 +417,7 @@ let submit t ~priority ~size_bytes ~src ~dst ~mode content =
         hops = 0;
         route;
         dedup;
+        trace;
       }
     in
     if src = dst then begin
@@ -400,6 +474,7 @@ let submit t ~priority ~size_bytes ~src ~dst ~mode content =
                     hops = 0;
                     route = Path rest;
                     dedup = true;
+                    trace;
                   }
                 in
                 enqueue t src hop frame
@@ -407,16 +482,16 @@ let submit t ~priority ~size_bytes ~src ~dst ~mode content =
             paths)
   end
 
-let send t ?(priority = Fair_queue.Control) ~size_bytes ~src ~dst ~mode payload
-    =
-  submit t ~priority ~size_bytes ~src ~dst ~mode (Payload payload)
+let send t ?(priority = Fair_queue.Control) ?(trace = -1) ~size_bytes ~src ~dst
+    ~mode payload =
+  submit t ~priority ~size_bytes ~src ~dst ~mode ~trace (Payload payload)
 
 let inject_junk t ~src ~dst ~size_bytes ~priority =
-  submit t ~priority ~size_bytes ~src ~dst ~mode:Shortest (Junk "")
+  submit t ~priority ~size_bytes ~src ~dst ~mode:Shortest ~trace:(-1) (Junk "")
 
 let inject_junk_bytes t ~src ~dst ~bytes ~priority =
   submit t ~priority ~size_bytes:(String.length bytes) ~src ~dst ~mode:Shortest
-    (Junk bytes)
+    ~trace:(-1) (Junk bytes)
 
 let has_link t a b = t.links.((a * t.nodes) + b) <> None
 

@@ -61,16 +61,27 @@ val topology : 'a t -> Topology.t
     replaces any previous handler. *)
 val set_handler : 'a t -> Topology.node -> ('a delivery -> unit) -> unit
 
+(** [set_telemetry t sink] makes traced frames (those sent with
+    [~trace >= 0]) record per-hop spans into [sink]: fair-queue wait
+    ([Net_queue]), link occupancy ([Net_transmit]), ARQ retransmission
+    waits ([Net_arq]) and propagation ([Net_propagate]), each labelled
+    with the directed link. Defaults to {!Telemetry.Sink.null}; with
+    the null sink or untraced frames the per-hop cost is one integer
+    compare. *)
+val set_telemetry : 'a t -> Telemetry.Sink.t -> unit
+
 (** [send t ~size_bytes ~src ~dst ~mode payload] submits a frame.
     [priority] defaults to [Control]. [size_bytes] is the frame's wire
     length and is {e always} supplied by the caller: protocol traffic
     derives it from the encoded frame ([Wire.Envelope] in the system
     layer), so there is no magic default that would let a summary-matrix
     pre-prepare cost the same as a one-word vote. Self-sends deliver
-    immediately (next event). *)
+    immediately (next event). [trace] attaches a telemetry trace context
+    to the frame (default [-1] = untraced); see {!set_telemetry}. *)
 val send :
   'a t ->
   ?priority:Fair_queue.priority ->
+  ?trace:int ->
   size_bytes:int ->
   src:Topology.node ->
   dst:Topology.node ->

@@ -216,7 +216,14 @@ let accept_preprepare t ~view ~(proposal : Msg.proposal) =
         if
           (not (Hashtbl.mem t.pending (Update.key u)))
           && not (Delivery.seen t.delivery (Update.key u))
-        then Hashtbl.replace t.pending (Update.key u) (u, t.env.Env.now_us ())
+        then Hashtbl.replace t.pending (Update.key u) (u, t.env.Env.now_us ());
+        if Telemetry.Sink.enabled t.env.Env.telemetry then
+          Telemetry.Sink.update_body t.env.Env.telemetry
+            ~trace:
+              (Telemetry.Span.trace_id ~client:u.Update.client
+                 ~seq:u.Update.client_seq)
+            ~replica:t.env.Env.self
+            ~now:(t.env.Env.now_us ())
       | None -> ());
       (* The pre-prepare stands for the proposer's prepare vote; our own
          prepare vote is implicit in the broadcast below. *)
@@ -252,6 +259,16 @@ let propose t update =
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
     Hashtbl.replace t.assigned key seq;
+    (* Orderable milestone: the leader takes the update up for proposal
+       here, *before* any (possibly malicious) proposal delay — so an
+       E4-style delayed leader inflates the Ordering phase, which is
+       exactly where the attack bites. *)
+    if Telemetry.Sink.enabled t.env.Env.telemetry then
+      Telemetry.Sink.update_orderable t.env.Env.telemetry
+        ~trace:
+          (Telemetry.Span.trace_id ~client:update.Update.client
+             ~seq:update.Update.client_seq)
+        ~now:(t.env.Env.now_us ());
     let proposal = { Msg.seq; update = Some update } in
     let proposal_view = t.view in
     let send_preprepare () =

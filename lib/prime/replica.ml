@@ -220,6 +220,15 @@ let store_body t ~origin ~po_seq update =
   let key = (origin, po_seq) in
   if not (Hashtbl.mem t.po_store key) then begin
     Hashtbl.replace t.po_store key update;
+    (* Pre-order milestone: the order-quorum-th distinct replica to
+       store this body makes the update orderable (sink-side count). *)
+    if Telemetry.Sink.enabled t.env.Env.telemetry then
+      Telemetry.Sink.update_body t.env.Env.telemetry
+        ~trace:
+          (Telemetry.Span.trace_id ~client:update.Update.client
+             ~seq:update.Update.client_seq)
+        ~replica:t.env.Env.self
+        ~now:(t.env.Env.now_us ());
     (* Advance the contiguous cursor for this origin. *)
     let advanced = ref false in
     while Hashtbl.mem t.po_store (origin, t.recv.(origin) + 1) do

@@ -23,9 +23,11 @@ type t = {
   mutable resubmits : int;
   mutable on_complete : Bft.Update.t -> latency_us:int -> unit;
   mutable running : bool;
+  telemetry : Telemetry.Sink.t;
 }
 
-let create ~engine ~client_id ~group ~resubmit_timeout_us ~submit =
+let create ?(telemetry = Telemetry.Sink.null) ~engine ~client_id ~group
+    ~resubmit_timeout_us ~submit () =
   {
     engine;
     client_id;
@@ -39,6 +41,7 @@ let create ~engine ~client_id ~group ~resubmit_timeout_us ~submit =
     resubmits = 0;
     on_complete = (fun _ ~latency_us:_ -> ());
     running = false;
+    telemetry;
   }
 
 let client_id t = t.client_id
@@ -60,6 +63,10 @@ let send_op t op =
       last_sent_us = now;
       shares = Hashtbl.create 7;
     };
+  if Telemetry.Sink.enabled t.telemetry then
+    Telemetry.Sink.update_submitted t.telemetry
+      ~trace:(Telemetry.Span.trace_id ~client:t.client_id ~seq)
+      ~now;
   t.submit ~attempt:0 update;
   update
 
@@ -90,7 +97,12 @@ let handle_reply t (reply : Reply.t) =
         then begin
           Hashtbl.remove t.pending seq;
           t.completed <- t.completed + 1;
-          let latency_us = Sim.Engine.now t.engine - p.submitted_us in
+          let now = Sim.Engine.now t.engine in
+          if Telemetry.Sink.enabled t.telemetry then
+            Telemetry.Sink.update_confirmed t.telemetry
+              ~trace:(Telemetry.Span.trace_id ~client:t.client_id ~seq)
+              ~now;
+          let latency_us = now - p.submitted_us in
           t.on_complete p.update ~latency_us;
           Some body
         end

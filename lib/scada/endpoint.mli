@@ -8,15 +8,19 @@
 
 type t
 
-(** [create ~engine ~client_id ~group ~resubmit_timeout_us ~submit] —
+(** [create ~engine ~client_id ~group ~resubmit_timeout_us ~submit ()] —
     [submit ~attempt update] hands the update to the deployment for
-    routing; [attempt] starts at 0 and increments per retransmission. *)
+    routing; [attempt] starts at 0 and increments per retransmission.
+    [telemetry] (default {!Telemetry.Sink.null}) receives the submit
+    and confirmation milestones of every update this endpoint issues. *)
 val create :
+  ?telemetry:Telemetry.Sink.t ->
   engine:Sim.Engine.t ->
   client_id:Bft.Types.client ->
   group:Cryptosim.Threshold.group ->
   resubmit_timeout_us:int ->
   submit:(attempt:int -> Bft.Update.t -> unit) ->
+  unit ->
   t
 
 (** [start t] arms the retransmission watchdog. *)

@@ -1,7 +1,13 @@
 type t = { engine : Sim.Engine.t; endpoint : Endpoint.t }
 
-let create ~engine ~client_id ~group ~resubmit_timeout_us ~submit =
-  { engine; endpoint = Endpoint.create ~engine ~client_id ~group ~resubmit_timeout_us ~submit }
+let create ?telemetry ~engine ~client_id ~group ~resubmit_timeout_us ~submit ()
+    =
+  {
+    engine;
+    endpoint =
+      Endpoint.create ?telemetry ~engine ~client_id ~group ~resubmit_timeout_us
+        ~submit ();
+  }
 
 let start t = Endpoint.start t.endpoint
 

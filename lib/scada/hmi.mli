@@ -7,12 +7,16 @@
 
 type t
 
+(** [telemetry] (default {!Telemetry.Sink.null}) traces the lifecycle
+    of every update this HMI issues. *)
 val create :
+  ?telemetry:Telemetry.Sink.t ->
   engine:Sim.Engine.t ->
   client_id:Bft.Types.client ->
   group:Cryptosim.Threshold.group ->
   resubmit_timeout_us:int ->
   submit:(attempt:int -> Bft.Update.t -> unit) ->
+  unit ->
   t
 
 val start : t -> unit

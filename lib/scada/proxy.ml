@@ -21,13 +21,14 @@ type t = {
   actuated : (Bft.Types.client * int, unit) Hashtbl.t;
 }
 
-let create ?(field_protocol = `Dnp3) ~engine ~rtu ~client_id ~poll_interval_us
-    ~group ~resubmit_timeout_us ~submit () =
+let create ?(field_protocol = `Dnp3) ?telemetry ~engine ~rtu ~client_id
+    ~poll_interval_us ~group ~resubmit_timeout_us ~submit () =
   {
     engine;
     rtu;
     endpoint =
-      Endpoint.create ~engine ~client_id ~group ~resubmit_timeout_us ~submit;
+      Endpoint.create ?telemetry ~engine ~client_id ~group ~resubmit_timeout_us
+        ~submit ();
     group;
     protocol = field_protocol;
     poll_interval_us;

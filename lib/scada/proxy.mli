@@ -23,8 +23,11 @@ type t
     system. *)
 type field_protocol = [ `Dnp3 | `Modbus ]
 
+(** [telemetry] (default {!Telemetry.Sink.null}) traces the lifecycle
+    of every update this proxy submits. *)
 val create :
   ?field_protocol:field_protocol ->
+  ?telemetry:Telemetry.Sink.t ->
   engine:Sim.Engine.t ->
   rtu:Rtu.t ->
   client_id:Bft.Types.client ->

@@ -1,21 +1,39 @@
 type record = { time_us : int; category : string; message : string }
 
-type t = { mutable enabled : bool; mutable records : record list (* reversed *) }
+type t = {
+  mutable enabled : bool;
+  ring : record Telemetry.Ring.t;
+  mutable sink : Telemetry.Sink.t;
+}
 
-let create () = { enabled = false; records = [] }
+let create ?(capacity = 65536) () =
+  {
+    enabled = false;
+    ring = Telemetry.Ring.create capacity;
+    sink = Telemetry.Sink.null;
+  }
+
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
+let set_sink t sink = t.sink <- sink
 
 let emit t ~time_us ~category message =
-  if t.enabled then t.records <- { time_us; category; message } :: t.records
+  if t.enabled then begin
+    Telemetry.Ring.push t.ring { time_us; category; message };
+    if Telemetry.Sink.enabled t.sink then
+      Telemetry.Sink.annotate t.sink
+        ~label:(category ^ ": " ^ message)
+        ~now:time_us ()
+  end
 
-let records t = List.rev t.records
+let records t = Telemetry.Ring.to_list t.ring
 
 let by_category t cat =
   List.filter (fun r -> String.equal r.category cat) (records t)
 
-let count t = List.length t.records
-let clear t = t.records <- []
+let count t = Telemetry.Ring.length t.ring
+let dropped t = Telemetry.Ring.dropped t.ring
+let clear t = Telemetry.Ring.clear t.ring
 
 let pp_record ppf r =
   Format.fprintf ppf "[%a] %s: %s" Engine.pp_time_us r.time_us r.category

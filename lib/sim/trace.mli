@@ -3,19 +3,31 @@
     Components emit trace records (category + message + virtual time);
     tests and the scenario runner inspect them to assert ordering
     properties without coupling to log formatting. Tracing is off by
-    default and cheap when disabled. *)
+    default and cheap when disabled.
+
+    Retention is bounded: records live in a drop-oldest ring
+    ({!Telemetry.Ring}), so memory stays constant on multi-hour
+    simulated runs; {!dropped} reports how many old records were shed.
+    Optionally, emits are mirrored into a {!Telemetry.Sink} as
+    zero-duration annotation spans so traces and spans share one
+    timeline in the Chrome export. *)
 
 type record = { time_us : int; category : string; message : string }
 
 type t
 
-(** [create ()] is a disabled trace (records are dropped). *)
-val create : unit -> t
+(** [create ()] is a disabled trace (records are dropped). [capacity]
+    bounds retained records (default 65536, oldest dropped first). *)
+val create : ?capacity:int -> unit -> t
 
 (** [enable t] starts retaining records; [disable t] stops. *)
 val enable : t -> unit
 
 val disable : t -> unit
+
+(** [set_sink t sink] mirrors subsequent emits (while enabled) into
+    [sink] as [Annotation] spans labelled ["category: message"]. *)
+val set_sink : t -> Telemetry.Sink.t -> unit
 
 (** [emit t ~time_us ~category message] records an event if enabled. *)
 val emit : t -> time_us:int -> category:string -> string -> unit
@@ -28,6 +40,10 @@ val by_category : t -> string -> record list
 
 (** [count t] is the number of retained records. *)
 val count : t -> int
+
+(** [dropped t] is the number of records evicted by the retention
+    bound since creation / last {!clear}. *)
+val dropped : t -> int
 
 (** [clear t] drops all retained records. *)
 val clear : t -> unit

@@ -1,0 +1,25 @@
+(** Chrome [trace_event] JSON export.
+
+    Emits finished spans as complete ("ph":"X") events loadable in
+    [chrome://tracing] / Perfetto. Events are sorted by
+    [(t_start, id)] and printed one per line with a fixed field
+    order, so the output is byte-stable for a fixed seed — suitable
+    for golden tests.
+
+    Mapping: pid = node + 1 (track per overlay node, 0 for
+    node-less spans), tid = the trace's client sequence number (0
+    when the span has no trace). All span fields, including the ones
+    Chrome ignores, ride in ["args"] so the export is lossless:
+    {!spans_of_string} parses this exporter's own output back into
+    spans (a round-trip sanity check, not a general JSON parser). *)
+
+val to_string : Span.t list -> string
+
+(** [of_sink sink] exports the sink's finished spans. *)
+val of_sink : Sink.t -> string
+
+val write : path:string -> Span.t list -> unit
+
+(** Parse this module's own output. @raise Failure on malformed
+    lines. *)
+val spans_of_string : string -> Span.t list

@@ -1,0 +1,56 @@
+type 'a t = {
+  buf : 'a option array;
+  capacity : int;
+  mutable head : int; (* index of the oldest element *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; capacity; head = 0; len = 0; dropped = 0 }
+
+let push t x =
+  if t.len < t.capacity then begin
+    t.buf.((t.head + t.len) mod t.capacity) <- Some x;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.buf.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod t.capacity;
+    t.dropped <- t.dropped + 1
+  end
+
+let length t = t.len
+let capacity t = t.capacity
+let dropped t = t.dropped
+
+let get_exn t i =
+  match t.buf.((t.head + i) mod t.capacity) with
+  | Some x -> x
+  | None -> assert false
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get_exn t i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (get_exn t i)
+  done;
+  !acc
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := get_exn t i :: !acc
+  done;
+  !acc
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0

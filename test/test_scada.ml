@@ -290,6 +290,7 @@ let test_endpoint_confirms_at_threshold () =
     Scada.Endpoint.create ~engine ~client_id:42 ~group
       ~resubmit_timeout_us:1_000_000
       ~submit:(fun ~attempt u -> submitted := (attempt, u) :: !submitted)
+      ()
   in
   let latencies = ref [] in
   Scada.Endpoint.set_on_complete ep (fun _u ~latency_us ->
@@ -325,6 +326,7 @@ let test_endpoint_corrupt_share_does_not_confirm () =
     Scada.Endpoint.create ~engine ~client_id:1 ~group
       ~resubmit_timeout_us:1_000_000
       ~submit:(fun ~attempt:_ _ -> ())
+      ()
   in
   let u = Scada.Endpoint.send_op ep (Scada.Op.Hmi_read { hmi_id = 1 }) in
   let digest = Cryptosim.Digest.of_string "d" in
@@ -361,6 +363,7 @@ let test_endpoint_resubmits_on_timeout () =
   let ep =
     Scada.Endpoint.create ~engine ~client_id:1 ~group ~resubmit_timeout_us:100_000
       ~submit:(fun ~attempt _ -> attempts := attempt :: !attempts)
+      ()
   in
   Scada.Endpoint.start ep;
   ignore (Scada.Endpoint.send_op ep (Scada.Op.Hmi_read { hmi_id = 1 }));
