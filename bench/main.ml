@@ -39,6 +39,29 @@ let only =
 let run_micro =
   match Sys.getenv_opt "MICRO" with Some "0" -> false | _ -> true
 
+(* Every selectable id. An unknown EXPERIMENT=/ONLY= value used to
+   silently run zero experiments; now it aborts with the valid list. *)
+let known_ids =
+  [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E6B"; "E7"; "E8"; "E9"; "E10"; "MICRO" ]
+
+let () =
+  let unknown =
+    (match wanted with
+    | Some w when not (List.mem w known_ids) -> [ w ]
+    | _ -> [])
+    @
+    match only with
+    | Some ids -> List.filter (fun id -> not (List.mem id known_ids)) ids
+    | None -> []
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment id%s: %s\nvalid ids: %s\n"
+      (if List.length unknown > 1 then "s" else "")
+      (String.concat ", " unknown)
+      (String.concat ", " known_ids);
+    exit 2
+  end
+
 let perf_mode =
   match Sys.getenv_opt "PERF" with Some "1" -> true | _ -> false
 
@@ -485,11 +508,72 @@ let e8 () =
   (match !breaking_point with
   | Some s -> Printf.printf "  saturation first observed at %d substations\n" s
   | None -> Printf.printf "  no saturation within the sweep\n");
+  (* Batch-size sweep: constrained-flooding dissemination (the paper's
+     network-attack-resilient mode) at a per-endpoint rate that
+     saturates the unbatched pipeline. Under flooding every frame
+     crosses every overlay link, so the per-update flooding cost gates
+     the confirmed rate directly — and batching amortises it: one
+     envelope + one RSA authenticator per client batch, one po-request
+     frame per pre-order block, one reply frame per destination group.
+     The price is the batch-wait the deadline policy permits. *)
+  let sweep_duration = if scale_full then sec 15 else sec 5 in
+  let sweep_substations = 16 in
+  let sweep_poll_us = 1_000 in
+  let batch_table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "batch-size sweep, flooding: %d substations at %d polls/s \
+            (offered %d/s, deadline 10 ms)"
+           sweep_substations (1_000_000 / sweep_poll_us)
+           (sweep_substations * 1_000_000 / sweep_poll_us))
+      ~columns:
+        [
+          "max_batch"; "confirmed/s"; "p50 ms"; "p99 ms"; "wire MB";
+          "wire KB/upd";
+        ]
+  in
+  let base_rate = ref nan in
+  List.iter
+    (fun max_batch ->
+      let sys, r =
+        Spire.Scenarios.throughput
+          ~tweak:(fun c ->
+            { c with Spire.System.dissemination = Overlay.Net.Flood })
+          ~max_batch ~substations:sweep_substations
+          ~poll_interval_us:sweep_poll_us ~duration_us:sweep_duration ()
+      in
+      let secs = float_of_int sweep_duration /. 1e6 in
+      let confirmed_rate = float_of_int r.Spire.Scenarios.confirmed /. secs in
+      if max_batch = 1 then base_rate := confirmed_rate;
+      let h = r.Spire.Scenarios.hist in
+      let wire_bytes =
+        (Overlay.Net.stats (Spire.System.net sys)).Overlay.Net.submitted_bytes
+      in
+      Stats.Table.add_row batch_table
+        [
+          string_of_int max_batch;
+          Printf.sprintf "%.0f (%.2fx)" confirmed_rate
+            (confirmed_rate /. !base_rate);
+          Printf.sprintf "%.1f"
+            (if Stats.Histogram.count h > 0 then pct h 50. else nan);
+          Printf.sprintf "%.1f"
+            (if Stats.Histogram.count h > 0 then pct h 99. else nan);
+          Printf.sprintf "%.2f" (float_of_int wire_bytes /. 1e6);
+          Printf.sprintf "%.2f"
+            (float_of_int wire_bytes
+            /. 1e3
+            /. float_of_int (max 1 r.Spire.Scenarios.confirmed));
+        ])
+    [ 1; 4; 16; 64 ];
+  Stats.Table.print batch_table;
   shape
     "latency stays flat well past the paper's 10-substation deployment; \
      saturation appears only at 1-2 orders of magnitude more load; \
      summary-matrix pre-prepare frames are several times heavier than \
-     single-digest votes"
+     single-digest votes; under flooding at a saturating load, batching \
+     >= 8 at least doubles the confirmed rate at no worse than twice the \
+     p99, because the per-update flooding cost is what gates throughput"
 
 (* ------------------------------------------------------------------ *)
 (* E9: intrusion campaign with diversity + proactive recovery           *)

@@ -67,6 +67,63 @@ let workloads ~scale_full () =
   in
   (e2, e3, e6)
 
+(* E8 batch-size sweep: constrained-flooding dissemination at a
+   saturating per-endpoint rate, batching degree 1/4/16/64. Recorded
+   so the trajectory file tracks the amortisation win (and would
+   expose a regression that quietly re-inflated the per-update
+   flooding cost). *)
+
+type batch_point = {
+  max_batch : int;
+  confirmed_per_sec : float;
+  p50_ms : float;
+  p99_ms : float;
+  wire_kb_per_update : float;
+}
+
+let e8_batch_sweep ~scale_full () =
+  let duration = if scale_full then sec 15 else sec 5 in
+  let substations = 16 in
+  Printf.printf "  E8 batch sweep: flooding, %d substations at 1000 polls/s, %ds\n%!"
+    substations (duration / 1_000_000);
+  List.map
+    (fun max_batch ->
+      let sys, r =
+        Spire.Scenarios.throughput
+          ~tweak:(fun c ->
+            { c with Spire.System.dissemination = Overlay.Net.Flood })
+          ~max_batch ~substations ~poll_interval_us:1_000 ~duration_us:duration
+          ()
+      in
+      let secs = float_of_int duration /. 1e6 in
+      let confirmed_per_sec = float_of_int r.Spire.Scenarios.confirmed /. secs in
+      let h = r.Spire.Scenarios.hist in
+      let pct p =
+        if Stats.Histogram.count h > 0 then Stats.Histogram.percentile h p
+        else nan
+      in
+      let wire_bytes =
+        (Overlay.Net.stats (Spire.System.net sys)).Overlay.Net.submitted_bytes
+      in
+      let point =
+        {
+          max_batch;
+          confirmed_per_sec;
+          p50_ms = pct 50.;
+          p99_ms = pct 99.;
+          wire_kb_per_update =
+            float_of_int wire_bytes /. 1e3
+            /. float_of_int (max 1 r.Spire.Scenarios.confirmed);
+        }
+      in
+      Printf.printf
+        "    batch=%-3d confirmed/s=%7.0f p50=%6.1fms p99=%6.1fms wire \
+         KB/upd=%6.2f\n%!"
+        max_batch confirmed_per_sec point.p50_ms point.p99_ms
+        point.wire_kb_per_update;
+      point)
+    [ 1; 4; 16; 64 ]
+
 (* ------------------------------------------------------------------ *)
 (* Codec microbenches: full encode vs measured size, manual loops.     *)
 
@@ -153,7 +210,7 @@ let existing_floor () =
       float_of_string_opt (String.trim (String.sub s start (!stop - start)))
   end
 
-let write_json ~scale ~floor ~e2 ~e3 ~e6 ~micros =
+let write_json ~scale ~floor ~e2 ~e3 ~e6 ~e8 ~micros =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -177,6 +234,19 @@ let write_json ~scale ~floor ~e2 ~e3 ~e6 ~micros =
   run_line false e3;
   run_line true e6;
   p "  ],\n";
+  p "  \"e8_batch_sweep\": [\n";
+  let rec batch_lines = function
+    | [] -> ()
+    | (b : batch_point) :: rest ->
+      p
+        "    { \"max_batch\": %d, \"confirmed_per_sec\": %.0f, \"p50_ms\": \
+         %.1f, \"p99_ms\": %.1f, \"wire_kb_per_update\": %.2f }%s\n"
+        b.max_batch b.confirmed_per_sec b.p50_ms b.p99_ms b.wire_kb_per_update
+        (if rest = [] then "" else ",");
+      batch_lines rest
+  in
+  batch_lines e8;
+  p "  ],\n";
   p "  \"speedup_e3_wall_vs_pre_pr\": %.2f,\n" (pre_pr_e3_wall_s /. e3.wall_s);
   p "  \"micro_ns_per_op\": {\n";
   let rec emit = function
@@ -196,6 +266,7 @@ let run ~scale_full () =
   Printf.printf "PERF %s: wall-clock + simulated events/sec\n%!"
     (if scale_full then "[full scale]" else "[quick scale]");
   let e2, e3, e6 = workloads ~scale_full () in
+  let e8 = e8_batch_sweep ~scale_full () in
   let micros = microbenches () in
   let floor =
     match existing_floor () with
@@ -208,7 +279,7 @@ let run ~scale_full () =
       f
   in
   write_json ~scale:(if scale_full then "full" else "quick") ~floor ~e2 ~e3 ~e6
-    ~micros;
+    ~e8 ~micros;
   Printf.printf "  wrote %s (E3 speedup vs pre-PR: %.2fx)\n%!" json_path
     (pre_pr_e3_wall_s /. e3.wall_s);
   (* The floor was measured at quick scale; only enforce it there. *)

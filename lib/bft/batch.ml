@@ -1,0 +1,55 @@
+type policy = { max_batch : int; max_delay_us : int }
+
+let singleton = { max_batch = 1; max_delay_us = 0 }
+
+let validate p =
+  if p.max_batch < 1 then
+    invalid_arg "Bft.Batch.validate: max_batch must be >= 1";
+  if p.max_delay_us < 0 then
+    invalid_arg "Bft.Batch.validate: max_delay_us must be >= 0";
+  p
+
+let create ?(max_delay_us = 10_000) ~max_batch () =
+  validate { max_batch; max_delay_us }
+
+let is_singleton p = p.max_batch <= 1
+
+let pp ppf p =
+  Format.fprintf ppf "batch(max=%d,delay=%dus)" p.max_batch p.max_delay_us
+
+(* ------------------------------------------------------------------ *)
+(* Accumulator: the one batching state machine shared by the client
+   endpoint (updates awaiting a Client_batch frame), the Prime replica
+   (updates awaiting a Po_batch) and the PBFT leader (requests awaiting
+   a batched pre-prepare).  Callers push items and flush when [full]
+   says the size bound is reached or their deadline timer fires; the
+   deadline for the oldest buffered item is exposed so the caller can
+   arm exactly one timer per buffered generation. *)
+
+type 'a acc = {
+  policy : policy;
+  buf : 'a Queue.t;
+  mutable oldest_us : int;  (** arrival time of the oldest buffered item *)
+}
+
+let acc policy = { policy; buf = Queue.create (); oldest_us = 0 }
+
+let push a ~now v =
+  if Queue.is_empty a.buf then a.oldest_us <- now;
+  Queue.add v a.buf
+
+let length a = Queue.length a.buf
+let is_empty a = Queue.is_empty a.buf
+let full a = Queue.length a.buf >= a.policy.max_batch
+
+(** Absolute virtual time by which the buffered items must flush, or
+    [None] when nothing is buffered. *)
+let deadline_us a =
+  if Queue.is_empty a.buf then None
+  else Some (a.oldest_us + a.policy.max_delay_us)
+
+(** Drain every buffered item, oldest first. *)
+let take_all a =
+  let items = List.of_seq (Queue.to_seq a.buf) in
+  Queue.clear a.buf;
+  items

@@ -1,0 +1,40 @@
+(** Batching policy for the ordering pipeline.
+
+    An ordering slot may carry a {e batch} of updates instead of exactly
+    one: the client endpoint aggregates updates into [Client_batch]
+    frames, the Prime replica aggregates pre-ordering into [Po_batch],
+    and the PBFT leader batches pre-prepares.  A batch flushes when it
+    reaches [max_batch] items or when the oldest buffered item has
+    waited [max_delay_us], whichever comes first.
+
+    [singleton] ([max_batch = 1]) is the degenerate policy: every layer
+    bypasses its accumulator entirely and emits the legacy single-update
+    frames, bit-identical to the unbatched pipeline. *)
+
+type policy = {
+  max_batch : int;  (** flush when this many items are buffered (>= 1) *)
+  max_delay_us : int;
+      (** flush when the oldest buffered item has waited this long *)
+}
+
+(** The default: no batching, no timers, legacy frames. *)
+val singleton : policy
+
+(** Raises [Invalid_argument] on [max_batch < 1] or negative delay. *)
+val validate : policy -> policy
+
+val create : ?max_delay_us:int -> max_batch:int -> unit -> policy
+val is_singleton : policy -> bool
+val pp : Format.formatter -> policy -> unit
+
+(** Per-layer accumulator: push items, flush on [full] or when the
+    caller's timer passes [deadline_us]. *)
+type 'a acc
+
+val acc : policy -> 'a acc
+val push : 'a acc -> now:int -> 'a -> unit
+val length : 'a acc -> int
+val is_empty : 'a acc -> bool
+val full : 'a acc -> bool
+val deadline_us : 'a acc -> int option
+val take_all : 'a acc -> 'a list

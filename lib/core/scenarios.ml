@@ -146,9 +146,17 @@ let site_failure ~site ~fail_at_us ~restore_at_us ~duration_us () =
   System.run sys ~duration_us;
   finish sys ~duration_us
 
-let throughput ~substations ~poll_interval_us ~duration_us () =
+let throughput ?(tweak = fun c -> c) ?(max_batch = 1) ?(batch_delay_us = 10_000)
+    ~substations ~poll_interval_us ~duration_us () =
   let cfg =
-    { (System.default_config ()) with System.substations; poll_interval_us }
+    tweak
+      {
+        (System.default_config ()) with
+        System.substations;
+        poll_interval_us;
+        max_batch;
+        batch_delay_us;
+      }
   in
   let sys = System.create cfg in
   System.start sys;

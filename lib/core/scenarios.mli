@@ -91,8 +91,15 @@ val site_failure :
 
 (** [throughput ~substations ~poll_interval_us ~duration_us ()] —
     experiment E8: one point of the scaling sweep; returns the offered
-    and confirmed rates plus the latency distribution. *)
+    and confirmed rates plus the latency distribution. [max_batch]
+    (default 1 = unbatched) and [batch_delay_us] (default 10 ms) set
+    the end-to-end batching policy for the batch-size sweep. [tweak]
+    (default identity) post-processes the scenario config — e.g. to
+    constrain the WAN budget for the E8 batch sweep. *)
 val throughput :
+  ?tweak:(System.config -> System.config) ->
+  ?max_batch:int ->
+  ?batch_delay_us:int ->
   substations:int ->
   poll_interval_us:int ->
   duration_us:int ->

@@ -21,6 +21,8 @@ type config = {
   lan_bandwidth_bps : int;
   wan_bandwidth_bps : int;
   resubmit_timeout_us : int;
+  max_batch : int;
+  batch_delay_us : int;
   diversity_variants : int;
   seed : int64;
   wire_debug : bool;
@@ -56,6 +58,8 @@ let default_config () =
     lan_bandwidth_bps = 125_000_000;
     wan_bandwidth_bps = 12_500_000;
     resubmit_timeout_us = 2_000_000;
+    max_batch = 1;
+    batch_delay_us = 10_000;
     diversity_variants = 8;
     seed = 0x5917EL;
     wire_debug = false;
@@ -89,6 +93,11 @@ type t = {
   mutable recovery_listeners :
     ([ `Begin | `Complete ] -> Bft.Types.replica -> unit) list;
   share_cost_us : int;
+  (* Replica-side reply aggregation (only armed when max_batch > 1):
+     signed replies queue per replica and ship grouped by destination,
+     amortising the envelope while keeping per-reply signing cost. *)
+  reply_batch : Bft.Batch.policy;
+  reply_accs : (int * Scada.Reply.t) Bft.Batch.acc array;
   wire_frames : int array; (* per Wire.Message.kind_index *)
   wire_bytes : int array;
   mutable size_memo_payload : payload; (* last measured payload (physical) *)
@@ -232,19 +241,29 @@ let trace_of_update (u : Bft.Update.t) =
    identity it transports, for the message kinds that transport one.
    Only consulted when the sink is enabled, so the disabled-path cost
    in [send_payload] is a single bool load. *)
+let trace_of_reply (r : Scada.Reply.t) =
+  let client, seq = r.Scada.Reply.update_key in
+  Telemetry.Span.trace_id ~client ~seq
+
+(* Batched frames are attributed to their first member: a batch is one
+   physical frame, and per-hop net spans need a single representative. *)
 let trace_of_payload payload =
   match payload with
   | Client_update u -> trace_of_update u
-  | Replica_reply r ->
-    let client, seq = r.Scada.Reply.update_key in
-    Telemetry.Span.trace_id ~client ~seq
+  | Client_batch (u :: _) -> trace_of_update u
+  | Replica_reply r -> trace_of_reply r
+  | Reply_batch (r :: _) -> trace_of_reply r
   | Prime_msg (_, Prime.Msg.Po_request { update; _ }) -> trace_of_update update
+  | Prime_msg (_, Prime.Msg.Po_batch { updates = u :: _; _ }) ->
+    trace_of_update u
   | Prime_msg (_, Prime.Msg.Recon_reply { update; _ }) -> trace_of_update update
   | Pbft_msg (_, Pbft.Msg.Request { update; _ }) -> trace_of_update update
-  | Pbft_msg (_, Pbft.Msg.Preprepare { proposal = { update = Some u; _ }; _ })
+  | Pbft_msg (_, Pbft.Msg.Preprepare { proposal = { updates = u :: _; _ }; _ })
     ->
     trace_of_update u
-  | Prime_msg _ | Pbft_msg _ | Transfer_chunk _ -> Telemetry.Span.no_trace
+  | Client_batch [] | Reply_batch [] | Prime_msg _ | Pbft_msg _
+  | Transfer_chunk _ ->
+    Telemetry.Span.no_trace
 
 (* Every protocol send is charged the exact frame length (envelope
    header + encoded body + authenticator) via the measured-size pass,
@@ -306,22 +325,71 @@ let submit_to_replica t r update =
   | Prime_replica p -> Prime.Replica.submit p update
   | Pbft_replica p -> Pbft.Replica.submit p update
 
+let ingest_client_update t r u =
+  (* Origin milestone: the first replica to receive the update ends
+     the ingress phase (first-writer-wins in the sink). *)
+  if Telemetry.Sink.enabled t.telemetry then
+    Telemetry.Sink.update_at_origin t.telemetry ~trace:(trace_of_update u)
+      ~now:(Sim.Engine.now t.engine);
+  submit_to_replica t r u
+
 let handle_replica_msg t r ~from payload =
   match (t.replicas.(r), payload) with
   | Prime_replica p, Prime_msg (_, m) -> Prime.Replica.handle p ~from m
   | Pbft_replica p, Pbft_msg (_, m) -> Pbft.Replica.handle p ~from m
-  | _, Client_update u ->
-    (* Origin milestone: the first replica to receive the update ends
-       the ingress phase (first-writer-wins in the sink). *)
-    if Telemetry.Sink.enabled t.telemetry then
-      Telemetry.Sink.update_at_origin t.telemetry ~trace:(trace_of_update u)
-        ~now:(Sim.Engine.now t.engine);
-    submit_to_replica t r u
+  | _, Client_update u -> ingest_client_update t r u
+  | _, Client_batch us -> List.iter (ingest_client_update t r) us
   | _, Transfer_chunk _ ->
     (* Snapshot installation is synchronous in [resync_replica]; the
        chunk frames exist to charge the transfer's bandwidth. *)
     ()
-  | _, (Prime_msg _ | Pbft_msg _ | Replica_reply _) -> ()
+  | _, (Prime_msg _ | Pbft_msg _ | Replica_reply _ | Reply_batch _) -> ()
+
+(* Reply batch flush: group the queued (dst, reply) pairs by
+   destination in arrival order; a destination with a single reply
+   still gets the legacy frame shape. *)
+let flush_replies t r =
+  let acc = t.reply_accs.(r) in
+  if not (Bft.Batch.is_empty acc) then begin
+    let items = Bft.Batch.take_all acc in
+    let per_dst = Hashtbl.create 7 in
+    let dsts = ref [] in
+    List.iter
+      (fun (dst, reply) ->
+        match Hashtbl.find_opt per_dst dst with
+        | Some q -> Queue.add reply q
+        | None ->
+          let q = Queue.create () in
+          Queue.add reply q;
+          Hashtbl.replace per_dst dst q;
+          dsts := dst :: !dsts)
+      items;
+    List.iter
+      (fun dst ->
+        let payload =
+          match List.of_seq (Queue.to_seq (Hashtbl.find per_dst dst)) with
+          | [ reply ] -> Replica_reply reply
+          | rs -> Reply_batch rs
+        in
+        send_payload t ~src_node:(node_of_replica t r) ~dst_node:dst payload)
+      (List.rev !dsts)
+  end
+
+let flush_replies_due t r =
+  if not (faults t r).Bft.Faults.crashed then
+    match Bft.Batch.deadline_us t.reply_accs.(r) with
+    | Some d when d <= Sim.Engine.now t.engine -> flush_replies t r
+    | Some _ | None -> ()
+
+let enqueue_reply t r ~dst_node reply =
+  let acc = t.reply_accs.(r) in
+  Bft.Batch.push acc ~now:(Sim.Engine.now t.engine) (dst_node, reply);
+  if Bft.Batch.full acc then flush_replies t r
+  else if Bft.Batch.length acc = 1 then
+    ignore
+      (Sim.Engine.schedule t.engine ~delay_us:t.reply_batch.Bft.Batch.max_delay_us
+         (fun () -> flush_replies_due t r)
+        : Sim.Engine.timer)
 
 (* Reply emission: called from the execute callback of replica [r]. *)
 let emit_replies t r ~exec_index ~(update : Bft.Update.t) effect =
@@ -340,7 +408,8 @@ let emit_replies t r ~exec_index ~(update : Bft.Update.t) effect =
         body;
       }
     in
-    (* Charge the threshold-share signing cost before the send. *)
+    (* Charge the threshold-share signing cost before the send (the
+       share is per-update even when the envelope is batched). *)
     ignore
       (Sim.Engine.schedule t.engine ~delay_us:t.share_cost_us (fun () ->
            if not (faults t r).Bft.Faults.crashed then begin
@@ -348,8 +417,10 @@ let emit_replies t r ~exec_index ~(update : Bft.Update.t) effect =
                Telemetry.Sink.update_reply_sent t.telemetry
                  ~trace:(trace_of_update update) ~replica:r
                  ~now:(Sim.Engine.now t.engine);
-             send_payload t ~src_node:(node_of_replica t r)
-               ~dst_node (Replica_reply reply)
+             if Bft.Batch.is_singleton t.reply_batch then
+               send_payload t ~src_node:(node_of_replica t r)
+                 ~dst_node (Replica_reply reply)
+             else enqueue_reply t r ~dst_node reply
            end)
         : Sim.Engine.timer)
   in
@@ -453,6 +524,10 @@ let create cfg =
     invalid_arg "System.create: site_sizes do not sum to quorum n";
   if cfg.control_centers < 1 || cfg.control_centers > List.length cfg.site_sizes
   then invalid_arg "System.create: bad control_centers";
+  let batch_policy =
+    if cfg.max_batch <= 1 then Bft.Batch.singleton
+    else Bft.Batch.create ~max_delay_us:cfg.batch_delay_us ~max_batch:cfg.max_batch ()
+  in
   let engine = Sim.Engine.create ~seed:cfg.seed () in
   let topo, site_members = build_topology cfg in
   let net = Overlay.Net.create ~per_source_cap:256 engine topo () in
@@ -503,6 +578,8 @@ let create cfg =
       scheduler = None;
       recovery_listeners = [];
       share_cost_us = Cryptosim.Threshold.default_cost.Cryptosim.Threshold.share_us;
+      reply_batch = batch_policy;
+      reply_accs = Array.init n (fun _ -> Bft.Batch.acc batch_policy);
       wire_frames = Array.make Wire.Message.kind_count 0;
       wire_bytes = Array.make Wire.Message.kind_count 0;
       (* Fresh dummy payload: physically distinct from anything ever
@@ -572,13 +649,20 @@ let create cfg =
                 (Prime.Replica.default_config cfg.quorum) with
                 Prime.Replica.tat_threshold_us =
                   max 100_000 ((8 * max_one_way) + 60_000);
+                batch = batch_policy;
               }
           in
           Prime_replica
             (Prime.Replica.create pcfg (env_of r (fun m -> Prime_msg (r, m)))
                ~execute:(execute_of r))
         | Pbft_protocol ->
-          let pcfg = cfg.tweak_pbft (Pbft.Replica.default_config cfg.quorum) in
+          let pcfg =
+            cfg.tweak_pbft
+              {
+                (Pbft.Replica.default_config cfg.quorum) with
+                Pbft.Replica.batch = batch_policy;
+              }
+          in
           Pbft_replica
             (Pbft.Replica.create pcfg (env_of r (fun m -> Pbft_msg (r, m)))
                ~execute:(fun seq u -> execute_of r seq u)));
@@ -662,6 +746,20 @@ let create cfg =
       done
     end
   in
+  (* First-attempt batch flush from an endpoint: one Client_batch frame
+     to the chosen origin. A flush holding a single update degrades to
+     the legacy frame shape. *)
+  let submit_batch_of client (updates : Bft.Update.t list) =
+    match updates with
+    | [] -> ()
+    | [ u ] -> submit_of client ~attempt:0 u
+    | updates ->
+      t.submitted <- t.submitted + List.length updates;
+      let now = Sim.Engine.now engine in
+      let origin = pick_origin client now in
+      send_payload t ~src_node:(node_of_client t client)
+        ~dst_node:(node_of_replica t origin) (Client_batch updates)
+  in
   let proxies =
     Array.init cfg.substations (fun i ->
         let rtu =
@@ -672,7 +770,8 @@ let create cfg =
            master's DNP3 commands accordingly). *)
         let field_protocol = if i mod 2 = 0 then `Dnp3 else `Modbus in
         let p =
-          Scada.Proxy.create ~field_protocol ~telemetry:sink ~engine ~rtu
+          Scada.Proxy.create ~field_protocol ~telemetry:sink
+            ~batch:batch_policy ~submit_batch:(submit_batch_of i) ~engine ~rtu
             ~client_id:i ~poll_interval_us:cfg.poll_interval_us ~group
             ~resubmit_timeout_us:cfg.resubmit_timeout_us
             ~submit:(submit_of i) ()
@@ -683,7 +782,9 @@ let create cfg =
               delivery.Overlay.Net.payload;
             match delivery.Overlay.Net.payload with
             | Replica_reply reply -> Scada.Proxy.handle_reply p reply
-            | Prime_msg _ | Pbft_msg _ | Client_update _ | Transfer_chunk _ ->
+            | Reply_batch rs -> List.iter (Scada.Proxy.handle_reply p) rs
+            | Prime_msg _ | Pbft_msg _ | Client_update _ | Client_batch _
+            | Transfer_chunk _ ->
               ());
         p)
   in
@@ -701,7 +802,9 @@ let create cfg =
               delivery.Overlay.Net.payload;
             match delivery.Overlay.Net.payload with
             | Replica_reply reply -> Scada.Hmi.handle_reply h reply
-            | Prime_msg _ | Pbft_msg _ | Client_update _ | Transfer_chunk _ ->
+            | Reply_batch rs -> List.iter (Scada.Hmi.handle_reply h) rs
+            | Prime_msg _ | Pbft_msg _ | Client_update _ | Client_batch _
+            | Transfer_chunk _ ->
               ());
         h)
   in

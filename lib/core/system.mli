@@ -41,6 +41,16 @@ type config = {
   lan_bandwidth_bps : int;
   wan_bandwidth_bps : int;
   resubmit_timeout_us : int;
+  max_batch : int;
+      (** end-to-end batching degree: client endpoints, the ordering
+          protocol's pre-order/proposal path, and replica replies all
+          aggregate up to this many updates per frame. [1] (default)
+          reproduces the unbatched system bit-for-bit — no accumulator
+          is consulted and no batch timer is ever armed. *)
+  batch_delay_us : int;
+      (** deadline bound: a partial batch flushes at most this long
+          after its oldest member arrived (ignored when [max_batch]
+          is 1) *)
   diversity_variants : int;
   seed : int64;
   wire_debug : bool;

@@ -1,17 +1,18 @@
-type proposal = { seq : Bft.Types.seqno; update : Bft.Update.t option }
+type proposal = { seq : Bft.Types.seqno; updates : Bft.Update.t list }
 
 let proposal_digest p =
-  match p.update with
-  | None -> Cryptosim.Digest.of_string ("noop:" ^ string_of_int p.seq)
-  | Some u ->
-    Cryptosim.Digest.combine
+  match p.updates with
+  | [] -> Cryptosim.Digest.of_string ("noop:" ^ string_of_int p.seq)
+  | updates ->
+    List.fold_left
+      (fun acc u -> Cryptosim.Digest.combine acc (Bft.Update.digest u))
       (Cryptosim.Digest.of_string ("prop:" ^ string_of_int p.seq))
-      (Bft.Update.digest u)
+      updates
 
 type prepared_entry = {
   entry_seq : Bft.Types.seqno;
   entry_view : Bft.Types.view;
-  entry_update : Bft.Update.t option;
+  entry_updates : Bft.Update.t list;
 }
 
 type t =
@@ -44,7 +45,8 @@ let pp ppf = function
     Format.fprintf ppf "Request(%a%s)" Bft.Update.pp update
       (if broadcast then ",bcast" else "")
   | Preprepare { view; proposal } ->
-    Format.fprintf ppf "Preprepare(v%d,s%d)" view proposal.seq
+    Format.fprintf ppf "Preprepare(v%d,s%d,%d upd)" view proposal.seq
+      (List.length proposal.updates)
   | Prepare { view; seq; _ } -> Format.fprintf ppf "Prepare(v%d,s%d)" view seq
   | Commit { view; seq; _ } -> Format.fprintf ppf "Commit(v%d,s%d)" view seq
   | Checkpoint { seq; _ } -> Format.fprintf ppf "Checkpoint(s%d)" seq

@@ -8,17 +8,18 @@
 
 type proposal = {
   seq : Bft.Types.seqno;
-  update : Bft.Update.t option;  (** [None] is a no-op hole filler *)
+  updates : Bft.Update.t list;
+      (** the batch ordered by this slot; [[]] is a no-op hole filler *)
 }
 
 (** [proposal_digest p] identifies the proposal's content for the
-    prepare/commit phases. *)
+    prepare/commit phases (folds every update digest in batch order). *)
 val proposal_digest : proposal -> Cryptosim.Digest.t
 
 type prepared_entry = {
   entry_seq : Bft.Types.seqno;
   entry_view : Bft.Types.view;  (** view in which it prepared *)
-  entry_update : Bft.Update.t option;
+  entry_updates : Bft.Update.t list;
 }
 
 type t =

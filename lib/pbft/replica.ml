@@ -6,6 +6,7 @@ type config = {
   viewchange_timeout_us : int;
   checkpoint_interval : int;
   watchdog_interval_us : int;
+  batch : Batch.policy;
 }
 
 let default_config quorum =
@@ -15,6 +16,7 @@ let default_config quorum =
     viewchange_timeout_us = 4_000_000;
     checkpoint_interval = 128;
     watchdog_interval_us = 250_000;
+    batch = Batch.singleton;
   }
 
 type slot = {
@@ -47,6 +49,7 @@ type t = {
   mutable next_seq : Types.seqno;
   mutable last_executed : Types.seqno;
   mutable stable_seq : Types.seqno;
+  req_acc : Update.t Batch.acc;
   vc_votes :
     ( Types.view,
       (Types.replica, Types.seqno * Msg.prepared_entry list) Hashtbl.t )
@@ -85,6 +88,7 @@ let create config env ~execute =
     next_seq = 1;
     last_executed = 0;
     stable_seq = 0;
+    req_acc = Batch.acc config.batch;
     vc_votes = Hashtbl.create 17;
     ckpt_votes = Hashtbl.create 17;
     view_changes = 0;
@@ -133,16 +137,19 @@ let rec try_execute t =
   | Some s when s.committed ->
     t.last_executed <- seq;
     (match s.proposal with
-    | Some { Msg.update = Some u; _ } ->
-      Hashtbl.remove t.pending (Update.key u);
-      (* Exactly-once, per-client-FIFO release. *)
+    | Some { Msg.updates; _ } ->
       List.iter
-        (fun released ->
-          Hashtbl.remove t.pending (Update.key released);
-          ignore (Exec_log.append t.log released : int);
-          t.execute seq released)
-        (Delivery.offer t.delivery u)
-    | Some { Msg.update = None; _ } | None -> ());
+        (fun u ->
+          Hashtbl.remove t.pending (Update.key u);
+          (* Exactly-once, per-client-FIFO release. *)
+          List.iter
+            (fun released ->
+              Hashtbl.remove t.pending (Update.key released);
+              ignore (Exec_log.append t.log released : int);
+              t.execute seq released)
+            (Delivery.offer t.delivery u))
+        updates
+    | None -> ());
     if seq mod t.config.checkpoint_interval = 0 then begin
       let chain = Exec_log.chain_digest t.log in
       broadcast t (Msg.Checkpoint { seq; chain });
@@ -211,20 +218,20 @@ let accept_preprepare t ~view ~(proposal : Msg.proposal) =
       Hashtbl.reset s.prepares;
       Hashtbl.reset s.commits;
       s.prepared <- false;
-      (match proposal.Msg.update with
-      | Some u ->
-        if
-          (not (Hashtbl.mem t.pending (Update.key u)))
-          && not (Delivery.seen t.delivery (Update.key u))
-        then Hashtbl.replace t.pending (Update.key u) (u, t.env.Env.now_us ());
-        if Telemetry.Sink.enabled t.env.Env.telemetry then
-          Telemetry.Sink.update_body t.env.Env.telemetry
-            ~trace:
-              (Telemetry.Span.trace_id ~client:u.Update.client
-                 ~seq:u.Update.client_seq)
-            ~replica:t.env.Env.self
-            ~now:(t.env.Env.now_us ())
-      | None -> ());
+      List.iter
+        (fun (u : Update.t) ->
+          if
+            (not (Hashtbl.mem t.pending (Update.key u)))
+            && not (Delivery.seen t.delivery (Update.key u))
+          then Hashtbl.replace t.pending (Update.key u) (u, t.env.Env.now_us ());
+          if Telemetry.Sink.enabled t.env.Env.telemetry then
+            Telemetry.Sink.update_body t.env.Env.telemetry
+              ~trace:
+                (Telemetry.Span.trace_id ~client:u.Update.client
+                   ~seq:u.Update.client_seq)
+              ~replica:t.env.Env.self
+              ~now:(t.env.Env.now_us ()))
+        proposal.Msg.updates;
       (* The pre-prepare stands for the proposer's prepare vote; our own
          prepare vote is implicit in the broadcast below. *)
       Hashtbl.replace s.prepares (leader_of t view) ();
@@ -250,15 +257,55 @@ let accept_preprepare t ~view ~(proposal : Msg.proposal) =
 (* ------------------------------------------------------------------ *)
 (* Leader proposal path (with Byzantine hooks).                        *)
 
+let send_proposal t (proposal : Msg.proposal) =
+  let proposal_view = t.view in
+  let send_preprepare () =
+    if t.faults.Faults.equivocate then begin
+      let twin (u : Update.t) =
+        Update.create ~client:u.Update.client ~client_seq:u.Update.client_seq
+          ~operation:"equivocation-twin" ~submitted_us:u.Update.submitted_us
+      in
+      let twins =
+        { proposal with Msg.updates = List.map twin proposal.Msg.updates }
+      in
+      List.iter
+        (fun r ->
+          let p = if r mod 2 = 0 then proposal else twins in
+          send_to t r (Msg.Preprepare { view = proposal_view; proposal = p }))
+        (Env.others t.env)
+    end
+    else broadcast t (Msg.Preprepare { view = proposal_view; proposal });
+    accept_preprepare t ~view:proposal_view ~proposal
+  in
+  let delay = t.faults.Faults.proposal_delay_us in
+  if delay > 0 then
+    ignore
+      (t.env.Env.set_timer delay (fun () ->
+           if t.view = proposal_view && is_leader t then send_preprepare ())
+        : Sim.Engine.timer)
+  else send_preprepare ()
+
+let flush_proposals t =
+  if not (Batch.is_empty t.req_acc) then begin
+    let updates = Batch.take_all t.req_acc in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    send_proposal t { Msg.seq; updates }
+  end
+
+let flush_proposals_due t =
+  if (not t.faults.Faults.crashed) && is_leader t then
+    match Batch.deadline_us t.req_acc with
+    | Some d when d <= t.env.Env.now_us () -> flush_proposals t
+    | Some _ | None -> ()
+
 let propose t update =
   let key = Update.key update in
   if
     (not (Hashtbl.mem t.assigned key))
     && not (Delivery.seen t.delivery key)
   then begin
-    let seq = t.next_seq in
-    t.next_seq <- seq + 1;
-    Hashtbl.replace t.assigned key seq;
+    Hashtbl.replace t.assigned key t.next_seq;
     (* Orderable milestone: the leader takes the update up for proposal
        here, *before* any (possibly malicious) proposal delay — so an
        E4-style delayed leader inflates the Ordering phase, which is
@@ -269,33 +316,20 @@ let propose t update =
           (Telemetry.Span.trace_id ~client:update.Update.client
              ~seq:update.Update.client_seq)
         ~now:(t.env.Env.now_us ());
-    let proposal = { Msg.seq; update = Some update } in
-    let proposal_view = t.view in
-    let send_preprepare () =
-      if t.faults.Faults.equivocate then begin
-        let twin =
-          Update.create ~client:(fst key) ~client_seq:(snd key)
-            ~operation:"equivocation-twin"
-            ~submitted_us:update.Update.submitted_us
-        in
-        List.iter
-          (fun r ->
-            let p =
-              if r mod 2 = 0 then proposal else { Msg.seq; update = Some twin }
-            in
-            send_to t r (Msg.Preprepare { view = proposal_view; proposal = p }))
-          (Env.others t.env)
-      end
-      else broadcast t (Msg.Preprepare { view = proposal_view; proposal });
-      accept_preprepare t ~view:proposal_view ~proposal
-    in
-    let delay = t.faults.Faults.proposal_delay_us in
-    if delay > 0 then
-      ignore
-        (t.env.Env.set_timer delay (fun () ->
-             if t.view = proposal_view && is_leader t then send_preprepare ())
-          : Sim.Engine.timer)
-    else send_preprepare ()
+    if Batch.is_singleton t.config.batch then begin
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      send_proposal t { Msg.seq; updates = [ update ] }
+    end
+    else begin
+      Batch.push t.req_acc ~now:(t.env.Env.now_us ()) update;
+      if Batch.full t.req_acc then flush_proposals t
+      else if Batch.length t.req_acc = 1 then
+        ignore
+          (t.env.Env.set_timer t.config.batch.Batch.max_delay_us (fun () ->
+               flush_proposals_due t)
+            : Sim.Engine.timer)
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -310,7 +344,7 @@ let prepared_entries t =
           {
             Msg.entry_seq = seq;
             entry_view = s.slot_view;
-            entry_update = p.Msg.update;
+            entry_updates = p.Msg.updates;
           }
           :: acc
         | None -> acc
@@ -383,14 +417,15 @@ and install_new_view t target votes =
       (fun i ->
         let seq = start + 1 + i in
         match Hashtbl.find_opt merged seq with
-        | Some e -> { Msg.seq; update = e.Msg.entry_update }
-        | None -> { Msg.seq; update = None })
+        | Some e -> { Msg.seq; updates = e.Msg.entry_updates }
+        | None -> { Msg.seq; updates = [] })
   in
   t.view <- target;
   t.mode <- Normal;
   t.view_changes <- t.view_changes + 1;
   t.next_seq <- !max_seq + 1;
   t.assigned <- Hashtbl.create 97;
+  ignore (Batch.take_all t.req_acc : Update.t list);
   broadcast t (Msg.Newview { view = target; proposals; stable_seq = !max_stable });
   List.iter (fun p -> accept_preprepare t ~view:target ~proposal:p) proposals;
   let pending_now = Hashtbl.fold (fun _ (u, _) acc -> u :: acc) t.pending [] in
@@ -402,6 +437,7 @@ let adopt_new_view t ~view ~proposals =
     t.mode <- Normal;
     t.view_changes <- t.view_changes + 1;
     t.assigned <- Hashtbl.create 97;
+    ignore (Batch.take_all t.req_acc : Update.t list);
     List.iter (fun p -> accept_preprepare t ~view ~proposal:p) proposals;
     (* Give the new leader a full timeout for everything pending. *)
     let now = t.env.Env.now_us () in

@@ -30,6 +30,11 @@ type config = {
           to the next one *)
   checkpoint_interval : int;  (** executions between checkpoints *)
   watchdog_interval_us : int;  (** how often timeouts are polled *)
+  batch : Bft.Batch.policy;
+      (** leader-side aggregation: assigned requests accumulate until
+          [max_batch] or [max_delay_us] and are pre-prepared as one
+          multi-update proposal; [Batch.singleton] (default) bypasses
+          the accumulator and proposes one update per slot *)
 }
 
 (** [default_config quorum] uses the paper-era constants: 2 s request

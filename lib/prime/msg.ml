@@ -10,6 +10,11 @@ type t =
       po_seq : int;
       update : Bft.Update.t;
     }
+  | Po_batch of {
+      origin : Bft.Types.replica;
+      first_seq : int;
+      updates : Bft.Update.t list;
+    }
   | Po_aru of { vector : Matrix.vector }
   | Preprepare of {
       view : Bft.Types.view;
@@ -50,6 +55,9 @@ let pp ppf = function
   | Po_request { origin; po_seq; update } ->
     Format.fprintf ppf "Po_request(o%d,#%d,%a)" origin po_seq Bft.Update.pp
       update
+  | Po_batch { origin; first_seq; updates } ->
+    Format.fprintf ppf "Po_batch(o%d,#%d..%d)" origin first_seq
+      (first_seq + List.length updates - 1)
   | Po_aru { vector } -> Format.fprintf ppf "Po_aru%a" Matrix.pp_vector vector
   | Preprepare { view; seq; _ } ->
     Format.fprintf ppf "Preprepare(v%d,s%d)" view seq

@@ -20,6 +20,16 @@ type t =
       po_seq : int;
       update : Bft.Update.t;
     }  (** origin disseminates a client update with its local order *)
+  | Po_batch of {
+      origin : Bft.Types.replica;
+      first_seq : int;
+      updates : Bft.Update.t list;
+    }
+      (** origin disseminates a batch of updates occupying the
+          consecutive pre-order sequence numbers
+          [first_seq .. first_seq + length updates - 1]; semantically
+          identical to that many [Po_request]s but amortizing one
+          authenticated frame over the whole batch *)
   | Po_aru of { vector : Matrix.vector }
       (** sender's cumulative pre-order vector *)
   | Preprepare of {

@@ -10,6 +10,7 @@ type config = {
   checkpoint_interval : int;
   watchdog_interval_us : int;
   recon_retry_us : int;
+  batch : Batch.policy;
 }
 
 let default_config quorum =
@@ -23,6 +24,7 @@ let default_config quorum =
     checkpoint_interval = 128;
     watchdog_interval_us = 25_000;
     recon_retry_us = 100_000;
+    batch = Batch.singleton;
   }
 
 type slot = {
@@ -60,6 +62,8 @@ type t = {
   delivery : Delivery.t;
   (* --- pre-ordering --- *)
   mutable po_next_seq : int;  (* own origin counter; survives recovery *)
+  po_acc : Update.t Batch.acc;
+      (* own submissions awaiting a Po_batch flush (size/deadline) *)
   po_store : (Types.replica * int, Update.t) Hashtbl.t;
   mutable recv : Matrix.vector;  (* contiguous received per origin *)
   mutable rows : Matrix.t;  (* latest reported vector per replica *)
@@ -158,6 +162,7 @@ let create config env ~execute =
     log = Exec_log.create ();
     delivery = Delivery.create ();
     po_next_seq = 1;
+    po_acc = Batch.acc config.batch;
     po_store = Hashtbl.create 4096;
     recv = Matrix.empty_vector ~n:nn;
     rows = Matrix.empty ~n:nn;
@@ -831,16 +836,53 @@ let start t =
 (* ------------------------------------------------------------------ *)
 (* Entry points.                                                       *)
 
+(* Flush the pre-order accumulator: assign consecutive po_seqs, store
+   every body locally, and broadcast one frame for the lot. A singleton
+   flush emits the legacy [Po_request] so the wire trajectory at
+   [max_batch = 1] stays bit-identical to the unbatched pipeline. *)
+let flush_po t =
+  if not (Batch.is_empty t.po_acc) then begin
+    let updates = Batch.take_all t.po_acc in
+    let origin = t.env.Env.self in
+    let first_seq = t.po_next_seq in
+    List.iteri
+      (fun i u -> ignore (store_body t ~origin ~po_seq:(first_seq + i) u : bool))
+      updates;
+    t.po_next_seq <- first_seq + List.length updates;
+    match updates with
+    | [ update ] ->
+      broadcast t (Msg.Po_request { origin; po_seq = first_seq; update })
+    | updates -> broadcast t (Msg.Po_batch { origin; first_seq; updates })
+  end
+
+let flush_po_due t =
+  if not t.faults.Faults.crashed then
+    (* Only flush the generation this timer was armed for: if the
+       buffer flushed early on size and refilled, its deadline moved. *)
+    match Batch.deadline_us t.po_acc with
+    | Some d when d <= t.env.Env.now_us () -> flush_po t
+    | Some _ | None -> ()
+
 let submit t update =
   if not t.faults.Faults.crashed then begin
     let key = Update.key update in
-    if not (Delivery.seen t.delivery key) then begin
-      let po_seq = t.po_next_seq in
-      t.po_next_seq <- po_seq + 1;
-      let origin = t.env.Env.self in
-      ignore (store_body t ~origin ~po_seq update : bool);
-      broadcast t (Msg.Po_request { origin; po_seq; update })
-    end
+    if not (Delivery.seen t.delivery key) then
+      if Batch.is_singleton t.config.batch then begin
+        let po_seq = t.po_next_seq in
+        t.po_next_seq <- po_seq + 1;
+        let origin = t.env.Env.self in
+        ignore (store_body t ~origin ~po_seq update : bool);
+        broadcast t (Msg.Po_request { origin; po_seq; update })
+      end
+      else begin
+        Batch.push t.po_acc ~now:(t.env.Env.now_us ()) update;
+        if Batch.full t.po_acc then flush_po t
+        else if Batch.length t.po_acc = 1 then
+          ignore
+            (t.env.Env.set_timer t.config.batch.Batch.max_delay_us (fun () ->
+                 flush_po_due t)
+              : Sim.Engine.timer)
+      end
   end
 
 let handle t ~from msg =
@@ -853,6 +895,14 @@ let handle t ~from msg =
         ignore (store_body t ~origin ~po_seq update : bool);
         if t.stalled_on = Some (origin, po_seq) then drain_exec t
       end
+    | Msg.Po_batch { origin; first_seq; updates } ->
+      if origin = from then
+        List.iteri
+          (fun i u ->
+            let po_seq = first_seq + i in
+            ignore (store_body t ~origin ~po_seq u : bool);
+            if t.stalled_on = Some (origin, po_seq) then drain_exec t)
+          updates
     | Msg.Po_aru { vector } ->
       if Array.length vector = n t then
         t.rows.(from) <- Matrix.merge_vector t.rows.(from) vector
@@ -996,6 +1046,7 @@ let install_snapshot t s =
   Hashtbl.reset t.slots;
   Hashtbl.reset t.applied_matrices;
   Hashtbl.reset t.po_store;
+  ignore (Batch.take_all t.po_acc : Update.t list);
   t.recv <- Array.copy s.snap_cursor;
   t.rows <- Matrix.empty ~n:(n t);
   t.rows.(t.env.Env.self) <- Array.copy t.recv;

@@ -37,6 +37,11 @@ type config = {
   checkpoint_interval : int;  (** executions between checkpoints *)
   watchdog_interval_us : int;
   recon_retry_us : int;  (** retry cadence for missing bodies/slots *)
+  batch : Bft.Batch.policy;
+      (** pre-order aggregation: own submissions accumulate until
+          [max_batch] or [max_delay_us] and ship as one [Po_batch]
+          occupying consecutive po_seqs; [Batch.singleton] (default)
+          bypasses the accumulator and emits legacy [Po_request]s *)
 }
 
 (** [default_config quorum] uses LAN-scale defaults: 5 ms ARU cadence,

@@ -16,6 +16,11 @@ type t = {
   group : Cryptosim.Threshold.group;
   resubmit_timeout_us : int;
   submit : attempt:int -> Bft.Update.t -> unit;
+  (* Batch path: [None] (or a singleton policy) means every send_op
+     ships immediately through [submit] — the legacy wire shape. *)
+  submit_batch : (Bft.Update.t list -> unit) option;
+  batch : Bft.Batch.policy;
+  acc : Bft.Update.t Bft.Batch.acc;
   pending : (int, pending) Hashtbl.t; (* client_seq -> pending *)
   mutable next_seq : int;
   mutable floor : int; (* lowest possibly-pending client_seq *)
@@ -26,14 +31,17 @@ type t = {
   telemetry : Telemetry.Sink.t;
 }
 
-let create ?(telemetry = Telemetry.Sink.null) ~engine ~client_id ~group
-    ~resubmit_timeout_us ~submit () =
+let create ?(telemetry = Telemetry.Sink.null) ?(batch = Bft.Batch.singleton)
+    ?submit_batch ~engine ~client_id ~group ~resubmit_timeout_us ~submit () =
   {
     engine;
     client_id;
     group;
     resubmit_timeout_us;
     submit;
+    submit_batch;
+    batch;
+    acc = Bft.Batch.acc batch;
     pending = Hashtbl.create 97;
     next_seq = 1;
     floor = 1;
@@ -49,6 +57,30 @@ let pending_count t = Hashtbl.length t.pending
 let completed_count t = t.completed
 let resubmit_count t = t.resubmits
 let set_on_complete t f = t.on_complete <- f
+
+let flush_batch t =
+  if not (Bft.Batch.is_empty t.acc) then begin
+    let updates = Bft.Batch.take_all t.acc in
+    let now = Sim.Engine.now t.engine in
+    if Telemetry.Sink.enabled t.telemetry then
+      List.iter
+        (fun (u : Bft.Update.t) ->
+          Telemetry.Sink.update_batched t.telemetry
+            ~trace:
+              (Telemetry.Span.trace_id ~client:t.client_id
+                 ~seq:u.Bft.Update.client_seq)
+            ~now)
+        updates;
+    match t.submit_batch with
+    | Some f -> f updates
+    | None ->
+      List.iter (fun u -> t.submit ~attempt:0 u) updates
+  end
+
+let flush_batch_due t =
+  match Bft.Batch.deadline_us t.acc with
+  | Some d when d <= Sim.Engine.now t.engine -> flush_batch t
+  | Some _ | None -> ()
 
 let send_op t op =
   let seq = t.next_seq in
@@ -67,7 +99,17 @@ let send_op t op =
     Telemetry.Sink.update_submitted t.telemetry
       ~trace:(Telemetry.Span.trace_id ~client:t.client_id ~seq)
       ~now;
-  t.submit ~attempt:0 update;
+  if Bft.Batch.is_singleton t.batch then t.submit ~attempt:0 update
+  else begin
+    Bft.Batch.push t.acc ~now update;
+    if Bft.Batch.full t.acc then flush_batch t
+    else if Bft.Batch.length t.acc = 1 then
+      ignore
+        (Sim.Engine.schedule t.engine
+           ~delay_us:t.batch.Bft.Batch.max_delay_us (fun () ->
+             flush_batch_due t)
+          : Sim.Engine.timer)
+  end;
   update
 
 let handle_reply t (reply : Reply.t) =

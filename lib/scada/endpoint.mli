@@ -12,9 +12,20 @@ type t
     [submit ~attempt update] hands the update to the deployment for
     routing; [attempt] starts at 0 and increments per retransmission.
     [telemetry] (default {!Telemetry.Sink.null}) receives the submit
-    and confirmation milestones of every update this endpoint issues. *)
+    and confirmation milestones of every update this endpoint issues.
+
+    [batch] (default {!Bft.Batch.singleton}) aggregates first-attempt
+    submissions: updates accumulate until [max_batch] or [max_delay_us]
+    and flush together through [submit_batch] (falling back to one
+    [submit] per member when absent), firing the batched telemetry
+    milestone per member at flush. A singleton policy bypasses the
+    accumulator entirely — [submit] fires synchronously inside
+    {!send_op}, and no timer is ever scheduled. Retransmissions always
+    use [submit] individually. *)
 val create :
   ?telemetry:Telemetry.Sink.t ->
+  ?batch:Bft.Batch.policy ->
+  ?submit_batch:(Bft.Update.t list -> unit) ->
   engine:Sim.Engine.t ->
   client_id:Bft.Types.client ->
   group:Cryptosim.Threshold.group ->

@@ -21,14 +21,14 @@ type t = {
   actuated : (Bft.Types.client * int, unit) Hashtbl.t;
 }
 
-let create ?(field_protocol = `Dnp3) ?telemetry ~engine ~rtu ~client_id
-    ~poll_interval_us ~group ~resubmit_timeout_us ~submit () =
+let create ?(field_protocol = `Dnp3) ?telemetry ?batch ?submit_batch ~engine
+    ~rtu ~client_id ~poll_interval_us ~group ~resubmit_timeout_us ~submit () =
   {
     engine;
     rtu;
     endpoint =
-      Endpoint.create ?telemetry ~engine ~client_id ~group ~resubmit_timeout_us
-        ~submit ();
+      Endpoint.create ?telemetry ?batch ?submit_batch ~engine ~client_id ~group
+        ~resubmit_timeout_us ~submit ();
     group;
     protocol = field_protocol;
     poll_interval_us;

@@ -17,7 +17,10 @@ type t = {
 let tolerance_us = 1.0
 
 let lifecycle_phases =
-  [ Span.Ingress; Span.Preorder; Span.Ordering; Span.Execution; Span.Reply ]
+  [
+    Span.Batch_wait; Span.Ingress; Span.Preorder; Span.Ordering;
+    Span.Execution; Span.Reply;
+  ]
 
 let row_of_phase sink phase =
   let h = Sink.hist sink phase in

@@ -15,7 +15,7 @@ let json_escape s =
 
 let category (phase : Span.phase) =
   match phase with
-  | End_to_end | Ingress | Preorder | Ordering | Execution | Reply ->
+  | End_to_end | Batch_wait | Ingress | Preorder | Ordering | Execution | Reply ->
     "lifecycle"
   | Net_queue | Net_transmit | Net_arq | Net_propagate -> "net"
   | Annotation -> "annotation"

@@ -13,6 +13,7 @@ type open_span = {
    to count *distinct* reporters up to the configured quorums. *)
 type pending = {
   mutable submit : int;
+  mutable batched : int;
   mutable origin : int;
   mutable orderable : int;
   mutable exec_k : int;
@@ -105,6 +106,7 @@ let find_pending t trace =
     let p =
       {
         submit = -1;
+        batched = -1;
         origin = -1;
         orderable = -1;
         exec_k = -1;
@@ -124,6 +126,12 @@ let update_submitted t ~trace ~now =
   if t.enabled && trace >= 0 then begin
     let p = find_pending t trace in
     if p.submit < 0 then p.submit <- now
+  end
+
+let update_batched t ~trace ~now =
+  if t.enabled && trace >= 0 then begin
+    let p = find_pending t trace in
+    if p.batched < 0 then p.batched <- now
   end
 
 let update_at_origin t ~trace ~now =
@@ -212,13 +220,30 @@ let update_confirmed t ~trace ~now =
         else begin
           missing := true;
           (* fall back to the earliest milestone we do have *)
-          let cand = [ p.origin; p.orderable; p.exec_k; p.reply_sent; now ] in
+          let cand =
+            [ p.batched; p.origin; p.orderable; p.exec_k; p.reply_sent; now ]
+          in
           List.fold_left
             (fun acc v -> if v >= 0 then min acc v else acc)
             now cand
         end
       in
-      let origin = fix submit p.origin in
+      (* A missing [batched] milestone is not incompleteness: with
+         batching off (max_batch = 1) updates are never buffered, so
+         the batch-wait phase legitimately has zero width at submit. *)
+      let batched =
+        if p.batched < 0 then submit
+        else if p.batched < submit then begin
+          clamp := true;
+          submit
+        end
+        else if p.batched > now then begin
+          clamp := true;
+          now
+        end
+        else p.batched
+      in
+      let origin = fix batched p.origin in
       let orderable = fix origin p.orderable in
       let exec_k = fix orderable p.exec_k in
       let reply_sent = fix exec_k p.reply_sent in
@@ -254,7 +279,8 @@ let update_confirmed t ~trace ~now =
           };
         observe t phase (t_end - t_start)
       in
-      child Span.Ingress ~node:(-1) submit origin;
+      child Span.Batch_wait ~node:(-1) submit batched;
+      child Span.Ingress ~node:(-1) batched origin;
       child Span.Preorder ~node:(-1) origin orderable;
       child Span.Ordering ~node:(-1) orderable exec_k;
       child Span.Execution ~node:p.reply_replica exec_k reply_sent;

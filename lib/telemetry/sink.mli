@@ -44,6 +44,14 @@ val set_quorums : t -> order:int -> reply:int -> unit
 (** {2 Update-lifecycle milestones} *)
 
 val update_submitted : t -> trace:int -> now:int -> unit
+
+(** [update_batched]: the client endpoint flushed the batch carrying
+    this update ([Bft.Batch] size/deadline policy). Optional — when it
+    never fires (batching off), the batch-wait phase materialises with
+    zero width at the submit time and the trace is {e not} counted
+    incomplete. *)
+val update_batched : t -> trace:int -> now:int -> unit
+
 val update_at_origin : t -> trace:int -> now:int -> unit
 
 (** [update_body]: a replica stored the pre-ordered body (Prime

@@ -1,5 +1,6 @@
 type phase =
   | End_to_end
+  | Batch_wait
   | Ingress
   | Preorder
   | Ordering
@@ -11,24 +12,26 @@ type phase =
   | Net_propagate
   | Annotation
 
-let phase_count = 11
+let phase_count = 12
 
 let phase_index = function
   | End_to_end -> 0
-  | Ingress -> 1
-  | Preorder -> 2
-  | Ordering -> 3
-  | Execution -> 4
-  | Reply -> 5
-  | Net_queue -> 6
-  | Net_transmit -> 7
-  | Net_arq -> 8
-  | Net_propagate -> 9
-  | Annotation -> 10
+  | Batch_wait -> 1
+  | Ingress -> 2
+  | Preorder -> 3
+  | Ordering -> 4
+  | Execution -> 5
+  | Reply -> 6
+  | Net_queue -> 7
+  | Net_transmit -> 8
+  | Net_arq -> 9
+  | Net_propagate -> 10
+  | Annotation -> 11
 
 let all_phases =
   [|
     End_to_end;
+    Batch_wait;
     Ingress;
     Preorder;
     Ordering;
@@ -43,6 +46,7 @@ let all_phases =
 
 let phase_name = function
   | End_to_end -> "end_to_end"
+  | Batch_wait -> "batch_wait"
   | Ingress -> "ingress"
   | Preorder -> "preorder"
   | Ordering -> "ordering"

@@ -7,13 +7,16 @@
     and contiguous phase intervals sum exactly to the end-to-end
     latency they decompose. *)
 
-(** Phase taxonomy. The first six are the critical-path decomposition
+(** Phase taxonomy. The first seven are the critical-path decomposition
     of one update's life (each starts where the previous one ends):
 
     - [End_to_end]: client submit to threshold-combined confirmation
-      (the root span; the five below are its children).
-    - [Ingress]: submit at the proxy/HMI endpoint until the first
-      replica receives the [Client_update].
+      (the root span; the six below are its children).
+    - [Batch_wait]: submit until the endpoint flushes the batch the
+      update rode in ([Bft.Batch] size/deadline policy). Zero width
+      when batching is off ([max_batch = 1]).
+    - [Ingress]: batch flush at the proxy/HMI endpoint until the first
+      replica receives the [Client_update] (or [Client_batch]).
     - [Preorder]: first replica receipt until the update is orderable
       — Prime: the order-quorum-th distinct replica stores the
       pre-ordered body; PBFT: the leader takes it up for proposal.
@@ -30,6 +33,7 @@
     (e.g. [Sim.Trace] records mirrored into the sink). *)
 type phase =
   | End_to_end
+  | Batch_wait
   | Ingress
   | Preorder
   | Ordering

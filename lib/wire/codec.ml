@@ -142,6 +142,11 @@ let w_prime b (m : Prime.Msg.t) =
     Rw.w_u8 b 0x0d;
     Rw.w_u32 b executed;
     Rw.w_digest b chain
+  | Prime.Msg.Po_batch { origin; first_seq; updates } ->
+    Rw.w_u8 b 0x0e;
+    Rw.w_u16 b origin;
+    Rw.w_u32 b first_seq;
+    Rw.w_list b w_update updates
 
 let r_prime r =
   let ctx = "prime.msg" in
@@ -200,6 +205,11 @@ let r_prime r =
     let executed = Rw.r_u32 ctx r in
     let chain = Rw.r_digest ctx r in
     Prime.Msg.Checkpoint { executed; chain }
+  | 0x0e ->
+    let origin = Rw.r_u16 ctx r in
+    let first_seq = Rw.r_u32 ctx r in
+    let updates = Rw.r_list ctx r r_update in
+    Prime.Msg.Po_batch { origin; first_seq; updates }
   | tag -> raise (Rw.Fail (Rw.Unknown_tag { context = ctx; tag }))
 
 let encode_prime = encode_with w_prime
@@ -210,23 +220,23 @@ let decode_prime = decode_with r_prime
 
 let w_proposal b (p : Pbft.Msg.proposal) =
   Rw.w_u32 b p.Pbft.Msg.seq;
-  Rw.w_option b w_update p.Pbft.Msg.update
+  Rw.w_list b w_update p.Pbft.Msg.updates
 
 let r_proposal r =
   let seq = Rw.r_u32 "pbft.proposal.seq" r in
-  let update = Rw.r_option "pbft.proposal.update" r r_update in
-  { Pbft.Msg.seq; update }
+  let updates = Rw.r_list "pbft.proposal.updates" r r_update in
+  { Pbft.Msg.seq; updates }
 
 let w_pbft_prepared b (e : Pbft.Msg.prepared_entry) =
   Rw.w_u32 b e.Pbft.Msg.entry_seq;
   Rw.w_u32 b e.Pbft.Msg.entry_view;
-  Rw.w_option b w_update e.Pbft.Msg.entry_update
+  Rw.w_list b w_update e.Pbft.Msg.entry_updates
 
 let r_pbft_prepared r =
   let entry_seq = Rw.r_u32 "pbft.prepared.seq" r in
   let entry_view = Rw.r_u32 "pbft.prepared.view" r in
-  let entry_update = Rw.r_option "pbft.prepared.update" r r_update in
-  { Pbft.Msg.entry_seq; entry_view; entry_update }
+  let entry_updates = Rw.r_list "pbft.prepared.updates" r r_update in
+  { Pbft.Msg.entry_seq; entry_view; entry_updates }
 
 let w_pbft b (m : Pbft.Msg.t) =
   match m with

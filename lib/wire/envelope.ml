@@ -18,8 +18,8 @@ let scheme_of_tag = function
 
 let scheme_of = function
   | Message.Prime_msg _ | Message.Pbft_msg _ | Message.Transfer_chunk _ -> Hmac
-  | Message.Client_update _ -> Rsa
-  | Message.Replica_reply _ -> Threshold_sig
+  | Message.Client_update _ | Message.Client_batch _ -> Rsa
+  | Message.Replica_reply _ | Message.Reply_batch _ -> Threshold_sig
 
 type envelope = { sender : int; scheme : scheme; message : Message.t }
 

@@ -25,6 +25,19 @@ let spoofed_header ~rand ~size_bytes =
     Bytes.set b 2 '\255' (* break the version byte instead of the magic *);
     Bytes.to_string b
 
+let lying_batch ~rand =
+  (* A bare Client_batch body whose u16 element count promises far more
+     updates than the remaining bytes can hold. [Rw.r_list] must reject
+     the count before allocating; Message.decode returns Error. *)
+  let b = Buffer.create 32 in
+  Rw.w_u8 b 0x06;
+  Rw.w_u16 b (0x1000 + rand 0xe000);
+  Buffer.add_string b (random_bytes ~rand (rand 24));
+  let s = Buffer.contents b in
+  match Message.decode s with
+  | Error _ -> s
+  | Ok _ -> assert false (* the count always exceeds the body *)
+
 let corrupt ~rand s =
   if String.length s = 0 then s
   else begin

@@ -19,6 +19,12 @@ val undecodable : rand:(int -> int) -> size_bytes:int -> string
     @raise Invalid_argument otherwise. *)
 val spoofed_header : rand:(int -> int) -> size_bytes:int -> string
 
+(** [lying_batch ~rand] is a bare [Client_batch] message body whose
+    element count claims more updates than its bytes can hold — the
+    resource-exhaustion shape a batched decoder must reject {e before}
+    allocating. Guaranteed to fail {!Message.decode}. *)
+val lying_batch : rand:(int -> int) -> string
+
 (** [corrupt ~rand s] flips one random bit of [s] (uniform position) —
     the bit-flip mutation the fuzz suite drives through every decoder. *)
 val corrupt : rand:(int -> int) -> string -> string

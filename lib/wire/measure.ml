@@ -15,7 +15,6 @@ let digest = 8
 let bool = u8
 
 let bytes s = u32 + String.length s
-let option f = function None -> u8 | Some v -> u8 + f v
 let list f l = List.fold_left (fun acc v -> acc + f v) u16 l
 
 let update (u : Bft.Update.t) =
@@ -48,12 +47,13 @@ let prime (m : Prime.Msg.t) =
   | Prime.Msg.Slot_request _ -> u32
   | Prime.Msg.Slot_reply { matrix = m; _ } -> u32 + matrix m
   | Prime.Msg.Checkpoint _ -> u32 + digest
+  | Prime.Msg.Po_batch { updates; _ } -> u16 + u32 + list update updates
 
 let pbft_proposal (p : Pbft.Msg.proposal) =
-  u32 + option update p.Pbft.Msg.update
+  u32 + list update p.Pbft.Msg.updates
 
 let pbft_prepared (e : Pbft.Msg.prepared_entry) =
-  u32 + u32 + option update e.Pbft.Msg.entry_update
+  u32 + u32 + list update e.Pbft.Msg.entry_updates
 
 let pbft (m : Pbft.Msg.t) =
   u8
@@ -89,3 +89,5 @@ let message (m : Message.t) =
   | Message.Client_update u -> update u
   | Message.Replica_reply r -> reply r
   | Message.Transfer_chunk c -> chunk c
+  | Message.Client_batch us -> list update us
+  | Message.Reply_batch rs -> list reply rs

@@ -4,11 +4,14 @@ type t =
   | Client_update of Bft.Update.t
   | Replica_reply of Scada.Reply.t
   | Transfer_chunk of Recovery.State_transfer.chunk
+  | Client_batch of Bft.Update.t list
+  | Reply_batch of Scada.Reply.t list
 
 (* Kinds form a dense index so per-kind traffic accounting can live in
    a preallocated counter array instead of a hashtable keyed by the
-   label strings. *)
-let kind_count = 23
+   label strings. New kinds are appended so existing indices (and the
+   pinned per-kind byte ledgers built on them) stay stable. *)
+let kind_count = 26
 
 let kind_names =
   [|
@@ -18,6 +21,7 @@ let kind_names =
     "prime/slot_reply"; "prime/checkpoint"; "pbft/request"; "pbft/preprepare";
     "pbft/prepare"; "pbft/commit"; "pbft/checkpoint"; "pbft/viewchange";
     "pbft/newview"; "client_update"; "replica_reply"; "transfer_chunk";
+    "prime/po_batch"; "client_batch"; "replica_reply_batch";
   |]
 
 let kind_name i = kind_names.(i)
@@ -37,7 +41,8 @@ let kind_index = function
     | Prime.Msg.Recon_reply _ -> 9
     | Prime.Msg.Slot_request _ -> 10
     | Prime.Msg.Slot_reply _ -> 11
-    | Prime.Msg.Checkpoint _ -> 12)
+    | Prime.Msg.Checkpoint _ -> 12
+    | Prime.Msg.Po_batch _ -> 23)
   | Pbft_msg (_, m) -> (
     match m with
     | Pbft.Msg.Request _ -> 13
@@ -50,6 +55,8 @@ let kind_index = function
   | Client_update _ -> 20
   | Replica_reply _ -> 21
   | Transfer_chunk _ -> 22
+  | Client_batch _ -> 24
+  | Reply_batch _ -> 25
 
 let kind m = kind_names.(kind_index m)
 
@@ -68,6 +75,9 @@ let pp ppf = function
       c.Recovery.State_transfer.xfer_id c.Recovery.State_transfer.chunk_index
       c.Recovery.State_transfer.chunk_count
       (String.length c.Recovery.State_transfer.data)
+  | Client_batch us ->
+    Format.fprintf ppf "update batch (%d)" (List.length us)
+  | Reply_batch rs -> Format.fprintf ppf "reply batch (%d)" (List.length rs)
 
 let w b = function
   | Prime_msg (sender, m) ->
@@ -87,6 +97,12 @@ let w b = function
   | Transfer_chunk c ->
     Rw.w_u8 b 0x05;
     Codec.w_chunk b c
+  | Client_batch us ->
+    Rw.w_u8 b 0x06;
+    Rw.w_list b Codec.w_update us
+  | Reply_batch rs ->
+    Rw.w_u8 b 0x07;
+    Rw.w_list b Codec.w_reply rs
 
 let r reader =
   let ctx = "message" in
@@ -100,6 +116,8 @@ let r reader =
   | 0x03 -> Client_update (Codec.r_update reader)
   | 0x04 -> Replica_reply (Codec.r_reply reader)
   | 0x05 -> Transfer_chunk (Codec.r_chunk reader)
+  | 0x06 -> Client_batch (Rw.r_list ctx reader Codec.r_update)
+  | 0x07 -> Reply_batch (Rw.r_list ctx reader Codec.r_reply)
   | tag -> raise (Rw.Fail (Rw.Unknown_tag { context = ctx; tag }))
 
 let encode m =

@@ -15,6 +15,12 @@ type t =
   | Replica_reply of Scada.Reply.t  (** threshold-signed execution reply *)
   | Transfer_chunk of Recovery.State_transfer.chunk
       (** state-transfer snapshot fragment *)
+  | Client_batch of Bft.Update.t list
+      (** client submission batch: one signed frame amortized over
+          several accumulated updates ([Bft.Batch]) *)
+  | Reply_batch of Scada.Reply.t list
+      (** several threshold-signed execution replies to the same client
+          in one envelope *)
 
 (** [kind m] is a stable per-variant label (drilling into the protocol
     message variant, e.g. ["prime/preprepare"]) used for per-class

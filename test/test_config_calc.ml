@@ -1,0 +1,97 @@
+(* QCheck properties for the configuration calculus (Spire.Config_calc).
+
+   The unit table in test_spire pins the paper's concrete
+   configurations; these properties pin the *shape* of the calculus
+   over the whole small-parameter space: the minimal replica count can
+   only grow with the fault budget, and the even spread is exact —
+   sums preserved, site sizes within one of each other. *)
+
+module G = QCheck.Gen
+module C = Spire.Config_calc
+
+let gen_f = G.int_range 1 6
+let gen_k = G.int_range 0 4
+let gen_sites = G.int_range 2 8
+
+(* --------------------------------------------------------------- *)
+(* minimal_n monotonicity                                          *)
+
+let prop_minimal_n_monotone_f =
+  QCheck.Test.make ~count:300 ~name:"minimal_n is monotone in f"
+    (QCheck.make
+       (G.triple gen_f gen_k gen_sites)
+       ~print:(fun (f, k, sites) -> Printf.sprintf "f=%d k=%d sites=%d" f k sites))
+    (fun (f, k, sites) ->
+      C.minimal_n ~f ~k ~sites <= C.minimal_n ~f:(f + 1) ~k ~sites)
+
+let prop_minimal_n_monotone_k =
+  QCheck.Test.make ~count:300 ~name:"minimal_n is monotone in k"
+    (QCheck.make
+       (G.triple gen_f gen_k gen_sites)
+       ~print:(fun (f, k, sites) -> Printf.sprintf "f=%d k=%d sites=%d" f k sites))
+    (fun (f, k, sites) ->
+      C.minimal_n ~f ~k ~sites <= C.minimal_n ~f ~k:(k + 1) ~sites)
+
+let prop_minimal_n_lower_bound =
+  QCheck.Test.make ~count:300
+    ~name:"minimal_n respects the 3f+2k+1 resilience bound"
+    (QCheck.make
+       (G.triple gen_f gen_k gen_sites)
+       ~print:(fun (f, k, sites) -> Printf.sprintf "f=%d k=%d sites=%d" f k sites))
+    (fun (f, k, sites) ->
+      C.minimal_n ~f ~k ~sites >= C.required_replicas ~f ~k)
+
+(* --------------------------------------------------------------- *)
+(* distribute: exact sum, near-even spread                         *)
+
+let gen_dist =
+  G.map2 (fun n sites -> (n, sites)) (G.int_range 0 200) (G.int_range 1 12)
+
+let print_dist (n, sites) = Printf.sprintf "n=%d sites=%d" n sites
+
+let prop_distribute_sums =
+  QCheck.Test.make ~count:500 ~name:"distribute ~n ~sites sums to n"
+    (QCheck.make gen_dist ~print:print_dist)
+    (fun (n, sites) ->
+      List.fold_left ( + ) 0 (C.distribute ~n ~sites) = n)
+
+let prop_distribute_even =
+  QCheck.Test.make ~count:500
+    ~name:"distribute site sizes differ by at most 1"
+    (QCheck.make gen_dist ~print:print_dist)
+    (fun (n, sites) ->
+      let d = C.distribute ~n ~sites in
+      List.length d = sites
+      &&
+      let mx = List.fold_left max min_int d
+      and mn = List.fold_left min max_int d in
+      mx - mn <= 1)
+
+(* --------------------------------------------------------------- *)
+(* minimal_config coherence: ties the two primitives together      *)
+
+let prop_minimal_config_valid =
+  QCheck.Test.make ~count:200
+    ~name:"minimal_config is valid and tolerates any single site loss"
+    (QCheck.make
+       (G.triple gen_f gen_k (G.int_range 2 6))
+       ~print:(fun (f, k, sites) -> Printf.sprintf "f=%d k=%d sites=%d" f k sites))
+    (fun (f, k, sites) ->
+      let c = C.minimal_config ~f ~k ~sites ~control_centers:2 in
+      C.valid c && C.tolerates_site_loss c
+      && C.total_replicas c = C.minimal_n ~f ~k ~sites)
+
+let () =
+  Alcotest.run "config_calc"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_minimal_n_monotone_f;
+            prop_minimal_n_monotone_k;
+            prop_minimal_n_lower_bound;
+            prop_distribute_sums;
+            prop_distribute_even;
+            prop_minimal_config_valid;
+          ] );
+    ]

@@ -93,13 +93,17 @@ let find_phase spans phase =
   List.find (fun (s : Span.t) -> s.Span.phase = phase) spans
 
 let lifecycle_children =
-  [ Span.Ingress; Span.Preorder; Span.Ordering; Span.Execution; Span.Reply ]
+  [
+    Span.Batch_wait; Span.Ingress; Span.Preorder; Span.Ordering; Span.Execution;
+    Span.Reply;
+  ]
 
 let test_lifecycle_materialisation () =
   let s = Sink.create ~enabled:true () in
   Sink.set_quorums s ~order:2 ~reply:2;
   let trace = Span.trace_id ~client:7 ~seq:3 in
   Sink.update_submitted s ~trace ~now:100;
+  Sink.update_batched s ~trace ~now:120;
   Sink.update_at_origin s ~trace ~now:150;
   Sink.update_body s ~trace ~replica:0 ~now:160;
   Sink.update_body s ~trace ~replica:0 ~now:170;
@@ -112,7 +116,7 @@ let test_lifecycle_materialisation () =
   Sink.update_reply_sent s ~trace ~replica:4 ~now:360;
   Sink.update_confirmed s ~trace ~now:500;
   let spans = Sink.spans s in
-  Alcotest.(check int) "six spans" 6 (List.length spans);
+  Alcotest.(check int) "seven spans" 7 (List.length spans);
   Alcotest.(check int) "confirmed" 1 (Sink.confirmed s);
   Alcotest.(check int) "complete" 0 (Sink.incomplete s);
   Alcotest.(check int) "no clamps" 0 (Sink.clamped s);
@@ -131,7 +135,8 @@ let test_lifecycle_materialisation () =
     Alcotest.(check int) (Span.phase_name phase ^ " node") node c.Span.node;
     Alcotest.(check int) (Span.phase_name phase ^ " trace") trace c.Span.trace
   in
-  check_child Span.Ingress 100 150 (-1);
+  check_child Span.Batch_wait 100 120 (-1);
+  check_child Span.Ingress 120 150 (-1);
   check_child Span.Preorder 150 200 (-1);
   check_child Span.Ordering 200 350 (-1);
   check_child Span.Execution 350 360 4;
@@ -216,12 +221,13 @@ let test_open_close_cancel () =
    root exactly. *)
 let gen_milestones =
   QCheck.make
-    ~print:(fun (a, b, c, d, e) ->
-      Printf.sprintf "submit=%d origin=%d orderable=%d exec=%d reply=%d" a b c
-        d e)
+    ~print:(fun (a, b, c, d, e, f) ->
+      Printf.sprintf
+        "submit=%d batched=%d origin=%d orderable=%d exec=%d reply=%d" a b c d
+        e f)
     QCheck.Gen.(
       let m = int_range (-1) 2_000 in
-      tup5 m m m m m)
+      tup6 m m m m m m)
 
 let well_formed_tree spans =
   let by_id = Hashtbl.create 16 in
@@ -258,10 +264,11 @@ let prop_adversarial_milestones_well_formed =
   QCheck.Test.make ~count:500
     ~name:"sink: arbitrary milestone orders yield well-formed span trees"
     gen_milestones
-    (fun (submit, origin, orderable, exec, reply) ->
+    (fun (submit, batched, origin, orderable, exec, reply) ->
       let s = Sink.create ~enabled:true () in
       let trace = Span.trace_id ~client:1 ~seq:42 in
       if submit >= 0 then Sink.update_submitted s ~trace ~now:submit;
+      if batched >= 0 then Sink.update_batched s ~trace ~now:batched;
       if origin >= 0 then Sink.update_at_origin s ~trace ~now:origin;
       if orderable >= 0 then Sink.update_orderable s ~trace ~now:orderable;
       if exec >= 0 then Sink.update_executed s ~trace ~replica:2 ~now:exec;
@@ -269,8 +276,8 @@ let prop_adversarial_milestones_well_formed =
       Sink.update_confirmed s ~trace ~now:1_000;
       let spans = Sink.spans s in
       (* confirm on a never-seen trace is a no-op; any milestone call
-         registers the trace and confirm then materialises exactly 6. *)
-      (match spans with [] -> true | l -> List.length l = 6)
+         registers the trace and confirm then materialises exactly 7. *)
+      (match spans with [] -> true | l -> List.length l = 7)
       && well_formed_tree spans
       && children_tile_root spans
       && List.for_all

@@ -43,6 +43,10 @@ let gen_prime =
         (fun (origin, po_seq, update) ->
           Prime.Msg.Po_request { origin; po_seq; update })
         (G.triple gen_u16 gen_u32 gen_update);
+      G.map
+        (fun (origin, first_seq, updates) ->
+          Prime.Msg.Po_batch { origin; first_seq; updates })
+        (G.triple gen_u16 gen_u32 (G.list_size (G.int_bound 4) gen_update));
       G.map (fun vector -> Prime.Msg.Po_aru { vector }) gen_vector;
       G.map
         (fun (view, seq, matrix) -> Prime.Msg.Preprepare { view; seq; matrix })
@@ -80,14 +84,14 @@ let gen_prime =
 
 let gen_proposal =
   G.map
-    (fun (seq, update) -> { Pbft.Msg.seq; update })
-    (G.pair gen_u32 (G.opt gen_update))
+    (fun (seq, updates) -> { Pbft.Msg.seq; updates })
+    (G.pair gen_u32 (G.list_size (G.int_bound 3) gen_update))
 
 let gen_pbft_prepared =
   G.map
-    (fun (entry_seq, entry_view, entry_update) ->
-      { Pbft.Msg.entry_seq; entry_view; entry_update })
-    (G.triple gen_u32 gen_u32 (G.opt gen_update))
+    (fun (entry_seq, entry_view, entry_updates) ->
+      { Pbft.Msg.entry_seq; entry_view; entry_updates })
+    (G.triple gen_u32 gen_u32 (G.list_size (G.int_bound 3) gen_update))
 
 let gen_pbft =
   G.oneof
@@ -169,7 +173,13 @@ let gen_message =
         (fun (sender, m) -> Wire.Message.Pbft_msg (sender, m))
         (G.pair gen_u16 gen_pbft);
       G.map (fun u -> Wire.Message.Client_update u) gen_update;
+      G.map
+        (fun us -> Wire.Message.Client_batch us)
+        (G.list_size (G.int_bound 4) gen_update);
       G.map (fun r -> Wire.Message.Replica_reply r) gen_reply;
+      G.map
+        (fun rs -> Wire.Message.Reply_batch rs)
+        (G.list_size (G.int_bound 4) gen_reply);
       G.map (fun c -> Wire.Message.Transfer_chunk c) gen_chunk;
     ]
 
@@ -311,7 +321,7 @@ let prop_measure_envelope =
       = String.length (Wire.Envelope.encode ~sender msg))
 
 let test_kind_index_table () =
-  Alcotest.(check int) "kind_count" 23 Wire.Message.kind_count;
+  Alcotest.(check int) "kind_count" 26 Wire.Message.kind_count;
   let names =
     List.init Wire.Message.kind_count Wire.Message.kind_name
   in
@@ -400,6 +410,18 @@ let test_junk_is_undecodable () =
         (Wire.Junk.spoofed_header ~rand ~size_bytes:(size_bytes + 3))
     with
     | Ok _ -> Alcotest.fail "spoofed-header junk decoded as a valid frame"
+    | Error _ -> ()
+  done
+
+(* A batch header claiming thousands of elements with almost no body
+   must be rejected by the count-vs-remaining-bytes bound check, not
+   allocated. *)
+let test_lying_batch_is_rejected () =
+  let rng = Sim.Rng.create 0xFEEDL in
+  let rand = Sim.Rng.int rng in
+  for _ = 1 to 200 do
+    match Wire.Message.decode (Wire.Junk.lying_batch ~rand) with
+    | Ok _ -> Alcotest.fail "lying batch count decoded as a valid message"
     | Error _ -> ()
   done
 
@@ -575,6 +597,8 @@ let () =
           QCheck_alcotest.to_alcotest never_raises_on_arbitrary_bytes;
           Alcotest.test_case "junk byte strings never decode" `Quick
             test_junk_is_undecodable;
+          Alcotest.test_case "lying batch counts never decode" `Quick
+            test_lying_batch_is_rejected;
           Alcotest.test_case "corrupt flips exactly one bit" `Quick
             test_corrupt_flips_one_bit;
         ] );
