@@ -1,8 +1,9 @@
 #!/bin/sh
 # Pre-commit check: tier-1 build + test suites, a quick chaos soak
-# (5 seeded within-budget schedules; every oracle must stay green),
-# then a release-profile build with E2 + E6 bench smoke runs (exercises
-# the wire layer and the byte-accounting tables end to end).
+# (5 seeded within-budget schedules; every oracle must stay green), a
+# reconfiguration soak, then a release-profile build with E2 + E6 + E11
+# bench smoke runs (exercises the wire layer, the byte-accounting
+# tables, and the epoch cutover path end to end).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -14,9 +15,16 @@ dune exec dev/debug_chaos.exe -- 5
 # per-phase attribution reconciling with end-to-end latency.
 dune exec dev/telemetry_smoke.exe
 
+# Reconfiguration soak: seeded fault schedules injected during epoch
+# cutover windows; agreement / epoch-safety / progress must stay green.
+dune exec dev/reconfig_soak.exe -- 3 7100
+
 dune build --profile release
 EXPERIMENT=E2 MICRO=0 dune exec --profile release bench/main.exe
 EXPERIMENT=E6 MICRO=0 dune exec --profile release bench/main.exe
+# E11 exits nonzero on any epoch-safety violation, wrong final epoch, or
+# a confirmation gap over 8s during the failover/rejoin/growth arc.
+EXPERIMENT=E11 MICRO=0 dune exec --profile release bench/main.exe
 
 # Perf trajectory (telemetry disabled, as in production hot paths):
 # regenerates BENCH_PERF.json and fails if E3 events/sec falls below

@@ -1,0 +1,36 @@
+(* E11 probe: run the online-reconfiguration scenario and print the
+   cutover chain, downtime, and per-epoch activity envelope. *)
+let () =
+  let duration_us = 50_000_000 in
+  let _sys, r = Spire.Scenarios.reconfiguration ~duration_us () in
+  Printf.printf "final epoch=%d n=%d confirmed=%d submitted=%d\n"
+    r.Spire.Scenarios.final_epoch r.final_n r.base.Spire.Scenarios.confirmed
+    r.base.Spire.Scenarios.submitted;
+  List.iter
+    (fun (e, boundary, time) ->
+      Printf.printf "cutover epoch=%d boundary=%d t=%.1fs\n" e boundary
+        (float_of_int time /. 1e6))
+    r.cutovers;
+  Printf.printf "stale frames=%d max confirm gap=%.2fs violation=%s\n"
+    r.stale_frames
+    (float_of_int r.max_confirm_gap_us /. 1e6)
+    (match r.violation with None -> "none" | Some v -> v);
+  (* Verify the epoch-safety oracle over the recorded samples. *)
+  let check = Oracle.Epoch_check.create () in
+  List.iter
+    (fun (s : Spire.Scenarios.activity_sample) ->
+      Oracle.Epoch_check.observe_activity check ~time_us:s.at_us
+        ~live:(List.map (fun (e, live, _) -> (e, live)) s.per_epoch)
+        ~quorum_of:(fun e ->
+          match
+            List.find_opt (fun (e', _, _) -> e' = e) s.per_epoch
+          with
+          | Some (_, _, q) -> q
+          | None -> max_int))
+    r.activity;
+  (match r.violation with
+  | Some v -> Oracle.Epoch_check.note_violation check v
+  | None -> ());
+  Format.printf "oracle: %a (%d samples)@." Oracle.Verdict.pp
+    (Oracle.Epoch_check.verdict check)
+    (Oracle.Epoch_check.observations check)

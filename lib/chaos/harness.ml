@@ -197,6 +197,184 @@ let build_system cfg ~seed =
 let run ?(config = default_config ()) ~seed ~schedule () =
   execute config ~seed (build_system config ~seed) schedule
 
+(* ------------------------------------------------------------------ *)
+(* Reconfiguration soak: a within-budget fault schedule runs WHILE the
+   membership is being reconfigured through the ordered stream — a
+   control-center failover mid-turbulence, then growth into the
+   pre-provisioned standby site during the settle window. Safety
+   oracles (agreement across the cutover, at-most-one-quorate-epoch,
+   certificate-chain uniqueness) are sampled throughout; progress is
+   asserted on the post-heal window. *)
+
+type reconfig_report = {
+  rc_seed : int64;
+  rc_schedule : Schedule.t;
+  rc_verdicts : (string * Oracle.Verdict.t) list;
+      (** ["agreement"; "epoch"; "progress"] *)
+  rc_final_epoch : int;
+  rc_cutovers : (int * int * int) list;
+  rc_submitted : int;
+  rc_confirmed : int;
+  rc_stale_frames : int;
+}
+
+let reconfig_clean r =
+  List.for_all (fun (_, v) -> Oracle.Verdict.is_pass v) r.rc_verdicts
+
+let pp_reconfig_report ppf r =
+  Format.fprintf ppf
+    "@[<v>reconfig soak (seed %Ld): %s@,%a@,\
+     final epoch %d (%d cutovers); submitted %d, confirmed %d; \
+     stale frames %d@,"
+    r.rc_seed
+    (if reconfig_clean r then "CLEAN" else "VIOLATIONS")
+    Schedule.pp r.rc_schedule r.rc_final_epoch
+    (List.length r.rc_cutovers)
+    r.rc_submitted r.rc_confirmed r.rc_stale_frames;
+  List.iter
+    (fun (name, v) ->
+      Format.fprintf ppf "  %-10s %a@," name Oracle.Verdict.pp v)
+    r.rc_verdicts;
+  Format.fprintf ppf "@]"
+
+let reconfig_soak ?(config = default_config ()) ~seed () =
+  let config =
+    {
+      config with
+      system =
+        {
+          config.system with
+          Spire.System.standby_site_sizes = [ 2 ];
+          seed;
+        };
+    }
+  in
+  let sys = Spire.System.create config.system in
+  let engine = Spire.System.engine sys in
+  let profile = Injector.profile_of_system sys in
+  let budget =
+    match config.budget with
+    | Some b -> b
+    | None -> Schedule.budget_of_quorum profile.Schedule.quorum
+  in
+  let schedule =
+    Schedule.generate ~profile ~budget
+      ~seed:(Int64.logxor seed 0x0E11FACEL)
+      ~horizon_us:config.turbulence_us
+  in
+  (match Schedule.validate ~profile ~budget schedule with
+  | Ok () -> ()
+  | Error msg ->
+    failwith ("Chaos.Harness.reconfig_soak: generator emitted " ^ msg));
+  let turb_start = config.baseline_us in
+  let heal_us = turb_start + schedule.Schedule.horizon_us in
+  let calm_start = heal_us + config.settle_us in
+  let end_us = calm_start + config.post_us in
+  let agreement = Oracle.Agreement.create () in
+  let epoch_check = Oracle.Epoch_check.create () in
+  let confirmed_at_calm = ref 0 in
+  let sample () =
+    let now = Sim.Engine.now engine in
+    (* Agreement over every provisioned replica the system itself
+       considers correct — retired replicas keep a valid prefix. *)
+    let correct =
+      List.filter
+        (fun r ->
+          let f = Spire.System.faults sys r in
+          (not f.Bft.Faults.crashed) && not (Bft.Faults.is_byzantine f))
+        (List.init (Spire.System.universe_count sys) Fun.id)
+    in
+    Oracle.Agreement.observe agreement
+      ~logs:(List.map (fun r -> (r, Spire.System.exec_log sys r)) correct)
+      ~states:
+        (List.map
+           (fun r ->
+             let m = Spire.System.master sys r in
+             (r, Scada.Master.applied_count m, Scada.Master.state_digest m))
+           correct);
+    let dir = Spire.System.directory sys in
+    Oracle.Epoch_check.observe_activity epoch_check ~time_us:now
+      ~live:(Spire.System.epoch_activity sys)
+      ~quorum_of:(fun e ->
+        match Member.Directory.cert_of_epoch dir e with
+        | Some c -> Member.Cert.quorum_size c
+        | None -> max_int)
+  in
+  ignore
+    (Sim.Engine.periodic engine ~interval_us:config.sample_interval_us sample
+      : Sim.Engine.timer);
+  Spire.System.on_epoch_change sys (fun e ->
+      match
+        Member.Directory.cert_of_epoch (Spire.System.directory sys) e
+      with
+      | Some c ->
+        Oracle.Epoch_check.observe_cutover epoch_check ~epoch:e
+          ~boundary_exec:(Member.Cert.boundary_exec c)
+          ~digest:(Member.Cert.digest c)
+      | None -> ());
+  Injector.apply sys ~offset_us:turb_start schedule;
+  (* Mid-turbulence: control-center failover (same resilience, same n —
+     the fault budget stays survivable throughout). *)
+  ignore
+    (Sim.Engine.schedule_at engine
+       ~time_us:(turb_start + (schedule.Schedule.horizon_us / 3))
+       (fun () ->
+         Spire.System.submit_reconfig sys [ Member.Reconfig.Promote 1 ])
+      : Sim.Engine.timer);
+  (* During settle: grow into the standby data center (k: 1 -> 2). *)
+  ignore
+    (Sim.Engine.schedule_at engine ~time_us:(heal_us + 1_000_000) (fun () ->
+         Spire.System.submit_reconfig sys
+           [
+             Member.Reconfig.Set_resilience { f = 1; k = 2 };
+             Member.Reconfig.Add_site
+               {
+                 site_id = 4;
+                 role = Member.Cert.Data_center;
+                 members = [ 6; 7 ];
+               };
+           ])
+      : Sim.Engine.timer);
+  ignore
+    (Sim.Engine.schedule_at engine ~time_us:calm_start (fun () ->
+         confirmed_at_calm := Spire.System.confirmed_updates sys)
+      : Sim.Engine.timer);
+  Spire.System.start sys;
+  Spire.System.run sys ~duration_us:end_us;
+  sample ();
+  (match Spire.System.epoch_violation sys with
+  | Some v -> Oracle.Epoch_check.note_violation epoch_check v
+  | None -> ());
+  let confirmed = Spire.System.confirmed_updates sys in
+  let min_confirmed =
+    config.system.Spire.System.substations * config.post_us
+    / config.system.Spire.System.poll_interval_us / 3
+  in
+  let progress =
+    let post = confirmed - !confirmed_at_calm in
+    if Spire.System.current_epoch sys < 2 then
+      Oracle.Verdict.failf "reconfigurations incomplete: epoch %d < 2"
+        (Spire.System.current_epoch sys)
+    else if post < min_confirmed then
+      Oracle.Verdict.failf "post-heal confirmations %d < %d" post min_confirmed
+    else Oracle.Verdict.pass
+  in
+  {
+    rc_seed = seed;
+    rc_schedule = schedule;
+    rc_verdicts =
+      [
+        ("agreement", Oracle.Agreement.verdict agreement);
+        ("epoch", Oracle.Epoch_check.verdict epoch_check);
+        ("progress", progress);
+      ];
+    rc_final_epoch = Spire.System.current_epoch sys;
+    rc_cutovers = Spire.System.cutovers sys;
+    rc_submitted = Spire.System.submitted_updates sys;
+    rc_confirmed = confirmed;
+    rc_stale_frames = Spire.System.stale_epoch_frames sys;
+  }
+
 let soak ?(config = default_config ()) ~seed () =
   let sys = build_system config ~seed in
   let profile = Injector.profile_of_system sys in

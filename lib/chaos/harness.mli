@@ -80,3 +80,31 @@ val soak : ?config:config -> seed:int64 -> unit -> report
 (** [run ~seed ~schedule ()] runs an explicit schedule — including
     deliberately over-budget ones, used to prove the oracles fire. *)
 val run : ?config:config -> seed:int64 -> schedule:Schedule.t -> unit -> report
+
+(** {1 Reconfiguration soak}
+
+    A within-budget fault schedule runs {e while} the membership is
+    being reconfigured through the ordered stream: a control-center
+    failover mid-turbulence, then growth into a pre-provisioned
+    standby data center during the settle window. Oracles: agreement
+    across the cutovers, the epoch-safety check (at most one quorate
+    epoch, unique certificate chain), and post-heal progress. *)
+
+type reconfig_report = {
+  rc_seed : int64;
+  rc_schedule : Schedule.t;
+  rc_verdicts : (string * Oracle.Verdict.t) list;
+      (** ["agreement"; "epoch"; "progress"] *)
+  rc_final_epoch : int;
+  rc_cutovers : (int * int * int) list;
+  rc_submitted : int;
+  rc_confirmed : int;
+  rc_stale_frames : int;
+}
+
+val reconfig_clean : reconfig_report -> bool
+val pp_reconfig_report : Format.formatter -> reconfig_report -> unit
+
+(** [reconfig_soak ~seed ()] — deterministic in [seed], like {!soak}.
+    The standby site is added to the config automatically. *)
+val reconfig_soak : ?config:config -> seed:int64 -> unit -> reconfig_report

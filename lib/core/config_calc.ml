@@ -73,6 +73,45 @@ let standard_table () =
         [ 0; 1; 2 ])
     [ 1; 2; 3 ]
 
+(* --- Epoch transitions -------------------------------------------------
+
+   When the membership reconfigures online, the old epoch stops at a
+   boundary and the new epoch starts from the same execution index.
+   The safety requirement in the window is intersection: any quorum of
+   either epoch must intersect the set of correct replicas that carry
+   the agreed prefix across the boundary.  With n = 3f + 2k + 1 and
+   quorum 2f + k + 1, any two quorums of one epoch intersect in at
+   least f + 1 replicas — at least one of which is correct and not
+   recovering. *)
+
+type epoch_params = { e_f : int; e_k : int }
+
+(* Minimum overlap of two quorums at minimal n:
+   2*(2f+k+1) - (3f+2k+1) = f + 1. *)
+let intersection ~f ~k =
+  if f < 0 || k < 0 then invalid_arg "Config_calc: negative f or k";
+  ignore k;
+  f + 1
+
+(* A vouching set that must be honoured by BOTH epochs during the
+   cutover window: the larger of the two quorums.  Any certificate
+   signed by [transition_quorum] old-epoch members is therefore also
+   large enough to intersect every new-epoch quorum. *)
+let transition_quorum ~old_epoch ~new_epoch =
+  max
+    (quorum ~f:old_epoch.e_f ~k:old_epoch.e_k)
+    (quorum ~f:new_epoch.e_f ~k:new_epoch.e_k)
+
+(* The transition is safe when the new epoch's quorum still meets the
+   old epoch's intersection floor: growing f or k must never let a
+   new-epoch quorum dodge the f_old + 1 overlap that pins the agreed
+   prefix. *)
+let transition_safe ~old_epoch ~new_epoch =
+  old_epoch.e_f >= 0 && old_epoch.e_k >= 0 && new_epoch.e_f >= 0
+  && new_epoch.e_k >= 0
+  && quorum ~f:new_epoch.e_f ~k:new_epoch.e_k
+     >= intersection ~f:old_epoch.e_f ~k:old_epoch.e_k
+
 let pp ppf c =
   let site_str =
     String.concat "+"

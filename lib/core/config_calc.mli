@@ -66,4 +66,23 @@ val minimal_config :
     [f in 1..3], [k in 0..2], [sites in 2..4] (2 control centers). *)
 val standard_table : unit -> configuration list
 
+(** Resilience parameters of one epoch, for transition math. *)
+type epoch_params = { e_f : int; e_k : int }
+
+(** [intersection ~f ~k] is the minimum overlap of any two quorums at
+    minimal [n]: [2(2f+k+1) - (3f+2k+1) = f+1].  This is the floor a
+    successor epoch's quorum must not shrink below mid-transition. *)
+val intersection : f:int -> k:int -> int
+
+(** [transition_quorum ~old_epoch ~new_epoch] is the vouching-set size
+    honoured by both epochs during cutover: the larger of the two
+    quorums. *)
+val transition_quorum : old_epoch:epoch_params -> new_epoch:epoch_params -> int
+
+(** [transition_safe ~old_epoch ~new_epoch] holds when the new epoch's
+    quorum still meets the old epoch's intersection floor — growing
+    [f] or [k] never lets a new-epoch quorum dodge the [f_old + 1]
+    overlap pinning the agreed prefix. *)
+val transition_safe : old_epoch:epoch_params -> new_epoch:epoch_params -> bool
+
 val pp : Format.formatter -> configuration -> unit

@@ -163,6 +163,123 @@ let throughput ?(tweak = fun c -> c) ?(max_batch = 1) ?(batch_delay_us = 10_000)
   System.run sys ~duration_us;
   finish sys ~duration_us
 
+type activity_sample = {
+  at_us : int;
+  per_epoch : (int * int * int) list; (* (epoch, live, quorum_size) *)
+}
+
+type reconfig_result = {
+  base : latency_result;
+  cutovers : (int * int * int) list;
+  final_epoch : int;
+  final_n : int;
+  stale_frames : int;
+  violation : string option;
+  max_confirm_gap_us : int;
+  activity : activity_sample list;
+}
+
+(* Longest silence between consecutive confirmations inside
+   [from_us, until_us) — the downtime metric of the reconfiguration
+   timeline. Window edges count as virtual confirmations so a silent
+   tail is charged too. *)
+let max_confirm_gap series ~from_us ~until_us =
+  let times =
+    List.filter_map
+      (fun (time_us, _) ->
+        if time_us >= from_us && time_us < until_us then Some time_us else None)
+      (Stats.Timeseries.to_list series)
+  in
+  let rec gaps acc prev = function
+    | [] -> max acc (until_us - prev)
+    | time :: rest -> gaps (max acc (time - prev)) time rest
+  in
+  gaps 0 from_us times
+
+(* Experiment E11: online reconfiguration through the ordered stream.
+   Under continuous polling load, the active control-center site is
+   destroyed; a reconfiguration promotes the backup and drops the dead
+   site (epoch 1, shrinking resilience to keep n >= 3f+2k+1); the dead
+   site's hardware is healed and re-admitted as a backup (epoch 2,
+   restoring f=1,k=1); finally a brand-new pre-provisioned data center
+   is admitted, growing the deployment to n = 3f+2k+1 = 8 for k = 2
+   (epoch 3). Every membership change takes effect at a deterministic
+   epoch-boundary execution count. *)
+let reconfiguration ?(tweak = fun c -> c) ~duration_us () =
+  let cfg =
+    tweak
+      { (System.default_config ()) with System.standby_site_sizes = [ 2 ] }
+  in
+  let sys = System.create cfg in
+  let engine = System.engine sys in
+  let at time_us f =
+    ignore (Sim.Engine.schedule_at engine ~time_us f : Sim.Engine.timer)
+  in
+  let samples = ref [] in
+  ignore
+    (Sim.Engine.periodic engine ~interval_us:200_000 (fun () ->
+         let dir = System.directory sys in
+         let per_epoch =
+           List.map
+             (fun (e, live) ->
+               let q =
+                 match Member.Directory.cert_of_epoch dir e with
+                 | Some c -> Member.Cert.quorum_size c
+                 | None -> max_int
+               in
+               (e, live, q))
+             (System.epoch_activity sys)
+         in
+         samples :=
+           { at_us = Sim.Engine.now engine; per_epoch } :: !samples)
+      : Sim.Engine.timer);
+  System.start sys;
+  (* T1: the active control center dies under load. *)
+  at 10_000_000 (fun () -> System.kill_site sys 0);
+  (* T2: failover — promote the backup, drop the dead site. *)
+  at 14_000_000 (fun () ->
+      System.submit_reconfig sys
+        [
+          Member.Reconfig.Set_resilience { f = 1; k = 0 };
+          Member.Reconfig.Promote 1;
+          Member.Reconfig.Remove_site 0;
+        ]);
+  (* T3: the destroyed site's hardware is rebuilt (nodes boot, no state). *)
+  at 22_000_000 (fun () -> System.heal_site_nodes sys 0);
+  (* T3b: re-admit the healed site as a backup control center. *)
+  at 26_000_000 (fun () ->
+      System.submit_reconfig sys
+        [
+          Member.Reconfig.Set_resilience { f = 1; k = 1 };
+          Member.Reconfig.Add_site
+            { site_id = 0; role = Member.Cert.Backup_cc; members = [ 0; 1 ] };
+        ]);
+  (* T4: grow — admit the pre-provisioned standby data center,
+     raising the recovery budget to k = 2 (n = 3f+2k+1 = 8). *)
+  at 38_000_000 (fun () ->
+      System.submit_reconfig sys
+        [
+          Member.Reconfig.Set_resilience { f = 1; k = 2 };
+          Member.Reconfig.Add_site
+            { site_id = 4; role = Member.Cert.Data_center; members = [ 6; 7 ] };
+        ]);
+  System.run sys ~duration_us;
+  System.assert_agreement sys;
+  let base = result_of sys ~duration_us in
+  let final_cert = Member.Directory.current (System.directory sys) in
+  ( sys,
+    {
+      base;
+      cutovers = System.cutovers sys;
+      final_epoch = System.current_epoch sys;
+      final_n = Member.Cert.n final_cert;
+      stale_frames = System.stale_epoch_frames sys;
+      violation = System.epoch_violation sys;
+      max_confirm_gap_us =
+        max_confirm_gap base.series ~from_us:10_000_000 ~until_us:duration_us;
+      activity = List.rev !samples;
+    } )
+
 type campaign_result = {
   max_simultaneous_compromised : int;
   total_compromises : int;

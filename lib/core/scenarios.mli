@@ -106,6 +106,42 @@ val throughput :
   unit ->
   System.t * latency_result
 
+(** One epoch-activity sample: per epoch, how many of its replicas are
+    live right now and what its ordering quorum is. The epoch-safety
+    oracle asserts at most one epoch is ever quorate. *)
+type activity_sample = {
+  at_us : int;
+  per_epoch : (int * int * int) list;  (** (epoch, live, quorum_size) *)
+}
+
+type reconfig_result = {
+  base : latency_result;
+  cutovers : (int * int * int) list;
+      (** (epoch, boundary_exec, time_us), oldest first *)
+  final_epoch : int;
+  final_n : int;
+  stale_frames : int;  (** cross-epoch protocol frames dropped *)
+  violation : string option;  (** latched epoch-safety violation, if any *)
+  max_confirm_gap_us : int;
+      (** longest confirmation silence from the first fault to the end
+          of the run — the bounded-downtime metric *)
+  activity : activity_sample list;
+}
+
+(** [reconfiguration ~duration_us ()] — experiment E11: online
+    reconfiguration through the ordered stream. The active control
+    center is destroyed at t=10s; a failover reconfiguration (promote
+    backup, remove dead site) cuts over to epoch 1; the healed site is
+    re-admitted as epoch 2; a pre-provisioned standby data center is
+    admitted as epoch 3, growing n from 6 to 8 (k: 1 -> 2). Use
+    [duration_us >= 50s] for all four phases. [tweak] post-processes
+    the config (the standby site is added before tweaking). *)
+val reconfiguration :
+  ?tweak:(System.config -> System.config) ->
+  duration_us:int ->
+  unit ->
+  System.t * reconfig_result
+
 type campaign_result = {
   max_simultaneous_compromised : int;
   total_compromises : int;

@@ -10,6 +10,7 @@ type config = {
   quorum : Bft.Quorum.t;
   protocol : protocol;
   site_sizes : int list;
+  standby_site_sizes : int list;
   control_centers : int;
   substations : int;
   hmis : int;
@@ -47,6 +48,7 @@ let default_config () =
     quorum = Bft.Quorum.create ~n:6 ~f:1 ~k:1;
     protocol = Prime_protocol;
     site_sizes = [ 2; 2; 1; 1 ];
+    standby_site_sizes = [];
     control_centers = 2;
     substations = 10;
     hmis = 1;
@@ -73,14 +75,32 @@ type replica_instance =
   | Prime_replica of Prime.Replica.t
   | Pbft_replica of Pbft.Replica.t
 
+(* A joining replica's chunk-gated state transfer: the vouched
+   (snapshot, master) pair is held aside while its serialised bytes
+   traverse the overlay as [Transfer_chunk] frames; missing chunks are
+   re-requested under the bounded-backoff ARQ and the new instance is
+   only installed once every chunk has arrived. *)
+type join_session = {
+  js_xfer : int;
+  js_replica : int;
+  js_epoch : int;
+  js_donor : int;
+  js_snap : Prime.Replica.snapshot;
+  js_master : Scada.Master.t;
+  js_chunks : Recovery.State_transfer.chunk array;
+  js_received : bool array;
+  mutable js_done : bool;
+}
+
 type t = {
   cfg : config;
   engine : Sim.Engine.t;
   topo : Overlay.Topology.t;
   net : payload Overlay.Net.t;
-  group : Cryptosim.Threshold.group;
-  n : int;
-  mutable replicas : replica_instance array;
+  group : Cryptosim.Threshold.group; (* epoch-0 threshold group *)
+  n : int; (* genesis active replica count *)
+  universe : int; (* active + pre-provisioned standby replicas *)
+  mutable replicas : replica_instance array; (* universe-sized *)
   masters : Scada.Master.t array; (* elements replaced on state transfer *)
   mutable proxies : Scada.Proxy.t array;
   mutable hmis : Scada.Hmi.t array;
@@ -93,9 +113,6 @@ type t = {
   mutable recovery_listeners :
     ([ `Begin | `Complete ] -> Bft.Types.replica -> unit) list;
   share_cost_us : int;
-  (* Replica-side reply aggregation (only armed when max_batch > 1):
-     signed replies queue per replica and ship grouped by destination,
-     amortising the envelope while keeping per-reply signing cost. *)
   reply_batch : Bft.Batch.policy;
   reply_accs : (int * Scada.Reply.t) Bft.Batch.acc array;
   wire_frames : int array; (* per Wire.Message.kind_index *)
@@ -104,6 +121,27 @@ type t = {
   mutable size_memo_bytes : int;
   mutable wire_decode_errors : int;
   telemetry : Telemetry.Sink.t;
+  (* --- Epoch-ed membership (online reconfiguration) --- *)
+  directory : Member.Directory.t;
+  epoch_of : int array; (* per global replica; -1 = standby or retired *)
+  rank_maps : (int, int array * int array) Hashtbl.t;
+      (* epoch -> (rank -> global id, global id -> rank or -1) *)
+  mutable groups : (int * Cryptosim.Threshold.group) list; (* epoch -> group *)
+  mutable cur_epoch : int;
+  mutable cur_members : int array; (* rank -> global, current epoch *)
+  pending_reconfig : (int * Member.Reconfig.t) option array;
+  mutable cutovers : (int * int * int) list;
+      (* (epoch, boundary_exec, time_us), newest first *)
+  mutable stale_epoch_frames : int;
+  mutable epoch_violation : string option; (* latched, never cleared *)
+  sessions : (int, join_session) Hashtbl.t; (* xfer_id -> session *)
+  mutable next_xfer : int;
+  mutable reconciler_armed : bool;
+  lag_since : int array; (* first time a member was seen lagging; -1 = none *)
+  arq : Recovery.State_transfer.arq;
+  mutable make_member_instance :
+    cert:Member.Cert.t -> rank:int -> global:int -> replica_instance;
+  mutable epoch_listeners : (int -> unit) list;
 }
 
 let config t = t.cfg
@@ -111,6 +149,7 @@ let engine t = t.engine
 let net t = t.net
 let telemetry t = t.telemetry
 let replica_count t = t.n
+let universe_count t = t.universe
 let proxy t i = t.proxies.(i)
 let hmi t i = t.hmis.(i)
 let master t r = t.masters.(r)
@@ -120,7 +159,7 @@ let confirmed_updates t = Stats.Histogram.count t.hist
 let submitted_updates t = t.submitted
 let diversity t = t.diversity
 let node_of_replica _t r = r
-let node_of_client t c = t.n + c
+let node_of_client t c = t.universe + c
 let site_of_replica t r = t.replica_sites.(r)
 
 let faults t r =
@@ -148,13 +187,66 @@ let applied_matrix_digest_of t r seq =
   | Prime_replica p -> Prime.Replica.applied_matrix_digest p seq
   | Pbft_replica _ -> None
 
+let instance_halted t r =
+  match t.replicas.(r) with
+  | Prime_replica p -> Prime.Replica.halted p
+  | Pbft_replica p -> Pbft.Replica.halted p
+
+let halt_instance t r =
+  match t.replicas.(r) with
+  | Prime_replica p -> Prime.Replica.halt p
+  | Pbft_replica p -> Pbft.Replica.halt p
+
+(* --- Epoch introspection --- *)
+
+let directory t = t.directory
+let current_epoch t = t.cur_epoch
+let epoch_of_replica t r = t.epoch_of.(r)
+let replica_halted t r = instance_halted t r
+let current_members t = Array.to_list t.cur_members
+let stale_epoch_frames t = t.stale_epoch_frames
+let cutovers t = List.rev t.cutovers
+let epoch_violation t = t.epoch_violation
+let on_epoch_change t f = t.epoch_listeners <- f :: t.epoch_listeners
+
+let latch_violation t msg =
+  if t.epoch_violation = None then t.epoch_violation <- Some msg
+
+let group_for t r =
+  let e = max 0 t.epoch_of.(r) in
+  match List.assoc_opt e t.groups with Some g -> g | None -> t.group
+
+(* Instantaneous per-epoch activity: how many replicas of each epoch are
+   currently live (instance running, node reachable). The safety oracle
+   asserts that at most one epoch ever holds a quorum of these. *)
+let epoch_activity t =
+  let tbl = Hashtbl.create 7 in
+  for g = 0 to t.universe - 1 do
+    let e = t.epoch_of.(g) in
+    if
+      e >= 0
+      && (not (faults t g).Bft.Faults.crashed)
+      && (not (instance_halted t g))
+      && Overlay.Net.node_alive t.net (node_of_replica t g)
+    then
+      Hashtbl.replace tbl e
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e))
+  done;
+  Hashtbl.fold (fun e c acc -> (e, c) :: acc) tbl [] |> List.sort compare
+
 let current_leader t =
-  (* Leader of the median view among live replicas. *)
+  (* Leader of the median view among the current epoch's live members,
+     mapped from protocol rank back to a global replica id. *)
+  let members = t.cur_members in
+  let m = Array.length members in
   let views =
-    List.filter_map
-      (fun r ->
-        if (faults t r).Bft.Faults.crashed then None else Some (view_of t r))
-      (List.init t.n Fun.id)
+    Array.to_list members
+    |> List.filter_map (fun r ->
+           if
+             t.epoch_of.(r) = t.cur_epoch
+             && not (faults t r).Bft.Faults.crashed
+           then Some (view_of t r)
+           else None)
     |> List.sort compare
   in
   let view =
@@ -162,16 +254,19 @@ let current_leader t =
     | [] -> 0
     | vs -> List.nth vs (List.length vs / 2)
   in
-  Bft.Types.leader_of ~n:t.n view
+  members.(Bft.Types.leader_of ~n:m view)
 
 (* ------------------------------------------------------------------ *)
 (* Topology: replica sites + one node per client, multi-homed to both
-   control centers.                                                    *)
+   control centers. Standby sites are laid out (and linked) up front so
+   membership growth never has to rewire the physical mesh — their
+   nodes simply stay dark until an epoch admits them.                  *)
 
 let build_topology cfg =
-  let n = List.fold_left ( + ) 0 cfg.site_sizes in
-  let sites = List.length cfg.site_sizes in
-  let total = n + cfg.substations + cfg.hmis in
+  let all_sizes = cfg.site_sizes @ cfg.standby_site_sizes in
+  let universe = List.fold_left ( + ) 0 all_sizes in
+  let sites = List.length all_sizes in
+  let total = universe + cfg.substations + cfg.hmis in
   let topo = Overlay.Topology.create ~nodes:total in
   (* Replica sites and LAN meshes. *)
   let site_members =
@@ -182,7 +277,7 @@ let build_topology cfg =
         offset := !offset + size;
         List.iter (fun node -> Overlay.Topology.assign_site topo node site) members;
         members)
-      cfg.site_sizes
+      all_sizes
   in
   List.iter
     (fun members ->
@@ -219,7 +314,7 @@ let build_topology cfg =
     |> List.filter_map (function gw :: _ -> Some gw | [] -> None)
   in
   for c = 0 to cfg.substations + cfg.hmis - 1 do
-    let node = n + c in
+    let node = universe + c in
     Overlay.Topology.assign_site topo node (sites + c);
     List.iter
       (fun gw ->
@@ -229,6 +324,26 @@ let build_topology cfg =
       cc_gateways
   done;
   (topo, site_members)
+
+(* Genesis membership certificate: the configured sites, control
+   centers first, the first one active. *)
+let genesis_cert cfg =
+  let sites =
+    let offset = ref 0 in
+    List.mapi
+      (fun i size ->
+        let members = List.init size (fun j -> !offset + j) in
+        offset := !offset + size;
+        let role =
+          if i = 0 then Member.Cert.Active_cc
+          else if i < cfg.control_centers then Member.Cert.Backup_cc
+          else Member.Cert.Data_center
+        in
+        { Member.Cert.site_id = i; role; members })
+      cfg.site_sizes
+  in
+  Member.Cert.genesis ~f:cfg.quorum.Bft.Quorum.f ~k:cfg.quorum.Bft.Quorum.k
+    ~sites
 
 (* ------------------------------------------------------------------ *)
 (* Creation.                                                           *)
@@ -247,7 +362,7 @@ let trace_of_reply (r : Scada.Reply.t) =
 
 (* Batched frames are attributed to their first member: a batch is one
    physical frame, and per-hop net spans need a single representative. *)
-let trace_of_payload payload =
+let rec trace_of_payload payload =
   match payload with
   | Client_update u -> trace_of_update u
   | Client_batch (u :: _) -> trace_of_update u
@@ -261,8 +376,9 @@ let trace_of_payload payload =
   | Pbft_msg (_, Pbft.Msg.Preprepare { proposal = { updates = u :: _; _ }; _ })
     ->
     trace_of_update u
+  | Epoch_frame (_, inner) -> trace_of_payload inner
   | Client_batch [] | Reply_batch [] | Prime_msg _ | Pbft_msg _
-  | Transfer_chunk _ ->
+  | Transfer_chunk _ | Cert_frame _ ->
     Telemetry.Span.no_trace
 
 (* Every protocol send is charged the exact frame length (envelope
@@ -333,21 +449,26 @@ let ingest_client_update t r u =
       ~now:(Sim.Engine.now t.engine);
   submit_to_replica t r u
 
-let handle_replica_msg t r ~from payload =
-  match (t.replicas.(r), payload) with
-  | Prime_replica p, Prime_msg (_, m) -> Prime.Replica.handle p ~from m
-  | Pbft_replica p, Pbft_msg (_, m) -> Pbft.Replica.handle p ~from m
-  | _, Client_update u -> ingest_client_update t r u
-  | _, Client_batch us -> List.iter (ingest_client_update t r) us
-  | _, Transfer_chunk _ ->
-    (* Snapshot installation is synchronous in [resync_replica]; the
-       chunk frames exist to charge the transfer's bandwidth. *)
-    ()
-  | _, (Prime_msg _ | Pbft_msg _ | Replica_reply _ | Reply_batch _) -> ()
+(* Protocol-frame dispatch within one epoch: the sender's global node
+   id is translated into its rank in that epoch's membership; frames
+   from non-members (retired or not-yet-admitted ids) are dropped. *)
+let handle_protocol t r ~from ~epoch payload =
+  match Hashtbl.find_opt t.rank_maps epoch with
+  | None -> t.stale_epoch_frames <- t.stale_epoch_frames + 1
+  | Some (_, rank_of) ->
+    let fr =
+      if from >= 0 && from < Array.length rank_of then rank_of.(from) else -1
+    in
+    if fr < 0 then t.stale_epoch_frames <- t.stale_epoch_frames + 1
+    else (
+      match (t.replicas.(r), payload) with
+      | Prime_replica p, Prime_msg (_, m) -> Prime.Replica.handle p ~from:fr m
+      | Pbft_replica p, Pbft_msg (_, m) -> Pbft.Replica.handle p ~from:fr m
+      | _, _ -> ())
 
-(* Reply batch flush: group the queued (dst, reply) pairs by
-   destination in arrival order; a destination with a single reply
-   still gets the legacy frame shape. *)
+(* Replica-side reply aggregation (only armed when max_batch > 1):
+   signed replies queue per replica and ship grouped by destination,
+   amortising the envelope while keeping per-reply signing cost. *)
 let flush_replies t r =
   let acc = t.reply_accs.(r) in
   if not (Bft.Batch.is_empty acc) then begin
@@ -391,13 +512,18 @@ let enqueue_reply t r ~dst_node reply =
          (fun () -> flush_replies_due t r)
         : Sim.Engine.timer)
 
-(* Reply emission: called from the execute callback of replica [r]. *)
+(* Reply emission: called from the execute callback of replica [r].
+   Shares are signed with the replica's OWN epoch's threshold group —
+   across a cutover the boundary batch is acknowledged by the outgoing
+   group while post-boundary executions use the new one; client
+   endpoints hold both and try each. *)
 let emit_replies t r ~exec_index ~(update : Bft.Update.t) effect =
   let state = Scada.Master.state_digest t.masters.(r) in
   let update_digest = Bft.Update.digest update in
+  let group = group_for t r in
   let send_reply ~body ~dst_node =
     let digest = Scada.Reply.body_digest ~exec_index ~update_digest ~state ~body in
-    let share = Cryptosim.Threshold.sign_share t.group ~member:r digest in
+    let share = Cryptosim.Threshold.sign_share group ~member:r digest in
     let reply =
       {
         Scada.Reply.replica = r;
@@ -438,88 +564,561 @@ let emit_replies t r ~exec_index ~(update : Bft.Update.t) effect =
     end
 
 (* State transfer: adopt a (protocol snapshot, master state) pair
-   vouched for by f+1 peers. The two halves are captured atomically
-   (same simulation instant), so a consistent pair digest identifies a
-   consistent joint state. Used when a replica returns from proactive
-   recovery AND when a disconnected site reconnects. *)
+   vouched for by f+1 peers of the replica's OWN epoch. The two halves
+   are captured atomically (same simulation instant), so a consistent
+   pair digest identifies a consistent joint state. Used when a replica
+   returns from proactive recovery AND when a disconnected site
+   reconnects. *)
 let resync_replica t r =
-  match t.replicas.(r) with
-  | Pbft_replica _ -> ()
-  | Prime_replica prime ->
-    let prime_of p =
-      match t.replicas.(p) with
-      | Prime_replica q -> q
-      | Pbft_replica _ -> assert false
-    in
-    let source =
-      {
-        Recovery.State_transfer.peers =
-          List.filter
-            (fun p -> p <> r && not (faults t p).Bft.Faults.crashed)
-            (List.init t.n Fun.id);
-        fetch =
-          (fun peer ->
-            Some
-              ( Prime.Replica.snapshot (prime_of peer),
-                Scada.Master.clone t.masters.(peer) ));
-        digest_of =
-          (fun (snap, master) ->
-            Cryptosim.Digest.combine
-              (Prime.Replica.snapshot_digest snap)
-              (Scada.Master.snapshot_digest master));
-        newer =
-          (fun (a, _) (b, _) ->
-            a.Prime.Replica.snap_exec_count > b.Prime.Replica.snap_exec_count);
-      }
-    in
-    (match Recovery.State_transfer.select ~f:t.cfg.quorum.Bft.Quorum.f source with
-    | Recovery.State_transfer.Installed (snap, master) ->
-      (* Install only a strictly newer snapshot. Re-installing our own
-         (or an equal) state is not a harmless no-op: it discards
-         committed-but-unapplied slots and pre-order bodies, and a
-         leader doing it re-proposes sequence numbers that other
-         replicas may already hold committed — a safety hazard. *)
-      if
-        snap.Prime.Replica.snap_exec_count
-        > Bft.Exec_log.length (Prime.Replica.exec_log prime)
-      then begin
-        Prime.Replica.install_snapshot prime snap;
-        t.masters.(r) <- master;
-        (* Charge the transfer's bandwidth: the adopted state is
-           serialised (exec count + every known RTU status, via the
-           SCADA codec) and shipped as wire chunks from a live donor,
-           so recovery storms compete with protocol traffic for links. *)
-        match source.Recovery.State_transfer.peers with
+  if t.epoch_of.(r) < 0 then ()
+  else
+    match t.replicas.(r) with
+    | Pbft_replica _ -> ()
+    | Prime_replica prime when not (Prime.Replica.halted prime) ->
+      let e = t.epoch_of.(r) in
+      let cert_f =
+        match Member.Directory.cert_of_epoch t.directory e with
+        | Some c -> Member.Cert.f c
+        | None -> t.cfg.quorum.Bft.Quorum.f
+      in
+      let peers_of_epoch =
+        match Hashtbl.find_opt t.rank_maps e with
+        | Some (members, _) -> Array.to_list members
+        | None -> []
+      in
+      let prime_of p =
+        match t.replicas.(p) with
+        | Prime_replica q -> q
+        | Pbft_replica _ -> assert false
+      in
+      let source =
+        {
+          Recovery.State_transfer.peers =
+            List.filter
+              (fun p ->
+                p <> r
+                && t.epoch_of.(p) = e
+                && not (faults t p).Bft.Faults.crashed)
+              peers_of_epoch;
+          fetch =
+            (fun peer ->
+              Some
+                ( Prime.Replica.snapshot (prime_of peer),
+                  Scada.Master.clone t.masters.(peer) ));
+          digest_of =
+            (fun (snap, master) ->
+              Cryptosim.Digest.combine
+                (Prime.Replica.snapshot_digest snap)
+                (Scada.Master.snapshot_digest master));
+          newer =
+            (fun (a, _) (b, _) ->
+              a.Prime.Replica.snap_exec_count > b.Prime.Replica.snap_exec_count);
+        }
+      in
+      (match Recovery.State_transfer.select ~f:cert_f source with
+      | Recovery.State_transfer.Installed (snap, master) ->
+        (* Install only a strictly newer snapshot. Re-installing our own
+           (or an equal) state is not a harmless no-op: it discards
+           committed-but-unapplied slots and pre-order bodies, and a
+           leader doing it re-proposes sequence numbers that other
+           replicas may already hold committed — a safety hazard. *)
+        if
+          snap.Prime.Replica.snap_exec_count
+          > Bft.Exec_log.length (Prime.Replica.exec_log prime)
+        then begin
+          Prime.Replica.install_snapshot prime snap;
+          t.masters.(r) <- master;
+          (* Charge the transfer's bandwidth: the adopted state is
+             serialised (exec count + every known RTU status, via the
+             SCADA codec) and shipped as wire chunks from a live donor,
+             so recovery storms compete with protocol traffic for links. *)
+          match source.Recovery.State_transfer.peers with
+          | [] -> ()
+          | donor :: _ ->
+            let blob =
+              let b = Buffer.create 256 in
+              Buffer.add_string b
+                (Printf.sprintf "exec:%d;" (Scada.Master.applied_count master));
+              List.iter
+                (fun rtu ->
+                  match Scada.Master.last_status master ~rtu with
+                  | None -> ()
+                  | Some status ->
+                    Buffer.add_string b
+                      (Scada.Op.encode (Scada.Op.Status_report status)))
+                (Scada.Master.known_rtus master);
+              Buffer.contents b
+            in
+            List.iter
+              (fun chunk ->
+                send_payload t ~src_node:(node_of_replica t donor)
+                  ~dst_node:(node_of_replica t r) (Transfer_chunk chunk))
+              (Recovery.State_transfer.chunk_blob ~xfer_id:r ~chunk_bytes:1024
+                 blob)
+        end
+      | Recovery.State_transfer.No_quorum _ ->
+        (* Rare: peers disagree transiently; rejoin from live traffic and
+           catch up through slot requests / checkpoints. *)
+        ())
+    | Prime_replica _ -> () (* halted: the successor epoch owns catch-up *)
+
+(* Serialised master state shipped during a join (exec count + every
+   known RTU status) — the byte carrier whose chunks the ARQ guards. *)
+let master_blob master =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "exec:%d;" (Scada.Master.applied_count master));
+  List.iter
+    (fun rtu ->
+      match Scada.Master.last_status master ~rtu with
+      | None -> ()
+      | Some status ->
+        Buffer.add_string b (Scada.Op.encode (Scada.Op.Status_report status)))
+    (Scada.Master.known_rtus master);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Epoch cutover machinery.
+
+   A reconfiguration command travels through the ordered stream like
+   any SCADA update. Executing it makes every replica of that epoch:
+   halt its instance (the in-progress eligibility batch completes, so
+   the halt point — the epoch boundary — lands on the same execution
+   index everywhere), derive/adopt the successor certificate with the
+   boundary stamped in, and restart as a fresh protocol instance over
+   the new membership, carrying application state and the exactly-once
+   delivery cursors across. The first replica to switch advances the
+   shared directory; later switchers verify their boundary against the
+   recorded certificate — any disagreement is latched as a violation. *)
+
+let rec ensure_epoch_state t cert ~announcer =
+  let e = Member.Cert.epoch cert in
+  if not (Hashtbl.mem t.rank_maps e) then begin
+    let members = Array.of_list (Member.Cert.members cert) in
+    let rank_of = Array.make t.universe (-1) in
+    Array.iteri
+      (fun i g -> if g >= 0 && g < t.universe then rank_of.(g) <- i)
+      members;
+    Hashtbl.replace t.rank_maps e (members, rank_of)
+  end;
+  if not (List.mem_assoc e t.groups) then
+    t.groups <-
+      ( e,
+        Cryptosim.Threshold.create_group
+          ~seed:(Int64.logxor t.cfg.seed (Int64.of_int (e * 0x9E3779B9)))
+          ~members:(Member.Cert.members cert)
+          ~threshold:(Member.Cert.reply_threshold cert) )
+      :: t.groups;
+  if e > t.cur_epoch then promote_current t cert ~announcer
+
+and promote_current t cert ~announcer =
+  let e = Member.Cert.epoch cert in
+  let members, _ = Hashtbl.find t.rank_maps e in
+  t.cur_epoch <- e;
+  t.cur_members <- members;
+  let group = List.assoc e t.groups in
+  Array.iter
+    (fun p -> Scada.Endpoint.push_group (Scada.Proxy.endpoint p) group)
+    t.proxies;
+  Array.iter
+    (fun h -> Scada.Endpoint.push_group (Scada.Hmi.endpoint h) group)
+    t.hmis;
+  if Telemetry.Sink.enabled t.telemetry then
+    Telemetry.Sink.set_quorums t.telemetry
+      ~order:(Member.Cert.quorum_size cert)
+      ~reply:(Member.Cert.reply_threshold cert);
+  t.cutovers <-
+    (e, Member.Cert.boundary_exec cert, Sim.Engine.now t.engine) :: t.cutovers;
+  List.iter (fun f -> f e) t.epoch_listeners;
+  (* Gossip the certificate so every daemon (including dark standby
+     nodes, once booted) can audit the chain; install is idempotent. *)
+  for peer = 0 to t.universe - 1 do
+    if peer <> announcer then
+      send_payload t ~src_node:(node_of_replica t announcer)
+        ~dst_node:(node_of_replica t peer) (Cert_frame cert)
+  done;
+  arm_reconciler t
+
+and arm_reconciler t =
+  if not t.reconciler_armed then begin
+    t.reconciler_armed <- true;
+    ignore
+      (Sim.Engine.periodic t.engine ~interval_us:271_000 (fun () ->
+           reconcile t)
+        : Sim.Engine.timer)
+  end
+
+(* Periodic membership reconciliation (armed at the first cutover, so a
+   never-reconfigured system schedules nothing): members of the current
+   epoch stuck at an older one (or dark standby ids just admitted) are
+   caught up through a chunk-gated join; replicas the current epoch
+   dropped are halted and their overlay ids retired. *)
+and reconcile t =
+  let cert = Member.Directory.current t.directory in
+  let e = Member.Cert.epoch cert in
+  let now = Sim.Engine.now t.engine in
+  match Hashtbl.find_opt t.rank_maps e with
+  | None -> ()
+  | Some (_, rank_of) ->
+    for g = 0 to t.universe - 1 do
+      let is_member = rank_of.(g) >= 0 in
+      if is_member then begin
+        if t.epoch_of.(g) = e || t.pending_reconfig.(g) <> None then
+          t.lag_since.(g) <- -1
+        else if t.lag_since.(g) < 0 then t.lag_since.(g) <- now
+        else if now - t.lag_since.(g) >= 500_000 then begin_join t g
+      end
+      else begin
+        t.lag_since.(g) <- -1;
+        if t.epoch_of.(g) >= 0 && t.epoch_of.(g) < e then retire_replica t g
+      end
+    done
+
+and retire_replica t g =
+  halt_instance t g;
+  Overlay.Net.retire_node t.net (node_of_replica t g);
+  t.epoch_of.(g) <- -1;
+  t.pending_reconfig.(g) <- None;
+  t.lag_since.(g) <- -1
+
+(* Start a joining replica's catch-up: pick a donor state vouched by
+   f+1 members of the NEW epoch, ship it as chunks across the overlay,
+   and only install once every chunk has arrived (see [join_session]).
+   Lost chunks are re-requested under the bounded-backoff ARQ. *)
+and begin_join t g =
+  let already =
+    Hashtbl.fold
+      (fun _ s acc -> acc || ((not s.js_done) && s.js_replica = g))
+      t.sessions false
+  in
+  if not already then begin
+    let cert = Member.Directory.current t.directory in
+    let e = Member.Cert.epoch cert in
+    match Hashtbl.find_opt t.rank_maps e with
+    | None -> ()
+    | Some (members, _) ->
+      halt_instance t g;
+      Overlay.Net.unretire_node t.net (node_of_replica t g);
+      Overlay.Net.restore_node t.net (node_of_replica t g);
+      (faults t g).Bft.Faults.crashed <- false;
+      let prime_of p =
+        match t.replicas.(p) with
+        | Prime_replica q -> Some q
+        | Pbft_replica _ -> None
+      in
+      let peers =
+        Array.to_list members
+        |> List.filter (fun p ->
+               p <> g
+               && t.epoch_of.(p) = e
+               && (not (faults t p).Bft.Faults.crashed)
+               && (not (instance_halted t p))
+               && Overlay.Net.node_alive t.net (node_of_replica t p))
+      in
+      let source =
+        {
+          Recovery.State_transfer.peers;
+          fetch =
+            (fun peer ->
+              match prime_of peer with
+              | None -> None
+              | Some q ->
+                Some
+                  ( Prime.Replica.snapshot q,
+                    Scada.Master.clone t.masters.(peer) ));
+          digest_of =
+            (fun (snap, master) ->
+              Cryptosim.Digest.combine
+                (Prime.Replica.snapshot_digest snap)
+                (Scada.Master.snapshot_digest master));
+          newer =
+            (fun (a, _) (b, _) ->
+              a.Prime.Replica.snap_exec_count > b.Prime.Replica.snap_exec_count);
+        }
+      in
+      (match Recovery.State_transfer.select ~f:(Member.Cert.f cert) source with
+      | Recovery.State_transfer.No_quorum _ ->
+        () (* not enough live vouchers yet; the reconciler retries *)
+      | Recovery.State_transfer.Installed (snap, master) -> (
+        match peers with
         | [] -> ()
         | donor :: _ ->
-          let blob =
-            let b = Buffer.create 256 in
-            Buffer.add_string b
-              (Printf.sprintf "exec:%d;" (Scada.Master.applied_count master));
-            List.iter
-              (fun rtu ->
-                match Scada.Master.last_status master ~rtu with
-                | None -> ()
-                | Some status ->
-                  Buffer.add_string b
-                    (Scada.Op.encode (Scada.Op.Status_report status)))
-              (Scada.Master.known_rtus master);
-            Buffer.contents b
+          let xfer = t.next_xfer in
+          t.next_xfer <- xfer + 1;
+          let chunks =
+            Array.of_list
+              (Recovery.State_transfer.chunk_blob ~xfer_id:xfer
+                 ~chunk_bytes:1024 (master_blob master))
           in
-          List.iter
-            (fun chunk ->
+          let s =
+            {
+              js_xfer = xfer;
+              js_replica = g;
+              js_epoch = e;
+              js_donor = donor;
+              js_snap = snap;
+              js_master = master;
+              js_chunks = chunks;
+              js_received = Array.make (Array.length chunks) false;
+              js_done = false;
+            }
+          in
+          Hashtbl.replace t.sessions xfer s;
+          Array.iteri
+            (fun i c ->
               send_payload t ~src_node:(node_of_replica t donor)
-                ~dst_node:(node_of_replica t r) (Transfer_chunk chunk))
-            (Recovery.State_transfer.chunk_blob ~xfer_id:r ~chunk_bytes:1024
-               blob)
-      end
-    | Recovery.State_transfer.No_quorum _ ->
-      (* Rare: peers disagree transiently; rejoin from live traffic and
-         catch up through slot requests / checkpoints. *)
+                ~dst_node:(node_of_replica t g) (Transfer_chunk c);
+              arm_chunk_timer t xfer i 0)
+            chunks))
+  end
+
+and arm_chunk_timer t xfer i attempt =
+  match
+    Recovery.State_transfer.rerequest_delay_us t.arq ~xfer_id:xfer
+      ~chunk_index:i ~attempt
+  with
+  | None ->
+    (* Retry budget exhausted: abandon the session; the reconciler
+       starts a fresh one (new xfer id, fresh backoff schedule). *)
+    Hashtbl.remove t.sessions xfer
+  | Some delay ->
+    ignore
+      (Sim.Engine.schedule t.engine ~delay_us:delay (fun () ->
+           match Hashtbl.find_opt t.sessions xfer with
+           | None -> ()
+           | Some s ->
+             if (not s.js_done) && not s.js_received.(i) then begin
+               if Overlay.Net.node_alive t.net (node_of_replica t s.js_donor)
+               then
+                 send_payload t ~src_node:(node_of_replica t s.js_donor)
+                   ~dst_node:(node_of_replica t s.js_replica)
+                   (Transfer_chunk s.js_chunks.(i));
+               arm_chunk_timer t xfer i (attempt + 1)
+             end)
+        : Sim.Engine.timer)
+
+and complete_join t s =
+  s.js_done <- true;
+  Hashtbl.remove t.sessions s.js_xfer;
+  (* Install only if the epoch is still current — otherwise the
+     reconciler restarts the join against the newer membership. *)
+  if Member.Directory.epoch t.directory = s.js_epoch then
+    match Member.Directory.cert_of_epoch t.directory s.js_epoch with
+    | None -> ()
+    | Some cert ->
+      t.masters.(s.js_replica) <- s.js_master;
+      install_member_instance t s.js_replica ~cert ~snap:s.js_snap
+
+(* Replace replica [r]'s instance with a fresh one for [cert]'s epoch,
+   seeded from [snap] (a boundary-carried snapshot on cutover, a donor
+   snapshot on join), and start it. *)
+and install_member_instance t r ~cert ~snap =
+  let e = Member.Cert.epoch cert in
+  ensure_epoch_state t cert ~announcer:r;
+  let _, rank_of = Hashtbl.find t.rank_maps e in
+  if rank_of.(r) < 0 then retire_replica t r
+  else begin
+    let inst = t.make_member_instance ~cert ~rank:rank_of.(r) ~global:r in
+    (match inst with
+    | Prime_replica p ->
+      Prime.Replica.install_snapshot p snap;
+      Prime.Replica.set_on_fall_behind p (fun () ->
+          ignore
+            (Sim.Engine.schedule t.engine ~delay_us:0 (fun () ->
+                 if
+                   (not (faults t r).Bft.Faults.crashed)
+                   && t.epoch_of.(r) >= 0
+                 then resync_replica t r)
+              : Sim.Engine.timer))
+    | Pbft_replica _ -> ());
+    t.replicas.(r) <- inst;
+    t.epoch_of.(r) <- e;
+    t.lag_since.(r) <- -1;
+    match inst with
+    | Prime_replica p -> Prime.Replica.start p
+    | Pbft_replica p -> Pbft.Replica.start p
+  end
+
+(* The deferred half of a cutover (scheduled at delay 0 from the
+   execute callback, so the boundary batch has fully drained): stamp
+   the boundary, advance or verify the directory, and switch. *)
+and switch_replica t r =
+  match t.pending_reconfig.(r) with
+  | None -> ()
+  | Some (e, actions) -> (
+    t.pending_reconfig.(r) <- None;
+    let boundary = Bft.Exec_log.length (exec_log t r) in
+    match Member.Directory.cert_of_epoch t.directory e with
+    | None ->
+      latch_violation t (Printf.sprintf "switch: unknown epoch %d" e)
+    | Some prev -> (
+      let next_result =
+        match Member.Directory.cert_of_epoch t.directory (e + 1) with
+        | Some existing ->
+          (* A peer already advanced the chain: our independently
+             reached boundary must agree with the recorded one. *)
+          if Member.Cert.boundary_exec existing = boundary then Ok existing
+          else
+            Error
+              (Printf.sprintf
+                 "epoch %d boundary disagreement: replica %d halted at %d, \
+                  certificate records %d"
+                 (e + 1) r boundary
+                 (Member.Cert.boundary_exec existing))
+        | None ->
+          Member.Directory.advance t.directory actions
+            ~signers:(Member.Cert.members prev) ~boundary_exec:boundary
+      in
+      match next_result with
+      | Error msg -> latch_violation t msg
+      | Ok cert -> (
+        match t.replicas.(r) with
+        | Pbft_replica _ -> ()
+        | Prime_replica p ->
+          (* Carry execution state and delivery cursors across the
+             boundary; the pre-order space (cursor, matrix, view) is
+             fresh — the new epoch renumbers from scratch. *)
+          let old = Prime.Replica.snapshot p in
+          let n_new = Member.Cert.n cert in
+          let snap =
+            {
+              old with
+              Prime.Replica.snap_cursor = Prime.Matrix.empty_vector ~n:n_new;
+              snap_last_applied = 0;
+              snap_cum_matrix = Prime.Matrix.empty ~n:n_new;
+              snap_view = 0;
+            }
+          in
+          install_member_instance t r ~cert ~snap)))
+
+(* Executing an ordered [Op.Reconfig]: validate it against the
+   replica's own epoch certificate (a malformed or inapplicable command
+   is a deterministic no-op — every replica rejects it identically),
+   then halt and schedule the switch. *)
+let note_reconfig t r ~payload =
+  match t.cfg.protocol with
+  | Pbft_protocol -> () (* reconfiguration requires Prime *)
+  | Prime_protocol ->
+    if t.pending_reconfig.(r) = None && t.epoch_of.(r) >= 0 then (
+      match Member.Reconfig.decode payload with
+      | Error _ -> ()
+      | Ok actions -> (
+        let e = t.epoch_of.(r) in
+        match Member.Directory.cert_of_epoch t.directory e with
+        | None -> ()
+        | Some cert ->
+          let in_universe =
+            List.for_all
+              (function
+                | Member.Reconfig.Add_site { members; _ } ->
+                  List.for_all (fun m -> m >= 0 && m < t.universe) members
+                | Member.Reconfig.Set_resilience _
+                | Member.Reconfig.Remove_site _ | Member.Reconfig.Promote _ ->
+                  true)
+              actions
+          in
+          if in_universe then (
+            (* Dry-run against the epoch's own certificate: boundary
+               and signers are stand-ins, only action semantics are
+               checked here. *)
+            match
+              Member.Reconfig.apply cert actions
+                ~signers:(Member.Cert.members cert)
+                ~boundary_exec:(Member.Cert.boundary_exec cert)
+            with
+            | Error _ -> ()
+            | Ok _ ->
+              t.pending_reconfig.(r) <- Some (e, actions);
+              halt_instance t r;
+              ignore
+                (Sim.Engine.schedule t.engine ~delay_us:0 (fun () ->
+                     switch_replica t r)
+                  : Sim.Engine.timer))))
+
+let execute_of t r exec_index update =
+  (* Execution milestone: the reply-quorum-th distinct replica to get
+     here fixes the end of the ordering phase (sink-side count). *)
+  if Telemetry.Sink.enabled t.telemetry then
+    Telemetry.Sink.update_executed t.telemetry ~trace:(trace_of_update update)
+      ~replica:r ~now:(Sim.Engine.now t.engine);
+  match Scada.Op.of_update update with
+  | Error _ -> ()
+  | Ok op ->
+    let effect = Scada.Master.apply t.masters.(r) op in
+    emit_replies t r ~exec_index ~update effect;
+    (match op with
+    | Scada.Op.Reconfig { payload } -> note_reconfig t r ~payload
+    | Scada.Op.Status_report _ | Scada.Op.Breaker_command _
+    | Scada.Op.Tap_command _ | Scada.Op.Hmi_read _ ->
       ())
+
+let handle_transfer_chunk t r (c : Recovery.State_transfer.chunk) =
+  match Hashtbl.find_opt t.sessions c.Recovery.State_transfer.xfer_id with
+  | None ->
+    (* Legacy resync carrier (or a stale session): the frames exist to
+       charge the transfer's bandwidth; installation was synchronous. *)
+    ()
+  | Some s ->
+    if (not s.js_done) && s.js_replica = r then begin
+      let i = c.Recovery.State_transfer.chunk_index in
+      if i >= 0 && i < Array.length s.js_received then begin
+        s.js_received.(i) <- true;
+        if Array.for_all Fun.id s.js_received then complete_join t s
+      end
+    end
+
+let handle_replica_msg t r ~from payload =
+  match payload with
+  | Epoch_frame (e, inner) ->
+    (* Frames are bound to their sender's epoch: anything not matching
+       the receiving instance's epoch is inadmissible. *)
+    if t.epoch_of.(r) = e then handle_protocol t r ~from ~epoch:e inner
+    else t.stale_epoch_frames <- t.stale_epoch_frames + 1
+  | Prime_msg _ | Pbft_msg _ ->
+    (* Bare protocol frames are the genesis-epoch encoding. *)
+    if t.epoch_of.(r) = 0 then handle_protocol t r ~from ~epoch:0 payload
+    else t.stale_epoch_frames <- t.stale_epoch_frames + 1
+  | Client_update u -> ingest_client_update t r u
+  | Client_batch us -> List.iter (ingest_client_update t r) us
+  | Transfer_chunk c -> handle_transfer_chunk t r c
+  | Cert_frame c -> (
+    match Member.Directory.install t.directory c with
+    | Ok () | Error _ -> ())
+  | Replica_reply _ | Reply_batch _ -> ()
+
+(* Replica environment for one (epoch, rank) instance. A protocol
+   broadcast hands the same physical message to every recipient;
+   memoising the wrapped payload by the inner message's physical
+   identity lets [send_payload]'s size memo hit on every recipient
+   after the first. Epoch > 0 frames travel inside [Epoch_frame] —
+   the genesis epoch keeps the bare (seed-identical) encoding. *)
+let env_for t ~epoch ~rank ~(members : int array) wrap =
+  let wrap_memo = ref None in
+  let wrap_shared msg =
+    match !wrap_memo with
+    | Some (m, p) when m == msg -> p
+    | _ ->
+      let inner = wrap msg in
+      let p = if epoch > 0 then Epoch_frame (epoch, inner) else inner in
+      wrap_memo := Some (msg, p);
+      p
+  in
+  {
+    Bft.Env.self = rank;
+    replica_count = Array.length members;
+    send =
+      (fun dst msg ->
+        send_payload t ~src_node:members.(rank) ~dst_node:members.(dst)
+          (wrap_shared msg));
+    now_us = (fun () -> Sim.Engine.now t.engine);
+    set_timer = (fun delay_us f -> Sim.Engine.schedule t.engine ~delay_us f);
+    trace = (fun _ -> ());
+    telemetry = t.telemetry;
+  }
 
 let create cfg =
   let n = List.fold_left ( + ) 0 cfg.site_sizes in
+  let universe = n + List.fold_left ( + ) 0 cfg.standby_site_sizes in
   if n <> cfg.quorum.Bft.Quorum.n then
     invalid_arg "System.create: site_sizes do not sum to quorum n";
   if cfg.control_centers < 1 || cfg.control_centers > List.length cfg.site_sizes
@@ -552,10 +1151,17 @@ let create cfg =
       ~members:(List.init n Fun.id)
       ~threshold:(Bft.Quorum.reply_threshold cfg.quorum)
   in
-  let replica_sites = Array.make n 0 in
+  let replica_sites = Array.make universe 0 in
   List.iteri
     (fun site members -> List.iter (fun r -> replica_sites.(r) <- site) members)
     site_members;
+  let genesis = genesis_cert cfg in
+  let directory = Member.Directory.create ~genesis in
+  let identity = Array.init n Fun.id in
+  let rank_maps = Hashtbl.create 7 in
+  let rank_of0 = Array.make universe (-1) in
+  Array.iteri (fun i g -> rank_of0.(g) <- i) identity;
+  Hashtbl.replace rank_maps 0 (identity, rank_of0);
   let t =
     {
       cfg;
@@ -564,8 +1170,9 @@ let create cfg =
       net;
       group;
       n;
+      universe;
       replicas = [||];
-      masters = Array.init n (fun _ -> Scada.Master.create ());
+      masters = Array.init universe (fun _ -> Scada.Master.create ());
       proxies = [||];
       hmis = [||];
       replica_sites;
@@ -579,7 +1186,7 @@ let create cfg =
       recovery_listeners = [];
       share_cost_us = Cryptosim.Threshold.default_cost.Cryptosim.Threshold.share_us;
       reply_batch = batch_policy;
-      reply_accs = Array.init n (fun _ -> Bft.Batch.acc batch_policy);
+      reply_accs = Array.init universe (fun _ -> Bft.Batch.acc batch_policy);
       wire_frames = Array.make Wire.Message.kind_count 0;
       wire_bytes = Array.make Wire.Message.kind_count 0;
       (* Fresh dummy payload: physically distinct from anything ever
@@ -591,46 +1198,26 @@ let create cfg =
       size_memo_bytes = 0;
       wire_decode_errors = 0;
       telemetry = sink;
+      directory;
+      epoch_of = Array.init universe (fun r -> if r < n then 0 else -1);
+      rank_maps;
+      groups = [ (0, group) ];
+      cur_epoch = 0;
+      cur_members = identity;
+      pending_reconfig = Array.make universe None;
+      cutovers = [];
+      stale_epoch_frames = 0;
+      epoch_violation = None;
+      sessions = Hashtbl.create 7;
+      next_xfer = 1000;
+      reconciler_armed = false;
+      lag_since = Array.make universe (-1);
+      arq = Recovery.State_transfer.default_arq;
+      make_member_instance =
+        (fun ~cert:_ ~rank:_ ~global:_ ->
+          failwith "System: make_member_instance used before create finished");
+      epoch_listeners = [];
     }
-  in
-  (* Replica environments. A protocol broadcast hands the same physical
-     message to every recipient; memoising the wrapped payload by the
-     inner message's physical identity lets [send_payload]'s size memo
-     hit on every recipient after the first. *)
-  let env_of r wrap =
-    let wrap_memo = ref None in
-    let wrap_shared msg =
-      match !wrap_memo with
-      | Some (m, p) when m == msg -> p
-      | _ ->
-        let p = wrap msg in
-        wrap_memo := Some (msg, p);
-        p
-    in
-    {
-      Bft.Env.self = r;
-      replica_count = n;
-      send =
-        (fun dst msg ->
-          send_payload t ~src_node:(node_of_replica t r)
-            ~dst_node:(node_of_replica t dst) (wrap_shared msg));
-      now_us = (fun () -> Sim.Engine.now engine);
-      set_timer = (fun delay_us f -> Sim.Engine.schedule engine ~delay_us f);
-      trace = (fun _ -> ());
-      telemetry = sink;
-    }
-  in
-  let execute_of r exec_index update =
-    (* Execution milestone: the reply-quorum-th distinct replica to get
-       here fixes the end of the ordering phase (sink-side count). *)
-    if Telemetry.Sink.enabled sink then
-      Telemetry.Sink.update_executed sink ~trace:(trace_of_update update)
-        ~replica:r ~now:(Sim.Engine.now engine);
-    match Scada.Op.of_update update with
-    | Error _ -> ()
-    | Ok op ->
-      let effect = Scada.Master.apply t.masters.(r) op in
-      emit_replies t r ~exec_index ~update effect
   in
   (* Derive a TAT bound from the network diameter: twice the worst
      round-trip plus proposal cadence headroom. *)
@@ -639,50 +1226,114 @@ let create cfg =
       (fun acc link -> max acc link.Overlay.Topology.latency_us)
       0 (Overlay.Topology.links topo)
   in
+  let prime_instance ~quorum ~epoch ~rank ~members ~global =
+    let pcfg =
+      cfg.tweak_prime
+        {
+          (Prime.Replica.default_config quorum) with
+          Prime.Replica.epoch;
+          tat_threshold_us = max 100_000 ((8 * max_one_way) + 60_000);
+          batch = batch_policy;
+        }
+    in
+    Prime_replica
+      (Prime.Replica.create pcfg
+         (env_for t ~epoch ~rank ~members (fun m -> Prime_msg (rank, m)))
+         ~execute:(execute_of t global))
+  in
+  let pbft_instance ~quorum ~epoch ~rank ~members ~global =
+    let pcfg =
+      cfg.tweak_pbft
+        {
+          (Pbft.Replica.default_config quorum) with
+          Pbft.Replica.epoch;
+          batch = batch_policy;
+        }
+    in
+    Pbft_replica
+      (Pbft.Replica.create pcfg
+         (env_for t ~epoch ~rank ~members (fun m -> Pbft_msg (rank, m)))
+         ~execute:(fun seq u -> execute_of t global seq u))
+  in
+  t.make_member_instance <-
+    (fun ~cert ~rank ~global ->
+      let epoch = Member.Cert.epoch cert in
+      let quorum =
+        Bft.Quorum.create ~n:(Member.Cert.n cert) ~f:(Member.Cert.f cert)
+          ~k:(Member.Cert.k cert)
+      in
+      let members, _ = Hashtbl.find t.rank_maps epoch in
+      match cfg.protocol with
+      | Prime_protocol -> prime_instance ~quorum ~epoch ~rank ~members ~global
+      | Pbft_protocol -> pbft_instance ~quorum ~epoch ~rank ~members ~global);
+  (* Pre-provisioned standby replicas exist as inert placeholders: a
+     crashed, halted, never-started single-replica instance whose env
+     goes nowhere. Admission replaces it wholesale. *)
+  let standby_instance () =
+    let q1 = Bft.Quorum.create ~n:1 ~f:0 ~k:0 in
+    let env =
+      {
+        Bft.Env.self = 0;
+        replica_count = 1;
+        send = (fun _ _ -> ());
+        now_us = (fun () -> Sim.Engine.now engine);
+        set_timer = (fun delay_us f -> Sim.Engine.schedule engine ~delay_us f);
+        trace = (fun _ -> ());
+        telemetry = Telemetry.Sink.null;
+      }
+    in
+    match cfg.protocol with
+    | Prime_protocol ->
+      let p =
+        Prime.Replica.create (Prime.Replica.default_config q1) env
+          ~execute:(fun _ _ -> ())
+      in
+      Prime.Replica.halt p;
+      (Prime.Replica.faults p).Bft.Faults.crashed <- true;
+      Prime_replica p
+    | Pbft_protocol ->
+      let p =
+        Pbft.Replica.create (Pbft.Replica.default_config q1) env
+          ~execute:(fun _ _ -> ())
+      in
+      Pbft.Replica.halt p;
+      (Pbft.Replica.faults p).Bft.Faults.crashed <- true;
+      Pbft_replica p
+  in
+  let quorum0 = cfg.quorum in
   t.replicas <-
-    Array.init n (fun r ->
-        match cfg.protocol with
-        | Prime_protocol ->
-          let pcfg =
-            cfg.tweak_prime
-              {
-                (Prime.Replica.default_config cfg.quorum) with
-                Prime.Replica.tat_threshold_us =
-                  max 100_000 ((8 * max_one_way) + 60_000);
-                batch = batch_policy;
-              }
-          in
-          Prime_replica
-            (Prime.Replica.create pcfg (env_of r (fun m -> Prime_msg (r, m)))
-               ~execute:(execute_of r))
-        | Pbft_protocol ->
-          let pcfg =
-            cfg.tweak_pbft
-              {
-                (Pbft.Replica.default_config cfg.quorum) with
-                Pbft.Replica.batch = batch_policy;
-              }
-          in
-          Pbft_replica
-            (Pbft.Replica.create pcfg (env_of r (fun m -> Pbft_msg (r, m)))
-               ~execute:(fun seq u -> execute_of r seq u)));
+    Array.init universe (fun r ->
+        if r < n then
+          match cfg.protocol with
+          | Prime_protocol ->
+            prime_instance ~quorum:quorum0 ~epoch:0 ~rank:r ~members:identity
+              ~global:r
+          | Pbft_protocol ->
+            pbft_instance ~quorum:quorum0 ~epoch:0 ~rank:r ~members:identity
+              ~global:r
+        else standby_instance ());
+  (* Standby nodes stay dark until an epoch admits them. *)
+  for r = n to universe - 1 do
+    Overlay.Net.kill_node net r
+  done;
   (* A replica that provably fell behind the quorum's checkpoints asks
      the deployment for state transfer (deferred one event so the
      transfer does not run inside a message handler). *)
   Array.iteri
     (fun r instance ->
       match instance with
-      | Prime_replica p ->
+      | Prime_replica p when r < n ->
         Prime.Replica.set_on_fall_behind p (fun () ->
             ignore
               (Sim.Engine.schedule engine ~delay_us:0 (fun () ->
                    if not (faults t r).Bft.Faults.crashed then
                      resync_replica t r)
                 : Sim.Engine.timer))
-      | Pbft_replica _ -> ())
+      | Prime_replica _ | Pbft_replica _ -> ())
     t.replicas;
-  (* Net handlers: replica nodes. *)
-  for r = 0 to n - 1 do
+  (* Net handlers: every replica node in the universe (standby handlers
+     exist up front so admission needs no rewiring). *)
+  for r = 0 to universe - 1 do
     Overlay.Net.set_handler net r (fun delivery ->
         let from = delivery.Overlay.Net.frame_src in
         debug_check_delivery t ~sender:from delivery.Overlay.Net.payload;
@@ -697,21 +1348,25 @@ let create cfg =
     Stats.Timeseries.add t.series ~time_us:(Sim.Engine.now engine) ms
   in
   (* Client-side origin failover. Each client has a home origin
-     (client mod n); when the origin it is currently using makes no
-     progress for a full retransmission timeout, the client suspects it
-     for a while and moves to the next replica. Retransmissions
-     themselves go to every replica (as Prime clients do) and
-     exactly-once delivery collapses the duplicates. *)
+     (client mod n_cur within the current membership); when the origin
+     it is currently using makes no progress for a full retransmission
+     timeout, the client suspects it for a while and moves to the next
+     member. Retransmissions themselves go to every current member (as
+     Prime clients do) and exactly-once delivery collapses the
+     duplicates. Origins are tracked by global replica id so suspicion
+     survives membership changes. *)
   let clients = cfg.substations + cfg.hmis in
-  let suspected_until = Array.make_matrix clients n min_int in
+  let suspected_until = Array.make_matrix clients universe min_int in
   let current_default = Array.make clients (-1) in
   let default_since = Array.make clients 0 in
   let pick_origin client now =
-    let start = client mod n in
+    let members = t.cur_members in
+    let m = Array.length members in
+    let start = client mod m in
     let rec find i =
-      if i >= n then start
+      if i >= m then members.(start)
       else begin
-        let o = (start + i) mod n in
+        let o = members.((start + i) mod m) in
         if suspected_until.(client).(o) > now then find (i + 1) else o
       end
     in
@@ -740,10 +1395,11 @@ let create cfg =
         ignore (pick_origin client now : int)
       end;
       (* One physical payload for the whole retransmission broadcast. *)
-      for r = 0 to n - 1 do
-        send_payload t ~src_node:(node_of_client t client)
-          ~dst_node:(node_of_replica t r) payload
-      done
+      Array.iter
+        (fun r ->
+          send_payload t ~src_node:(node_of_client t client)
+            ~dst_node:(node_of_replica t r) payload)
+        t.cur_members
     end
   in
   (* First-attempt batch flush from an endpoint: one Client_batch frame
@@ -784,7 +1440,7 @@ let create cfg =
             | Replica_reply reply -> Scada.Proxy.handle_reply p reply
             | Reply_batch rs -> List.iter (Scada.Proxy.handle_reply p) rs
             | Prime_msg _ | Pbft_msg _ | Client_update _ | Client_batch _
-            | Transfer_chunk _ ->
+            | Transfer_chunk _ | Epoch_frame _ | Cert_frame _ ->
               ());
         p)
   in
@@ -804,7 +1460,7 @@ let create cfg =
             | Replica_reply reply -> Scada.Hmi.handle_reply h reply
             | Reply_batch rs -> List.iter (Scada.Hmi.handle_reply h) rs
             | Prime_msg _ | Pbft_msg _ | Client_update _ | Client_batch _
-            | Transfer_chunk _ ->
+            | Transfer_chunk _ | Epoch_frame _ | Cert_frame _ ->
               ());
         h)
   in
@@ -813,16 +1469,52 @@ let create cfg =
   t
 
 let start t =
-  Array.iter
-    (function
-      | Prime_replica p -> Prime.Replica.start p
-      | Pbft_replica p -> Pbft.Replica.start p)
+  Array.iteri
+    (fun r instance ->
+      if t.epoch_of.(r) >= 0 then
+        match instance with
+        | Prime_replica p -> Prime.Replica.start p
+        | Pbft_replica p -> Pbft.Replica.start p)
     t.replicas;
   Array.iter Scada.Proxy.start t.proxies;
   Array.iter Scada.Hmi.start t.hmis
 
 let run t ~duration_us =
   Sim.Engine.run t.engine ~until_us:(Sim.Engine.now t.engine + duration_us)
+
+(* ------------------------------------------------------------------ *)
+(* Online reconfiguration entry points.                                *)
+
+let submit_reconfig t actions =
+  (match t.cfg.protocol with
+  | Prime_protocol -> ()
+  | Pbft_protocol ->
+    invalid_arg "System.submit_reconfig: reconfiguration requires Prime");
+  if Array.length t.hmis = 0 then
+    invalid_arg "System.submit_reconfig: deployment has no HMI";
+  let payload = Member.Reconfig.encode actions in
+  ignore
+    (Scada.Endpoint.send_op
+       (Scada.Hmi.endpoint t.hmis.(0))
+       (Scada.Op.Reconfig { payload })
+      : Bft.Update.t)
+
+let replicas_in_site t site =
+  List.filter
+    (fun r -> t.replica_sites.(r) = site)
+    (List.init t.universe Fun.id)
+
+(* Boot a site's overlay daemons and processes WITHOUT state transfer:
+   used to heal a previously removed site so the reconciler can walk it
+   through a certified rejoin (any frames its stale instances emit are
+   dropped as stale-epoch traffic — retirement is orthogonal to being
+   up). *)
+let heal_site_nodes t site =
+  List.iter
+    (fun r ->
+      Overlay.Net.restore_node t.net (node_of_replica t r);
+      (faults t r).Bft.Faults.crashed <- false)
+    (replicas_in_site t site)
 
 (* ------------------------------------------------------------------ *)
 (* Safety check.                                                       *)
@@ -833,7 +1525,7 @@ let assert_agreement t =
       (fun r ->
         (not (faults t r).Bft.Faults.crashed)
         && not (Bft.Faults.is_byzantine (faults t r)))
-      (List.init t.n Fun.id)
+      (List.init t.universe Fun.id)
   in
   match correct with
   | [] -> ()
@@ -905,7 +1597,9 @@ let enable_recovery t ~rotation_period_us ~recovery_duration_us =
    f+k+1 distinct replicas (more than the faulty + recovering replicas
    could fabricate) is rejuvenated immediately through the proactive
    scheduler's budget. This cleanses silent compromised replicas long
-   before their next scheduled rotation. *)
+   before their next scheduled rotation. Accusations name protocol
+   ranks; they are mapped through the accuser's epoch membership back
+   to global replica ids before counting. *)
 let enable_reactive_recovery t ~silence_threshold_us ~poll_interval_us =
   let scheduler =
     match t.scheduler with
@@ -925,27 +1619,35 @@ let enable_reactive_recovery t ~silence_threshold_us ~poll_interval_us =
       | `Begin -> ());
   ignore
     (Sim.Engine.periodic t.engine ~interval_us:poll_interval_us (fun () ->
-         let accusations = Array.make t.n 0 in
+         let accusations = Array.make t.universe 0 in
          Array.iteri
            (fun r instance ->
              match instance with
              | Prime_replica p ->
-               if not (faults t r).Bft.Faults.crashed then
-                 List.iter
-                   (fun j -> accusations.(j) <- accusations.(j) + 1)
-                   (Prime.Replica.unresponsive p
-                      ~threshold_us:silence_threshold_us)
+               if
+                 t.epoch_of.(r) >= 0
+                 && (not (faults t r).Bft.Faults.crashed)
+                 && not (Prime.Replica.halted p)
+               then (
+                 match Hashtbl.find_opt t.rank_maps t.epoch_of.(r) with
+                 | None -> ()
+                 | Some (members, _) ->
+                   List.iter
+                     (fun j ->
+                       let gj = members.(j) in
+                       accusations.(gj) <- accusations.(gj) + 1)
+                     (Prime.Replica.unresponsive p
+                        ~threshold_us:silence_threshold_us))
              | Pbft_replica _ -> ())
            t.replicas;
-         Array.iteri
-           (fun j count ->
-             if
-               count >= threshold
-               && (not (Recovery.Scheduler.is_recovering scheduler j))
-               && Sim.Engine.now t.engine - completed_at.(j)
-                  > 2 * silence_threshold_us
-             then ignore (Recovery.Scheduler.trigger_now scheduler j : bool))
-           accusations)
+         for j = 0 to t.n - 1 do
+           if
+             accusations.(j) >= threshold
+             && (not (Recovery.Scheduler.is_recovering scheduler j))
+             && Sim.Engine.now t.engine - completed_at.(j)
+                > 2 * silence_threshold_us
+           then ignore (Recovery.Scheduler.trigger_now scheduler j : bool)
+         done)
       : Sim.Engine.timer)
 
 (* ------------------------------------------------------------------ *)
@@ -954,9 +1656,6 @@ let enable_reactive_recovery t ~silence_threshold_us ~poll_interval_us =
 let set_leader_delay t ~delay_us =
   let leader = current_leader t in
   (faults t leader).Bft.Faults.proposal_delay_us <- delay_us
-
-let replicas_in_site t site =
-  List.filter (fun r -> t.replica_sites.(r) = site) (List.init t.n Fun.id)
 
 let kill_site t site =
   List.iter
@@ -970,7 +1669,9 @@ let restore_site t site =
     (fun r ->
       Overlay.Net.restore_node t.net (node_of_replica t r);
       (faults t r).Bft.Faults.crashed <- false;
-      resync_replica t r)
+      (* Only same-epoch replicas resynchronise directly; stale-epoch
+         ones are walked through a certified rejoin by the reconciler. *)
+      if t.epoch_of.(r) = t.cur_epoch then resync_replica t r)
     (replicas_in_site t site)
 
 (* Network-level site isolation: the site's overlay daemons go dark
@@ -995,4 +1696,4 @@ let crash_replica t r =
 let restore_replica t r =
   Overlay.Net.restore_node t.net (node_of_replica t r);
   (faults t r).Bft.Faults.crashed <- false;
-  resync_replica t r
+  if t.epoch_of.(r) = t.cur_epoch then resync_replica t r

@@ -30,6 +30,13 @@ type config = {
   quorum : Bft.Quorum.t;
   protocol : protocol;
   site_sizes : int list;  (** replicas per site; control centers first *)
+  standby_site_sizes : int list;
+      (** pre-provisioned dark sites (laid out after the active ones):
+          their replicas exist as inert placeholders with dead overlay
+          nodes and join the deployment only when an ordered
+          reconfiguration admits them into an epoch's membership.
+          Default [[]] — an empty list reproduces the fixed-membership
+          system bit-for-bit. *)
   control_centers : int;
   substations : int;
   hmis : int;
@@ -94,7 +101,15 @@ val telemetry : t -> Telemetry.Sink.t
 
 (** {1 Component access} *)
 
+(** [replica_count t] — the genesis (epoch-0) active replica count [n].
+    Unchanged by reconfiguration; use {!current_members} for the live
+    membership and {!universe_count} for active + standby. *)
 val replica_count : t -> int
+
+(** [universe_count t] — all provisioned replicas, active and standby.
+    Global replica ids range over [0 .. universe_count - 1]. *)
+val universe_count : t -> int
+
 val proxy : t -> int -> Scada.Proxy.t
 val hmi : t -> int -> Scada.Hmi.t
 val master : t -> Bft.Types.replica -> Scada.Master.t
@@ -201,3 +216,68 @@ val reconnect_site : t -> Overlay.Topology.site -> unit
 val crash_replica : t -> Bft.Types.replica -> unit
 
 val restore_replica : t -> Bft.Types.replica -> unit
+
+(** {1 Online reconfiguration}
+
+    Membership changes travel through the ordered stream as
+    {!Scada.Op.Reconfig} commands. Executing one makes every replica of
+    the issuing epoch halt at a deterministic boundary (the execution
+    count after its eligibility batch drains), derive the successor
+    certificate with that boundary stamped in, and restart as a fresh
+    protocol instance over the new membership — carrying application
+    state and exactly-once delivery cursors across. Replicas the new
+    epoch drops are retired (halted, overlay id retired); newly admitted
+    or lagging members are caught up by a background reconciler through
+    an [f+1]-vouched, chunk-gated state transfer guarded by the
+    bounded-backoff ARQ. Prime only. *)
+
+(** [directory t] — the deployment's shared certificate chain. *)
+val directory : t -> Member.Directory.t
+
+(** [current_epoch t] — highest epoch any replica has activated. *)
+val current_epoch : t -> int
+
+(** [epoch_of_replica t r] — the epoch replica [r]'s running instance
+    belongs to, or [-1] for standby / retired replicas. *)
+val epoch_of_replica : t -> Bft.Types.replica -> int
+
+(** [replica_halted t r] — true when [r]'s instance has halted (epoch
+    boundary reached, or retired). *)
+val replica_halted : t -> Bft.Types.replica -> bool
+
+(** [current_members t] — global replica ids of the current epoch's
+    membership, in protocol-rank order. *)
+val current_members : t -> int list
+
+(** [stale_epoch_frames t] — protocol frames dropped because their
+    epoch tag (or sender) did not match the receiving instance. *)
+val stale_epoch_frames : t -> int
+
+(** [cutovers t] — completed epoch activations as
+    [(epoch, boundary_exec, time_us)], oldest first. *)
+val cutovers : t -> (int * int * int) list
+
+(** [epoch_violation t] — latched description of the first epoch-safety
+    violation observed (boundary disagreement, unknown epoch), if any.
+    [None] in every correct run. *)
+val epoch_violation : t -> string option
+
+(** [on_epoch_change t f] — [f epoch] fires at each cutover. *)
+val on_epoch_change : t -> (int -> unit) -> unit
+
+(** [submit_reconfig t actions] issues the reconfiguration through HMI
+    0's endpoint as an ordered client update.
+    @raise Invalid_argument on the PBFT baseline or without an HMI. *)
+val submit_reconfig : t -> Member.Reconfig.action list -> unit
+
+(** [heal_site_nodes t site] boots a site's overlay daemons and clears
+    its crash flags WITHOUT state transfer — the reconciler then walks
+    its (retired or stale) replicas through a certified rejoin if the
+    current membership includes them. *)
+val heal_site_nodes : t -> Overlay.Topology.site -> unit
+
+(** [epoch_activity t] — instantaneous per-epoch live-replica counts
+    [(epoch, live)], ascending by epoch. Fed to the epoch-safety
+    oracle: at most one epoch may ever hold a quorum of live
+    replicas. *)
+val epoch_activity : t -> (int * int) list

@@ -1,0 +1,164 @@
+(* Epoch-ed membership certificates.
+
+   A certificate is the authoritative description of one epoch of the
+   system: which sites exist, what role each plays (modeled on the
+   SCADA_SV_MODES active/backup split of the reference implementation),
+   which global replica ids belong to each site, and the resilience
+   parameters (f, k) the epoch is provisioned for.  Certificates form a
+   hash chain: each non-genesis cert carries the digest of its
+   predecessor, the ordered-stream execution index at which it takes
+   effect (the epoch boundary), and the set of old-epoch members that
+   vouched for the transition.  Succession is only valid when at least
+   a quorum of the previous epoch signed, which is what makes "no two
+   epochs active simultaneously" checkable by the oracle. *)
+
+type role = Active_cc | Backup_cc | Data_center
+
+let role_name = function
+  | Active_cc -> "active-cc"
+  | Backup_cc -> "backup-cc"
+  | Data_center -> "data-center"
+
+let role_tag = function Active_cc -> 0 | Backup_cc -> 1 | Data_center -> 2
+
+type site = { site_id : int; role : role; members : int list }
+
+type t = {
+  epoch : int;
+  f : int;
+  k : int;
+  boundary_exec : int;
+      (* execution index at which this epoch takes effect; 0 for genesis *)
+  sites : site list;
+  signers : int list; (* previous-epoch members vouching the transition *)
+  prev_digest : Cryptosim.Digest.t; (* zero for genesis *)
+}
+
+let epoch t = t.epoch
+let f t = t.f
+let k t = t.k
+let boundary_exec t = t.boundary_exec
+let sites t = t.sites
+let signers t = t.signers
+let prev_digest t = t.prev_digest
+
+let members t =
+  List.concat_map (fun s -> s.members) t.sites
+
+let n t = List.length (members t)
+
+(* Spire sizing: n = 3f + 2k + 1 replicas tolerate f intrusions plus k
+   simultaneously recovering replicas.  An epoch may over-provision
+   (n larger than required) but never under-provision. *)
+let required_n ~f ~k = (3 * f) + (2 * k) + 1
+let quorum_size t = (2 * t.f) + t.k + 1
+let reply_threshold t = t.f + 1
+
+let site_of t ~site_id =
+  List.find_opt (fun s -> s.site_id = site_id) t.sites
+
+let is_member t r = List.mem r (members t)
+
+(* Rank is a replica's dense protocol index within the epoch: position
+   in the concatenated site-ordered member list.  Protocol instances
+   are parameterized by rank; the wire keeps global ids. *)
+let rank_of t r =
+  let rec find i = function
+    | [] -> None
+    | m :: rest -> if m = r then Some i else find (i + 1) rest
+  in
+  find 0 (members t)
+
+let member_of_rank t rank = List.nth_opt (members t) rank
+
+let validate t =
+  let ms = members t in
+  let nm = List.length ms in
+  if t.f < 0 || t.k < 0 then Error "negative resilience parameter"
+  else if t.sites = [] then Error "no sites"
+  else if List.exists (fun s -> s.members = []) t.sites then
+    Error "empty site"
+  else if List.length (List.sort_uniq compare ms) <> nm then
+    Error "duplicate member across sites"
+  else if
+    List.length
+      (List.sort_uniq compare (List.map (fun s -> s.site_id) t.sites))
+    <> List.length t.sites
+  then Error "duplicate site id"
+  else if List.exists (fun m -> m < 0) ms then Error "negative member id"
+  else if nm < required_n ~f:t.f ~k:t.k then
+    Error
+      (Printf.sprintf "n=%d below 3f+2k+1=%d" nm (required_n ~f:t.f ~k:t.k))
+  else if not (List.exists (fun s -> s.role = Active_cc) t.sites) then
+    Error "no active control center"
+  else if
+    List.length (List.filter (fun s -> s.role = Active_cc) t.sites) > 1
+  then Error "multiple active control centers"
+  else Ok ()
+
+(* Canonical serialization feeding the chain digest.  Signers are part
+   of the digested content so a transition cannot be re-attributed. *)
+let canonical t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "cert|e=%d|f=%d|k=%d|b=%d|" t.epoch t.f t.k
+       t.boundary_exec);
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "s%d:%d:[%s];" s.site_id (role_tag s.role)
+           (String.concat "," (List.map string_of_int s.members))))
+    t.sites;
+  Buffer.add_string b
+    (Printf.sprintf "|v=[%s]|p=%s"
+       (String.concat "," (List.map string_of_int t.signers))
+       (Cryptosim.Digest.to_hex t.prev_digest));
+  Buffer.contents b
+
+let digest t = Cryptosim.Digest.of_string (canonical t)
+
+(* Succession: [next] extends [prev] iff the chain links, the boundary
+   advances, and at least a quorum of [prev]'s members vouched. *)
+let verify_succession ~prev ~next =
+  if next.epoch <> prev.epoch + 1 then Error "non-consecutive epoch"
+  else if not (Cryptosim.Digest.equal next.prev_digest (digest prev)) then
+    Error "broken digest chain"
+  else if next.boundary_exec < prev.boundary_exec then
+    Error "boundary moved backwards"
+  else if
+    List.exists (fun s -> not (is_member prev s)) next.signers
+  then Error "signer not a previous-epoch member"
+  else if
+    List.length (List.sort_uniq compare next.signers) < quorum_size prev
+  then
+    Error
+      (Printf.sprintf "only %d signers, need previous-epoch quorum %d"
+         (List.length (List.sort_uniq compare next.signers))
+         (quorum_size prev))
+  else validate next
+
+let genesis ~f ~k ~sites =
+  let t =
+    {
+      epoch = 0;
+      f;
+      k;
+      boundary_exec = 0;
+      sites;
+      signers = [];
+      prev_digest = Cryptosim.Digest.of_int64 0L;
+    }
+  in
+  match validate t with
+  | Ok () -> t
+  | Error e -> invalid_arg ("Member.Cert.genesis: " ^ e)
+
+let pp ppf t =
+  Format.fprintf ppf "epoch %d (f=%d k=%d n=%d @@%d) [%s]" t.epoch t.f t.k
+    (n t) t.boundary_exec
+    (String.concat "; "
+       (List.map
+          (fun s ->
+            Printf.sprintf "site %d %s {%s}" s.site_id (role_name s.role)
+              (String.concat "," (List.map string_of_int s.members)))
+          t.sites))

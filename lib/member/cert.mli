@@ -1,0 +1,74 @@
+(** Epoch-ed membership certificates.
+
+    One certificate per epoch: site list with active/backup control
+    center roles, global replica ids per site, resilience parameters
+    (f, k), and the hash-chain link to the previous epoch.  A
+    transition is valid only when vouched by a quorum of the previous
+    epoch's members and taking effect at a boundary execution index
+    that never moves backwards. *)
+
+type role = Active_cc | Backup_cc | Data_center
+
+val role_name : role -> string
+
+type site = { site_id : int; role : role; members : int list }
+
+type t = {
+  epoch : int;
+  f : int;
+  k : int;
+  boundary_exec : int;
+  sites : site list;
+  signers : int list;
+  prev_digest : Cryptosim.Digest.t;
+}
+
+val epoch : t -> int
+val f : t -> int
+val k : t -> int
+val boundary_exec : t -> int
+val sites : t -> site list
+val signers : t -> int list
+val prev_digest : t -> Cryptosim.Digest.t
+
+(** All global member ids in site order (defines protocol rank). *)
+val members : t -> int list
+
+val n : t -> int
+
+(** [required_n ~f ~k] is the Spire floor [3f + 2k + 1]. *)
+val required_n : f:int -> k:int -> int
+
+(** Ordering quorum [2f + k + 1] for this epoch. *)
+val quorum_size : t -> int
+
+(** Client confirmation threshold [f + 1] for this epoch. *)
+val reply_threshold : t -> int
+
+val site_of : t -> site_id:int -> site option
+val is_member : t -> int -> bool
+
+(** [rank_of t r] is [r]'s dense protocol index within the epoch, if a
+    member. *)
+val rank_of : t -> int -> int option
+
+val member_of_rank : t -> int -> int option
+
+(** Structural well-formedness: sizes, disjointness, exactly one
+    active control center, [n >= 3f + 2k + 1]. *)
+val validate : t -> (unit, string) result
+
+(** Chain digest over the canonical serialization (includes signers
+    and the previous digest). *)
+val digest : t -> Cryptosim.Digest.t
+
+(** [verify_succession ~prev ~next] checks the chain link, boundary
+    monotonicity, signer membership in [prev], a previous-epoch quorum
+    of signers, and [validate next]. *)
+val verify_succession : prev:t -> next:t -> (unit, string) result
+
+(** Genesis (epoch 0, boundary 0, no signers). Raises [Invalid_argument]
+    if structurally invalid. *)
+val genesis : f:int -> k:int -> sites:site list -> t
+
+val pp : Format.formatter -> t -> unit

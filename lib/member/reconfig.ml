@@ -1,0 +1,192 @@
+(* Reconfiguration commands.
+
+   A reconfiguration is an ordered list of actions applied atomically
+   to the current certificate to produce the next epoch's certificate.
+   The command travels through the ordinary BFT ordered stream as an
+   opaque SCADA operation payload (so the ordering layer needs no new
+   message types on the critical path), and every replica that executes
+   it derives the same successor certificate at the same boundary.
+
+   The codec is hand-rolled and versioned: reconfiguration frames may
+   be replayed from logs across epochs, so the encoding must stay
+   stable independently of in-memory representation. *)
+
+type action =
+  | Set_resilience of { f : int; k : int }
+  | Remove_site of int
+  | Add_site of { site_id : int; role : Cert.role; members : int list }
+  | Promote of int  (* backup control center -> active *)
+
+type t = action list
+
+let version = 1
+
+let pp_action ppf = function
+  | Set_resilience { f; k } -> Format.fprintf ppf "set-resilience f=%d k=%d" f k
+  | Remove_site s -> Format.fprintf ppf "remove-site %d" s
+  | Add_site { site_id; role; members } ->
+    Format.fprintf ppf "add-site %d %s {%s}" site_id (Cert.role_name role)
+      (String.concat "," (List.map string_of_int members))
+  | Promote s -> Format.fprintf ppf "promote %d" s
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; "
+       (List.map (fun a -> Format.asprintf "%a" pp_action a) t))
+
+let role_to_tag = function
+  | Cert.Active_cc -> 0
+  | Cert.Backup_cc -> 1
+  | Cert.Data_center -> 2
+
+let role_of_tag = function
+  | 0 -> Some Cert.Active_cc
+  | 1 -> Some Cert.Backup_cc
+  | 2 -> Some Cert.Data_center
+  | _ -> None
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let w_u16 b v =
+  w_u8 b (v lsr 8);
+  w_u8 b v
+
+let encode (t : t) =
+  let b = Buffer.create 32 in
+  w_u8 b version;
+  w_u8 b (List.length t);
+  List.iter
+    (fun a ->
+      match a with
+      | Set_resilience { f; k } ->
+        w_u8 b 0x01;
+        w_u8 b f;
+        w_u8 b k
+      | Remove_site s ->
+        w_u8 b 0x02;
+        w_u16 b s
+      | Add_site { site_id; role; members } ->
+        w_u8 b 0x03;
+        w_u16 b site_id;
+        w_u8 b (role_to_tag role);
+        w_u8 b (List.length members);
+        List.iter (fun m -> w_u16 b m) members
+      | Promote s ->
+        w_u8 b 0x04;
+        w_u16 b s)
+    t;
+  Buffer.contents b
+
+exception Bad of string
+
+let decode s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let u8 () =
+    if !pos >= len then raise (Bad "truncated");
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let hi = u8 () in
+    let lo = u8 () in
+    (hi lsl 8) lor lo
+  in
+  try
+    if u8 () <> version then raise (Bad "unknown version");
+    let count = u8 () in
+    let actions = ref [] in
+    for _ = 1 to count do
+      let a =
+        match u8 () with
+        | 0x01 ->
+          let f = u8 () in
+          let k = u8 () in
+          Set_resilience { f; k }
+        | 0x02 -> Remove_site (u16 ())
+        | 0x03 ->
+          let site_id = u16 () in
+          let role =
+            match role_of_tag (u8 ()) with
+            | Some r -> r
+            | None -> raise (Bad "unknown role")
+          in
+          let n = u8 () in
+          let members = List.init n (fun _ -> u16 ()) in
+          Add_site { site_id; role; members }
+        | 0x04 -> Promote (u16 ())
+        | _ -> raise (Bad "unknown action")
+      in
+      actions := a :: !actions
+    done;
+    if !pos <> len then raise (Bad "trailing bytes");
+    Ok (List.rev !actions)
+  with Bad e -> Error e
+
+(* Apply one action to a working site list / resilience pair.  Promote
+   demotes the current active control center; Add_site may re-admit a
+   previously removed site id. *)
+let apply_action (f, k, sites) = function
+  | Set_resilience { f = f'; k = k' } ->
+    if f' < 0 || k' < 0 then Error "negative resilience parameter"
+    else Ok (f', k', sites)
+  | Remove_site id ->
+    if not (List.exists (fun (s : Cert.site) -> s.site_id = id) sites) then
+      Error (Printf.sprintf "remove: unknown site %d" id)
+    else Ok (f, k, List.filter (fun (s : Cert.site) -> s.site_id <> id) sites)
+  | Add_site { site_id; role; members } ->
+    if List.exists (fun (s : Cert.site) -> s.site_id = site_id) sites then
+      Error (Printf.sprintf "add: site %d already present" site_id)
+    else if members = [] then Error "add: empty site"
+    else if role = Cert.Active_cc then
+      Error "add: new sites join as backup or data center"
+    else
+      let existing = List.concat_map (fun (s : Cert.site) -> s.members) sites in
+      if List.exists (fun m -> List.mem m existing) members then
+        Error "add: member already in another site"
+      else Ok (f, k, sites @ [ { Cert.site_id; role; members } ])
+  | Promote id -> (
+    match List.find_opt (fun (s : Cert.site) -> s.site_id = id) sites with
+    | None -> Error (Printf.sprintf "promote: unknown site %d" id)
+    | Some s when s.role = Cert.Data_center ->
+      Error (Printf.sprintf "promote: site %d is a data center" id)
+    | Some _ ->
+      Ok
+        ( f,
+          k,
+          List.map
+            (fun (s : Cert.site) ->
+              if s.site_id = id then { s with role = Cert.Active_cc }
+              else if s.role = Cert.Active_cc then
+                { s with role = Cert.Backup_cc }
+              else s)
+            sites ))
+
+let apply (prev : Cert.t) (t : t) ~signers ~boundary_exec =
+  if t = [] then Error "empty reconfiguration"
+  else
+    let rec fold acc = function
+      | [] -> Ok acc
+      | a :: rest -> (
+        match apply_action acc a with
+        | Ok acc' -> fold acc' rest
+        | Error _ as e -> e)
+    in
+    match fold (prev.Cert.f, prev.Cert.k, prev.Cert.sites) t with
+    | Error e -> Error e
+    | Ok (f, k, sites) -> (
+      let next =
+        {
+          Cert.epoch = prev.Cert.epoch + 1;
+          f;
+          k;
+          boundary_exec;
+          sites;
+          signers;
+          prev_digest = Cert.digest prev;
+        }
+      in
+      match Cert.verify_succession ~prev ~next with
+      | Ok () -> Ok next
+      | Error e -> Error e)

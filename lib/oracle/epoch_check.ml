@@ -1,0 +1,41 @@
+type t = {
+  mutable verdict : Verdict.t;
+  mutable observations : int;
+  cutovers : (int, int * Cryptosim.Digest.t) Hashtbl.t;
+      (* epoch -> (boundary, digest), first observation wins *)
+}
+
+let create () =
+  { verdict = Verdict.pass; observations = 0; cutovers = Hashtbl.create 7 }
+
+let latch t v =
+  if Verdict.is_pass t.verdict then t.verdict <- v
+
+let observe_activity t ~time_us ~live ~quorum_of =
+  t.observations <- t.observations + 1;
+  let quorate =
+    List.filter (fun (e, count) -> count >= quorum_of e) live
+  in
+  match quorate with
+  | _ :: _ :: _ ->
+    latch t
+      (Verdict.failf "epochs %s each hold a quorum at t=%dus"
+         (String.concat ","
+            (List.map (fun (e, _) -> string_of_int e) quorate))
+         time_us)
+  | [] | [ _ ] -> ()
+
+let observe_cutover t ~epoch ~boundary_exec ~digest =
+  t.observations <- t.observations + 1;
+  match Hashtbl.find_opt t.cutovers epoch with
+  | None -> Hashtbl.replace t.cutovers epoch (boundary_exec, digest)
+  | Some (b, d) ->
+    if b <> boundary_exec || not (Cryptosim.Digest.equal d digest) then
+      latch t
+        (Verdict.failf
+           "epoch %d certificate fork: boundary %d vs %d" epoch b
+           boundary_exec)
+
+let note_violation t msg = latch t (Verdict.fail msg)
+let observations t = t.observations
+let verdict t = t.verdict

@@ -1,0 +1,39 @@
+(** Epoch-safety oracle for online reconfiguration.
+
+    Two invariants, latched like every oracle:
+
+    - {b At most one active epoch}: at no sampled instant may two
+      different epochs each hold an ordering quorum of live replicas —
+      that would be two memberships able to order conflicting updates.
+      The harness feeds per-epoch live-replica counts
+      ({!Spire.System.epoch_activity}-shaped samples) together with each
+      epoch's own quorum size.
+
+    - {b Unique certificate chain}: cutover observations must agree — a
+      given epoch has exactly one (boundary, certificate-digest) pair
+      across every replica and every sample. *)
+
+type t
+
+val create : unit -> t
+
+(** [observe_activity t ~time_us ~live ~quorum_of] reports one sample:
+    [live] is the [(epoch, live_count)] list, [quorum_of epoch] that
+    epoch's ordering quorum size (the sampler reads it off the
+    certificate chain). *)
+val observe_activity :
+  t -> time_us:int -> live:(int * int) list -> quorum_of:(int -> int) -> unit
+
+(** [observe_cutover t ~epoch ~boundary_exec ~digest] records one
+    replica's (or the deployment's) view of a cutover; a second
+    observation of the same epoch with a different boundary or digest
+    latches a failure. *)
+val observe_cutover :
+  t -> epoch:int -> boundary_exec:int -> digest:Cryptosim.Digest.t -> unit
+
+(** [note_violation t msg] latches an externally detected violation
+    (e.g. {!Spire.System.epoch_violation}). *)
+val note_violation : t -> string -> unit
+
+val observations : t -> int
+val verdict : t -> Verdict.t

@@ -17,6 +17,7 @@ type stats = {
   dropped_link_down : int;
   dropped_no_route : int;
   dropped_arq_exhausted : int;
+  dropped_retired_src : int;
   junk_frames : int;
   submitted_bytes : int;
   delivered_bytes : int;
@@ -77,6 +78,12 @@ type 'a t = {
   links : 'a link_state option array; (* directed, [u * nodes + v] *)
   link_up : bool array; (* undirected, normalised index *)
   node_up : bool array;
+  (* Membership guard: a retired node's id is no longer a valid frame
+     source (its site was removed from the configuration).  Frames
+     claiming a retired — or out-of-range — src are counted and
+     dropped before they can index the flattened [src * nodes + dst]
+     state arrays. *)
+  retired : bool array;
   handlers : ('a delivery -> unit) option array;
   seen : Dedup_cache.t array; (* per node: flooded frame ids seen *)
   delivered_ids : Dedup_cache.t array; (* per node: dedup'd frame ids delivered *)
@@ -88,6 +95,7 @@ type 'a t = {
   mutable dropped_link_down : int;
   mutable dropped_no_route : int;
   mutable dropped_arq_exhausted : int;
+  mutable dropped_retired_src : int;
   mutable junk_frames : int;
   mutable submitted_bytes : int;
   mutable delivered_bytes : int;
@@ -121,6 +129,7 @@ let create ?(per_source_cap = 64) engine topo () =
       links = Array.make (n * n) None;
       link_up = Array.make (n * n) false;
       node_up = Array.make n true;
+      retired = Array.make n false;
       handlers = Array.make n None;
       seen = Array.init n (fun _ -> Dedup_cache.create ());
       delivered_ids = Array.init n (fun _ -> Dedup_cache.create ());
@@ -132,6 +141,7 @@ let create ?(per_source_cap = 64) engine topo () =
       dropped_link_down = 0;
       dropped_no_route = 0;
       dropped_arq_exhausted = 0;
+      dropped_retired_src = 0;
       junk_frames = 0;
       submitted_bytes = 0;
       delivered_bytes = 0;
@@ -196,9 +206,16 @@ let link_state t a b =
   | Some ls -> ls
   | None -> invalid_arg "Net: no such link"
 
-(* Deliver a frame that has arrived at its destination. *)
+(* Deliver a frame that has arrived at its destination.  A frame whose
+   source was retired while the frame was in flight is dropped here:
+   stale-site traffic must neither reach handlers nor fault on the
+   flattened per-node arrays. *)
 let deliver t node frame =
-  if frame.dedup && Dedup_cache.mem t.delivered_ids.(node) frame.id then
+  if frame.src < 0 || frame.src >= t.nodes || t.retired.(frame.src) then begin
+    t.dropped_retired_src <- t.dropped_retired_src + 1;
+    t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
+  end
+  else if frame.dedup && Dedup_cache.mem t.delivered_ids.(node) frame.id then
     t.duplicates_suppressed <- t.duplicates_suppressed + 1
   else begin
     if frame.dedup then Dedup_cache.add t.delivered_ids.(node) frame.id;
@@ -400,7 +417,16 @@ let submit t ~priority ~size_bytes ~src ~dst ~mode ~trace content =
   (match content with
   | Junk _ -> t.junk_frames <- t.junk_frames + 1
   | Payload _ -> ());
-  if not t.node_up.(src) then begin
+  if
+    src < 0 || src >= t.nodes || dst < 0 || dst >= t.nodes || t.retired.(src)
+  then begin
+    (* Unknown or retired source id: stale-site frames after a removal
+       (or forged ids) are dropped before touching any [src * nodes]
+       indexed state. *)
+    t.dropped_retired_src <- t.dropped_retired_src + 1;
+    t.dropped_bytes <- t.dropped_bytes + size_bytes
+  end
+  else if not t.node_up.(src) then begin
     t.dropped_link_down <- t.dropped_link_down + 1;
     t.dropped_bytes <- t.dropped_bytes + size_bytes
   end
@@ -513,6 +539,17 @@ let restore_node t n =
   t.node_up.(n) <- true;
   invalidate_routes t
 
+(* Membership retirement is orthogonal to liveness: a retired node may
+   still be up (its daemons keep running on stale state) but its
+   frames are no longer admissible. *)
+let retire_node t n =
+  if n >= 0 && n < t.nodes then t.retired.(n) <- true
+
+let unretire_node t n =
+  if n >= 0 && n < t.nodes then t.retired.(n) <- false
+
+let node_retired t n = n >= 0 && n < t.nodes && t.retired.(n)
+
 let set_latency_factor t a b factor =
   if factor < 1.0 then invalid_arg "Net.set_latency_factor: factor < 1";
   (link_state t a b).latency_factor <- factor;
@@ -580,6 +617,7 @@ let stats t =
     dropped_link_down = t.dropped_link_down;
     dropped_no_route = t.dropped_no_route;
     dropped_arq_exhausted = t.dropped_arq_exhausted;
+    dropped_retired_src = t.dropped_retired_src;
     junk_frames = t.junk_frames;
     submitted_bytes = t.submitted_bytes;
     delivered_bytes = t.delivered_bytes;

@@ -42,6 +42,10 @@ type stats = {
   dropped_arq_exhausted : int;
       (** frames lost after all hop-by-hop ARQ retransmission attempts
           failed (sustained loss beyond what per-hop recovery absorbs) *)
+  dropped_retired_src : int;
+      (** frames whose source id is out of range or belongs to a
+          retired (removed-from-membership) node — counted and dropped
+          before touching any flattened per-node state *)
   junk_frames : int;
   submitted_bytes : int;  (** payload bytes of submitted frames (junk included) *)
   delivered_bytes : int;  (** bytes of frames delivered to a handler *)
@@ -130,6 +134,18 @@ val kill_node : 'a t -> Topology.node -> unit
 
 val restore_node : 'a t -> Topology.node -> unit
 val node_alive : 'a t -> Topology.node -> bool
+
+(** [retire_node t n] marks [n]'s id inadmissible as a frame source:
+    the node's site left the membership, so frames it submits (or that
+    are still in flight from it) are counted in [dropped_retired_src]
+    and dropped. Orthogonal to liveness — a retired node may still be
+    up and babbling on stale state. Out-of-range ids are ignored. *)
+val retire_node : 'a t -> Topology.node -> unit
+
+(** [unretire_node t n] re-admits [n] (site re-joined). *)
+val unretire_node : 'a t -> Topology.node -> unit
+
+val node_retired : 'a t -> Topology.node -> bool
 
 (** [set_latency_factor t a b factor] scales the link's propagation
     delay (e.g. 10x under congestion attack). Factor must be >= 1. *)

@@ -2,6 +2,9 @@ open Bft
 
 type config = {
   quorum : Quorum.t;
+  epoch : int;
+      (* membership epoch this instance belongs to; tagged/filtered by
+         the deployment layer (see Prime.Replica) *)
   request_timeout_us : int;
   viewchange_timeout_us : int;
   checkpoint_interval : int;
@@ -12,6 +15,7 @@ type config = {
 let default_config quorum =
   {
     quorum;
+    epoch = 0;
     request_timeout_us = 2_000_000;
     viewchange_timeout_us = 4_000_000;
     checkpoint_interval = 128;
@@ -58,6 +62,8 @@ type t = {
     (Types.seqno * Cryptosim.Digest.t, (Types.replica, unit) Hashtbl.t) Hashtbl.t;
   mutable view_changes : int;
   mutable running : bool;
+  (* One-way stop at an epoch boundary; see Prime.Replica.halt. *)
+  mutable halted : bool;
 }
 
 let faults t = t.faults
@@ -66,6 +72,9 @@ let last_executed t = t.last_executed
 let exec_log t = t.log
 let view_changes t = t.view_changes
 let pending_count t = Hashtbl.length t.pending
+let epoch t = t.config.epoch
+let halted t = t.halted
+let halt t = t.halted <- true
 
 let n t = t.config.quorum.Quorum.n
 let quorum_size t = Quorum.quorum_size t.config.quorum
@@ -93,6 +102,7 @@ let create config env ~execute =
     ckpt_votes = Hashtbl.create 17;
     view_changes = 0;
     running = false;
+    halted = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -100,7 +110,8 @@ let create config env ~execute =
 
 let send_to t dst msg =
   if
-    (not t.faults.Faults.crashed)
+    (not t.halted)
+    && (not t.faults.Faults.crashed)
     && (not t.faults.Faults.silent)
     && not (t.faults.Faults.drop_to dst)
   then t.env.Env.send dst msg
@@ -294,7 +305,7 @@ let flush_proposals t =
   end
 
 let flush_proposals_due t =
-  if (not t.faults.Faults.crashed) && is_leader t then
+  if (not t.halted) && (not t.faults.Faults.crashed) && is_leader t then
     match Batch.deadline_us t.req_acc with
     | Some d when d <= t.env.Env.now_us () -> flush_proposals t
     | Some _ | None -> ()
@@ -459,7 +470,7 @@ let oldest_pending_age t =
   Hashtbl.fold (fun _ (_, since) acc -> max acc (now - since)) t.pending 0
 
 let watchdog t =
-  if not t.faults.Faults.crashed then
+  if (not t.halted) && not t.faults.Faults.crashed then
     match t.mode with
     | View_changing { target; since_us } ->
       if t.env.Env.now_us () - since_us > t.config.viewchange_timeout_us then
@@ -486,8 +497,10 @@ let start t =
     let rec arm () =
       ignore
         (t.env.Env.set_timer t.config.watchdog_interval_us (fun () ->
-             watchdog t;
-             arm ())
+             if not t.halted then begin
+               watchdog t;
+               arm ()
+             end)
           : Sim.Engine.timer)
     in
     arm ()
@@ -497,7 +510,7 @@ let start t =
 (* Entry points.                                                       *)
 
 let submit t update =
-  if not t.faults.Faults.crashed then begin
+  if (not t.halted) && not t.faults.Faults.crashed then begin
     let key = Update.key update in
     if not (Delivery.seen t.delivery key) then begin
       if not (Hashtbl.mem t.pending key) then
@@ -509,7 +522,7 @@ let submit t update =
   end
 
 let handle t ~from msg =
-  if not t.faults.Faults.crashed then
+  if (not t.halted) && not t.faults.Faults.crashed then
     match msg with
     | Msg.Request { update; broadcast = _ } -> submit t update
     | Msg.Preprepare { view; proposal } ->

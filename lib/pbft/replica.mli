@@ -22,6 +22,9 @@
 
 type config = {
   quorum : Bft.Quorum.t;
+  epoch : int;
+      (** membership epoch this instance belongs to (0 = genesis);
+          tagged and filtered by the deployment layer *)
   request_timeout_us : int;
       (** how long a request may stay unexecuted before the replica
           votes to change views *)
@@ -74,3 +77,14 @@ val view_changes : t -> int
 
 (** [pending_count t] is the number of known-but-unexecuted requests. *)
 val pending_count : t -> int
+
+(** {1 Epoch cutover} *)
+
+val epoch : t -> int
+
+(** [halt t] stops the instance one-way at an epoch boundary (no
+    further sends, receives, executions or timer re-arms); see
+    {!Prime.Replica.halt}. *)
+val halt : t -> unit
+
+val halted : t -> bool

@@ -2,6 +2,11 @@ open Bft
 
 type config = {
   quorum : Quorum.t;
+  epoch : int;
+      (* membership epoch this instance belongs to; the instance itself
+         never compares epochs — the deployment layer wraps and filters
+         frames — but carrying the epoch here keeps every quorum check
+         attributable to one certificate *)
   aru_interval_us : int;
   proposal_interval_us : int;
   tat_threshold_us : int;
@@ -16,6 +21,7 @@ type config = {
 let default_config quorum =
   {
     quorum;
+    epoch = 0;
     aru_interval_us = 5_000;
     proposal_interval_us = 10_000;
     tat_threshold_us = 150_000;
@@ -123,6 +129,11 @@ type t = {
   mutable last_fall_behind_us : int;
   last_heard_us : int array; (* per peer: when we last received anything *)
   mutable running : bool;
+  (* Epoch cutover: a halted instance has executed its final update (the
+     boundary) and must neither send, receive, execute, nor re-arm its
+     timers again.  Halting is one-way; the successor epoch runs in a
+     fresh instance. *)
+  mutable halted : bool;
 }
 
 let n t = t.config.quorum.Quorum.n
@@ -140,6 +151,15 @@ let view_changes t = t.view_changes
 let max_tat_us t = t.max_tat_us
 let suspected t = t.suspected_view >= t.view
 let set_on_fall_behind t f = t.on_fall_behind <- f
+let epoch t = t.config.epoch
+let halted t = t.halted
+
+(* Stop this instance at the epoch boundary.  Callable from inside the
+   [execute] callback: the current eligibility batch still finishes
+   (its release is agreed, so the boundary execution count is
+   deterministic across replicas), after which no further slot, timer,
+   send or receive is processed. *)
+let halt t = t.halted <- true
 
 (* Peers this replica has not heard from within [threshold_us]
    (self excluded); input to accusation-based reactive recovery. *)
@@ -202,6 +222,7 @@ let create config env ~execute =
     last_fall_behind_us = -1_000_000_000;
     last_heard_us = Array.make nn 0;
     running = false;
+    halted = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -209,7 +230,8 @@ let create config env ~execute =
 
 let send_to t dst msg =
   if
-    (not t.faults.Faults.crashed)
+    (not t.halted)
+    && (not t.faults.Faults.crashed)
     && (not t.faults.Faults.silent)
     && not (t.faults.Faults.drop_to dst)
   then t.env.Env.send dst msg
@@ -287,9 +309,14 @@ let rec drain_exec t =
       (* Execute every newly eligible update, origin-major order. *)
       let stalled = ref false in
       let origin = ref 0 in
-      while (not !stalled) && !origin < n t do
+      (* [halted] can flip mid-loop (the [execute] callback halts at an
+         epoch boundary); the current Delivery.offer batch completes —
+         its release is agreed, so every replica's boundary execution
+         count lands on the same index — and then the drain stops
+         without touching cursor, matrix or slot state further. *)
+      while (not !stalled) && (not t.halted) && !origin < n t do
         let j = !origin in
-        while (not !stalled) && t.cursor.(j) < elig.(j) do
+        while (not !stalled) && (not t.halted) && t.cursor.(j) < elig.(j) do
           let po_seq = t.cursor.(j) + 1 in
           match Hashtbl.find_opt t.po_store (j, po_seq) with
           | None ->
@@ -314,7 +341,7 @@ let rec drain_exec t =
         done;
         incr origin
       done;
-      if not !stalled then begin
+      if (not !stalled) && not t.halted then begin
         t.stalled_on <- None;
         t.cum_matrix <- merged;
         t.last_applied <- seq;
@@ -647,7 +674,10 @@ let current_summary t =
   m
 
 let proposal_tick t =
-  if (not t.faults.Faults.crashed) && is_leader t && t.mode = Normal then begin
+  if
+    (not t.halted) && (not t.faults.Faults.crashed) && is_leader t
+    && t.mode = Normal
+  then begin
     let summary = current_summary t in
     t.proposal_heartbeat <- t.proposal_heartbeat + 1;
     let heartbeat_due = t.proposal_heartbeat mod 50 = 0 in
@@ -673,7 +703,7 @@ let proposal_tick t =
 (* ARU exchange.                                                       *)
 
 let aru_tick t =
-  if not t.faults.Faults.crashed then begin
+  if (not t.halted) && not t.faults.Faults.crashed then begin
     t.aru_heartbeat <- t.aru_heartbeat + 1;
     let heartbeat_due = t.aru_heartbeat mod 20 = 0 in
     if t.aru_dirty || heartbeat_due then begin
@@ -694,7 +724,7 @@ let aru_tick t =
    retries, ordered-slot catch-up.                                     *)
 
 let watchdog t =
-  if not t.faults.Faults.crashed then begin
+  if (not t.halted) && not t.faults.Faults.crashed then begin
     let now = t.env.Env.now_us () in
     (* TAT probes that never completed count as violations. *)
     (match Queue.peek_opt t.pending_tats with
@@ -824,8 +854,10 @@ let start t =
     let rec arm interval f =
       ignore
         (t.env.Env.set_timer interval (fun () ->
-             f t;
-             arm interval f)
+             if not t.halted then begin
+               f t;
+               arm interval f
+             end)
           : Sim.Engine.timer)
     in
     arm t.config.aru_interval_us aru_tick;
@@ -856,7 +888,7 @@ let flush_po t =
   end
 
 let flush_po_due t =
-  if not t.faults.Faults.crashed then
+  if (not t.halted) && not t.faults.Faults.crashed then
     (* Only flush the generation this timer was armed for: if the
        buffer flushed early on size and refilled, its deadline moved. *)
     match Batch.deadline_us t.po_acc with
@@ -864,7 +896,7 @@ let flush_po_due t =
     | Some _ | None -> ()
 
 let submit t update =
-  if not t.faults.Faults.crashed then begin
+  if (not t.halted) && not t.faults.Faults.crashed then begin
     let key = Update.key update in
     if not (Delivery.seen t.delivery key) then
       if Batch.is_singleton t.config.batch then begin
@@ -886,7 +918,7 @@ let submit t update =
   end
 
 let handle t ~from msg =
-  if not t.faults.Faults.crashed then begin
+  if (not t.halted) && not t.faults.Faults.crashed then begin
     if from >= 0 && from < n t then
       t.last_heard_us.(from) <- t.env.Env.now_us ();
     match msg with

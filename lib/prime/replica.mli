@@ -26,6 +26,11 @@
 
 type config = {
   quorum : Bft.Quorum.t;
+  epoch : int;
+      (** membership epoch this instance belongs to (0 = genesis); the
+          deployment layer tags and filters frames by it — the instance
+          carries it so quorum decisions are attributable to one
+          membership certificate *)
   aru_interval_us : int;
       (** cadence of cumulative vector (PO-ARU) exchange *)
   proposal_interval_us : int;  (** leader's summary-matrix cadence *)
@@ -92,6 +97,22 @@ val max_tat_us : t -> int
 (** [suspected t] says whether this replica currently suspects the
     leader of its view. *)
 val suspected : t -> bool
+
+(** {1 Epoch cutover} *)
+
+(** [epoch t] is the membership epoch from the config. *)
+val epoch : t -> int
+
+(** [halt t] stops the instance one-way at an epoch boundary: the
+    in-progress eligibility batch (if halting from inside [execute])
+    still completes — its release is agreed, so the boundary execution
+    count is deterministic across replicas — after which the instance
+    neither sends, receives, executes, nor re-arms timers.  The
+    successor epoch runs in a fresh instance seeded from
+    {!snapshot}-shaped state. *)
+val halt : t -> unit
+
+val halted : t -> bool
 
 (** {1 State transfer (used by proactive recovery)} *)
 

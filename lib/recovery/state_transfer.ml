@@ -64,6 +64,49 @@ let chunk_blob ~xfer_id ~chunk_bytes blob =
         data = String.sub blob off len;
       })
 
+(* ------------------------------------------------------------------ *)
+(* Chunk re-request ARQ: bounded exponential backoff with
+   deterministic jitter.
+
+   A joining replica re-requests chunks it has not received.  A fixed
+   re-request interval synchronises retries across chunks (and across
+   joiners), hammering the very links whose loss caused the misses in
+   the first place.  Backoff doubles the wait per attempt up to a cap;
+   the jitter de-synchronises concurrent re-requests.  The jitter is
+   *deterministic* — a hash of (xfer_id, chunk_index, attempt) — so a
+   simulation trajectory is a pure function of its seed and the same
+   transfer retries identically on every run. *)
+
+type arq = { base_us : int; cap_us : int; max_attempts : int }
+
+let default_arq = { base_us = 50_000; cap_us = 1_600_000; max_attempts = 10 }
+
+(* Small integer mix (splitmix64-style finalizer) driving the jitter. *)
+let mix x =
+  let x = Int64.of_int x in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94d049bb133111ebL in
+  Int64.to_int (Int64.logand (Int64.logxor x (Int64.shift_right_logical x 31)) 0x3fffffffL)
+
+let rerequest_delay_us arq ~xfer_id ~chunk_index ~attempt =
+  if arq.base_us <= 0 || arq.cap_us < arq.base_us then
+    invalid_arg "State_transfer.rerequest_delay_us: bad arq parameters";
+  if attempt < 0 then invalid_arg "State_transfer.rerequest_delay_us: attempt < 0";
+  if attempt >= arq.max_attempts then None
+  else begin
+    (* Exponential growth, capped; shift bounded so 2^attempt cannot
+       overflow before the cap applies. *)
+    let backoff =
+      if attempt >= 30 then arq.cap_us
+      else min arq.cap_us (arq.base_us * (1 lsl attempt))
+    in
+    (* Jitter in [0, backoff/2): spreads retries without ever shrinking
+       the wait below the deterministic floor. *)
+    let span = max 1 (backoff / 2) in
+    let j = mix ((((xfer_id * 8191) + chunk_index) * 131) + attempt) in
+    Some (backoff + (j mod span))
+  end
+
 let reassemble chunks =
   match chunks with
   | [] -> Error "no chunks"

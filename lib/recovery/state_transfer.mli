@@ -54,3 +54,29 @@ val chunk_blob : xfer_id:int -> chunk_bytes:int -> string -> chunk list
     counts disagree, or the digest of the reassembled bytes does not
     match the announced [total_digest]. Order-insensitive. *)
 val reassemble : chunk list -> (string, string) result
+
+(** {1 Chunk re-request ARQ}
+
+    Bounded exponential backoff with deterministic jitter for
+    re-requesting chunks that never arrived.  The jitter is a hash of
+    (xfer_id, chunk_index, attempt), keeping simulation trajectories a
+    pure function of the seed while de-synchronising concurrent
+    retries. *)
+
+type arq = {
+  base_us : int;  (** first re-request wait *)
+  cap_us : int;  (** backoff ceiling *)
+  max_attempts : int;  (** give up (and surface failure) after this many *)
+}
+
+(** 50 ms base, 1.6 s cap, 10 attempts. *)
+val default_arq : arq
+
+(** [rerequest_delay_us arq ~xfer_id ~chunk_index ~attempt] is the wait
+    before re-request number [attempt] (0-based), or [None] once the
+    attempt budget is exhausted.  Delay is [min (base * 2^attempt) cap]
+    plus deterministic jitter in [0, backoff/2).
+    @raise Invalid_argument on non-positive base, cap below base, or
+    negative attempt. *)
+val rerequest_delay_us :
+  arq -> xfer_id:int -> chunk_index:int -> attempt:int -> int option

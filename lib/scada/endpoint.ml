@@ -13,7 +13,13 @@ type pending = {
 type t = {
   engine : Sim.Engine.t;
   client_id : Bft.Types.client;
-  group : Cryptosim.Threshold.group;
+  (* Threshold groups this endpoint accepts combined signatures from,
+     newest epoch first.  Across a membership cutover, boundary-batch
+     replies are still signed by the old epoch's group while new-epoch
+     replies use the new one, so the endpoint keeps the last two.
+     [Threshold.combine] filters shares from foreign groups via share
+     verification, so trying each group is sound. *)
+  mutable groups : Cryptosim.Threshold.group list;
   resubmit_timeout_us : int;
   submit : attempt:int -> Bft.Update.t -> unit;
   (* Batch path: [None] (or a singleton policy) means every send_op
@@ -36,7 +42,7 @@ let create ?(telemetry = Telemetry.Sink.null) ?(batch = Bft.Batch.singleton)
   {
     engine;
     client_id;
-    group;
+    groups = [ group ];
     resubmit_timeout_us;
     submit;
     submit_batch;
@@ -53,6 +59,12 @@ let create ?(telemetry = Telemetry.Sink.null) ?(batch = Bft.Batch.singleton)
   }
 
 let client_id t = t.client_id
+
+(* Adopt a new epoch's threshold group; the previous one is retained
+   (and only it) so in-flight old-epoch replies still combine. *)
+let push_group t g =
+  if not (List.memq g t.groups) then
+    t.groups <- g :: (match t.groups with old :: _ -> [ old ] | [] -> [])
 let pending_count t = Hashtbl.length t.pending
 let completed_count t = t.completed
 let resubmit_count t = t.resubmits
@@ -129,26 +141,31 @@ let handle_reply t (reply : Reply.t) =
       in
       Hashtbl.replace by_replica reply.Reply.replica reply.Reply.share;
       let shares = Hashtbl.fold (fun _ s acc -> s :: acc) by_replica [] in
-      (match
-         Cryptosim.Threshold.combine t.group ~digest:reply.Reply.digest shares
-       with
+      let combined_opt =
+        List.find_map
+          (fun g ->
+            match
+              Cryptosim.Threshold.combine g ~digest:reply.Reply.digest shares
+            with
+            | Some c when Cryptosim.Threshold.verify g ~digest:reply.Reply.digest c
+              ->
+              Some c
+            | Some _ | None -> None)
+          t.groups
+      in
+      (match combined_opt with
       | None -> None
-      | Some combined ->
-        if
-          Cryptosim.Threshold.verify t.group ~digest:reply.Reply.digest combined
-        then begin
-          Hashtbl.remove t.pending seq;
-          t.completed <- t.completed + 1;
-          let now = Sim.Engine.now t.engine in
-          if Telemetry.Sink.enabled t.telemetry then
-            Telemetry.Sink.update_confirmed t.telemetry
-              ~trace:(Telemetry.Span.trace_id ~client:t.client_id ~seq)
-              ~now;
-          let latency_us = now - p.submitted_us in
-          t.on_complete p.update ~latency_us;
-          Some body
-        end
-        else None)
+      | Some _ ->
+        Hashtbl.remove t.pending seq;
+        t.completed <- t.completed + 1;
+        let now = Sim.Engine.now t.engine in
+        if Telemetry.Sink.enabled t.telemetry then
+          Telemetry.Sink.update_confirmed t.telemetry
+            ~trace:(Telemetry.Span.trace_id ~client:t.client_id ~seq)
+            ~now;
+        let latency_us = now - p.submitted_us in
+        t.on_complete p.update ~latency_us;
+        Some body)
 
 (* Retransmission policy: execution is per-client FIFO, so only the
    head of the pending line can unblock progress — retransmitting a

@@ -37,6 +37,11 @@ val create :
 (** [start t] arms the retransmission watchdog. *)
 val start : t -> unit
 
+(** [push_group t g] adopts a new epoch's threshold group; the previous
+    one is retained (and only it) so in-flight replies signed by the
+    outgoing epoch's group still combine during a membership cutover. *)
+val push_group : t -> Cryptosim.Threshold.group -> unit
+
 (** [send_op t op] wraps [op] into the next update and submits it. *)
 val send_op : t -> Op.t -> Bft.Update.t
 

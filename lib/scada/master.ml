@@ -59,6 +59,12 @@ let apply t op =
             };
       }
   | Op.Hmi_read { hmi_id } -> Read_result { hmi_id; state = t.digest }
+  | Op.Reconfig _ ->
+    (* Membership reconfiguration has no field-device effect; the
+       deployment layer reacts to its execution.  It still advances the
+       state digest (above) so every replica's application state chains
+       over the command identically. *)
+    No_effect
 
 let last_status t ~rtu = List.assoc_opt rtu t.statuses
 let breaker_intent t ~rtu ~breaker = List.assoc_opt (rtu, breaker) t.intents

@@ -3,6 +3,10 @@ type t =
   | Breaker_command of { rtu : int; breaker : int; desired : Rtu.breaker_state }
   | Tap_command of { rtu : int; position : int }
   | Hmi_read of { hmi_id : int }
+  | Reconfig of { payload : string }
+      (* opaque membership-reconfiguration command (Member.Reconfig
+         bytes) ordered through the stream like any other operation;
+         the SCADA layer never interprets it *)
 
 let add_int_list b l =
   Buffer.add_uint16_be b (List.length l);
@@ -40,6 +44,11 @@ let encode = function
     let b = Buffer.create 4 in
     Buffer.add_uint8 b 0x04;
     Buffer.add_uint16_be b hmi_id;
+    Buffer.contents b
+  | Reconfig { payload } ->
+    let b = Buffer.create (1 + String.length payload) in
+    Buffer.add_uint8 b 0x05;
+    Buffer.add_string b payload;
     Buffer.contents b
 
 let get_u8 s pos = Char.code s.[pos]
@@ -97,6 +106,8 @@ let decode s =
       | 0x03 when String.length s = 4 ->
         Ok (Tap_command { rtu = get_u16 s 1; position = get_u8 s 3 - 16 })
       | 0x04 when String.length s = 3 -> Ok (Hmi_read { hmi_id = get_u16 s 1 })
+      | 0x05 ->
+        Ok (Reconfig { payload = String.sub s 1 (String.length s - 1) })
       | tag -> Error (Printf.sprintf "unknown op tag 0x%02x" tag)
   with Invalid_argument _ -> Error "truncated operation"
 
@@ -112,3 +123,5 @@ let pp ppf = function
       (match desired with Rtu.Open -> "open" | Rtu.Closed -> "close")
   | Tap_command { rtu; position } -> Format.fprintf ppf "TapCmd(rtu%d,%d)" rtu position
   | Hmi_read { hmi_id } -> Format.fprintf ppf "HmiRead(%d)" hmi_id
+  | Reconfig { payload } ->
+    Format.fprintf ppf "Reconfig(%d B)" (String.length payload)

@@ -12,6 +12,10 @@ type t =
   | Breaker_command of { rtu : int; breaker : int; desired : Rtu.breaker_state }
   | Tap_command of { rtu : int; position : int }
   | Hmi_read of { hmi_id : int }
+  | Reconfig of { payload : string }
+      (** opaque membership-reconfiguration command bytes
+          ([Member.Reconfig.encode]) ordered through the stream; the
+          SCADA layer carries but never interprets them *)
 
 val encode : t -> string
 val decode : string -> (t, string) result

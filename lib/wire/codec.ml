@@ -400,3 +400,54 @@ let r_chunk r =
 
 let encode_chunk = encode_with w_chunk
 let decode_chunk = decode_with r_chunk
+
+(* ------------------------------------------------------------------ *)
+(* Member.Cert.t                                                       *)
+
+let w_role b = function
+  | Member.Cert.Active_cc -> Rw.w_u8 b 0x01
+  | Member.Cert.Backup_cc -> Rw.w_u8 b 0x02
+  | Member.Cert.Data_center -> Rw.w_u8 b 0x03
+
+let r_role r =
+  let ctx = "cert.role" in
+  match Rw.r_u8 ctx r with
+  | 0x01 -> Member.Cert.Active_cc
+  | 0x02 -> Member.Cert.Backup_cc
+  | 0x03 -> Member.Cert.Data_center
+  | tag -> raise (Rw.Fail (Rw.Unknown_tag { context = ctx; tag }))
+
+let w_site b (s : Member.Cert.site) =
+  Rw.w_u16 b s.Member.Cert.site_id;
+  w_role b s.Member.Cert.role;
+  Rw.w_list b (fun b m -> Rw.w_u16 b m) s.Member.Cert.members
+
+let r_site r =
+  let ctx = "cert.site" in
+  let site_id = Rw.r_u16 ctx r in
+  let role = r_role r in
+  let members = Rw.r_list ctx r (fun r -> Rw.r_u16 ctx r) in
+  { Member.Cert.site_id; role; members }
+
+let w_cert b (c : Member.Cert.t) =
+  Rw.w_u32 b c.Member.Cert.epoch;
+  Rw.w_u16 b c.Member.Cert.f;
+  Rw.w_u16 b c.Member.Cert.k;
+  Rw.w_u32 b c.Member.Cert.boundary_exec;
+  Rw.w_list b w_site c.Member.Cert.sites;
+  Rw.w_list b (fun b m -> Rw.w_u16 b m) c.Member.Cert.signers;
+  Rw.w_digest b c.Member.Cert.prev_digest
+
+let r_cert r =
+  let ctx = "cert" in
+  let epoch = Rw.r_u32 ctx r in
+  let f = Rw.r_u16 ctx r in
+  let k = Rw.r_u16 ctx r in
+  let boundary_exec = Rw.r_u32 ctx r in
+  let sites = Rw.r_list ctx r r_site in
+  let signers = Rw.r_list ctx r (fun r -> Rw.r_u16 ctx r) in
+  let prev_digest = Rw.r_digest ctx r in
+  { Member.Cert.epoch; f; k; boundary_exec; sites; signers; prev_digest }
+
+let encode_cert = encode_with w_cert
+let decode_cert = decode_with r_cert

@@ -50,3 +50,8 @@ val w_reply : Rw.writer -> Scada.Reply.t -> unit
 val r_reply : Rw.reader -> Scada.Reply.t
 val w_chunk : Rw.writer -> Recovery.State_transfer.chunk -> unit
 val r_chunk : Rw.reader -> Recovery.State_transfer.chunk
+
+val encode_cert : Member.Cert.t -> string
+val decode_cert : string -> (Member.Cert.t, Rw.error) result
+val w_cert : Rw.writer -> Member.Cert.t -> unit
+val r_cert : Rw.reader -> Member.Cert.t

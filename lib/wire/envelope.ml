@@ -16,10 +16,15 @@ let scheme_of_tag = function
   | 0x03 -> Some Threshold_sig
   | _ -> None
 
-let scheme_of = function
+let rec scheme_of = function
   | Message.Prime_msg _ | Message.Pbft_msg _ | Message.Transfer_chunk _ -> Hmac
   | Message.Client_update _ | Message.Client_batch _ -> Rsa
   | Message.Replica_reply _ | Message.Reply_batch _ -> Threshold_sig
+  (* The epoch wrapper authenticates like its payload; certificates
+     carry RSA signatures (they cross epochs, where HMAC key sets may
+     have rotated). *)
+  | Message.Epoch_frame (_, inner) -> scheme_of inner
+  | Message.Cert_frame _ -> Rsa
 
 type envelope = { sender : int; scheme : scheme; message : Message.t }
 

@@ -80,7 +80,15 @@ let reply (t : Scada.Reply.t) =
 let chunk (c : Recovery.State_transfer.chunk) =
   u32 + u32 + u32 + digest + bytes c.Recovery.State_transfer.data
 
-let message (m : Message.t) =
+let site (s : Member.Cert.site) =
+  u16 + u8 + list (fun _ -> u16) s.Member.Cert.members
+
+let cert (c : Member.Cert.t) =
+  u32 + u16 + u16 + u32 + list site c.Member.Cert.sites
+  + list (fun _ -> u16) c.Member.Cert.signers
+  + digest
+
+let rec message (m : Message.t) =
   u8
   +
   match m with
@@ -91,3 +99,5 @@ let message (m : Message.t) =
   | Message.Transfer_chunk c -> chunk c
   | Message.Client_batch us -> list update us
   | Message.Reply_batch rs -> list reply rs
+  | Message.Epoch_frame (_, inner) -> u32 + message inner
+  | Message.Cert_frame c -> cert c

@@ -6,12 +6,19 @@ type t =
   | Transfer_chunk of Recovery.State_transfer.chunk
   | Client_batch of Bft.Update.t list
   | Reply_batch of Scada.Reply.t list
+  | Epoch_frame of int * t
+      (* membership-epoch envelope: protocol frames from epoch > 0 are
+         wrapped so receivers can reject stale-epoch traffic before it
+         touches protocol state; epoch-0 frames travel bare, keeping
+         the genesis wire trajectory bit-identical *)
+  | Cert_frame of Member.Cert.t
+      (* membership certificate announcement at a cutover *)
 
 (* Kinds form a dense index so per-kind traffic accounting can live in
    a preallocated counter array instead of a hashtable keyed by the
    label strings. New kinds are appended so existing indices (and the
    pinned per-kind byte ledgers built on them) stay stable. *)
-let kind_count = 26
+let kind_count = 27
 
 let kind_names =
   [|
@@ -21,12 +28,12 @@ let kind_names =
     "prime/slot_reply"; "prime/checkpoint"; "pbft/request"; "pbft/preprepare";
     "pbft/prepare"; "pbft/commit"; "pbft/checkpoint"; "pbft/viewchange";
     "pbft/newview"; "client_update"; "replica_reply"; "transfer_chunk";
-    "prime/po_batch"; "client_batch"; "replica_reply_batch";
+    "prime/po_batch"; "client_batch"; "replica_reply_batch"; "member/cert";
   |]
 
 let kind_name i = kind_names.(i)
 
-let kind_index = function
+let rec kind_index = function
   | Prime_msg (_, m) -> (
     match m with
     | Prime.Msg.Po_request _ -> 0
@@ -57,6 +64,10 @@ let kind_index = function
   | Transfer_chunk _ -> 22
   | Client_batch _ -> 24
   | Reply_batch _ -> 25
+  (* an epoch frame is accounted as its inner kind: the wrapper is
+     transport framing, not a protocol message of its own *)
+  | Epoch_frame (_, inner) -> kind_index inner
+  | Cert_frame _ -> 26
 
 let kind m = kind_names.(kind_index m)
 
@@ -65,7 +76,7 @@ let kind m = kind_names.(kind_index m)
    equality the decode-on-delivery check needs. *)
 let equal (a : t) (b : t) = a = b
 
-let pp ppf = function
+let rec pp ppf = function
   | Prime_msg (r, m) -> Format.fprintf ppf "prime[r%d] %a" r Prime.Msg.pp m
   | Pbft_msg (r, m) -> Format.fprintf ppf "pbft[r%d] %a" r Pbft.Msg.pp m
   | Client_update u -> Format.fprintf ppf "update %a" Bft.Update.pp u
@@ -78,8 +89,10 @@ let pp ppf = function
   | Client_batch us ->
     Format.fprintf ppf "update batch (%d)" (List.length us)
   | Reply_batch rs -> Format.fprintf ppf "reply batch (%d)" (List.length rs)
+  | Epoch_frame (e, inner) -> Format.fprintf ppf "epoch[%d] %a" e pp inner
+  | Cert_frame c -> Format.fprintf ppf "cert %a" Member.Cert.pp c
 
-let w b = function
+let rec w b = function
   | Prime_msg (sender, m) ->
     Rw.w_u8 b 0x01;
     Rw.w_u16 b sender;
@@ -103,8 +116,15 @@ let w b = function
   | Reply_batch rs ->
     Rw.w_u8 b 0x07;
     Rw.w_list b Codec.w_reply rs
+  | Epoch_frame (epoch, inner) ->
+    Rw.w_u8 b 0x08;
+    Rw.w_u32 b epoch;
+    w b inner
+  | Cert_frame c ->
+    Rw.w_u8 b 0x09;
+    Codec.w_cert b c
 
-let r reader =
+let rec r reader =
   let ctx = "message" in
   match Rw.r_u8 ctx reader with
   | 0x01 ->
@@ -118,6 +138,12 @@ let r reader =
   | 0x05 -> Transfer_chunk (Codec.r_chunk reader)
   | 0x06 -> Client_batch (Rw.r_list ctx reader Codec.r_update)
   | 0x07 -> Reply_batch (Rw.r_list ctx reader Codec.r_reply)
+  | 0x08 ->
+    (* Recursion is bounded by the input length: every nesting level
+       consumes at least its five header bytes. *)
+    let epoch = Rw.r_u32 ctx reader in
+    Epoch_frame (epoch, r reader)
+  | 0x09 -> Cert_frame (Codec.r_cert reader)
   | tag -> raise (Rw.Fail (Rw.Unknown_tag { context = ctx; tag }))
 
 let encode m =

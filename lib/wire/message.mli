@@ -21,6 +21,14 @@ type t =
   | Reply_batch of Scada.Reply.t list
       (** several threshold-signed execution replies to the same client
           in one envelope *)
+  | Epoch_frame of int * t
+      (** membership-epoch envelope around a protocol frame: receivers
+          reject stale-epoch traffic before it reaches protocol state.
+          Epoch-0 frames travel bare (genesis trajectory unchanged);
+          accounted under the inner message's kind. *)
+  | Cert_frame of Member.Cert.t
+      (** membership certificate announcement broadcast at an epoch
+          cutover *)
 
 (** [kind m] is a stable per-variant label (drilling into the protocol
     message variant, e.g. ["prime/preprepare"]) used for per-class

@@ -81,6 +81,39 @@ let prop_minimal_config_valid =
       C.valid c && C.tolerates_site_loss c
       && C.total_replicas c = C.minimal_n ~f ~k ~sites)
 
+(* --------------------------------------------------------------- *)
+(* Epoch transitions: online reconfiguration must keep quorum       *)
+(* intersection across the cutover boundary                         *)
+
+let gen_epoch = G.map (fun (f, k) -> { C.e_f = f; e_k = k }) (G.pair gen_f gen_k)
+
+let print_transition (o, n) =
+  Printf.sprintf "old={f=%d;k=%d} new={f=%d;k=%d}" o.C.e_f o.C.e_k n.C.e_f
+    n.C.e_k
+
+let prop_epoch_transition_safe =
+  QCheck.Test.make ~count:1000
+    ~name:"epoch growth never shrinks quorum below old intersection"
+    (QCheck.make (G.pair gen_epoch gen_epoch) ~print:print_transition)
+    (fun (old_epoch, new_epoch) ->
+      let q_old = C.quorum ~f:old_epoch.C.e_f ~k:old_epoch.C.e_k
+      and q_new = C.quorum ~f:new_epoch.C.e_f ~k:new_epoch.C.e_k
+      and tq = C.transition_quorum ~old_epoch ~new_epoch in
+      (* The cutover vouching set is honoured by both epochs... *)
+      tq = max q_old q_new
+      && tq >= C.intersection ~f:old_epoch.C.e_f ~k:old_epoch.C.e_k
+      && tq >= C.intersection ~f:new_epoch.C.e_f ~k:new_epoch.C.e_k
+      (* ...growing resilience (f or k up, neither down) is always a
+         safe transition... *)
+      && ((not
+             (new_epoch.C.e_f >= old_epoch.C.e_f
+             && new_epoch.C.e_k >= old_epoch.C.e_k))
+         || C.transition_safe ~old_epoch ~new_epoch)
+      (* ...and safety holds exactly when the new quorum still meets
+         the old epoch's f+1 intersection floor. *)
+      && C.transition_safe ~old_epoch ~new_epoch
+         = (q_new >= C.intersection ~f:old_epoch.C.e_f ~k:old_epoch.C.e_k))
+
 let () =
   Alcotest.run "config_calc"
     [
@@ -93,5 +126,6 @@ let () =
             prop_distribute_sums;
             prop_distribute_even;
             prop_minimal_config_valid;
+            prop_epoch_transition_safe;
           ] );
     ]

@@ -1,0 +1,340 @@
+(* Membership subsystem tests: certificate structure and succession,
+   the reconfiguration command codec and semantics, the certificate
+   directory, and an end-to-end online-reconfiguration run through the
+   full system (control-center promotion, site removal, membership
+   growth into pre-provisioned standby replicas). *)
+
+module Cert = Member.Cert
+module Reconfig = Member.Reconfig
+module Directory = Member.Directory
+module Sys_ = Spire.System
+module G = QCheck.Gen
+
+(* The paper's flagship shape: 2 control centers with 2 replicas, 2
+   data centers with 1; f = 1, k = 1, n = 6. *)
+let flagship () =
+  Cert.genesis ~f:1 ~k:1
+    ~sites:
+      [
+        { Cert.site_id = 0; role = Cert.Active_cc; members = [ 0; 1 ] };
+        { Cert.site_id = 1; role = Cert.Backup_cc; members = [ 2; 3 ] };
+        { Cert.site_id = 2; role = Cert.Data_center; members = [ 4 ] };
+        { Cert.site_id = 3; role = Cert.Data_center; members = [ 5 ] };
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Certificates                                                        *)
+
+let test_genesis_shape () =
+  let c = flagship () in
+  Alcotest.(check int) "epoch" 0 (Cert.epoch c);
+  Alcotest.(check int) "n" 6 (Cert.n c);
+  Alcotest.(check int) "quorum" 4 (Cert.quorum_size c);
+  Alcotest.(check int) "reply" 2 (Cert.reply_threshold c);
+  Alcotest.(check (list int)) "members in site order" [ 0; 1; 2; 3; 4; 5 ]
+    (Cert.members c);
+  Alcotest.(check (option int)) "rank of 4" (Some 4) (Cert.rank_of c 4);
+  Alcotest.(check (option int)) "rank of stranger" None (Cert.rank_of c 9);
+  Alcotest.(check (option int)) "member of rank 5" (Some 5)
+    (Cert.member_of_rank c 5)
+
+let test_genesis_rejects_invalid () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "two active CCs" true
+    (raises (fun () ->
+         Cert.genesis ~f:1 ~k:1
+           ~sites:
+             [
+               { Cert.site_id = 0; role = Cert.Active_cc; members = [ 0; 1; 2 ] };
+               { Cert.site_id = 1; role = Cert.Active_cc; members = [ 3; 4; 5 ] };
+             ]));
+  Alcotest.(check bool) "n below 3f+2k+1" true
+    (raises (fun () ->
+         Cert.genesis ~f:1 ~k:1
+           ~sites:
+             [ { Cert.site_id = 0; role = Cert.Active_cc; members = [ 0; 1 ] } ]));
+  Alcotest.(check bool) "duplicate member across sites" true
+    (raises (fun () ->
+         Cert.genesis ~f:1 ~k:0
+           ~sites:
+             [
+               { Cert.site_id = 0; role = Cert.Active_cc; members = [ 0; 1 ] };
+               { Cert.site_id = 1; role = Cert.Backup_cc; members = [ 1; 2 ] };
+             ]))
+
+let test_succession_checks () =
+  let prev = flagship () in
+  let ok_actions = [ Reconfig.Promote 1 ] in
+  (* A previous-epoch quorum of signers is required. *)
+  (match
+     Reconfig.apply prev ok_actions ~signers:[ 0; 1; 2 ] ~boundary_exec:10
+   with
+  | Ok _ -> Alcotest.fail "sub-quorum signers accepted"
+  | Error _ -> ());
+  (* Signers must be previous-epoch members. *)
+  (match
+     Reconfig.apply prev ok_actions ~signers:[ 0; 1; 2; 42 ] ~boundary_exec:10
+   with
+  | Ok _ -> Alcotest.fail "foreign signer accepted"
+  | Error _ -> ());
+  (* A full quorum of genuine members succeeds; the boundary may equal
+     the previous one (non-strict monotonicity) but never regress. *)
+  let next =
+    match
+      Reconfig.apply prev ok_actions ~signers:[ 0; 1; 2; 3 ] ~boundary_exec:10
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "valid succession rejected: %s" e
+  in
+  Alcotest.(check int) "epoch advanced" 1 (Cert.epoch next);
+  Alcotest.(check bool) "chain digest linked" true
+    (Cryptosim.Digest.equal (Cert.prev_digest next) (Cert.digest prev));
+  (match
+     Reconfig.apply next [ Reconfig.Promote 0 ] ~signers:(Cert.members next)
+       ~boundary_exec:9
+   with
+  | Ok _ -> Alcotest.fail "boundary regression accepted"
+  | Error _ -> ());
+  match
+    Reconfig.apply next [ Reconfig.Promote 0 ] ~signers:(Cert.members next)
+      ~boundary_exec:10
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "equal boundary rejected: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Reconfiguration actions                                             *)
+
+let test_action_semantics () =
+  let prev = flagship () in
+  let signers = Cert.members prev in
+  (* Promote demotes the incumbent active control center. *)
+  let next =
+    match Reconfig.apply prev [ Reconfig.Promote 1 ] ~signers ~boundary_exec:5 with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "promote failed: %s" e
+  in
+  let role_of id =
+    match Cert.site_of next ~site_id:id with
+    | Some s -> s.Cert.role
+    | None -> Alcotest.failf "site %d missing" id
+  in
+  Alcotest.(check bool) "site 1 active" true (role_of 1 = Cert.Active_cc);
+  Alcotest.(check bool) "site 0 demoted" true (role_of 0 = Cert.Backup_cc);
+  (* Data centers cannot be promoted; unknown sites cannot be removed;
+     new sites cannot join as the active control center. *)
+  let fails actions =
+    match Reconfig.apply prev actions ~signers ~boundary_exec:5 with
+    | Ok _ -> false
+    | Error _ -> true
+  in
+  Alcotest.(check bool) "promote data center" true
+    (fails [ Reconfig.Promote 2 ]);
+  Alcotest.(check bool) "remove unknown site" true
+    (fails [ Reconfig.Remove_site 7 ]);
+  Alcotest.(check bool) "add duplicate member" true
+    (fails
+       [
+         Reconfig.Add_site
+           { site_id = 9; role = Cert.Data_center; members = [ 5; 6 ] };
+       ]);
+  Alcotest.(check bool) "add active cc" true
+    (fails
+       [
+         Reconfig.Add_site
+           { site_id = 9; role = Cert.Active_cc; members = [ 6; 7 ] };
+       ]);
+  (* Removing the active control center requires promoting another
+     first (exactly one active CC must remain) — and shrinking n below
+     3f+2k+1 is rejected unless resilience is reduced in the same
+     atomic command. *)
+  Alcotest.(check bool) "remove active cc alone" true
+    (fails [ Reconfig.Remove_site 0 ]);
+  match
+    Reconfig.apply prev
+      [
+        Reconfig.Set_resilience { f = 1; k = 0 };
+        Reconfig.Promote 1;
+        Reconfig.Remove_site 0;
+      ]
+      ~signers ~boundary_exec:5
+  with
+  | Ok c ->
+    Alcotest.(check int) "failover n" 4 (Cert.n c);
+    Alcotest.(check int) "failover quorum" 3 (Cert.quorum_size c)
+  | Error e -> Alcotest.failf "atomic failover rejected: %s" e
+
+let gen_role =
+  G.oneofl [ Cert.Active_cc; Cert.Backup_cc; Cert.Data_center ]
+
+let gen_action =
+  G.oneof
+    [
+      G.map
+        (fun (f, k) -> Reconfig.Set_resilience { f; k })
+        (G.pair (G.int_bound 255) (G.int_bound 255));
+      G.map (fun s -> Reconfig.Remove_site s) (G.int_bound 0xffff);
+      G.map
+        (fun ((site_id, role), members) ->
+          Reconfig.Add_site { site_id; role; members })
+        (G.pair
+           (G.pair (G.int_bound 0xffff) gen_role)
+           (G.list_size (G.int_bound 5) (G.int_bound 0xffff)));
+      G.map (fun s -> Reconfig.Promote s) (G.int_bound 0xffff);
+    ]
+
+let prop_reconfig_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"reconfig codec roundtrip"
+    (QCheck.make
+       ~print:(Format.asprintf "%a" Reconfig.pp)
+       (G.list_size (G.int_bound 6) gen_action))
+    (fun actions ->
+      match Reconfig.decode (Reconfig.encode actions) with
+      | Ok actions' -> actions' = actions
+      | Error e -> QCheck.Test.fail_reportf "decode error: %s" e)
+
+let prop_reconfig_junk =
+  QCheck.Test.make ~count:500 ~name:"reconfig decode total on junk"
+    (QCheck.make (G.string_size ~gen:G.char (G.int_bound 30)))
+    (fun s ->
+      match Reconfig.decode s with Ok _ -> true | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Directory                                                           *)
+
+let test_directory_chain () =
+  let d = Directory.create ~genesis:(flagship ()) in
+  let prev = Directory.current d in
+  let next =
+    match
+      Directory.advance d [ Reconfig.Promote 1 ] ~signers:(Cert.members prev)
+        ~boundary_exec:7
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "advance failed: %s" e
+  in
+  Alcotest.(check int) "epoch" 1 (Directory.epoch d);
+  Alcotest.(check int) "history length" 2 (List.length (Directory.history d));
+  (* Re-installing an existing certificate is idempotent. *)
+  (match Directory.install d next with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "idempotent install failed: %s" e);
+  Alcotest.(check int) "history unchanged" 2
+    (List.length (Directory.history d));
+  (* A fork at the same epoch is rejected. *)
+  let fork =
+    match
+      Reconfig.apply prev [ Reconfig.Promote 1 ] ~signers:(Cert.members prev)
+        ~boundary_exec:8
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "fork construction failed: %s" e
+  in
+  (match Directory.install d fork with
+  | Ok () -> Alcotest.fail "fork accepted"
+  | Error _ -> ());
+  (* A gap (epoch + 2) is rejected. *)
+  let skip =
+    match
+      Reconfig.apply next [ Reconfig.Promote 0 ] ~signers:(Cert.members next)
+        ~boundary_exec:9
+    with
+    | Ok c -> { c with Cert.epoch = 3 }
+    | Error e -> Alcotest.failf "skip construction failed: %s" e
+  in
+  match Directory.install d skip with
+  | Ok () -> Alcotest.fail "gap accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end online reconfiguration                                   *)
+
+(* Control-center failover, then growth into a pre-provisioned standby
+   site: the reconfiguration command travels through the ordered
+   stream, every replica halts at the same boundary, and the standby
+   replicas are walked in by the reconciler through a chunk-gated
+   vouched state transfer. *)
+let test_system_reconfiguration () =
+  let cfg =
+    {
+      (Sys_.default_config ()) with
+      Sys_.standby_site_sizes = [ 2 ];
+      substations = 4;
+      poll_interval_us = 50_000;
+    }
+  in
+  let sys = Sys_.create cfg in
+  Alcotest.(check int) "universe" 8 (Sys_.universe_count sys);
+  Alcotest.(check int) "standby dark" (-1) (Sys_.epoch_of_replica sys 6);
+  Sys_.start sys;
+  Sys_.run sys ~duration_us:2_000_000;
+  let confirmed_before = Sys_.confirmed_updates sys in
+  Alcotest.(check bool) "baseline progress" true (confirmed_before > 50);
+  (* Failover: promote the backup control center, drop the primary,
+     shrink resilience to keep n >= 3f+2k+1 over the surviving sites. *)
+  Sys_.submit_reconfig sys
+    [
+      Member.Reconfig.Set_resilience { f = 1; k = 0 };
+      Member.Reconfig.Promote 1;
+      Member.Reconfig.Remove_site 0;
+    ];
+  Sys_.run sys ~duration_us:4_000_000;
+  Alcotest.(check int) "epoch 1 active" 1 (Sys_.current_epoch sys);
+  Alcotest.(check (list int)) "epoch 1 membership" [ 2; 3; 4; 5 ]
+    (Sys_.current_members sys);
+  Alcotest.(check int) "primary retired" (-1) (Sys_.epoch_of_replica sys 0);
+  let confirmed_mid = Sys_.confirmed_updates sys in
+  Alcotest.(check bool) "progress across failover" true
+    (confirmed_mid > confirmed_before + 50);
+  (* Growth: restore full resilience by admitting the standby site. *)
+  Sys_.submit_reconfig sys
+    [
+      Member.Reconfig.Set_resilience { f = 1; k = 1 };
+      Member.Reconfig.Add_site
+        { site_id = 4; role = Member.Cert.Data_center; members = [ 6; 7 ] };
+    ];
+  Sys_.run sys ~duration_us:6_000_000;
+  Alcotest.(check int) "epoch 2 active" 2 (Sys_.current_epoch sys);
+  Alcotest.(check (list int)) "epoch 2 membership" [ 2; 3; 4; 5; 6; 7 ]
+    (Sys_.current_members sys);
+  Alcotest.(check int) "standby 6 joined" 2 (Sys_.epoch_of_replica sys 6);
+  Alcotest.(check int) "standby 7 joined" 2 (Sys_.epoch_of_replica sys 7);
+  let confirmed_after = Sys_.confirmed_updates sys in
+  Alcotest.(check bool) "progress across growth" true
+    (confirmed_after > confirmed_mid + 50);
+  Alcotest.(check (option string)) "no epoch violation" None
+    (Sys_.epoch_violation sys);
+  Alcotest.(check int) "two cutovers" 2 (List.length (Sys_.cutovers sys));
+  (* Boundaries never regress across the chain. *)
+  (match Sys_.cutovers sys with
+  | [ (1, b1, _); (2, b2, _) ] ->
+    Alcotest.(check bool) "boundary monotone" true (b1 <= b2)
+  | other ->
+    Alcotest.failf "unexpected cutovers (%d)" (List.length other));
+  Sys_.assert_agreement sys
+
+let () =
+  QCheck_base_runner.set_seed 62193;
+  Alcotest.run "member"
+    [
+      ( "cert",
+        [
+          Alcotest.test_case "genesis shape" `Quick test_genesis_shape;
+          Alcotest.test_case "genesis rejects invalid" `Quick
+            test_genesis_rejects_invalid;
+          Alcotest.test_case "succession checks" `Quick test_succession_checks;
+        ] );
+      ( "reconfig",
+        [
+          Alcotest.test_case "action semantics" `Quick test_action_semantics;
+          QCheck_alcotest.to_alcotest prop_reconfig_roundtrip;
+          QCheck_alcotest.to_alcotest prop_reconfig_junk;
+        ] );
+      ( "directory",
+        [ Alcotest.test_case "chain rules" `Quick test_directory_chain ] );
+      ( "system",
+        [
+          Alcotest.test_case "online reconfiguration end to end" `Slow
+            test_system_reconfiguration;
+        ] );
+    ]

@@ -470,6 +470,57 @@ let test_net_arq_exhaustion_counted_not_wedged () =
   Alcotest.(check bool) "link usable after exhaustion" true
     (!received > 0 && (N.stats net).N.delivered = !received)
 
+let test_net_retired_src_dropped () =
+  (* A retired (removed-from-membership) node keeps babbling: its
+     frames must be counted and dropped, not delivered — whether
+     submitted after retirement or already in flight when it lands.
+     Re-admission restores delivery. *)
+  let topo = diamond () in
+  let engine, net = make_net topo in
+  let received = ref 0 in
+  N.set_handler net 3 (fun _ -> incr received);
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 1);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "baseline delivery" 1 !received;
+  N.retire_node net 0;
+  Alcotest.(check bool) "marked retired" true (N.node_retired net 0);
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 2);
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:(N.Redundant 3) (Ping 3);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "retired frames not delivered" 1 !received;
+  Alcotest.(check bool) "drops counted" true
+    ((N.stats net).N.dropped_retired_src >= 2);
+  (* In flight at retirement time: submitted while admissible, retired
+     before delivery. *)
+  N.unretire_node net 0;
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 4);
+  N.retire_node net 0;
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "in-flight frame dropped" 1 !received;
+  (* Retirement is about the source id, not liveness: a retired node
+     still forwards other nodes' traffic through itself. *)
+  N.kill_link net 0 2;
+  N.retire_node net 1;
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 5);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "frame dropped while src retired" 1 !received;
+  N.unretire_node net 0;
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 6);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "re-admitted src via retired forwarder" 2 !received;
+  (* Unknown source ids (spoofed frames from outside the membership
+     universe) are counted and dropped too, and never crash the
+     runtime; retiring an out-of-range id is a no-op. *)
+  N.retire_node net 99;
+  N.retire_node net (-1);
+  let before = (N.stats net).N.dropped_retired_src in
+  N.send net ~src:42 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 7);
+  N.send net ~src:(-3) ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 8);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "unknown src never delivered" 2 !received;
+  Alcotest.(check int) "unknown src counted" (before + 2)
+    (N.stats net).N.dropped_retired_src
+
 let test_net_self_send () =
   let topo = diamond () in
   let engine, net = make_net topo in
@@ -539,5 +590,7 @@ let () =
           Alcotest.test_case "loss becomes latency" `Quick
             test_net_loss_adds_latency_not_loss;
           Alcotest.test_case "self send" `Quick test_net_self_send;
+          Alcotest.test_case "retired and unknown src dropped" `Quick
+            test_net_retired_src_dropped;
         ] );
     ]

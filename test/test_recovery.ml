@@ -223,6 +223,91 @@ let test_chunk_tamper_detected () =
   | Ok _ -> Alcotest.fail "missing chunk must not reassemble"
   | Error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Chunk re-request ARQ: bounded exponential backoff with deterministic
+   jitter. *)
+
+let prop_arq_backoff =
+  QCheck.Test.make ~count:500
+    ~name:"arq: delay bounded by [backoff, 1.5*backoff), deterministic"
+    QCheck.(
+      triple (int_range 0 1000) (int_range 0 200)
+        (int_range 0 (ST.default_arq.ST.max_attempts - 1)))
+    (fun (xfer_id, chunk_index, attempt) ->
+      let a = ST.default_arq in
+      match ST.rerequest_delay_us a ~xfer_id ~chunk_index ~attempt with
+      | None -> false
+      | Some d ->
+        let backoff = min (a.ST.base_us * (1 lsl attempt)) a.ST.cap_us in
+        d >= backoff
+        && d < backoff + (backoff / 2)
+        && ST.rerequest_delay_us a ~xfer_id ~chunk_index ~attempt = Some d)
+
+let test_arq_budget_exhausted () =
+  let a = ST.default_arq in
+  (match
+     ST.rerequest_delay_us a ~xfer_id:1 ~chunk_index:0
+       ~attempt:a.ST.max_attempts
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "attempt budget not enforced");
+  (* Jitter de-synchronises concurrent transfers: with 64 distinct
+     (xfer, chunk) pairs at the same attempt, delays must not all
+     collide on one value. *)
+  let delays =
+    List.init 64 (fun i ->
+        match
+          ST.rerequest_delay_us a ~xfer_id:i ~chunk_index:(i * 7) ~attempt:3
+        with
+        | Some d -> d
+        | None -> Alcotest.fail "unexpected give-up")
+  in
+  Alcotest.(check bool) "jitter spreads retries" true
+    (List.length (List.sort_uniq compare delays) > 8)
+
+(* Join convergence under the E6 lossy profile: a standby site is
+   admitted while every inter-site replica link drops 30% of
+   transmissions. The chunk-gated transfer must converge through the
+   bounded-backoff ARQ (and the overlay's hop retransmissions) and the
+   joiners must reach the new epoch. *)
+let test_join_under_loss () =
+  let cfg =
+    {
+      (Spire.System.default_config ()) with
+      Spire.System.standby_site_sizes = [ 2 ];
+      substations = 3;
+      poll_interval_us = 100_000;
+    }
+  in
+  let sys = Spire.System.create cfg in
+  let net = Spire.System.net sys in
+  let topo = Overlay.Net.topology net in
+  let universe = Spire.System.universe_count sys in
+  List.iter
+    (fun link ->
+      let a = link.Overlay.Topology.endpoint_a
+      and b = link.Overlay.Topology.endpoint_b in
+      if
+        a < universe && b < universe
+        && Overlay.Topology.site_of topo a <> Overlay.Topology.site_of topo b
+      then Overlay.Net.set_loss_probability net a b 0.3)
+    (Overlay.Topology.links topo);
+  Spire.System.start sys;
+  Spire.System.run sys ~duration_us:2_000_000;
+  Spire.System.submit_reconfig sys
+    [
+      Member.Reconfig.Set_resilience { f = 1; k = 2 };
+      Member.Reconfig.Add_site
+        { site_id = 4; role = Member.Cert.Data_center; members = [ 6; 7 ] };
+    ];
+  Spire.System.run sys ~duration_us:13_000_000;
+  Alcotest.(check int) "epoch 1 active" 1 (Spire.System.current_epoch sys);
+  Alcotest.(check int) "joiner 6 caught up" 1 (Spire.System.epoch_of_replica sys 6);
+  Alcotest.(check int) "joiner 7 caught up" 1 (Spire.System.epoch_of_replica sys 7);
+  Alcotest.(check (option string)) "no epoch violation" None
+    (Spire.System.epoch_violation sys);
+  Spire.System.assert_agreement sys
+
 let () =
   Alcotest.run "recovery"
     [
@@ -261,5 +346,10 @@ let () =
           Alcotest.test_case "chunking empty blob" `Quick test_chunk_empty_blob;
           Alcotest.test_case "chunk tamper detected" `Quick
             test_chunk_tamper_detected;
+          QCheck_alcotest.to_alcotest prop_arq_backoff;
+          Alcotest.test_case "arq budget and jitter spread" `Quick
+            test_arq_budget_exhausted;
+          Alcotest.test_case "join converges under lossy links" `Slow
+            test_join_under_loss;
         ] );
     ]

@@ -163,7 +163,36 @@ let gen_chunk =
       })
     (G.pair (G.triple gen_u32 gen_u32 gen_u32) (G.pair gen_digest gen_bytes))
 
-let gen_message =
+let gen_role =
+  G.oneofl [ Member.Cert.Active_cc; Member.Cert.Backup_cc; Member.Cert.Data_center ]
+
+let gen_site =
+  G.map
+    (fun (site_id, role, members) -> { Member.Cert.site_id; role; members })
+    (G.triple gen_u16 gen_role (G.list_size (G.int_bound 4) gen_u16))
+
+(* Arbitrary (not necessarily valid) certificates: the codec is a pure
+   structural round-trip; validity is the Member layer's concern. *)
+let gen_cert =
+  G.map
+    (fun ((epoch, f, k), (boundary_exec, sites, signers, prev_digest)) ->
+      {
+        Member.Cert.epoch;
+        f;
+        k;
+        boundary_exec;
+        sites;
+        signers;
+        prev_digest;
+      })
+    (G.pair
+       (G.triple gen_u32 gen_u16 gen_u16)
+       (G.quad gen_u32
+          (G.list_size (G.int_bound 4) gen_site)
+          (G.list_size (G.int_bound 6) gen_u16)
+          gen_digest))
+
+let gen_inner_message =
   G.oneof
     [
       G.map
@@ -181,6 +210,17 @@ let gen_message =
         (fun rs -> Wire.Message.Reply_batch rs)
         (G.list_size (G.int_bound 4) gen_reply);
       G.map (fun c -> Wire.Message.Transfer_chunk c) gen_chunk;
+    ]
+
+let gen_message =
+  G.oneof
+    [
+      gen_inner_message;
+      (* One level of epoch wrapping, as the system produces. *)
+      G.map
+        (fun (e, inner) -> Wire.Message.Epoch_frame (e, inner))
+        (G.pair gen_u32 gen_inner_message);
+      G.map (fun c -> Wire.Message.Cert_frame c) gen_cert;
     ]
 
 let arb gen pp = QCheck.make ~print:(Format.asprintf "%a" pp) gen
@@ -321,7 +361,7 @@ let prop_measure_envelope =
       = String.length (Wire.Envelope.encode ~sender msg))
 
 let test_kind_index_table () =
-  Alcotest.(check int) "kind_count" 26 Wire.Message.kind_count;
+  Alcotest.(check int) "kind_count" 27 Wire.Message.kind_count;
   let names =
     List.init Wire.Message.kind_count Wire.Message.kind_name
   in
