@@ -68,6 +68,21 @@ let () =
 let perf_mode =
   match Sys.getenv_opt "PERF" with Some "1" -> true | _ -> false
 
+(* PAR=N — farm the independent scenario instances (E8 sweep points,
+   E10 chaos soak seeds) across N OCaml domains via Sim.Parallel.
+   Default 1: every instance runs inline, no domains spawned. Output is
+   byte-identical for any value — results are collected into
+   index-addressed arrays and printed in order after the join. *)
+let par_domains =
+  match Sys.getenv_opt "PAR" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Printf.eprintf "PAR=%S is not a positive integer\n" s;
+      exit 2)
+
 let sec s = s * 1_000_000
 let minutes m = m * 60 * 1_000_000
 let hours h = h * 3600 * 1_000_000
@@ -473,25 +488,42 @@ let e8 () =
   in
   let breaking_point = ref None in
   let traffic_sample = ref None in
-  List.iter
-    (fun substations ->
-      let sys, r =
-        Spire.Scenarios.throughput ~substations ~poll_interval_us:100_000
-          ~duration_us:duration ()
-      in
-      let secs = float_of_int duration /. 1e6 in
-      let offered = float_of_int substations *. 10. in
-      let confirmed_rate = float_of_int r.Spire.Scenarios.confirmed /. secs in
+  let points =
+    if scale_full then [| 10; 20; 40; 80; 160; 320; 640; 1280 |]
+    else [| 10; 20; 40; 80; 160; 320; 640 |]
+  in
+  (* Every sweep point builds its own system — independent instances,
+     farmed across PAR= domains; rows are added in index order after
+     the join, so the table is identical for any domain count. *)
+  let results =
+    Sim.Parallel.map ~domains:par_domains
+      (fun substations ->
+        let sys, r =
+          Spire.Scenarios.throughput ~substations ~poll_interval_us:100_000
+            ~duration_us:duration ()
+        in
+        let secs = float_of_int duration /. 1e6 in
+        let offered = float_of_int substations *. 10. in
+        let confirmed_rate = float_of_int r.Spire.Scenarios.confirmed /. secs in
+        let p99 =
+          if Stats.Histogram.count r.Spire.Scenarios.hist > 0 then
+            pct r.Spire.Scenarios.hist 99.
+          else nan
+        in
+        let wire_bytes =
+          (Overlay.Net.stats (Spire.System.net sys)).Overlay.Net.submitted_bytes
+        in
+        let traffic =
+          if substations = 40 then Some (Spire.System.wire_traffic sys)
+          else None
+        in
+        (substations, offered, confirmed_rate, p99, wire_bytes, traffic))
+      points
+  in
+  Array.iter
+    (fun (substations, offered, confirmed_rate, p99, wire_bytes, traffic) ->
+      (match traffic with Some t -> traffic_sample := Some t | None -> ());
       let ratio = confirmed_rate /. offered in
-      let p99 =
-        if Stats.Histogram.count r.Spire.Scenarios.hist > 0 then
-          pct r.Spire.Scenarios.hist 99.
-        else nan
-      in
-      let wire_bytes =
-        (Overlay.Net.stats (Spire.System.net sys)).Overlay.Net.submitted_bytes
-      in
-      if substations = 40 then traffic_sample := Some (Spire.System.wire_traffic sys);
       let ok = ratio > 0.97 && p99 < 500. in
       if (not ok) && !breaking_point = None then breaking_point := Some substations;
       Stats.Table.add_row table
@@ -504,8 +536,7 @@ let e8 () =
           Printf.sprintf "%.2f" (float_of_int wire_bytes /. 1e6);
           (if ok then "yes" else "SATURATED");
         ])
-    (if scale_full then [ 10; 20; 40; 80; 160; 320; 640; 1280 ]
-     else [ 10; 20; 40; 80; 160; 320; 640 ]);
+    results;
   Stats.Table.print table;
   (* Per-message-class wire ledger (40-substation point): encoded frame
      sizes, not approximations — summary-matrix pre-prepares must dwarf
@@ -557,39 +588,52 @@ let e8 () =
           "wire KB/upd";
         ]
   in
-  let base_rate = ref nan in
-  List.iter
-    (fun max_batch ->
-      let sys, r =
-        Spire.Scenarios.throughput
-          ~tweak:(fun c ->
-            { c with Spire.System.dissemination = Overlay.Net.Flood })
-          ~max_batch ~substations:sweep_substations
-          ~poll_interval_us:sweep_poll_us ~duration_us:sweep_duration ()
-      in
-      let secs = float_of_int sweep_duration /. 1e6 in
-      let confirmed_rate = float_of_int r.Spire.Scenarios.confirmed /. secs in
-      if max_batch = 1 then base_rate := confirmed_rate;
-      let h = r.Spire.Scenarios.hist in
-      let wire_bytes =
-        (Overlay.Net.stats (Spire.System.net sys)).Overlay.Net.submitted_bytes
-      in
+  let batch_results =
+    Sim.Parallel.map ~domains:par_domains
+      (fun max_batch ->
+        let sys, r =
+          Spire.Scenarios.throughput
+            ~tweak:(fun c ->
+              { c with Spire.System.dissemination = Overlay.Net.Flood })
+            ~max_batch ~substations:sweep_substations
+            ~poll_interval_us:sweep_poll_us ~duration_us:sweep_duration ()
+        in
+        let secs = float_of_int sweep_duration /. 1e6 in
+        let confirmed_rate = float_of_int r.Spire.Scenarios.confirmed /. secs in
+        let h = r.Spire.Scenarios.hist in
+        let wire_bytes =
+          (Overlay.Net.stats (Spire.System.net sys)).Overlay.Net.submitted_bytes
+        in
+        ( max_batch,
+          confirmed_rate,
+          (if Stats.Histogram.count h > 0 then pct h 50. else nan),
+          (if Stats.Histogram.count h > 0 then pct h 99. else nan),
+          wire_bytes,
+          r.Spire.Scenarios.confirmed ))
+      [| 1; 4; 16; 64 |]
+  in
+  (* The speedup column is relative to the batch=1 point, which is
+     always index 0 of the collected array. *)
+  let base_rate =
+    match batch_results with
+    | [||] -> nan
+    | a ->
+      let _, rate, _, _, _, _ = a.(0) in
+      rate
+  in
+  Array.iter
+    (fun (max_batch, confirmed_rate, p50, p99, wire_bytes, confirmed) ->
       Stats.Table.add_row batch_table
         [
           string_of_int max_batch;
-          Printf.sprintf "%.0f (%.2fx)" confirmed_rate
-            (confirmed_rate /. !base_rate);
-          Printf.sprintf "%.1f"
-            (if Stats.Histogram.count h > 0 then pct h 50. else nan);
-          Printf.sprintf "%.1f"
-            (if Stats.Histogram.count h > 0 then pct h 99. else nan);
+          Printf.sprintf "%.0f (%.2fx)" confirmed_rate (confirmed_rate /. base_rate);
+          Printf.sprintf "%.1f" p50;
+          Printf.sprintf "%.1f" p99;
           Printf.sprintf "%.2f" (float_of_int wire_bytes /. 1e6);
           Printf.sprintf "%.2f"
-            (float_of_int wire_bytes
-            /. 1e3
-            /. float_of_int (max 1 r.Spire.Scenarios.confirmed));
+            (float_of_int wire_bytes /. 1e3 /. float_of_int (max 1 confirmed));
         ])
-    [ 1; 4; 16; 64 ];
+    batch_results;
   Stats.Table.print batch_table;
   shape
     "latency stays flat well past the paper's 10-substation deployment; \
@@ -682,28 +726,34 @@ let e10 () =
         ]
   in
   let dirty = ref 0 in
-  for i = 1 to seeds do
-    let seed = Int64.of_int ((i * 104_729) + 7) in
-    let r = Chaos.Harness.soak ~seed () in
-    if not (Chaos.Harness.clean r) then begin
-      incr dirty;
-      Format.printf "%a@." Chaos.Harness.pp_report r
-    end;
-    Stats.Table.add_row table
-      [
-        Int64.to_string seed;
-        string_of_int (List.length r.Chaos.Harness.schedule.Chaos.Schedule.events);
-        string_of_int r.Chaos.Harness.confirmed;
-        string_of_int r.Chaos.Harness.min_available;
-        Printf.sprintf "%.0f" r.Chaos.Harness.worst_latency_ms;
-        Printf.sprintf "%.1f" r.Chaos.Harness.baseline_p50_ms;
-        Printf.sprintf "%.1f" r.Chaos.Harness.post_p50_ms;
-        (if Chaos.Harness.clean r then "CLEAN"
-         else
-           String.concat ","
-             (List.map fst (Chaos.Harness.failures r)));
-      ]
-  done;
+  (* Soak seeds are independent instances: PAR=N farms them across
+     domains (Chaos.Harness.soak_many); reports come back in seed order
+     so the table and dirty-report output never change with PAR. *)
+  let seed_list = List.init seeds (fun i -> Int64.of_int (((i + 1) * 104_729) + 7)) in
+  let reports =
+    Chaos.Harness.soak_many ~domains:par_domains ~seeds:seed_list ()
+  in
+  List.iter2
+    (fun seed r ->
+      if not (Chaos.Harness.clean r) then begin
+        incr dirty;
+        Format.printf "%a@." Chaos.Harness.pp_report r
+      end;
+      Stats.Table.add_row table
+        [
+          Int64.to_string seed;
+          string_of_int (List.length r.Chaos.Harness.schedule.Chaos.Schedule.events);
+          string_of_int r.Chaos.Harness.confirmed;
+          string_of_int r.Chaos.Harness.min_available;
+          Printf.sprintf "%.0f" r.Chaos.Harness.worst_latency_ms;
+          Printf.sprintf "%.1f" r.Chaos.Harness.baseline_p50_ms;
+          Printf.sprintf "%.1f" r.Chaos.Harness.post_p50_ms;
+          (if Chaos.Harness.clean r then "CLEAN"
+           else
+             String.concat ","
+               (List.map fst (Chaos.Harness.failures r)));
+        ])
+    seed_list reports;
   Stats.Table.print table;
   (* Non-vacuousness: an over-budget schedule (f + k + 1 simultaneous
      crashes) must both fail validation and trip the quorum watchdog

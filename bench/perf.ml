@@ -125,6 +125,108 @@ let e8_batch_sweep ~scale_full () =
     [ 1; 4; 16; 64 ]
 
 (* ------------------------------------------------------------------ *)
+(* Domains-scaling curve: a fixed mixed workload of independent
+   instances — E8 throughput points plus E10 chaos soak seeds — run
+   through the Sim.Parallel work-stealing pool at 1/2/4/8 domains.
+   Two things are recorded:
+
+   - the merged digest, which must be byte-identical at every domain
+     count (the pool's determinism contract: index-addressed results,
+     per-instance seeds from Rng.derive) — a mismatch fails the run;
+   - instances/sec per domain count, the scaling curve. The >= 3x
+     speedup gate at 4 domains only fires when the machine actually
+     has >= 4 cores; on smaller hosts the curve is recorded but the
+     assertion is vacuous (domains can't beat cores). *)
+
+type par_point = {
+  par_domains : int;
+  par_wall_s : float;
+  instances_per_sec : float;
+  par_digest : string;
+}
+
+let e8_par_sweep () =
+  let cores = Sim.Parallel.default_domains () in
+  let subs = [| 10; 20; 40; 80 |] in
+  let n_soak = 4 in
+  let jobs = Array.length subs + n_soak in
+  Printf.printf
+    "  E8 par sweep: %d jobs (%d throughput points + %d chaos soaks), cores=%d\n%!"
+    jobs (Array.length subs) n_soak cores;
+  let job i =
+    if i < Array.length subs then begin
+      let substations = subs.(i) in
+      let _, r =
+        Spire.Scenarios.throughput ~substations ~poll_interval_us:100_000
+          ~duration_us:(sec 5) ()
+      in
+      Printf.sprintf "E8[%d]:confirmed=%d:views=%d" substations
+        r.Spire.Scenarios.confirmed r.Spire.Scenarios.max_view
+    end
+    else begin
+      let seed = Sim.Parallel.seed_of ~root:0x5EED5EEDL ~index:(i - Array.length subs) in
+      let r = Chaos.Harness.soak ~seed () in
+      Printf.sprintf "E10[%Ld]:confirmed=%d:clean=%b" seed
+        r.Chaos.Harness.confirmed (Chaos.Harness.clean r)
+    end
+  in
+  let points =
+    List.map
+      (fun domains ->
+        let t0 = Unix.gettimeofday () in
+        let results = Sim.Parallel.run ~domains ~jobs job in
+        let wall = Unix.gettimeofday () -. t0 in
+        let digest =
+          Cryptosim.Digest.to_hex
+            (Cryptosim.Digest.of_string
+               (String.concat ";" (Array.to_list results)))
+        in
+        let p =
+          {
+            par_domains = domains;
+            par_wall_s = wall;
+            instances_per_sec = float_of_int jobs /. wall;
+            par_digest = digest;
+          }
+        in
+        Printf.printf
+          "    domains=%d wall=%6.2fs instances/sec=%5.2f digest=%s\n%!"
+          domains wall p.instances_per_sec digest;
+        p)
+      [ 1; 2; 4; 8 ]
+  in
+  (match points with
+  | [] -> ()
+  | first :: rest ->
+    List.iter
+      (fun p ->
+        if not (String.equal p.par_digest first.par_digest) then begin
+          Printf.printf
+            "PERF FAIL: merged report digest diverges at domains=%d (%s vs %s) \
+             — parallel runner is nondeterministic\n%!"
+            p.par_domains p.par_digest first.par_digest;
+          exit 1
+        end)
+      rest;
+    Printf.printf "  merged digests identical across 1/2/4/8 domains\n%!");
+  (if cores >= 4 then begin
+     let at n = List.find (fun p -> p.par_domains = n) points in
+     let speedup = (at 4).instances_per_sec /. (at 1).instances_per_sec in
+     Printf.printf "  par speedup at 4 domains: %.2fx\n%!" speedup;
+     if speedup < 3. then begin
+       Printf.printf
+         "PERF FAIL: 4-domain speedup %.2fx below the 3x floor (cores=%d)\n%!"
+         speedup cores;
+       exit 1
+     end
+   end
+   else
+     Printf.printf
+       "  par speedup gate skipped: machine has %d core(s), need >= 4\n%!"
+       cores);
+  (cores, points)
+
+(* ------------------------------------------------------------------ *)
 (* Codec microbenches: full encode vs measured size, manual loops.     *)
 
 let ns_per_op ~iters f =
@@ -210,12 +312,13 @@ let existing_floor () =
       float_of_string_opt (String.trim (String.sub s start (!stop - start)))
   end
 
-let write_json ~scale ~floor ~e2 ~e3 ~e6 ~e8 ~micros =
+let write_json ~scale ~floor ~cores ~e2 ~e3 ~e6 ~e8 ~par ~micros =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"spire-bench-perf/1\",\n";
   p "  \"scale\": \"%s\",\n" scale;
+  p "  \"cores\": %d,\n" cores;
   p "  \"floor_events_per_sec\": %.0f,\n" floor;
   p "  \"pre_pr\": {\n";
   p "    \"note\": \"release profile, quick scale, before the zero-allocation hot-path work\",\n";
@@ -247,6 +350,19 @@ let write_json ~scale ~floor ~e2 ~e3 ~e6 ~e8 ~micros =
   in
   batch_lines e8;
   p "  ],\n";
+  p "  \"e8_par_sweep\": [\n";
+  let rec par_lines = function
+    | [] -> ()
+    | (pt : par_point) :: rest ->
+      p
+        "    { \"domains\": %d, \"wall_s\": %.2f, \"instances_per_sec\": \
+         %.2f, \"digest\": \"%s\" }%s\n"
+        pt.par_domains pt.par_wall_s pt.instances_per_sec pt.par_digest
+        (if rest = [] then "" else ",");
+      par_lines rest
+  in
+  par_lines par;
+  p "  ],\n";
   p "  \"speedup_e3_wall_vs_pre_pr\": %.2f,\n" (pre_pr_e3_wall_s /. e3.wall_s);
   p "  \"micro_ns_per_op\": {\n";
   let rec emit = function
@@ -267,6 +383,7 @@ let run ~scale_full () =
     (if scale_full then "[full scale]" else "[quick scale]");
   let e2, e3, e6 = workloads ~scale_full () in
   let e8 = e8_batch_sweep ~scale_full () in
+  let cores, par = e8_par_sweep () in
   let micros = microbenches () in
   let floor =
     match existing_floor () with
@@ -278,8 +395,8 @@ let run ~scale_full () =
       Printf.printf "  floor: %.0f events/sec (established: half of measured E3)\n%!" f;
       f
   in
-  write_json ~scale:(if scale_full then "full" else "quick") ~floor ~e2 ~e3 ~e6
-    ~e8 ~micros;
+  write_json ~scale:(if scale_full then "full" else "quick") ~floor ~cores ~e2
+    ~e3 ~e6 ~e8 ~par ~micros;
   Printf.printf "  wrote %s (E3 speedup vs pre-PR: %.2fx)\n%!" json_path
     (pre_pr_e3_wall_s /. e3.wall_s);
   (* The floor was measured at quick scale; only enforce it there. *)

@@ -9,7 +9,12 @@ cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
-dune exec dev/debug_chaos.exe -- 5
+dune exec dev/debug.exe -- chaos 5
+
+# Parallel sweep smoke: E10's soak seeds farmed over 4 domains must
+# print byte-identical tables to the sequential run (PAR only changes
+# wall time, never results).
+PAR=4 ONLY=E10 MICRO=0 dune exec bench/main.exe > /dev/null
 
 # Telemetry-enabled E2 smoke: zero orphan spans, bounded open spans,
 # per-phase attribution reconciling with end-to-end latency.

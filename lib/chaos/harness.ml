@@ -392,3 +392,11 @@ let soak ?(config = default_config ()) ~seed () =
   | Ok () -> ()
   | Error msg -> failwith ("Chaos.Harness.soak: generator emitted " ^ msg));
   execute config ~seed sys schedule
+
+let soak_many ?(config = default_config ()) ?domains ~seeds () =
+  (* Each soak builds its own system from its seed — nothing is shared
+     between jobs, so they satisfy the Sim.Parallel self-containment
+     contract and the report list is identical for any domain count. *)
+  let seeds = Array.of_list seeds in
+  Array.to_list
+    (Sim.Parallel.map ?domains (fun seed -> soak ~config ~seed ()) seeds)

@@ -108,3 +108,10 @@ val pp_reconfig_report : Format.formatter -> reconfig_report -> unit
 (** [reconfig_soak ~seed ()] — deterministic in [seed], like {!soak}.
     The standby site is added to the config automatically. *)
 val reconfig_soak : ?config:config -> seed:int64 -> unit -> reconfig_report
+
+(** [soak_many ~seeds ()] runs one {!soak} per seed, farmed across
+    OCaml domains with {!Sim.Parallel} ([domains] defaults to the
+    runtime's recommendation; [1] runs inline). Reports come back in
+    seed-list order and are byte-identical regardless of domain count. *)
+val soak_many :
+  ?config:config -> ?domains:int -> seeds:int64 list -> unit -> report list

@@ -94,6 +94,7 @@ type join_session = {
 
 type t = {
   cfg : config;
+  world : Sim.World.t; (* ownership root: engine + partition + trace *)
   engine : Sim.Engine.t;
   topo : Overlay.Topology.t;
   net : payload Overlay.Net.t;
@@ -145,8 +146,10 @@ type t = {
 }
 
 let config t = t.cfg
+let world t = t.world
 let engine t = t.engine
 let net t = t.net
+let shard_partition t = Overlay.Net.partition t.net
 let telemetry t = t.telemetry
 let replica_count t = t.n
 let universe_count t = t.universe
@@ -508,7 +511,9 @@ let enqueue_reply t r ~dst_node reply =
   if Bft.Batch.full acc then flush_replies t r
   else if Bft.Batch.length acc = 1 then
     ignore
-      (Sim.Engine.schedule t.engine ~delay_us:t.reply_batch.Bft.Batch.max_delay_us
+      (Sim.Engine.schedule
+         ~shard:(1 + t.replica_sites.(r))
+         t.engine ~delay_us:t.reply_batch.Bft.Batch.max_delay_us
          (fun () -> flush_replies_due t r)
         : Sim.Engine.timer)
 
@@ -537,7 +542,10 @@ let emit_replies t r ~exec_index ~(update : Bft.Update.t) effect =
     (* Charge the threshold-share signing cost before the send (the
        share is per-update even when the envelope is batched). *)
     ignore
-      (Sim.Engine.schedule t.engine ~delay_us:t.share_cost_us (fun () ->
+      (Sim.Engine.schedule
+         ~shard:(1 + t.replica_sites.(r))
+         t.engine ~delay_us:t.share_cost_us
+         (fun () ->
            if not (faults t r).Bft.Faults.crashed then begin
              if Telemetry.Sink.enabled t.telemetry then
                Telemetry.Sink.update_reply_sent t.telemetry
@@ -882,8 +890,13 @@ and arm_chunk_timer t xfer i attempt =
        starts a fresh one (new xfer id, fresh backoff schedule). *)
     Hashtbl.remove t.sessions xfer
   | Some delay ->
+    let shard =
+      match Hashtbl.find_opt t.sessions xfer with
+      | Some s -> 1 + t.replica_sites.(s.js_replica)
+      | None -> 0
+    in
     ignore
-      (Sim.Engine.schedule t.engine ~delay_us:delay (fun () ->
+      (Sim.Engine.schedule ~shard t.engine ~delay_us:delay (fun () ->
            match Hashtbl.find_opt t.sessions xfer with
            | None -> ()
            | Some s ->
@@ -924,7 +937,8 @@ and install_member_instance t r ~cert ~snap =
       Prime.Replica.install_snapshot p snap;
       Prime.Replica.set_on_fall_behind p (fun () ->
           ignore
-            (Sim.Engine.schedule t.engine ~delay_us:0 (fun () ->
+            (Sim.Engine.schedule ~shard:(1 + t.replica_sites.(r)) t.engine
+               ~delay_us:0 (fun () ->
                  if
                    (not (faults t r).Bft.Faults.crashed)
                    && t.epoch_of.(r) >= 0
@@ -1031,8 +1045,8 @@ let note_reconfig t r ~payload =
               t.pending_reconfig.(r) <- Some (e, actions);
               halt_instance t r;
               ignore
-                (Sim.Engine.schedule t.engine ~delay_us:0 (fun () ->
-                     switch_replica t r)
+                (Sim.Engine.schedule ~shard:(1 + t.replica_sites.(r)) t.engine
+                   ~delay_us:0 (fun () -> switch_replica t r)
                   : Sim.Engine.timer))))
 
 let execute_of t r exec_index update =
@@ -1111,7 +1125,10 @@ let env_for t ~epoch ~rank ~(members : int array) wrap =
         send_payload t ~src_node:members.(rank) ~dst_node:members.(dst)
           (wrap_shared msg));
     now_us = (fun () -> Sim.Engine.now t.engine);
-    set_timer = (fun delay_us f -> Sim.Engine.schedule t.engine ~delay_us f);
+    set_timer =
+      (* A replica's protocol timers belong to its site's heap. *)
+      (let shard = 1 + t.replica_sites.(members.(rank)) in
+       fun delay_us f -> Sim.Engine.schedule ~shard t.engine ~delay_us f);
     trace = (fun _ -> ());
     telemetry = t.telemetry;
   }
@@ -1127,9 +1144,25 @@ let create cfg =
     if cfg.max_batch <= 1 then Bft.Batch.singleton
     else Bft.Batch.create ~max_delay_us:cfg.batch_delay_us ~max_batch:cfg.max_batch ()
   in
-  let engine = Sim.Engine.create ~seed:cfg.seed () in
   let topo, site_members = build_topology cfg in
-  let net = Overlay.Net.create ~per_source_cap:256 engine topo () in
+  (* Ownership partition: each replica site (active and standby) is a
+     shard; all field devices (substation proxies, HMIs) pool into one
+     trailing "field" shard. The engine gets one heap per shard plus
+     the control heap ({!Sim.Shard.engine_shards}); the partition never
+     affects event order — see the Shard/Engine docs. *)
+  let base_sites = List.length cfg.site_sizes + List.length cfg.standby_site_sizes in
+  let part =
+    Sim.Shard.make ~shards:(base_sites + 1)
+      ~owner:(fun node ->
+        min (Overlay.Topology.site_of topo node) base_sites)
+      ~nodes:(Overlay.Topology.node_count topo)
+  in
+  let world =
+    Sim.World.create ~seed:cfg.seed ~shards:(Sim.Shard.engine_shards part) ()
+  in
+  Sim.World.set_partition world part;
+  let engine = Sim.World.engine world in
+  let net = Overlay.Net.create ~per_source_cap:256 ~partition:part engine topo () in
   let sink =
     if cfg.telemetry then begin
       let s =
@@ -1144,7 +1177,13 @@ let create cfg =
       Overlay.Net.set_telemetry net s;
       s
     end
-    else Telemetry.Sink.null
+    else
+      (* A fresh disabled sink per instance, NOT the shared
+         [Telemetry.Sink.null]: [set_quorums] below writes to the sink
+         even when telemetry is off, and writing through a toplevel
+         value would couple (and, across domains, race) otherwise
+         independent system instances. *)
+      Telemetry.Sink.create ~capacity:1 ~pending_cap:1 ~enabled:false ()
   in
   let group =
     Cryptosim.Threshold.create_group ~seed:cfg.seed
@@ -1165,6 +1204,7 @@ let create cfg =
   let t =
     {
       cfg;
+      world;
       engine;
       topo;
       net;
@@ -1325,7 +1365,8 @@ let create cfg =
       | Prime_replica p when r < n ->
         Prime.Replica.set_on_fall_behind p (fun () ->
             ignore
-              (Sim.Engine.schedule engine ~delay_us:0 (fun () ->
+              (Sim.Engine.schedule ~shard:(1 + t.replica_sites.(r)) engine
+                 ~delay_us:0 (fun () ->
                    if not (faults t r).Bft.Faults.crashed then
                      resync_replica t r)
                 : Sim.Engine.timer))
@@ -1416,6 +1457,8 @@ let create cfg =
       send_payload t ~src_node:(node_of_client t client)
         ~dst_node:(node_of_replica t origin) (Client_batch updates)
   in
+  (* Field devices' timers live in the trailing field shard's heap. *)
+  let field_shard = base_sites + 1 in
   let proxies =
     Array.init cfg.substations (fun i ->
         let rtu =
@@ -1427,8 +1470,9 @@ let create cfg =
         let field_protocol = if i mod 2 = 0 then `Dnp3 else `Modbus in
         let p =
           Scada.Proxy.create ~field_protocol ~telemetry:sink
-            ~batch:batch_policy ~submit_batch:(submit_batch_of i) ~engine ~rtu
-            ~client_id:i ~poll_interval_us:cfg.poll_interval_us ~group
+            ~batch:batch_policy ~submit_batch:(submit_batch_of i)
+            ~shard:field_shard ~engine ~rtu ~client_id:i
+            ~poll_interval_us:cfg.poll_interval_us ~group
             ~resubmit_timeout_us:cfg.resubmit_timeout_us
             ~submit:(submit_of i) ()
         in
@@ -1448,7 +1492,8 @@ let create cfg =
     Array.init cfg.hmis (fun j ->
         let client = cfg.substations + j in
         let h =
-          Scada.Hmi.create ~telemetry:sink ~engine ~client_id:client ~group
+          Scada.Hmi.create ~telemetry:sink ~shard:field_shard ~engine
+            ~client_id:client ~group
             ~resubmit_timeout_us:cfg.resubmit_timeout_us
             ~submit:(submit_of client) ()
         in

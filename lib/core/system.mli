@@ -94,9 +94,23 @@ val engine : t -> Sim.Engine.t
 val config : t -> config
 val net : t -> payload Overlay.Net.t
 
+(** [world t] is the instance's ownership root ({!Sim.World}): engine,
+    trace ring and site partition bundled in one explicit value. Every
+    system owns a fresh world — no state is shared between instances,
+    so independent systems may run concurrently on different domains
+    ({!Sim.Parallel}). *)
+val world : t -> Sim.World.t
+
+(** [shard_partition t] is the site-ownership partition the instance
+    runs under: one shard per replica site (active and standby, in
+    config order) plus one trailing shard pooling all field devices
+    (proxies, HMIs). Purely structural — event order is identical for
+    any partition. *)
+val shard_partition : t -> Sim.Shard.partition
+
 (** [telemetry t] is the system's span sink: live when the config set
-    [telemetry = true], {!Telemetry.Sink.null} otherwise. Feed it to
-    {!Telemetry.Attribution} / {!Telemetry.Export} after a run. *)
+    [telemetry = true], a per-instance disabled sink otherwise. Feed it
+    to {!Telemetry.Attribution} / {!Telemetry.Export} after a run. *)
 val telemetry : t -> Telemetry.Sink.t
 
 (** {1 Component access} *)

@@ -72,21 +72,35 @@ type 'a t = {
   rng : Sim.Rng.t;
   topo : Topology.t;
   nodes : int;
-  (* Flat [src * nodes + dst] arrays: the per-hop path touches link and
-     liveness state several times per frame, and tuple-keyed hashtables
-     there cost a key allocation plus hashing per access. *)
-  links : 'a link_state option array; (* directed, [u * nodes + v] *)
-  link_up : bool array; (* undirected, normalised index *)
+  part : Sim.Shard.partition;
+  (* Inter-shard (WAN) ledger: every frame copy enqueued onto a link
+     whose endpoints are owned by different shards is recorded here —
+     the traffic a real deployment pays WAN bandwidth for, and the
+     coupling a future parallel engine must synchronise on. *)
+  boundary : Sim.Shard.boundary;
+  (* Per-node state is grouped by owning shard ({!Sim.Shard.owned}):
+     each node's outgoing-link row, route-cache row, handler and dedup
+     caches live in its site's rows, so "which shard may touch this"
+     is explicit. A row is still a flat per-destination array — the
+     per-hop path touches link state several times per frame, and
+     tuple-keyed hashtables there cost a key allocation plus hashing
+     per access. *)
+  links : 'a link_state option array Sim.Shard.owned; (* row.(v) = u -> v *)
+  link_up : bool array; (* undirected, normalised [a * nodes + b] *)
   node_up : bool array;
+  (* link_up/node_up/retired stay flat and unsharded deliberately: they
+     are liveness/membership maps — read by every shard on every hop,
+     written only by the (serial) fault-injection control plane — so
+     they are shared-read state, not per-site owned state. *)
   (* Membership guard: a retired node's id is no longer a valid frame
      source (its site was removed from the configuration).  Frames
      claiming a retired — or out-of-range — src are counted and
-     dropped before they can index the flattened [src * nodes + dst]
-     state arrays. *)
+     dropped before they can index the per-node state rows. *)
   retired : bool array;
-  handlers : ('a delivery -> unit) option array;
-  seen : Dedup_cache.t array; (* per node: flooded frame ids seen *)
-  delivered_ids : Dedup_cache.t array; (* per node: dedup'd frame ids delivered *)
+  handlers : ('a delivery -> unit) option Sim.Shard.owned;
+  seen : Dedup_cache.t Sim.Shard.owned; (* per node: flooded frame ids seen *)
+  delivered_ids : Dedup_cache.t Sim.Shard.owned;
+      (* per node: dedup'd frame ids delivered *)
   mutable next_frame_id : int;
   mutable submitted : int;
   mutable delivered : int;
@@ -103,9 +117,9 @@ type 'a t = {
   per_source_cap : int;
   (* Route caches: shortest paths and disjoint path sets are stable
      between topology state changes (kill/restore); recomputing them
-     per frame dominates CPU otherwise. [route_cache.(src * nodes +
-     dst)] is [None] when not yet computed. *)
-  route_cache : Topology.node list option option array;
+     per frame dominates CPU otherwise. [row.(dst)] of [src]'s row is
+     [None] when not yet computed. *)
+  route_cache : Topology.node list option option array Sim.Shard.owned;
   kpath_cache : (int, Topology.node list list) Hashtbl.t;
       (* key = (src * nodes + dst) * 1024 + min k 1023 *)
   mutable telemetry : Telemetry.Sink.t;
@@ -118,21 +132,31 @@ type 'a t = {
 
 let norm_idx t a b = if a < b then (a * t.nodes) + b else (b * t.nodes) + a
 
-let create ?(per_source_cap = 64) engine topo () =
+let create ?(per_source_cap = 64) ?partition engine topo () =
   let n = Topology.node_count topo in
+  let part =
+    match partition with
+    | Some p ->
+      if Sim.Shard.nodes p <> n then
+        invalid_arg "Net.create: partition node count <> topology node count";
+      p
+    | None -> Sim.Shard.singleton ~nodes:n
+  in
   let t =
     {
       engine;
       rng = Sim.Engine.rng engine;
       topo;
       nodes = n;
-      links = Array.make (n * n) None;
+      part;
+      boundary = Sim.Shard.boundary part;
+      links = Sim.Shard.init part (fun _ -> Array.make n None);
       link_up = Array.make (n * n) false;
       node_up = Array.make n true;
       retired = Array.make n false;
-      handlers = Array.make n None;
-      seen = Array.init n (fun _ -> Dedup_cache.create ());
-      delivered_ids = Array.init n (fun _ -> Dedup_cache.create ());
+      handlers = Sim.Shard.init part (fun _ -> None);
+      seen = Sim.Shard.init part (fun _ -> Dedup_cache.create ());
+      delivered_ids = Sim.Shard.init part (fun _ -> Dedup_cache.create ());
       next_frame_id = 0;
       submitted = 0;
       delivered = 0;
@@ -147,7 +171,7 @@ let create ?(per_source_cap = 64) engine topo () =
       delivered_bytes = 0;
       dropped_bytes = 0;
       per_source_cap;
-      route_cache = Array.make (n * n) None;
+      route_cache = Sim.Shard.init part (fun _ -> Array.make n None);
       kpath_cache = Hashtbl.create 997;
       telemetry = Telemetry.Sink.null;
       queue_spans = Hashtbl.create 64;
@@ -169,13 +193,17 @@ let create ?(per_source_cap = 64) engine topo () =
           tx_busy_us = 0;
         }
       in
-      t.links.((a * n) + b) <- Some (mk ());
-      t.links.((b * n) + a) <- Some (mk ());
+      (Sim.Shard.get t.links a).(b) <- Some (mk ());
+      (Sim.Shard.get t.links b).(a) <- Some (mk ());
       t.link_up.(norm_idx t a b) <- true)
     (Topology.links topo);
   t
 
 let topology t = t.topo
+let partition t = t.part
+let wan_crossings t = Sim.Shard.crossings t.boundary
+let wan_frames t = Sim.Shard.total_frames t.boundary
+let wan_bytes t = Sim.Shard.total_bytes t.boundary
 let set_telemetry t sink = t.telemetry <- sink
 
 (* Per-hop telemetry. Traced frames ([frame.trace >= 0], sink enabled)
@@ -196,13 +224,13 @@ let open_hop_span t ~phase ~node ~label frame =
 let close_hop_span t sid =
   Telemetry.Sink.close_span t.telemetry ~id:sid ~now:(Sim.Engine.now t.engine)
 
-let set_handler t node f = t.handlers.(node) <- Some f
+let set_handler t node f = Sim.Shard.set t.handlers node (Some f)
 let link_alive t a b = t.link_up.(norm_idx t a b)
 let node_alive t n = t.node_up.(n)
 let usable t a b = link_alive t a b && t.node_up.(a) && t.node_up.(b)
 
 let link_state t a b =
-  match t.links.((a * t.nodes) + b) with
+  match (Sim.Shard.get t.links a).(b) with
   | Some ls -> ls
   | None -> invalid_arg "Net: no such link"
 
@@ -215,16 +243,18 @@ let deliver t node frame =
     t.dropped_retired_src <- t.dropped_retired_src + 1;
     t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
   end
-  else if frame.dedup && Dedup_cache.mem t.delivered_ids.(node) frame.id then
-    t.duplicates_suppressed <- t.duplicates_suppressed + 1
+  else if
+    frame.dedup && Dedup_cache.mem (Sim.Shard.get t.delivered_ids node) frame.id
+  then t.duplicates_suppressed <- t.duplicates_suppressed + 1
   else begin
-    if frame.dedup then Dedup_cache.add t.delivered_ids.(node) frame.id;
+    if frame.dedup then
+      Dedup_cache.add (Sim.Shard.get t.delivered_ids node) frame.id;
     match frame.content with
     | Junk _ -> ()
     | Payload payload ->
       t.delivered <- t.delivered + 1;
       t.delivered_bytes <- t.delivered_bytes + frame.size_bytes;
-      (match t.handlers.(node) with
+      (match Sim.Shard.get t.handlers node with
       | None -> ()
       | Some handler ->
         handler
@@ -266,6 +296,9 @@ let rec maybe_transmit t u v =
 
 and transmit_frame t u v ls frame attempt =
   ls.busy <- true;
+  (* The whole transmit/ARQ/propagate chain for a (u, v) hop mutates
+     [u]-owned link state, so its timers are tagged with [u]'s shard. *)
+  let shard = Sim.Shard.engine_shard t.part u in
   let tx_us = max 1 (frame.size_bytes * 1_000_000 / ls.bandwidth_bps) in
   ls.tx_bytes <- ls.tx_bytes + frame.size_bytes;
   ls.tx_busy_us <- ls.tx_busy_us + tx_us;
@@ -276,7 +309,7 @@ and transmit_frame t u v ls frame attempt =
     else -1
   in
   ignore
-    (Sim.Engine.schedule t.engine ~delay_us:tx_us (fun () ->
+    (Sim.Engine.schedule ~shard t.engine ~delay_us:tx_us (fun () ->
          if tx_sid >= 0 then close_hop_span t tx_sid;
          let prop =
            int_of_float (float_of_int ls.latency_us *. ls.latency_factor)
@@ -296,7 +329,7 @@ and transmit_frame t u v ls frame attempt =
              else -1
            in
            ignore
-             (Sim.Engine.schedule t.engine ~delay_us:(2 * prop) (fun () ->
+             (Sim.Engine.schedule ~shard t.engine ~delay_us:(2 * prop) (fun () ->
                   if arq_sid >= 0 then close_hop_span t arq_sid;
                   transmit_frame t u v ls frame (attempt + 1))
                : Sim.Engine.timer)
@@ -318,7 +351,7 @@ and transmit_frame t u v ls frame attempt =
                else -1
              in
              ignore
-               (Sim.Engine.schedule t.engine ~delay_us:prop (fun () ->
+               (Sim.Engine.schedule ~shard t.engine ~delay_us:prop (fun () ->
                     if prop_sid >= 0 then close_hop_span t prop_sid;
                     arrive t u v frame)
                  : Sim.Engine.timer)
@@ -337,8 +370,8 @@ and arrive t u v frame =
     frame.hops <- frame.hops + 1;
     match frame.route with
     | Flooding ->
-      if not (Dedup_cache.mem t.seen.(v) frame.id) then begin
-        Dedup_cache.add t.seen.(v) frame.id;
+      if not (Dedup_cache.mem (Sim.Shard.get t.seen v) frame.id) then begin
+        Dedup_cache.add (Sim.Shard.get t.seen v) frame.id;
         if v = frame.dst then deliver t v frame;
         (* Constrained flooding: forward on all usable links except the
            one the frame came in on. *)
@@ -369,6 +402,12 @@ and enqueue t u v frame =
   let ls = link_state t u v in
   if Fair_queue.push ls.queue ~source:frame.src ~priority:frame.priority frame
   then begin
+    (* A hop between nodes owned by different shards crosses the
+       inter-site (WAN) boundary — ledger each admitted copy. *)
+    (match Sim.Shard.locality t.part ~src:u ~dst:v with
+    | Sim.Shard.Local _ -> ()
+    | Sim.Shard.Cross { src_shard; dst_shard } ->
+      Sim.Shard.record t.boundary ~src_shard ~dst_shard ~bytes:frame.size_bytes);
     (* Open the queue-wait span before [maybe_transmit]: an idle link
        pops the frame straight back out and closes it at zero width. *)
     if traced t frame then begin
@@ -386,15 +425,16 @@ and enqueue t u v frame =
   end
 
 let invalidate_routes t =
-  Array.fill t.route_cache 0 (Array.length t.route_cache) None;
+  Sim.Shard.iter (fun _ row -> Array.fill row 0 (Array.length row) None) t.route_cache;
   Hashtbl.reset t.kpath_cache
 
 let cached_shortest t ~src ~dst =
-  match t.route_cache.((src * t.nodes) + dst) with
+  let row = Sim.Shard.get t.route_cache src in
+  match row.(dst) with
   | Some path -> path
   | None ->
     let path = Routing.shortest_path t.topo ~usable:(usable t) ~src ~dst in
-    t.route_cache.((src * t.nodes) + dst) <- Some path;
+    row.(dst) <- Some path;
     path
 
 let cached_disjoint t ~src ~dst ~k =
@@ -449,15 +489,17 @@ let submit t ~priority ~size_bytes ~src ~dst ~mode ~trace content =
     if src = dst then begin
       let frame = base_frame (Path []) in
       ignore
-        (Sim.Engine.schedule t.engine ~delay_us:0 (fun () ->
-             if t.node_up.(src) then deliver t src frame)
+        (Sim.Engine.schedule
+           ~shard:(Sim.Shard.engine_shard t.part src)
+           t.engine ~delay_us:0
+           (fun () -> if t.node_up.(src) then deliver t src frame)
           : Sim.Engine.timer)
     end
     else
       match mode with
       | Flood ->
         let frame = base_frame ~dedup:true Flooding in
-        Dedup_cache.add t.seen.(src) frame.id;
+        Dedup_cache.add (Sim.Shard.get t.seen src) frame.id;
         List.iter
           (fun w -> if usable t src w then enqueue t src w frame)
           (Topology.neighbors t.topo src)
@@ -519,7 +561,7 @@ let inject_junk_bytes t ~src ~dst ~bytes ~priority =
   submit t ~priority ~size_bytes:(String.length bytes) ~src ~dst ~mode:Shortest
     ~trace:(-1) (Junk bytes)
 
-let has_link t a b = t.links.((a * t.nodes) + b) <> None
+let has_link t a b = (Sim.Shard.get t.links a).(b) <> None
 
 let kill_link t a b =
   if not (has_link t a b) then invalid_arg "Net.kill_link: no such link";
@@ -561,14 +603,18 @@ let set_loss_probability t a b p =
   (link_state t a b).loss_probability <- p;
   (link_state t b a).loss_probability <- p
 
+(* Ascending (u, v) — the same order the old flat [u * nodes + v] array
+   produced, so report orders are unchanged by the shard refactor. *)
 let fold_links t f acc =
   let acc = ref acc in
-  Array.iteri
-    (fun i ls ->
-      match ls with
+  for u = 0 to t.nodes - 1 do
+    let row = Sim.Shard.get t.links u in
+    for v = 0 to t.nodes - 1 do
+      match row.(v) with
       | None -> ()
-      | Some ls -> acc := f (i / t.nodes) (i mod t.nodes) ls !acc)
-    t.links;
+      | Some ls -> acc := f u v ls !acc
+    done
+  done;
   !acc
 
 let retransmissions t = fold_links t (fun _ _ ls acc -> acc + ls.retransmissions) 0

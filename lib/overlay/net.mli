@@ -55,11 +55,42 @@ type stats = {
 }
 
 (** [create engine topo ()] builds the runtime. [per_source_cap] bounds
-    each (source, class) link backlog (default 64 frames). *)
+    each (source, class) link backlog (default 64 frames). [partition]
+    (default {!Sim.Shard.singleton}) assigns each node to an ownership
+    shard — typically its geographic site: per-node state is then
+    stored in per-shard rows, every frame copy enqueued between
+    differently-owned nodes is ledgered as an inter-site (WAN) boundary
+    crossing, and hop timers are tagged with the transmitting node's
+    shard heap ({!Sim.Shard.engine_shard}). The partition never affects
+    behaviour — event order, delivery, stats are bit-identical for any
+    partition — it only makes ownership and WAN coupling explicit.
+    @raise Invalid_argument if the partition's node count differs from
+    the topology's. *)
 val create :
-  ?per_source_cap:int -> Sim.Engine.t -> Topology.t -> unit -> 'a t
+  ?per_source_cap:int ->
+  ?partition:Sim.Shard.partition ->
+  Sim.Engine.t ->
+  Topology.t ->
+  unit ->
+  'a t
 
 val topology : 'a t -> Topology.t
+
+(** [partition t] is the ownership partition (singleton when none was
+    supplied). *)
+val partition : 'a t -> Sim.Shard.partition
+
+(** {1 Inter-site (WAN) boundary ledger} *)
+
+(** [wan_crossings t] is the per-(src shard, dst shard) ledger of frame
+    copies enqueued across the ownership boundary, ordered by shard
+    pair. *)
+val wan_crossings : 'a t -> Sim.Shard.crossing list
+
+(** [wan_frames t] / [wan_bytes t] are the ledger totals. *)
+val wan_frames : 'a t -> int
+
+val wan_bytes : 'a t -> int
 
 (** [set_handler t node f] installs the delivery callback for [node];
     replaces any previous handler. *)

@@ -19,16 +19,23 @@ type t = {
       (Bft.Types.replica, Cryptosim.Threshold.share) Hashtbl.t )
     Hashtbl.t;
   actuated : (Bft.Types.client * int, unit) Hashtbl.t;
+  (* Modbus transaction counter. Per-proxy, not module-level: a
+     toplevel ref would be mutable state shared by every system
+     instance in the process — racy across domains in a parallel
+     sweep and an ordering leak between otherwise independent runs. *)
+  mutable next_txn : int;
+  shard : int; (* engine heap owning this proxy's timers *)
 }
 
-let create ?(field_protocol = `Dnp3) ?telemetry ?batch ?submit_batch ~engine
-    ~rtu ~client_id ~poll_interval_us ~group ~resubmit_timeout_us ~submit () =
+let create ?(field_protocol = `Dnp3) ?telemetry ?batch ?submit_batch ?(shard = 0)
+    ~engine ~rtu ~client_id ~poll_interval_us ~group ~resubmit_timeout_us
+    ~submit () =
   {
     engine;
     rtu;
     endpoint =
-      Endpoint.create ?telemetry ?batch ?submit_batch ~engine ~client_id ~group
-        ~resubmit_timeout_us ~submit ();
+      Endpoint.create ?telemetry ?batch ?submit_batch ~shard ~engine ~client_id
+        ~group ~resubmit_timeout_us ~submit ();
     group;
     protocol = field_protocol;
     poll_interval_us;
@@ -38,6 +45,8 @@ let create ?(field_protocol = `Dnp3) ?telemetry ?batch ?submit_batch ~engine
     running = false;
     command_shares = Hashtbl.create 17;
     actuated = Hashtbl.create 17;
+    next_txn = 0;
+    shard;
   }
 
 let endpoint t = t.endpoint
@@ -157,11 +166,9 @@ let device_respond_modbus rtu (req : Modbus.request) : Modbus.response =
     end
     else Modbus.Exception_response { function_code = 0x06; exception_code = 2 }
 
-let mutable_txn = ref 0
-
 let modbus_exchange t (req : Modbus.request) : (Modbus.response, string) result =
-  incr mutable_txn;
-  let frame = { Modbus.transaction = !mutable_txn land 0xFFFF; unit_id = Rtu.id t.rtu land 0xFF; body = req } in
+  t.next_txn <- t.next_txn + 1;
+  let frame = { Modbus.transaction = t.next_txn land 0xFFFF; unit_id = Rtu.id t.rtu land 0xFF; body = req } in
   match Modbus.decode_request (Modbus.encode_request frame) with
   | Error e -> Error ("request corrupted: " ^ e)
   | Ok decoded -> (
@@ -226,7 +233,9 @@ let start t =
     t.running <- true;
     Endpoint.start t.endpoint;
     t.poll_timer <-
-      Some (Sim.Engine.periodic t.engine ~interval_us:t.poll_interval_us (fun () -> poll t))
+      Some
+        (Sim.Engine.periodic ~shard:t.shard t.engine
+           ~interval_us:t.poll_interval_us (fun () -> poll t))
   end
 
 let stop t =

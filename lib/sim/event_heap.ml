@@ -68,15 +68,21 @@ let grow t witness =
   t.seqs <- seqs;
   t.events <- events
 
-let push t ~time event =
+let push_keyed t ~time ~seq event =
   if t.len >= Array.length t.times then grow t event;
   let i = t.len in
   t.times.(i) <- time;
-  t.seqs.(i) <- t.next_seq;
+  t.seqs.(i) <- seq;
   t.events.(i) <- event;
-  t.next_seq <- t.next_seq + 1;
+  (* Keep the internal counter ahead of caller-supplied keys so mixing
+     [push] and [push_keyed] on one heap cannot produce duplicate keys. *)
+  if seq >= t.next_seq then t.next_seq <- seq + 1;
   t.len <- t.len + 1;
   sift_up t i
+
+let push t ~time event =
+  let seq = t.next_seq in
+  push_keyed t ~time ~seq event
 
 let is_empty t = t.len = 0
 let size t = t.len
@@ -84,6 +90,10 @@ let size t = t.len
 let min_time t =
   if t.len = 0 then invalid_arg "Event_heap.min_time: empty heap";
   t.times.(0)
+
+let min_seq t =
+  if t.len = 0 then invalid_arg "Event_heap.min_seq: empty heap";
+  t.seqs.(0)
 
 let pop_min t =
   if t.len = 0 then invalid_arg "Event_heap.pop_min: empty heap";

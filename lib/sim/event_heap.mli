@@ -13,6 +13,15 @@ val create : unit -> 'a t
 (** [push t ~time event] inserts [event] at [time]. *)
 val push : 'a t -> time:int -> 'a -> unit
 
+(** [push_keyed t ~time ~seq event] inserts [event] with an explicit
+    tie-breaking sequence number. The sharded engine uses this to keep
+    one {e global} insertion order across several per-shard heaps: keys
+    are [(time, seq)] with [seq] allocated by the engine, so the merged
+    pop order across heaps is bit-identical to a single heap's. The
+    internal counter used by {!push} is bumped past [seq] so mixing the
+    two cannot create duplicate keys. *)
+val push_keyed : 'a t -> time:int -> seq:int -> 'a -> unit
+
 (** [pop t] removes and returns the earliest event as [(time, event)],
     or [None] if empty. Allocates the option/tuple; the hot loop should
     use {!min_time} + {!pop_min} instead. *)
@@ -22,6 +31,12 @@ val pop : 'a t -> (int * 'a) option
     removing it. @raise Invalid_argument on an empty heap — check
     {!is_empty} first on the hot path. *)
 val min_time : 'a t -> int
+
+(** [min_seq t] is the tie-breaking sequence number of the earliest
+    event — the second component of the heap's min key. Used to merge
+    several heaps under one total order. @raise Invalid_argument on an
+    empty heap. *)
+val min_seq : 'a t -> int
 
 (** [pop_min t] removes and returns the earliest event with no
     option/tuple boxing. @raise Invalid_argument on an empty heap. *)

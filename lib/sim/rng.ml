@@ -15,6 +15,17 @@ let next_int64 t =
 
 let split t = create (next_int64 t)
 
+(* Pure seed derivation for sweep instance [index] of a sweep rooted at
+   [seed]: equivalent in spirit to splitting [index + 1] times, but a
+   closed form over (seed, index) so parallel workers never share
+   generator state. The extra xor/mix round decorrelates the stream from
+   a plain SplitMix sequence seeded at [seed] (instance 0's stream must
+   not alias the root stream's own outputs). *)
+let derive ~seed ~index =
+  if index < 0 then invalid_arg "Rng.derive: index < 0";
+  let z = Int64.add seed (Int64.mul golden_gamma (Int64.of_int (index + 1))) in
+  mix (Int64.logxor (mix z) 0x5851F42D4C957F2DL)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
   (* Drop to 62 bits so the value fits a non-negative OCaml int. *)

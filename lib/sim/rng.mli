@@ -13,6 +13,14 @@ val create : int64 -> t
 (** [split t] derives an independent generator from [t], advancing [t]. *)
 val split : t -> t
 
+(** [derive ~seed ~index] is the seed for the [index]-th instance of a
+    sweep rooted at [seed] — a pure function of its arguments (no
+    generator state is read or advanced), so any parallel worker can
+    derive any instance's seed independently and the assignment of
+    instances to domains cannot perturb the streams.
+    @raise Invalid_argument if [index < 0]. *)
+val derive : seed:int64 -> index:int -> int64
+
 (** [next_int64 t] is the next raw 64-bit output. *)
 val next_int64 : t -> int64
 

@@ -1,0 +1,26 @@
+type t = {
+  world_seed : int64;
+  engine : Engine.t;
+  trace : Trace.t;
+  mutable partition : Shard.partition option;
+}
+
+let create ?(seed = 0xC0FFEEL) ?(shards = 1) ?(trace_capacity = 1024) () =
+  {
+    world_seed = seed;
+    engine = Engine.create ~seed ~shards ();
+    trace = Trace.create ~capacity:trace_capacity ();
+    partition = None;
+  }
+
+let seed t = t.world_seed
+let engine t = t.engine
+let trace t = t.trace
+let rng t = Engine.rng t.engine
+let now t = Engine.now t.engine
+let partition t = t.partition
+
+let set_partition t p =
+  match t.partition with
+  | Some _ -> invalid_arg "World.set_partition: partition already set"
+  | None -> t.partition <- Some p
