@@ -83,6 +83,26 @@ let par_domains =
       Printf.eprintf "PAR=%S is not a positive integer\n" s;
       exit 2)
 
+(* INTRA_PAR=N — run *one* instance's site shards concurrently on N
+   OCaml domains via the conservative window scheduler
+   (Sim.Conservative); orthogonal to PAR=, which farms independent
+   instances. Applies to E2 and E3. Setting it (any value, including 1)
+   also switches E2's telemetry off, so the experiment output is
+   byte-comparable across INTRA_PAR values — the trajectory itself is
+   bit-identical by construction, which CI checks by diffing the
+   INTRA_PAR=1 and INTRA_PAR=4 E2 outputs. *)
+let intra_par =
+  match Sys.getenv_opt "INTRA_PAR" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Printf.eprintf "INTRA_PAR=%S is not a positive integer\n" s;
+      exit 2)
+
+let intra_par_set = Sys.getenv_opt "INTRA_PAR" <> None
+
 let sec s = s * 1_000_000
 let minutes m = m * 60 * 1_000_000
 let hours h = h * 3600 * 1_000_000
@@ -173,13 +193,47 @@ let e1 () =
   shape
     "flagship f=1,k=1 over 4 sites needs exactly 6 replicas (2cc+2cc+1dc+1dc)"
 
+(* Per-shard execution summary (E2/E3): how the event load and heap
+   pressure spread over the control heap and the site/field stripes.
+   Event counts are part of the deterministic trajectory; heap
+   high-water marks depend on push/pop interleaving and therefore on
+   whether the windowed scheduler ran, so CI's byte-diff filters that
+   line (and the scheduler-stats line) out alongside wall time. *)
+let shard_summary sys =
+  let engine = Spire.System.engine sys in
+  let k = Sim.Engine.shards engine in
+  let fmt get =
+    String.concat " "
+      (List.init k (fun s ->
+           Printf.sprintf "%s=%d"
+             (if s = 0 then "ctrl" else Printf.sprintf "s%d" s)
+             (get s)))
+  in
+  Printf.printf "  shard events: %s\n" (fmt (Sim.Engine.processed_of engine));
+  Printf.printf "  shard heap hi-water: %s\n"
+    (fmt (Sim.Engine.heap_hi_water engine));
+  (match Spire.System.intra_stats sys with
+  | None -> ()
+  | Some st ->
+    Printf.printf "  intra-par: %s\n"
+      (Format.asprintf "%a" Sim.Conservative.pp_stats st));
+  Printf.printf "%!"
+
 (* ------------------------------------------------------------------ *)
 (* E2: fault-free wide-area latency distribution                       *)
 
 let e2 () =
   section "E2" "Fault-free wide-area deployment: update latency CDF";
   let duration = if scale_full then hours 1 else minutes 5 in
-  let cfg = { (Spire.System.default_config ()) with Spire.System.telemetry = true } in
+  let cfg =
+    if intra_par_set then
+      {
+        (Spire.System.default_config ()) with
+        Spire.System.intra_domains = intra_par;
+      }
+    else
+      { (Spire.System.default_config ()) with Spire.System.telemetry = true }
+  in
   let sys, r = Spire.Scenarios.fault_free ~config:cfg ~duration_us:duration () in
   let table = Stats.Table.create ~title:"latency distribution" ~columns:latency_columns in
   Stats.Table.add_row table (latency_row "wide-area fault-free" r);
@@ -202,9 +256,13 @@ let e2 () =
     r.Spire.Scenarios.confirmed
     (100. *. float_of_int r.Spire.Scenarios.confirmed
     /. float_of_int (max 1 r.Spire.Scenarios.submitted));
-  let sink = Spire.System.telemetry sys in
-  Telemetry.Attribution.print ~title:"latency attribution, fault-free (µs, virtual)" sink;
-  Telemetry.Attribution.print_net sink;
+  if cfg.Spire.System.telemetry then begin
+    let sink = Spire.System.telemetry sys in
+    Telemetry.Attribution.print
+      ~title:"latency attribution, fault-free (µs, virtual)" sink;
+    Telemetry.Attribution.print_net sink
+  end;
+  shard_summary sys;
   shape "nearly all updates within 100 ms over the wide area; no view changes"
 
 (* ------------------------------------------------------------------ *)
@@ -213,7 +271,13 @@ let e2 () =
 let e3 () =
   section "E3" "Continuous operation (paper: 30 h); latency over time";
   let duration = if scale_full then hours 30 else minutes 30 in
-  let _, r = Spire.Scenarios.fault_free ~duration_us:duration () in
+  let cfg =
+    {
+      (Spire.System.default_config ()) with
+      Spire.System.intra_domains = (if intra_par_set then intra_par else 1);
+    }
+  in
+  let sys, r = Spire.Scenarios.fault_free ~config:cfg ~duration_us:duration () in
   let bucket = duration / 10 in
   let table =
     Stats.Table.create ~title:"per-interval latency (time buckets)"
@@ -234,6 +298,7 @@ let e3 () =
   Printf.printf "  overall: n=%d mean=%.1fms p99.9=%.1fms within-200ms=%.5f\n"
     (Stats.Histogram.count h) (Stats.Histogram.mean h) (pct h 99.9)
     (Stats.Histogram.fraction_below h 200.);
+  shard_summary sys;
   shape "flat latency profile over the whole run: no drift, no outage"
 
 (* ------------------------------------------------------------------ *)

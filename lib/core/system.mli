@@ -69,6 +69,13 @@ type config = {
           default — the disabled hot path costs one bool/int compare
           per potential span *)
   telemetry_capacity : int;  (** finished-span ring bound (see {!Telemetry.Sink.create}) *)
+  intra_domains : int;
+      (** [> 1] makes {!run} execute this instance's site shards
+          concurrently on that many OCaml domains via
+          {!Sim.Conservative} — the trajectory stays bit-identical to
+          sequential execution. Falls back to the sequential engine
+          when [telemetry] or [wire_debug] is on (their sinks are
+          engine-global). Default [1]. *)
   tweak_prime : Prime.Replica.config -> Prime.Replica.config;
   tweak_pbft : Pbft.Replica.config -> Pbft.Replica.config;
 }
@@ -87,8 +94,16 @@ val create : config -> t
 (** [start t] arms every component (replicas, proxies, HMIs). *)
 val start : t -> unit
 
-(** [run t ~duration_us] advances virtual time. *)
+(** [run t ~duration_us] advances virtual time. With
+    [config.intra_domains > 1] (and telemetry / wire-debug off) the
+    advance runs the site shards concurrently under the conservative
+    window scheduler; results are bit-identical either way. *)
 val run : t -> duration_us:int -> unit
+
+(** [intra_stats t] — scheduler statistics of the latest
+    conservative-parallel {!run} phase, [None] if every run so far was
+    sequential. *)
+val intra_stats : t -> Sim.Conservative.stats option
 
 val engine : t -> Sim.Engine.t
 val config : t -> config

@@ -101,27 +101,26 @@ type 'a t = {
   seen : Dedup_cache.t Sim.Shard.owned; (* per node: flooded frame ids seen *)
   delivered_ids : Dedup_cache.t Sim.Shard.owned;
       (* per node: dedup'd frame ids delivered *)
-  mutable next_frame_id : int;
-  mutable submitted : int;
-  mutable delivered : int;
-  mutable duplicates_suppressed : int;
-  mutable dropped_queue_full : int;
-  mutable dropped_link_down : int;
-  mutable dropped_no_route : int;
-  mutable dropped_arq_exhausted : int;
-  mutable dropped_retired_src : int;
-  mutable junk_frames : int;
-  mutable submitted_bytes : int;
-  mutable delivered_bytes : int;
-  mutable dropped_bytes : int;
+  (* Global statistics and the frame-id allocator, striped by the
+     executing engine stripe ({!Sim.Engine.exec_stripe}) so concurrent
+     conservative-window stripes never write the same cell; totals are
+     summed on read. Sequential execution uses cell 0 only. Frame ids
+     are allocated as [local * stripe_count + stripe] — unique across
+     stripes, and behaviourally interchangeable with the sequential
+     0,1,2,... allocation because ids are only ever compared for
+     equality (dedup caches), never ordered or printed. *)
+  stripe_stats : counters array;
   per_source_cap : int;
   (* Route caches: shortest paths and disjoint path sets are stable
      between topology state changes (kill/restore); recomputing them
      per frame dominates CPU otherwise. [row.(dst)] of [src]'s row is
      [None] when not yet computed. *)
   route_cache : Topology.node list option option array Sim.Shard.owned;
-  kpath_cache : (int, Topology.node list list) Hashtbl.t;
-      (* key = (src * nodes + dst) * 1024 + min k 1023 *)
+  kpath_cache : (int, Topology.node list list) Hashtbl.t array;
+      (* key = (src * nodes + dst) * 1024 + min k 1023; one table per
+         executing stripe (a [Redundant] submit always runs on the
+         source's stripe, or serially on the control plane), since a
+         shared Hashtbl would be corrupted by concurrent inserts *)
   mutable telemetry : Telemetry.Sink.t;
   queue_spans : (int, int) Hashtbl.t;
       (* open Net_queue span per queued traced frame, keyed by
@@ -129,6 +128,26 @@ type 'a t = {
          across links when flooding, so the span id cannot live on the
          frame itself *)
 }
+
+and counters = {
+  mutable c_frame_seq : int;
+  mutable c_submitted : int;
+  mutable c_delivered : int;
+  mutable c_duplicates_suppressed : int;
+  mutable c_dropped_queue_full : int;
+  mutable c_dropped_link_down : int;
+  mutable c_dropped_no_route : int;
+  mutable c_dropped_arq_exhausted : int;
+  mutable c_dropped_retired_src : int;
+  mutable c_junk_frames : int;
+  mutable c_submitted_bytes : int;
+  mutable c_delivered_bytes : int;
+  mutable c_dropped_bytes : int;
+}
+
+(* The executing stripe's counter cell — the only cell the calling
+   domain may write. *)
+let ctrs t = t.stripe_stats.(Sim.Engine.exec_stripe t.engine)
 
 let norm_idx t a b = if a < b then (a * t.nodes) + b else (b * t.nodes) + a
 
@@ -142,6 +161,7 @@ let create ?(per_source_cap = 64) ?partition engine topo () =
       p
     | None -> Sim.Shard.singleton ~nodes:n
   in
+  let stripes = max 1 (Sim.Engine.shards engine) in
   let t =
     {
       engine;
@@ -157,22 +177,26 @@ let create ?(per_source_cap = 64) ?partition engine topo () =
       handlers = Sim.Shard.init part (fun _ -> None);
       seen = Sim.Shard.init part (fun _ -> Dedup_cache.create ());
       delivered_ids = Sim.Shard.init part (fun _ -> Dedup_cache.create ());
-      next_frame_id = 0;
-      submitted = 0;
-      delivered = 0;
-      duplicates_suppressed = 0;
-      dropped_queue_full = 0;
-      dropped_link_down = 0;
-      dropped_no_route = 0;
-      dropped_arq_exhausted = 0;
-      dropped_retired_src = 0;
-      junk_frames = 0;
-      submitted_bytes = 0;
-      delivered_bytes = 0;
-      dropped_bytes = 0;
+      stripe_stats =
+        Array.init stripes (fun _ ->
+            {
+              c_frame_seq = 0;
+              c_submitted = 0;
+              c_delivered = 0;
+              c_duplicates_suppressed = 0;
+              c_dropped_queue_full = 0;
+              c_dropped_link_down = 0;
+              c_dropped_no_route = 0;
+              c_dropped_arq_exhausted = 0;
+              c_dropped_retired_src = 0;
+              c_junk_frames = 0;
+              c_submitted_bytes = 0;
+              c_delivered_bytes = 0;
+              c_dropped_bytes = 0;
+            });
       per_source_cap;
       route_cache = Sim.Shard.init part (fun _ -> Array.make n None);
-      kpath_cache = Hashtbl.create 997;
+      kpath_cache = Array.init stripes (fun _ -> Hashtbl.create 997);
       telemetry = Telemetry.Sink.null;
       queue_spans = Hashtbl.create 64;
     }
@@ -240,20 +264,25 @@ let link_state t a b =
    flattened per-node arrays. *)
 let deliver t node frame =
   if frame.src < 0 || frame.src >= t.nodes || t.retired.(frame.src) then begin
-    t.dropped_retired_src <- t.dropped_retired_src + 1;
-    t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
+    let c = ctrs t in
+    c.c_dropped_retired_src <- c.c_dropped_retired_src + 1;
+    c.c_dropped_bytes <- c.c_dropped_bytes + frame.size_bytes
   end
   else if
     frame.dedup && Dedup_cache.mem (Sim.Shard.get t.delivered_ids node) frame.id
-  then t.duplicates_suppressed <- t.duplicates_suppressed + 1
+  then begin
+    let c = ctrs t in
+    c.c_duplicates_suppressed <- c.c_duplicates_suppressed + 1
+  end
   else begin
     if frame.dedup then
       Dedup_cache.add (Sim.Shard.get t.delivered_ids node) frame.id;
     match frame.content with
     | Junk _ -> ()
     | Payload payload ->
-      t.delivered <- t.delivered + 1;
-      t.delivered_bytes <- t.delivered_bytes + frame.size_bytes;
+      let c = ctrs t in
+      c.c_delivered <- c.c_delivered + 1;
+      c.c_delivered_bytes <- c.c_delivered_bytes + frame.size_bytes;
       (match Sim.Shard.get t.handlers node with
       | None -> ()
       | Some handler ->
@@ -296,9 +325,15 @@ let rec maybe_transmit t u v =
 
 and transmit_frame t u v ls frame attempt =
   ls.busy <- true;
-  (* The whole transmit/ARQ/propagate chain for a (u, v) hop mutates
-     [u]-owned link state, so its timers are tagged with [u]'s shard. *)
+  (* The transmit/ARQ legs of a (u, v) hop mutate [u]-owned link state,
+     so those timers are tagged with [u]'s shard; the propagation leg
+     ends in [arrive], which mutates [v]-owned state (dedup caches,
+     handlers, onward queues), so it is tagged with [v]'s shard. The
+     tags never affect sequential event order — keys are engine-global —
+     but under conservative windows they are what routes each callback
+     to the domain that owns the state it touches. *)
   let shard = Sim.Shard.engine_shard t.part u in
+  let dst_shard = Sim.Shard.engine_shard t.part v in
   let tx_us = max 1 (frame.size_bytes * 1_000_000 / ls.bandwidth_bps) in
   ls.tx_bytes <- ls.tx_bytes + frame.size_bytes;
   ls.tx_busy_us <- ls.tx_busy_us + tx_us;
@@ -316,7 +351,18 @@ and transmit_frame t u v ls frame attempt =
          in
          let lost =
            ls.loss_probability > 0.
-           && Sim.Rng.bernoulli t.rng ls.loss_probability
+           && begin
+                (* The loss draw consumes the shared net RNG stream —
+                   fine serially, a determinism-breaking race across
+                   window stripes. System refuses to enable parallel
+                   windows for lossy scenarios; this guard catches any
+                   path around that gate. *)
+                if Sim.Engine.exec_stripe t.engine > 0 then
+                  failwith
+                    "Net: lossy links are not supported inside a parallel \
+                     window (loss draws share one RNG stream)";
+                Sim.Rng.bernoulli t.rng ls.loss_probability
+              end
          in
          if lost && attempt < max_retransmissions then begin
            (* The sender detects the loss after ~one round trip and
@@ -340,10 +386,19 @@ and transmit_frame t u v ls frame attempt =
              (* All ARQ attempts failed: the frame is gone for good.
                 Surface the drop in stats and keep the queue draining —
                 a hot-loss link must not wedge its fair queue. *)
-             t.dropped_arq_exhausted <- t.dropped_arq_exhausted + 1;
-             t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
+             let c = ctrs t in
+             c.c_dropped_arq_exhausted <- c.c_dropped_arq_exhausted + 1;
+             c.c_dropped_bytes <- c.c_dropped_bytes + frame.size_bytes
            end
            else begin
+             (* Ledger the observed cross-shard hop delay: the
+                conservative lookahead is only sound while this never
+                undercuts the advertised per-link latency floor. *)
+             (match Sim.Shard.locality t.part ~src:u ~dst:v with
+             | Sim.Shard.Local _ -> ()
+             | Sim.Shard.Cross { src_shard; dst_shard } ->
+               Sim.Shard.record_delay t.boundary ~src_shard ~dst_shard
+                 ~delay_us:prop);
              let prop_sid =
                if traced t frame then
                  open_hop_span t ~phase:Telemetry.Span.Net_propagate ~node:u
@@ -351,7 +406,8 @@ and transmit_frame t u v ls frame attempt =
                else -1
              in
              ignore
-               (Sim.Engine.schedule ~shard t.engine ~delay_us:prop (fun () ->
+               (Sim.Engine.schedule ~shard:dst_shard t.engine ~delay_us:prop
+                  (fun () ->
                     if prop_sid >= 0 then close_hop_span t prop_sid;
                     arrive t u v frame)
                  : Sim.Engine.timer)
@@ -363,8 +419,9 @@ and transmit_frame t u v ls frame attempt =
 (* Frame arrives at node v over link (u,v). *)
 and arrive t u v frame =
   if not (usable t u v) then begin
-    t.dropped_link_down <- t.dropped_link_down + 1;
-    t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
+    let c = ctrs t in
+    c.c_dropped_link_down <- c.c_dropped_link_down + 1;
+    c.c_dropped_bytes <- c.c_dropped_bytes + frame.size_bytes
   end
   else begin
     frame.hops <- frame.hops + 1;
@@ -390,12 +447,14 @@ and arrive t u v frame =
             if usable t v hop then
               enqueue t v hop { frame with route = Path rest }
             else begin
-              t.dropped_link_down <- t.dropped_link_down + 1;
-              t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
+              let c = ctrs t in
+              c.c_dropped_link_down <- c.c_dropped_link_down + 1;
+              c.c_dropped_bytes <- c.c_dropped_bytes + frame.size_bytes
             end)
         | _ ->
-          t.dropped_link_down <- t.dropped_link_down + 1;
-          t.dropped_bytes <- t.dropped_bytes + frame.size_bytes)
+          let c = ctrs t in
+          c.c_dropped_link_down <- c.c_dropped_link_down + 1;
+          c.c_dropped_bytes <- c.c_dropped_bytes + frame.size_bytes)
   end
 
 and enqueue t u v frame =
@@ -420,13 +479,14 @@ and enqueue t u v frame =
     maybe_transmit t u v
   end
   else begin
-    t.dropped_queue_full <- t.dropped_queue_full + 1;
-    t.dropped_bytes <- t.dropped_bytes + frame.size_bytes
+    let c = ctrs t in
+    c.c_dropped_queue_full <- c.c_dropped_queue_full + 1;
+    c.c_dropped_bytes <- c.c_dropped_bytes + frame.size_bytes
   end
 
 let invalidate_routes t =
   Sim.Shard.iter (fun _ row -> Array.fill row 0 (Array.length row) None) t.route_cache;
-  Hashtbl.reset t.kpath_cache
+  Array.iter Hashtbl.reset t.kpath_cache
 
 let cached_shortest t ~src ~dst =
   let row = Sim.Shard.get t.route_cache src in
@@ -439,23 +499,27 @@ let cached_shortest t ~src ~dst =
 
 let cached_disjoint t ~src ~dst ~k =
   let key = (((src * t.nodes) + dst) * 1024) + min k 1023 in
-  match Hashtbl.find_opt t.kpath_cache key with
+  let cache = t.kpath_cache.(Sim.Engine.exec_stripe t.engine) in
+  match Hashtbl.find_opt cache key with
   | Some paths -> paths
   | None ->
     let paths = Routing.disjoint_paths t.topo ~usable:(usable t) ~src ~dst ~k in
-    Hashtbl.replace t.kpath_cache key paths;
+    Hashtbl.replace cache key paths;
     paths
 
 let fresh_id t =
-  let id = t.next_frame_id in
-  t.next_frame_id <- id + 1;
+  let s = Sim.Engine.exec_stripe t.engine in
+  let c = t.stripe_stats.(s) in
+  let id = (c.c_frame_seq * Array.length t.stripe_stats) + s in
+  c.c_frame_seq <- c.c_frame_seq + 1;
   id
 
 let submit t ~priority ~size_bytes ~src ~dst ~mode ~trace content =
-  t.submitted <- t.submitted + 1;
-  t.submitted_bytes <- t.submitted_bytes + size_bytes;
+  let c = ctrs t in
+  c.c_submitted <- c.c_submitted + 1;
+  c.c_submitted_bytes <- c.c_submitted_bytes + size_bytes;
   (match content with
-  | Junk _ -> t.junk_frames <- t.junk_frames + 1
+  | Junk _ -> c.c_junk_frames <- c.c_junk_frames + 1
   | Payload _ -> ());
   if
     src < 0 || src >= t.nodes || dst < 0 || dst >= t.nodes || t.retired.(src)
@@ -463,12 +527,12 @@ let submit t ~priority ~size_bytes ~src ~dst ~mode ~trace content =
     (* Unknown or retired source id: stale-site frames after a removal
        (or forged ids) are dropped before touching any [src * nodes]
        indexed state. *)
-    t.dropped_retired_src <- t.dropped_retired_src + 1;
-    t.dropped_bytes <- t.dropped_bytes + size_bytes
+    c.c_dropped_retired_src <- c.c_dropped_retired_src + 1;
+    c.c_dropped_bytes <- c.c_dropped_bytes + size_bytes
   end
   else if not t.node_up.(src) then begin
-    t.dropped_link_down <- t.dropped_link_down + 1;
-    t.dropped_bytes <- t.dropped_bytes + size_bytes
+    c.c_dropped_link_down <- c.c_dropped_link_down + 1;
+    c.c_dropped_bytes <- c.c_dropped_bytes + size_bytes
   end
   else begin
     let base_frame ?(dedup = false) route =
@@ -506,22 +570,22 @@ let submit t ~priority ~size_bytes ~src ~dst ~mode ~trace content =
       | Shortest -> (
         match cached_shortest t ~src ~dst with
         | None ->
-          t.dropped_no_route <- t.dropped_no_route + 1;
-          t.dropped_bytes <- t.dropped_bytes + size_bytes
+          c.c_dropped_no_route <- c.c_dropped_no_route + 1;
+          c.c_dropped_bytes <- c.c_dropped_bytes + size_bytes
         | Some (_ :: rest) ->
           let frame = base_frame (Path rest) in
           (match rest with
           | hop :: _ -> enqueue t src hop frame
           | [] -> deliver t src frame)
         | Some [] ->
-          t.dropped_no_route <- t.dropped_no_route + 1;
-          t.dropped_bytes <- t.dropped_bytes + size_bytes)
+          c.c_dropped_no_route <- c.c_dropped_no_route + 1;
+          c.c_dropped_bytes <- c.c_dropped_bytes + size_bytes)
       | Redundant k -> (
         let paths = cached_disjoint t ~src ~dst ~k:(max 1 k) in
         match paths with
         | [] ->
-          t.dropped_no_route <- t.dropped_no_route + 1;
-          t.dropped_bytes <- t.dropped_bytes + size_bytes
+          c.c_dropped_no_route <- c.c_dropped_no_route + 1;
+          c.c_dropped_bytes <- c.c_dropped_bytes + size_bytes
         | paths ->
           (* One frame id shared by all copies so the destination
              delivers exactly one. *)
@@ -654,18 +718,43 @@ let current_route t ~src ~dst =
 let estimated_latency_us t ~src ~dst =
   Option.map (Routing.path_latency_us t.topo) (current_route t ~src ~dst)
 
+(* Minimum cross-shard direct-link latency floors, indexed by partition
+   shard pair ([max_int] where no direct link joins the pair). Sound as
+   a per-event bound for relayed routes too: frames move hop by hop, and
+   each hop's arrival is (re)scheduled on the receiving node's shard
+   with at least that hop's link latency — so every cross-shard event
+   transfer is bounded below by the direct-link floor of the pair it
+   actually crosses. [set_latency_factor] only inflates delays (factor
+   >= 1.0 enforced) and links are never added at runtime, so the floors
+   are static for a topology. *)
+let shard_min_latency t =
+  let k = Sim.Shard.shards t.part in
+  let m = Array.make_matrix k k max_int in
+  List.iter
+    (fun (link : Topology.link) ->
+      let sa = Sim.Shard.owner_of t.part link.Topology.endpoint_a in
+      let sb = Sim.Shard.owner_of t.part link.Topology.endpoint_b in
+      if sa <> sb then begin
+        let l = link.Topology.latency_us in
+        if l < m.(sa).(sb) then m.(sa).(sb) <- l;
+        if l < m.(sb).(sa) then m.(sb).(sa) <- l
+      end)
+    (Topology.links t.topo);
+  m
+
 let stats t =
+  let sum f = Array.fold_left (fun acc c -> acc + f c) 0 t.stripe_stats in
   {
-    submitted = t.submitted;
-    delivered = t.delivered;
-    duplicates_suppressed = t.duplicates_suppressed;
-    dropped_queue_full = t.dropped_queue_full;
-    dropped_link_down = t.dropped_link_down;
-    dropped_no_route = t.dropped_no_route;
-    dropped_arq_exhausted = t.dropped_arq_exhausted;
-    dropped_retired_src = t.dropped_retired_src;
-    junk_frames = t.junk_frames;
-    submitted_bytes = t.submitted_bytes;
-    delivered_bytes = t.delivered_bytes;
-    dropped_bytes = t.dropped_bytes;
+    submitted = sum (fun c -> c.c_submitted);
+    delivered = sum (fun c -> c.c_delivered);
+    duplicates_suppressed = sum (fun c -> c.c_duplicates_suppressed);
+    dropped_queue_full = sum (fun c -> c.c_dropped_queue_full);
+    dropped_link_down = sum (fun c -> c.c_dropped_link_down);
+    dropped_no_route = sum (fun c -> c.c_dropped_no_route);
+    dropped_arq_exhausted = sum (fun c -> c.c_dropped_arq_exhausted);
+    dropped_retired_src = sum (fun c -> c.c_dropped_retired_src);
+    junk_frames = sum (fun c -> c.c_junk_frames);
+    submitted_bytes = sum (fun c -> c.c_submitted_bytes);
+    delivered_bytes = sum (fun c -> c.c_delivered_bytes);
+    dropped_bytes = sum (fun c -> c.c_dropped_bytes);
   }

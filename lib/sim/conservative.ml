@@ -1,0 +1,264 @@
+(* Conservative-lookahead parallel window scheduler.
+
+   The engine's heaps partition events by site ownership (heap 0 =
+   control, heaps 1..K = site/field stripes). Cross-stripe interactions
+   only happen through the overlay's WAN links, whose propagation
+   latency has a static positive floor, so each stripe can safely
+   execute every event strictly before
+
+     E = min (tmin + L, next control event, horizon + 1)
+
+   where tmin is the globally earliest pending event time and L the
+   minimum cross-shard link latency: any event a stripe produces for
+   another stripe during the window lands at or after tmin + L >= E,
+   i.e. in a later window. Control-heap events (scenario injections,
+   chaos, reconfiguration) act as serial barriers — they run alone
+   between windows via the ordinary sequential step, which is what makes
+   every piece of state they touch race-free by construction.
+
+   Determinism does not rest on the lookahead bound alone: the barrier
+   merge in Engine.Window.finalize replays each window's per-stripe
+   logs in exact sequential pop order and re-allocates the engine-global
+   tie-break seqs accordingly, and it fails loudly if any cross-shard
+   product violates the bound. The merged trajectory is bit-identical to
+   the sequential engine's for any domain count, including 1. *)
+
+type stats = {
+  mutable windows : int;
+  mutable window_events : int;
+  mutable control_steps : int;
+  mutable degraded_steps : int;
+  mutable cross_events : int;
+  stalls : int array;
+  mutable max_window_events : int;
+  mutable lookahead_us : int;
+  incoming_lookahead_us : int array;
+}
+
+let make_stats engine =
+  {
+    windows = 0;
+    window_events = 0;
+    control_steps = 0;
+    degraded_steps = 0;
+    cross_events = 0;
+    stalls = Array.make (Engine.shards engine) 0;
+    max_window_events = 0;
+    lookahead_us = max_int;
+    incoming_lookahead_us = Array.make (Engine.shards engine) max_int;
+  }
+
+(* Persistent worker pool: [workers] domains including the caller as
+   worker 0 (so domains = 1 never spawns). A window is one "job epoch":
+   the main domain publishes the job under the mutex, every worker runs
+   its round-robin share of stripes, and the mutex/condvar hand-off
+   doubles as the memory barrier that publishes stripe-local writes to
+   the finalizing domain. *)
+type pool = {
+  workers : int;
+  mu : Mutex.t;
+  cv_start : Condition.t;
+  cv_done : Condition.t;
+  mutable epoch : int;
+  mutable done_count : int;
+  mutable job : (int -> unit) option;
+  mutable shutdown : bool;
+  mutable errors : (int * exn) list;
+  mutable handles : unit Domain.t list;
+}
+
+let pool_worker pool w =
+  let my_epoch = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock pool.mu;
+    while pool.epoch = !my_epoch && not pool.shutdown do
+      Condition.wait pool.cv_start pool.mu
+    done;
+    let shutdown = pool.shutdown in
+    let epoch = pool.epoch in
+    let job = pool.job in
+    Mutex.unlock pool.mu;
+    if shutdown then continue := false
+    else begin
+      my_epoch := epoch;
+      (try Option.iter (fun f -> f w) job
+       with e ->
+         Mutex.lock pool.mu;
+         pool.errors <- (w, e) :: pool.errors;
+         Mutex.unlock pool.mu);
+      Mutex.lock pool.mu;
+      pool.done_count <- pool.done_count + 1;
+      if pool.done_count = pool.workers - 1 then Condition.signal pool.cv_done;
+      Mutex.unlock pool.mu
+    end
+  done
+
+let make_pool ~workers =
+  let pool =
+    {
+      workers;
+      mu = Mutex.create ();
+      cv_start = Condition.create ();
+      cv_done = Condition.create ();
+      epoch = 0;
+      done_count = 0;
+      job = None;
+      shutdown = false;
+      errors = [];
+      handles = [];
+    }
+  in
+  pool.handles <-
+    List.init (workers - 1) (fun i ->
+        Domain.spawn (fun () -> pool_worker pool (i + 1)));
+  pool
+
+let pool_shutdown pool =
+  Mutex.lock pool.mu;
+  pool.shutdown <- true;
+  Condition.broadcast pool.cv_start;
+  Mutex.unlock pool.mu;
+  List.iter Domain.join pool.handles;
+  pool.handles <- []
+
+(* Run [job w] on every worker (main domain = worker 0) and wait for all
+   of them. Worker exceptions are re-raised here, lowest worker index
+   first, matching the Parallel sweep runner's convention. *)
+let pool_run pool job =
+  if pool.workers = 1 then job 0
+  else begin
+    Mutex.lock pool.mu;
+    pool.job <- Some job;
+    pool.done_count <- 0;
+    pool.epoch <- pool.epoch + 1;
+    Condition.broadcast pool.cv_start;
+    Mutex.unlock pool.mu;
+    (try job 0
+     with e ->
+       Mutex.lock pool.mu;
+       pool.errors <- (0, e) :: pool.errors;
+       Mutex.unlock pool.mu);
+    Mutex.lock pool.mu;
+    while pool.done_count < pool.workers - 1 do
+      Condition.wait pool.cv_done pool.mu
+    done;
+    let errors = pool.errors in
+    pool.errors <- [];
+    Mutex.unlock pool.mu;
+    match List.sort (fun (a, _) (b, _) -> compare a b) errors with
+    | (_, e) :: _ -> raise e
+    | [] -> ()
+  end
+
+let run ?(domains = 1) engine ~min_latency_us ~until_us =
+  let k = Engine.shards engine in
+  if Array.length min_latency_us <> k then
+    invalid_arg "Conservative.run: min_latency_us must be shards x shards";
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then
+        invalid_arg "Conservative.run: min_latency_us must be shards x shards")
+    min_latency_us;
+  let stats = make_stats engine in
+  if k <= 1 || domains < 1 then begin
+    Engine.run engine ~until_us;
+    stats
+  end
+  else begin
+    (* Global lookahead: the tightest bound over every cross-stripe
+       channel. Per-stripe horizons (min over incoming channels) are
+       also computed, but only for the stall statistics — at a window
+       barrier all channel clocks equal tmin, so executing any stripe
+       past the *global* minimum would let it finalize tie-break seqs
+       ahead of another stripe's earlier events. *)
+    let lookahead = ref max_int in
+    for src = 1 to k - 1 do
+      for dst = 1 to k - 1 do
+        if src <> dst then begin
+          let l = min_latency_us.(src).(dst) in
+          if l < !lookahead then lookahead := l;
+          if l < stats.incoming_lookahead_us.(dst) then
+            stats.incoming_lookahead_us.(dst) <- l
+        end
+      done
+    done;
+    stats.lookahead_us <- !lookahead;
+    let workers = max 1 (min domains (k - 1)) in
+    let ctxs = Engine.Window.make_ctxs engine in
+    let pool = make_pool ~workers in
+    let job w =
+      let s = ref (1 + w) in
+      while !s < k do
+        Engine.Window.run_stripe ctxs.(!s);
+        s := !s + workers
+      done
+    in
+    Fun.protect ~finally:(fun () -> pool_shutdown pool) @@ fun () ->
+    let continue = ref true in
+    while !continue do
+      match Engine.Window.peek_next engine with
+      | None ->
+        Engine.Window.finish_run engine ~until_us;
+        continue := false
+      | Some (heap, tmin) ->
+        if tmin > until_us then begin
+          Engine.Window.finish_run engine ~until_us;
+          continue := false
+        end
+        else if heap = 0 then begin
+          (* Control events are serial barriers: no stripe is running,
+             so the callback may touch any state, nest runs, use the
+             RNG — exactly the sequential execution model. *)
+          ignore (Engine.step engine);
+          stats.control_steps <- stats.control_steps + 1
+        end
+        else begin
+          let control_cap =
+            match Engine.Window.control_next_time engine with
+            | Some t -> t
+            | None -> max_int
+          in
+          let window_end =
+            if !lookahead = max_int then min control_cap (until_us + 1)
+            else min (min (tmin + !lookahead) control_cap) (until_us + 1)
+          in
+          if window_end <= tmin then begin
+            (* Degenerate lookahead (adjacent control event or zero
+               bound): fall back to one sequential step to guarantee
+               progress. *)
+            ignore (Engine.step engine);
+            stats.degraded_steps <- stats.degraded_steps + 1
+          end
+          else begin
+            Engine.Window.open_window engine ctxs ~window_end;
+            pool_run pool job;
+            let cross =
+              Engine.Window.finalize engine ctxs ~w_start:tmin ~window_end
+            in
+            stats.windows <- stats.windows + 1;
+            stats.cross_events <- stats.cross_events + cross;
+            let executed = ref 0 in
+            for s = 1 to k - 1 do
+              let e = Engine.Window.executed ctxs.(s) in
+              executed := !executed + e;
+              if e = 0 then stats.stalls.(s) <- stats.stalls.(s) + 1
+            done;
+            stats.window_events <- stats.window_events + !executed;
+            if !executed > stats.max_window_events then
+              stats.max_window_events <- !executed
+          end
+        end
+    done;
+    stats
+  end
+
+let pp_stats ppf s =
+  let total_stalls = Array.fold_left ( + ) 0 s.stalls in
+  Format.fprintf ppf
+    "windows=%d events=%d (max/window %d, avg %.1f) control=%d degraded=%d \
+     cross=%d stalls=%d"
+    s.windows s.window_events s.max_window_events
+    (if s.windows = 0 then 0.
+     else float_of_int s.window_events /. float_of_int s.windows)
+    s.control_steps s.degraded_steps s.cross_events total_stalls

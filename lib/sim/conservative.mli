@@ -1,0 +1,59 @@
+(** Conservative-lookahead parallel execution of one sharded engine.
+
+    Classic conservative synchronization, specialised to this engine's
+    ownership model: heaps 1..K hold site/field events, heap 0 holds
+    control events, and the only cross-shard interaction is through WAN
+    links whose propagation delay has a static positive floor. At each
+    barrier the scheduler takes the globally earliest pending event time
+    [tmin] and opens a window executing, concurrently on up to [domains]
+    OCaml domains, every stripe event strictly before
+
+    [window_end = min (tmin + L, next control event, until_us + 1)]
+
+    where [L] is the minimum cross-shard latency bound. Any event a
+    stripe produces for another stripe lands at [>= tmin + L], i.e. in a
+    later window, so no stripe can miss input. Control-heap events run
+    serially between windows and may therefore touch any state.
+
+    The merged trajectory — event order, engine-global tie-break seqs,
+    RNG usage, every counter — is {b bit-identical} to
+    {!Engine.run}'s sequential execution for any [domains], including 1;
+    the barrier merge re-derives the sequential seq allocation from
+    per-stripe logs and fails loudly (rather than diverging silently) if
+    a cross-shard product ever violates the lookahead bound. See
+    DESIGN.md §16 for the full protocol and determinism argument. *)
+
+type stats = {
+  mutable windows : int;  (** parallel windows executed *)
+  mutable window_events : int;  (** events executed inside windows *)
+  mutable control_steps : int;  (** serial control-heap steps *)
+  mutable degraded_steps : int;
+      (** sequential fallback steps (window would have been empty) *)
+  mutable cross_events : int;  (** cross-shard events exchanged *)
+  stalls : int array;
+      (** per-stripe count of windows in which the stripe had nothing to
+          execute — shard imbalance / horizon starvation *)
+  mutable max_window_events : int;  (** largest single-window batch *)
+  mutable lookahead_us : int;  (** global lookahead bound L used *)
+  incoming_lookahead_us : int array;
+      (** per-stripe min over incoming channels of the latency bound —
+          the stripe's own horizon distance at a barrier *)
+}
+
+(** [run ~domains engine ~min_latency_us ~until_us] executes [engine] up
+    to [until_us] (inclusive, like {!Engine.run}) using conservative
+    windows on [domains] domains (the caller's included; [1] spawns
+    nothing). [min_latency_us] is the engine-shard-indexed matrix of
+    minimum cross-shard event latencies, [max_int] where no channel
+    exists; row/column 0 (control) are ignored. Degenerate cases — a
+    single heap, a [max_int] bound with pending control work, adjacent
+    control events — degrade to sequential stepping, never to
+    incorrectness.
+
+    @raise Invalid_argument if the matrix is not shards x shards.
+    @raise Failure on a conservative-safety violation (an event or
+    cancel that crosses shards faster than its advertised bound). *)
+val run : ?domains:int -> Engine.t -> min_latency_us:int array array -> until_us:int -> stats
+
+(** One-line stats rendering for bench / debug output. *)
+val pp_stats : Format.formatter -> stats -> unit

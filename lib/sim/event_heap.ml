@@ -9,10 +9,18 @@ type 'a t = {
   mutable events : 'a array;
   mutable len : int;
   mutable next_seq : int;
+  mutable hi_water : int;
 }
 
 let create () =
-  { times = [||]; seqs = [||]; events = [||]; len = 0; next_seq = 0 }
+  {
+    times = [||];
+    seqs = [||];
+    events = [||];
+    len = 0;
+    next_seq = 0;
+    hi_water = 0;
+  }
 
 let earlier t i j =
   t.times.(i) < t.times.(j)
@@ -78,6 +86,7 @@ let push_keyed t ~time ~seq event =
      [push] and [push_keyed] on one heap cannot produce duplicate keys. *)
   if seq >= t.next_seq then t.next_seq <- seq + 1;
   t.len <- t.len + 1;
+  if t.len > t.hi_water then t.hi_water <- t.len;
   sift_up t i
 
 let push t ~time event =
@@ -108,6 +117,25 @@ let pop_min t =
     sift_down t 0
   end;
   ev
+
+let hi_water t = t.hi_water
+
+let rekey t ~threshold ~seq_of =
+  (* Rewrite the tie-break seqs of entries at or above [threshold] in
+     place, with no re-sift. This is only sound when [seq_of] is
+     strictly monotone over the seq values present in the heap — i.e.
+     the mapping preserves every pairwise (time, seq) comparison — in
+     which case the heap shape remains a valid min-heap as-is. The
+     conservative scheduler guarantees this: provisional seqs resolve to
+     fresh engine seqs in the same relative order, and every fresh seq
+     is larger than every pre-existing real seq in the heap. *)
+  for i = 0 to t.len - 1 do
+    if t.seqs.(i) >= threshold then begin
+      let seq = seq_of t.events.(i) in
+      t.seqs.(i) <- seq;
+      if seq >= t.next_seq then t.next_seq <- seq + 1
+    end
+  done
 
 let pop t =
   if t.len = 0 then None

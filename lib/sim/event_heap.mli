@@ -51,8 +51,22 @@ val peek_time : 'a t -> int option
     used to purge cancelled timers without disturbing determinism. *)
 val compact : 'a t -> keep:('a -> bool) -> unit
 
+(** [rekey t ~threshold ~seq_of] rewrites, in place, the tie-break seq
+    of every entry whose current seq is [>= threshold] to
+    [seq_of event]. No re-sift is performed, so this is only sound when
+    the rewrite is strictly monotone over the seq values present in the
+    heap (it then preserves every pairwise [(time, seq)] comparison and
+    the existing layout stays a valid min-heap). The conservative
+    window scheduler uses this to resolve provisional in-window seqs to
+    their final engine-global values — see {!Engine.Window}. *)
+val rekey : 'a t -> threshold:int -> seq_of:('a -> int) -> unit
+
 (** [size t] is the number of queued events. *)
 val size : 'a t -> int
+
+(** [hi_water t] is the maximum number of events ever simultaneously
+    queued over the heap's lifetime (high-water occupancy). *)
+val hi_water : 'a t -> int
 
 (** [is_empty t] is [size t = 0]. *)
 val is_empty : 'a t -> bool

@@ -68,15 +68,25 @@ let iter f o =
     f node (get o node)
   done
 
+(* Every cell is written only by the source shard's stripe (the overlay
+   records a crossing while executing on the transmitting node's owner),
+   so under the conservative window scheduler no two domains ever touch
+   the same cell; the totals are derived on read instead of being shared
+   mutable hot spots. *)
 type boundary = {
   b_shards : int;
   frames : int array; (* src_shard * b_shards + dst_shard *)
   bytes : int array;
-  mutable tot_frames : int;
-  mutable tot_bytes : int;
+  delays : int array; (* min observed per-hop delivery delay, us; max_int = none *)
 }
 
-type crossing = { src_shard : int; dst_shard : int; frames : int; bytes : int }
+type crossing = {
+  src_shard : int;
+  dst_shard : int;
+  frames : int;
+  bytes : int;
+  min_delay_us : int;
+}
 
 let boundary p =
   let k = p.shard_count in
@@ -84,17 +94,20 @@ let boundary p =
     b_shards = k;
     frames = Array.make (k * k) 0;
     bytes = Array.make (k * k) 0;
-    tot_frames = 0;
-    tot_bytes = 0;
+    delays = Array.make (k * k) max_int;
   }
 
 let record b ~src_shard ~dst_shard ~bytes =
   if src_shard <> dst_shard then begin
     let i = (src_shard * b.b_shards) + dst_shard in
     b.frames.(i) <- b.frames.(i) + 1;
-    b.bytes.(i) <- b.bytes.(i) + bytes;
-    b.tot_frames <- b.tot_frames + 1;
-    b.tot_bytes <- b.tot_bytes + bytes
+    b.bytes.(i) <- b.bytes.(i) + bytes
+  end
+
+let record_delay b ~src_shard ~dst_shard ~delay_us =
+  if src_shard <> dst_shard then begin
+    let i = (src_shard * b.b_shards) + dst_shard in
+    if delay_us < b.delays.(i) then b.delays.(i) <- delay_us
   end
 
 let crossings b =
@@ -107,13 +120,14 @@ let crossings b =
           dst_shard = i mod b.b_shards;
           frames = b.frames.(i);
           bytes = b.bytes.(i);
+          min_delay_us = b.delays.(i);
         }
         :: !out
   done;
   !out
 
-let total_frames b = b.tot_frames
-let total_bytes b = b.tot_bytes
+let total_frames (b : boundary) = Array.fold_left ( + ) 0 b.frames
+let total_bytes (b : boundary) = Array.fold_left ( + ) 0 b.bytes
 
 let engine_shard p node = 1 + p.owner.(node)
 let engine_shards p = p.shard_count + 1

@@ -86,14 +86,26 @@ type crossing = {
   dst_shard : int;
   frames : int;
   bytes : int;
+  min_delay_us : int;
+      (** minimum observed per-hop delivery delay on this pair, [max_int]
+          if recorded frames are still in flight — the conservative
+          scheduler's lookahead precondition is that this never drops
+          below the advertised link-latency bound *)
 }
 
 (** [boundary p] is an empty ledger over [p]'s shard pairs. *)
 val boundary : partition -> boundary
 
 (** [record b ~src_shard ~dst_shard ~bytes] counts one frame crossing
-    the boundary. No-op when [src_shard = dst_shard]. *)
+    the boundary. No-op when [src_shard = dst_shard]. Each [(src, dst)]
+    cell is only ever written from the source shard's stripe, so the
+    ledger needs no synchronisation under parallel window execution. *)
 val record : boundary -> src_shard:int -> dst_shard:int -> bytes:int -> unit
+
+(** [record_delay b ~src_shard ~dst_shard ~delay_us] folds one observed
+    cross-shard delivery delay into the pair's minimum. *)
+val record_delay :
+  boundary -> src_shard:int -> dst_shard:int -> delay_us:int -> unit
 
 (** [crossings b] is every pair with traffic, ordered by
     [(src_shard, dst_shard)]. *)

@@ -530,6 +530,86 @@ let test_net_self_send () =
   Sim.Engine.run_until_quiescent engine;
   Alcotest.(check int) "self delivery" 1 !received
 
+(* ------------------------------------------------------------------ *)
+(* WAN boundary ledger vs. advertised latency floor *)
+
+(* The conservative scheduler's lookahead precondition, as a property:
+   every cross-shard frame hop observed in the boundary ledger must be
+   delayed by at least the advertised per-pair minimum link latency
+   ([Net.shard_min_latency]) — under random traffic across all three
+   dissemination modes and with a link's latency factor inflated (the
+   factor can only stretch delays, never shrink them below the floor). *)
+let prop_wan_crossing_delay_respects_floor =
+  QCheck.Test.make ~count:100
+    ~name:"wan crossing delays >= advertised per-pair latency floor"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 25) (pair small_nat small_nat))
+        (int_bound 4))
+    (fun (sends, factor_tweak) ->
+      let topo =
+        T.multi_site ~site_sizes:[ 2; 2; 1 ] ~lan_latency_us:50
+          ~wan_latency_us:(fun sa sb -> 2_000 + (500 * (sa + sb)))
+          ~lan_bandwidth_bps:10_000_000 ~wan_bandwidth_bps:1_000_000
+      in
+      let n = T.node_count topo in
+      let part =
+        Sim.Shard.make ~shards:(T.site_count topo) ~owner:(T.site_of topo)
+          ~nodes:n
+      in
+      let engine =
+        Sim.Engine.create ~seed:11L ~shards:(Sim.Shard.engine_shards part) ()
+      in
+      let net : net_msg N.t = N.create ~partition:part engine topo () in
+      (if factor_tweak > 0 then
+         match
+           List.find_opt
+             (fun (l : T.link) -> T.site_of topo l.T.endpoint_a <> T.site_of topo l.T.endpoint_b)
+             (T.links topo)
+         with
+         | Some l ->
+           N.set_latency_factor net l.T.endpoint_a l.T.endpoint_b
+             (1. +. float_of_int factor_tweak)
+         | None -> ());
+      List.iteri
+        (fun i (a, b) ->
+          let src = a mod n and dst = b mod n in
+          if src <> dst then
+            let mode =
+              match i mod 3 with
+              | 0 -> N.Shortest
+              | 1 -> N.Redundant 2
+              | _ -> N.Flood
+            in
+            N.send net ~src ~dst ~size_bytes:128 ~mode (Ping i))
+        sends;
+      Sim.Engine.run_until_quiescent engine;
+      let m = N.shard_min_latency net in
+      List.for_all
+        (fun (c : Sim.Shard.crossing) ->
+          (* max_int = every recorded copy was dropped before its
+             propagation leg was ever scheduled. *)
+          c.Sim.Shard.min_delay_us = max_int
+          || c.Sim.Shard.min_delay_us
+             >= m.(c.Sim.Shard.src_shard).(c.Sim.Shard.dst_shard))
+        (N.wan_crossings net))
+
+let test_shard_min_latency_matrix () =
+  let topo =
+    T.multi_site ~site_sizes:[ 2; 2 ] ~lan_latency_us:50
+      ~wan_latency_us:(fun _ _ -> 7_000)
+      ~lan_bandwidth_bps:10_000_000 ~wan_bandwidth_bps:1_000_000
+  in
+  let part =
+    Sim.Shard.make ~shards:2 ~owner:(T.site_of topo) ~nodes:(T.node_count topo)
+  in
+  let engine = Sim.Engine.create ~shards:(Sim.Shard.engine_shards part) () in
+  let net : net_msg N.t = N.create ~partition:part engine topo () in
+  let m = N.shard_min_latency net in
+  Alcotest.(check int) "cross pair floor" 7_000 m.(0).(1);
+  Alcotest.(check int) "symmetric" 7_000 m.(1).(0);
+  Alcotest.(check int) "diagonal has no cross channel" max_int m.(0).(0)
+
 let () =
   Alcotest.run "overlay"
     [
@@ -592,5 +672,11 @@ let () =
           Alcotest.test_case "self send" `Quick test_net_self_send;
           Alcotest.test_case "retired and unknown src dropped" `Quick
             test_net_retired_src_dropped;
+        ] );
+      ( "wan_boundary",
+        [
+          QCheck_alcotest.to_alcotest prop_wan_crossing_delay_respects_floor;
+          Alcotest.test_case "shard min-latency matrix" `Quick
+            test_shard_min_latency_matrix;
         ] );
     ]
