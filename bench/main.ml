@@ -9,6 +9,7 @@
      SCALE=full dune exec bench/main.exe      # paper-scale durations
      MICRO=0 dune exec bench/main.exe         # skip microbenchmarks
      PERF=1 dune exec bench/main.exe          # perf trajectory -> BENCH_PERF.json
+     FLEET=1000,10000 ONLY=E12 ...            # E12 fleet-size sweep points
 
    Absolute numbers depend on the simulated substrate; the properties
    that must match the paper are the *shapes*: who wins, by what rough
@@ -44,7 +45,7 @@ let run_micro =
 let known_ids =
   [
     "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E6B"; "E7"; "E8"; "E9"; "E10"; "E11";
-    "MICRO";
+    "E12"; "MICRO";
   ]
 
 let () =
@@ -934,6 +935,111 @@ let e11 () =
      grows to 8"
 
 (* ------------------------------------------------------------------ *)
+(* E12: fleet-scale field layer                                        *)
+
+(* FLEET=1000,10000 — comma-separated fleet sizes for the E12 sweep
+   (default 1k/10k/100k devices). *)
+let fleet_points =
+  match Sys.getenv_opt "FLEET" with
+  | None -> [| 1_000; 10_000; 100_000 |]
+  | Some s ->
+    let parsed =
+      String.split_on_char ',' s
+      |> List.filter_map (fun e ->
+             match String.trim e with "" -> None | e -> Some e)
+      |> List.map int_of_string_opt
+    in
+    if
+      parsed = []
+      || List.exists (function Some n -> n < 1 | None -> true) parsed
+    then begin
+      Printf.eprintf
+        "FLEET=%S is not a comma-separated list of positive device counts\n" s;
+      exit 2
+    end;
+    Array.of_list (List.map Option.get parsed)
+
+(* Concentrator count grows with the fleet but is capped: hierarchical
+   aggregation means the ordered stream sees concentrators, not
+   devices. *)
+let fleet_concentrators devices = min 64 (max 4 (devices / 2500))
+
+let e12 () =
+  section "E12"
+    "Fleet-scale field layer: register-mapped devices behind hierarchical \
+     concentrators";
+  let duration = if scale_full then sec 30 else sec 10 in
+  let secs = float_of_int duration /. 1e6 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "fleet sweep, %.0fs runs: report-by-exception events fold into one \
+            ordered aggregate per concentrator scan round"
+           secs)
+      ~columns:
+        [
+          "devices"; "conc"; "rounds"; "conf events/s"; "conf writes";
+          "wire B/dev"; "link churn"; "dups"; "ordered/s";
+        ]
+  in
+  (* Output is byte-identical for any PAR= value: results land in an
+     index-addressed array and print in order after the join. *)
+  let results =
+    Sim.Parallel.map ~domains:par_domains
+      (fun devices ->
+        let concentrators = fleet_concentrators devices in
+        let sys, r =
+          Spire.Scenarios.fleet ~concentrators ~devices ~duration_us:duration
+            ()
+        in
+        let s = Spire.System.fleet_stats sys in
+        let field_bytes =
+          List.fold_left
+            (fun acc (kind, _, bytes) ->
+              if kind = "field/advert" || kind = "field/report" then
+                acc + bytes
+              else acc)
+            0 (Spire.System.wire_traffic sys)
+        in
+        (devices, concentrators, s, field_bytes, r))
+      fleet_points
+  in
+  Array.iter
+    (fun ( devices,
+           concentrators,
+           (s : Field.Concentrator.stats),
+           field_bytes,
+           (r : Spire.Scenarios.latency_result) ) ->
+      Stats.Table.add_row table
+        [
+          string_of_int devices;
+          string_of_int concentrators;
+          string_of_int s.Field.Concentrator.rounds;
+          Printf.sprintf "%.0f" (float_of_int s.confirmed_events /. secs);
+          string_of_int s.confirmed_writes;
+          Printf.sprintf "%.1f"
+            (float_of_int field_bytes /. float_of_int devices);
+          string_of_int s.churn;
+          string_of_int s.dups_dropped;
+          Printf.sprintf "%.0f" (float_of_int r.Spire.Scenarios.confirmed /. secs);
+        ])
+    results;
+  Stats.Table.print table;
+  Array.iter
+    (fun (devices, _, (s : Field.Concentrator.stats), _, _) ->
+      if s.Field.Concentrator.confirmed_events = 0 then begin
+        Printf.eprintf "E12 FAILED: no confirmed fleet events at %d devices\n"
+          devices;
+        exit 1
+      end)
+    results;
+  shape
+    "confirmed-event rate scales with fleet size while the ordered-op rate \
+     stays near-flat (hierarchical aggregation); per-device wire bytes stay \
+     O(1); link churn tracks the keep-alive loss rate"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 
 let microbenches () =
@@ -1060,7 +1166,7 @@ let () =
       [
         ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
         ("E6B", e6b); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
-        ("E11", e11);
+        ("E11", e11); ("E12", e12);
       ]
     in
     List.iter (fun (id, f) -> if enabled id then f ()) experiments;

@@ -124,6 +124,65 @@ let e8_batch_sweep ~scale_full () =
       point)
     [ 1; 4; 16; 64 ]
 
+(* E12 fleet sweep: the register-mapped device fleet at 1k/10k/100k
+   devices. Recorded so the trajectory file tracks the confirmed-event
+   rate and per-device wire cost of the hierarchical-aggregation path;
+   a sticky floor on the 10k point's confirmed events/sec gates the
+   fleet hot path the way [floor_events_per_sec] gates E3. *)
+
+type fleet_point = {
+  fleet_devices : int;
+  fleet_concentrators : int;
+  confirmed_events_per_sec : float;
+  fleet_confirmed_writes : int;
+  wire_bytes_per_device : float;
+  fleet_churn : int;
+  fleet_wall_s : float;
+}
+
+let e12_fleet_sweep ~scale_full () =
+  let duration = if scale_full then sec 30 else sec 10 in
+  let secs = float_of_int duration /. 1e6 in
+  Printf.printf "  E12 fleet sweep: register-mapped device fleet, %ds runs\n%!"
+    (duration / 1_000_000);
+  List.map
+    (fun devices ->
+      let concentrators = min 64 (max 4 (devices / 2500)) in
+      let t0 = Unix.gettimeofday () in
+      let sys, _ =
+        Spire.Scenarios.fleet ~concentrators ~devices ~duration_us:duration ()
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let s = Spire.System.fleet_stats sys in
+      let field_bytes =
+        List.fold_left
+          (fun acc (kind, _, bytes) ->
+            if kind = "field/advert" || kind = "field/report" then acc + bytes
+            else acc)
+          0 (Spire.System.wire_traffic sys)
+      in
+      let point =
+        {
+          fleet_devices = devices;
+          fleet_concentrators = concentrators;
+          confirmed_events_per_sec =
+            float_of_int s.Field.Concentrator.confirmed_events /. secs;
+          fleet_confirmed_writes = s.Field.Concentrator.confirmed_writes;
+          wire_bytes_per_device =
+            float_of_int field_bytes /. float_of_int devices;
+          fleet_churn = s.Field.Concentrator.churn;
+          fleet_wall_s = wall;
+        }
+      in
+      Printf.printf
+        "    devices=%-6d conc=%-2d conf events/s=%8.0f writes=%3d wire \
+         B/dev=%6.1f churn=%5d wall=%6.2fs\n%!"
+        devices concentrators point.confirmed_events_per_sec
+        point.fleet_confirmed_writes point.wire_bytes_per_device
+        point.fleet_churn wall;
+      point)
+    [ 1_000; 10_000; 100_000 ]
+
 (* ------------------------------------------------------------------ *)
 (* Domains-scaling curve: a fixed mixed workload of independent
    instances — E8 throughput points plus E10 chaos soak seeds — run
@@ -419,13 +478,13 @@ let find_sub s sub =
   in
   go 0
 
-let existing_floor () =
+let existing_float key =
   if not (Sys.file_exists json_path) then None
   else begin
     let ic = open_in json_path in
     let s = really_input_string ic (in_channel_length ic) in
     close_in ic;
-    match find_sub s "\"floor_events_per_sec\":" with
+    match find_sub s (Printf.sprintf "%S:" key) with
     | None -> None
     | Some start ->
       let stop = ref start in
@@ -440,8 +499,8 @@ let existing_floor () =
       float_of_string_opt (String.trim (String.sub s start (!stop - start)))
   end
 
-let write_json ~scale ~floor ~cores ~e2 ~e3 ~e6 ~e8 ~par_gate ~par ~intra_gate
-    ~intra ~micros =
+let write_json ~scale ~floor ~e12_floor ~cores ~e2 ~e3 ~e6 ~e8 ~e12 ~par_gate
+    ~par ~intra_gate ~intra ~micros =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -449,6 +508,7 @@ let write_json ~scale ~floor ~cores ~e2 ~e3 ~e6 ~e8 ~par_gate ~par ~intra_gate
   p "  \"scale\": \"%s\",\n" scale;
   p "  \"cores\": %d,\n" cores;
   p "  \"floor_events_per_sec\": %.0f,\n" floor;
+  p "  \"e12_floor_events_per_sec\": %.0f,\n" e12_floor;
   p "  \"pre_pr\": {\n";
   p "    \"note\": \"release profile, quick scale, before the zero-allocation hot-path work\",\n";
   p "    \"e2_wall_s\": %.2f,\n" pre_pr_e2_wall_s;
@@ -478,6 +538,23 @@ let write_json ~scale ~floor ~cores ~e2 ~e3 ~e6 ~e8 ~par_gate ~par ~intra_gate
       batch_lines rest
   in
   batch_lines e8;
+  p "  ],\n";
+  p "  \"e12_fleet_sweep\": [\n";
+  let rec fleet_lines = function
+    | [] -> ()
+    | (f : fleet_point) :: rest ->
+      p
+        "    { \"devices\": %d, \"concentrators\": %d, \
+         \"confirmed_events_per_sec\": %.0f, \"confirmed_writes\": %d, \
+         \"wire_bytes_per_device\": %.1f, \"link_churn\": %d, \"wall_s\": \
+         %.2f }%s\n"
+        f.fleet_devices f.fleet_concentrators f.confirmed_events_per_sec
+        f.fleet_confirmed_writes f.wire_bytes_per_device f.fleet_churn
+        f.fleet_wall_s
+        (if rest = [] then "" else ",");
+      fleet_lines rest
+  in
+  fleet_lines e12;
   p "  ],\n";
   p "  \"e8_par_sweep\": {\n";
   p "    \"gate\": \"%s\",\n" par_gate;
@@ -531,11 +608,12 @@ let run ~scale_full () =
     (if scale_full then "[full scale]" else "[quick scale]");
   let e2, e3, e6 = workloads ~scale_full () in
   let e8 = e8_batch_sweep ~scale_full () in
+  let e12 = e12_fleet_sweep ~scale_full () in
   let cores, par_gate, par = e8_par_sweep () in
   let intra_gate, intra = e2_intra_par ~scale_full () in
   let micros = microbenches () in
   let floor =
-    match existing_floor () with
+    match existing_float "floor_events_per_sec" with
     | Some f ->
       Printf.printf "  floor: %.0f events/sec (from existing %s)\n%!" f json_path;
       f
@@ -544,13 +622,41 @@ let run ~scale_full () =
       Printf.printf "  floor: %.0f events/sec (established: half of measured E3)\n%!" f;
       f
   in
-  write_json ~scale:(if scale_full then "full" else "quick") ~floor ~cores ~e2
-    ~e3 ~e6 ~e8 ~par_gate ~par ~intra_gate ~intra ~micros;
+  (* The fleet floor gates the 10k-device point's confirmed-event rate
+     (the middle of the sweep: large enough to exercise the aggregation
+     path, small enough to stay robust on loaded CI hosts). *)
+  let e12_rate_10k =
+    match List.find_opt (fun f -> f.fleet_devices = 10_000) e12 with
+    | Some f -> f.confirmed_events_per_sec
+    | None -> 0.
+  in
+  let e12_floor =
+    match existing_float "e12_floor_events_per_sec" with
+    | Some f ->
+      Printf.printf "  e12 floor: %.0f conf events/sec (from existing %s)\n%!"
+        f json_path;
+      f
+    | None ->
+      let f = Float.round (0.5 *. e12_rate_10k) in
+      Printf.printf
+        "  e12 floor: %.0f conf events/sec (established: half of measured 10k \
+         point)\n%!"
+        f;
+      f
+  in
+  write_json ~scale:(if scale_full then "full" else "quick") ~floor ~e12_floor
+    ~cores ~e2 ~e3 ~e6 ~e8 ~e12 ~par_gate ~par ~intra_gate ~intra ~micros;
   Printf.printf "  wrote %s (E3 speedup vs pre-PR: %.2fx)\n%!" json_path
     (pre_pr_e3_wall_s /. e3.wall_s);
-  (* The floor was measured at quick scale; only enforce it there. *)
+  (* The floors were measured at quick scale; only enforce them there. *)
   if (not scale_full) && events_per_sec e3 < floor then begin
     Printf.printf "PERF FAIL: E3 %.0f events/sec below floor %.0f\n%!"
       (events_per_sec e3) floor;
+    exit 1
+  end;
+  if (not scale_full) && e12_rate_10k < e12_floor then begin
+    Printf.printf
+      "PERF FAIL: E12 10k-device point %.0f conf events/sec below floor %.0f\n%!"
+      e12_rate_10k e12_floor;
     exit 1
   end

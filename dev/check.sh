@@ -1,9 +1,9 @@
 #!/bin/sh
 # Pre-commit check: tier-1 build + test suites, a quick chaos soak
 # (5 seeded within-budget schedules; every oracle must stay green), a
-# reconfiguration soak, then a release-profile build with E2 + E6 + E11
-# bench smoke runs (exercises the wire layer, the byte-accounting
-# tables, and the epoch cutover path end to end).
+# field-fleet smoke, a reconfiguration soak, then a release-profile
+# build with E2 + E6 + E11 bench smoke runs (exercises the wire layer,
+# the byte-accounting tables, and the epoch cutover path end to end).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -15,6 +15,10 @@ dune exec dev/debug.exe -- chaos 5
 # print byte-identical tables to the sequential run (PAR only changes
 # wall time, never results).
 PAR=4 ONLY=E10 MICRO=0 dune exec bench/main.exe > /dev/null
+
+# Field-fleet smoke at 1k devices: E12 exits nonzero if any sweep
+# point confirms zero events (aggregation or the write path broken).
+FLEET=1000 ONLY=E12 MICRO=0 dune exec bench/main.exe > /dev/null
 
 # Telemetry-enabled E2 smoke: zero orphan spans, bounded open spans,
 # per-phase attribution reconciling with end-to-end latency.
@@ -32,8 +36,8 @@ EXPERIMENT=E6 MICRO=0 dune exec --profile release bench/main.exe
 EXPERIMENT=E11 MICRO=0 dune exec --profile release bench/main.exe
 
 # Perf trajectory (telemetry disabled, as in production hot paths):
-# regenerates BENCH_PERF.json and fails if E3 events/sec falls below
-# the floor recorded in the file.
+# regenerates BENCH_PERF.json and fails if E3 events/sec or the E12
+# fleet confirmed-event rate falls below the floors recorded in the file.
 PERF=1 dune exec --profile release bench/main.exe
 
 echo "check.sh: all green"

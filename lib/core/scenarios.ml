@@ -379,3 +379,23 @@ let intrusion_campaign ?(reactive_on = false) ~diversity_on ~recovery_on
     }
   in
   (sys, result)
+
+let fleet ?(tweak = fun c -> c) ~concentrators ~devices ~duration_us () =
+  let cfg =
+    tweak
+      {
+        (System.default_config ()) with
+        System.substations = 2;
+        hmis = 1;
+        (* A fleet this wide needs the end-to-end batch path: aggregates
+           from many concentrators pack into Client_batch frames. *)
+        max_batch = 8;
+        batch_delay_us = 5_000;
+        field_concentrators = concentrators;
+        field_devices = devices;
+      }
+  in
+  let sys = System.create cfg in
+  System.start sys;
+  System.run sys ~duration_us;
+  finish sys ~duration_us

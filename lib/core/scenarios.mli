@@ -169,3 +169,19 @@ val intrusion_campaign :
   duration_us:int ->
   unit ->
   System.t * campaign_result
+
+(** [fleet ~concentrators ~devices ~duration_us ()] — experiment E12:
+    the register-mapped device fleet ({!Field}) behind [concentrators]
+    data concentrators, with a reduced legacy workload (2 substations,
+    1 HMI) so the ordered stream is dominated by fleet aggregates.
+    Batching is on ([max_batch = 8]) — hierarchical aggregation plus
+    batching is what keeps BFT load independent of fleet size. [tweak]
+    (default identity) post-processes the config — e.g. to change the
+    seed or scan cadence. *)
+val fleet :
+  ?tweak:(System.config -> System.config) ->
+  concentrators:int ->
+  devices:int ->
+  duration_us:int ->
+  unit ->
+  System.t * latency_result

@@ -24,6 +24,14 @@ type config = {
   resubmit_timeout_us : int;
   max_batch : int;
   batch_delay_us : int;
+  field_concentrators : int;
+      (* 0 (the default) disables the modeled device fleet entirely:
+         no concentrator clients, no timers, no RNG draws, no frames —
+         the trajectory is bit-identical to a build without lib/field. *)
+  field_devices : int; (* total across all concentrators *)
+  field_scan_interval_us : int;
+  field_write_interval_us : int; (* 0 disables the write workload *)
+  field_loss : float; (* per-round keep-alive loss probability *)
   diversity_variants : int;
   seed : int64;
   wire_debug : bool;
@@ -68,6 +76,11 @@ let default_config () =
     resubmit_timeout_us = 2_000_000;
     max_batch = 1;
     batch_delay_us = 10_000;
+    field_concentrators = 0;
+    field_devices = 0;
+    field_scan_interval_us = 200_000;
+    field_write_interval_us = 1_000_000;
+    field_loss = 0.005;
     diversity_variants = 8;
     seed = 0x5917EL;
     wire_debug = false;
@@ -112,6 +125,7 @@ type t = {
   masters : Scada.Master.t array; (* elements replaced on state transfer *)
   mutable proxies : Scada.Proxy.t array;
   mutable hmis : Scada.Hmi.t array;
+  mutable concentrators : Field.Concentrator.t array;
   replica_sites : int array;
   hist : Stats.Histogram.t;
   series : Stats.Timeseries.t;
@@ -169,6 +183,46 @@ let replica_count t = t.n
 let universe_count t = t.universe
 let proxy t i = t.proxies.(i)
 let hmi t i = t.hmis.(i)
+let concentrator t i = t.concentrators.(i)
+let concentrator_count t = Array.length t.concentrators
+
+(* Fleet-wide roll-up of the concentrator stats (rounds is the max, not
+   the sum: concentrators scan in lock-step cadence). *)
+let fleet_stats t : Field.Concentrator.stats =
+  Array.fold_left
+    (fun (acc : Field.Concentrator.stats) c ->
+      let s = Field.Concentrator.stats c in
+      {
+        Field.Concentrator.device_count = acc.device_count + s.device_count;
+        rounds = max acc.rounds s.rounds;
+        events_seen = acc.events_seen + s.events_seen;
+        reports_accepted = acc.reports_accepted + s.reports_accepted;
+        dups_dropped = acc.dups_dropped + s.dups_dropped;
+        churn = acc.churn + s.churn;
+        adverts_sent = acc.adverts_sent + s.adverts_sent;
+        report_frames = acc.report_frames + s.report_frames;
+        polls_sent = acc.polls_sent + s.polls_sent;
+        poll_bytes = acc.poll_bytes + s.poll_bytes;
+        writes_issued = acc.writes_issued + s.writes_issued;
+        confirmed_events = acc.confirmed_events + s.confirmed_events;
+        confirmed_writes = acc.confirmed_writes + s.confirmed_writes;
+      })
+    {
+      Field.Concentrator.device_count = 0;
+      rounds = 0;
+      events_seen = 0;
+      reports_accepted = 0;
+      dups_dropped = 0;
+      churn = 0;
+      adverts_sent = 0;
+      report_frames = 0;
+      polls_sent = 0;
+      poll_bytes = 0;
+      writes_issued = 0;
+      confirmed_events = 0;
+      confirmed_writes = 0;
+    }
+    t.concentrators
 let master t r = t.masters.(r)
 let latency_histogram t = t.hist
 let latency_series t = t.series
@@ -287,7 +341,9 @@ let build_topology cfg =
   let all_sizes = cfg.site_sizes @ cfg.standby_site_sizes in
   let universe = List.fold_left ( + ) 0 all_sizes in
   let sites = List.length all_sizes in
-  let total = universe + cfg.substations + cfg.hmis in
+  let total =
+    universe + cfg.substations + cfg.hmis + cfg.field_concentrators
+  in
   let topo = Overlay.Topology.create ~nodes:total in
   (* Replica sites and LAN meshes. *)
   let site_members =
@@ -334,7 +390,7 @@ let build_topology cfg =
     List.filteri (fun i _ -> i < cfg.control_centers) site_members
     |> List.filter_map (function gw :: _ -> Some gw | [] -> None)
   in
-  for c = 0 to cfg.substations + cfg.hmis - 1 do
+  for c = 0 to cfg.substations + cfg.hmis + cfg.field_concentrators - 1 do
     let node = universe + c in
     Overlay.Topology.assign_site topo node (sites + c);
     List.iter
@@ -399,7 +455,7 @@ let rec trace_of_payload payload =
     trace_of_update u
   | Epoch_frame (_, inner) -> trace_of_payload inner
   | Client_batch [] | Reply_batch [] | Prime_msg _ | Pbft_msg _
-  | Transfer_chunk _ | Cert_frame _ ->
+  | Transfer_chunk _ | Cert_frame _ | Field_advert _ | Field_report _ ->
     Telemetry.Span.no_trace
 
 (* Every protocol send is charged the exact frame length (envelope
@@ -431,6 +487,23 @@ let send_payload t ~src_node ~dst_node payload =
   in
   Overlay.Net.send t.net ~priority:Overlay.Fair_queue.Control ~trace ~size_bytes
     ~src:src_node ~dst:dst_node ~mode:t.cfg.dissemination payload
+
+(* Field-link frames (the device <-> concentrator last mile) never ride
+   the overlay — devices are not overlay nodes — but they are real wire
+   traffic, so they are charged into the same striped per-kind ledger at
+   exact envelope size as every protocol frame. *)
+let charge_field_frame t ~node (frame : Field.Concentrator.frame) =
+  let payload =
+    match frame with
+    | `Advert a -> Field_advert a
+    | `Report r -> Field_report r
+  in
+  let stripe = Sim.Engine.exec_stripe t.engine in
+  let size_bytes = Wire.Envelope.size ~sender:node payload in
+  let k = Wire.Message.kind_index payload in
+  let wf = t.wire_frames.(stripe) and wb = t.wire_bytes.(stripe) in
+  wf.(k) <- wf.(k) + 1;
+  wb.(k) <- wb.(k) + size_bytes
 
 let wire_traffic t =
   let stripes = Array.length t.wire_frames in
@@ -1088,7 +1161,8 @@ let execute_of t r exec_index update =
     (match op with
     | Scada.Op.Reconfig { payload } -> note_reconfig t r ~payload
     | Scada.Op.Status_report _ | Scada.Op.Breaker_command _
-    | Scada.Op.Tap_command _ | Scada.Op.Hmi_read _ ->
+    | Scada.Op.Tap_command _ | Scada.Op.Hmi_read _ | Scada.Op.Field_report _
+    | Scada.Op.Field_write _ ->
       ())
 
 let handle_transfer_chunk t r (c : Recovery.State_transfer.chunk) =
@@ -1123,7 +1197,9 @@ let handle_replica_msg t r ~from payload =
   | Cert_frame c -> (
     match Member.Directory.install t.directory c with
     | Ok () | Error _ -> ())
-  | Replica_reply _ | Reply_batch _ -> ()
+  (* Field-link frames never reach replicas: they terminate at the
+     concentrator, which folds them into ordered Field_report ops. *)
+  | Replica_reply _ | Reply_batch _ | Field_advert _ | Field_report _ -> ()
 
 (* Replica environment for one (epoch, rank) instance. A protocol
    broadcast hands the same physical message to every recipient;
@@ -1240,6 +1316,7 @@ let create cfg =
       masters = Array.init universe (fun _ -> Scada.Master.create ());
       proxies = [||];
       hmis = [||];
+      concentrators = [||];
       replica_sites;
       hist = Stats.Histogram.create ();
       series = Stats.Timeseries.create ();
@@ -1428,7 +1505,7 @@ let create cfg =
      Prime clients do) and exactly-once delivery collapses the
      duplicates. Origins are tracked by global replica id so suspicion
      survives membership changes. *)
-  let clients = cfg.substations + cfg.hmis in
+  let clients = cfg.substations + cfg.hmis + cfg.field_concentrators in
   let suspected_until = Array.make_matrix clients universe min_int in
   let current_default = Array.make clients (-1) in
   let default_since = Array.make clients 0 in
@@ -1516,7 +1593,8 @@ let create cfg =
             | Replica_reply reply -> Scada.Proxy.handle_reply p reply
             | Reply_batch rs -> List.iter (Scada.Proxy.handle_reply p) rs
             | Prime_msg _ | Pbft_msg _ | Client_update _ | Client_batch _
-            | Transfer_chunk _ | Epoch_frame _ | Cert_frame _ ->
+            | Transfer_chunk _ | Epoch_frame _ | Cert_frame _ | Field_advert _
+            | Field_report _ ->
               ());
         p)
   in
@@ -1537,12 +1615,69 @@ let create cfg =
             | Replica_reply reply -> Scada.Hmi.handle_reply h reply
             | Reply_batch rs -> List.iter (Scada.Hmi.handle_reply h) rs
             | Prime_msg _ | Pbft_msg _ | Client_update _ | Client_batch _
-            | Transfer_chunk _ | Epoch_frame _ | Cert_frame _ ->
+            | Transfer_chunk _ | Epoch_frame _ | Cert_frame _ | Field_advert _
+            | Field_report _ ->
               ());
         h)
   in
+  (* Device fleet: per-substation concentrators, each an ordinary BFT
+     client whose devices' report-by-exception events fold into one
+     compact ordered aggregate per scan round — BFT load stays
+     independent of fleet size. *)
+  let concentrators =
+    if cfg.field_concentrators = 0 then [||]
+    else begin
+      if cfg.field_devices < cfg.field_concentrators then
+        invalid_arg "System.create: field_devices < field_concentrators";
+      let nc = cfg.field_concentrators in
+      let per = cfg.field_devices / nc and rem = cfg.field_devices mod nc in
+      let first = ref 0 in
+      Array.init nc (fun i ->
+          let devices = per + if i < rem then 1 else 0 in
+          let first_device = !first in
+          first := !first + devices;
+          let client = cfg.substations + cfg.hmis + i in
+          let config =
+            {
+              Field.Concentrator.devices;
+              scan_interval_us = cfg.field_scan_interval_us;
+              (* Stagger the rounds across the interval so the core
+                 sees a stream of aggregates, not a thundering herd. *)
+              phase_us = i * cfg.field_scan_interval_us / nc;
+              write_interval_us = cfg.field_write_interval_us;
+              keepalive_loss = cfg.field_loss;
+            }
+          in
+          let c =
+            Field.Concentrator.create ~telemetry:sink ~batch:batch_policy
+              ~submit_batch:(submit_batch_of client) ~shard:field_shard
+              ~engine ~id:i ~client_id:client ~first_device
+              ~seed:(Sim.Rng.derive ~seed:cfg.seed ~index:(0xF1E1D + i))
+              ~group ~resubmit_timeout_us:cfg.resubmit_timeout_us
+              ~submit:(submit_of client)
+              ~charge:(fun frame ->
+                charge_field_frame t ~node:(node_of_client t client) frame)
+              ~config ()
+          in
+          Field.Concentrator.set_on_complete c record_latency;
+          Overlay.Net.set_handler net (node_of_client t client)
+            (fun delivery ->
+              debug_check_delivery t ~sender:delivery.Overlay.Net.frame_src
+                delivery.Overlay.Net.payload;
+              match delivery.Overlay.Net.payload with
+              | Replica_reply reply -> Field.Concentrator.handle_reply c reply
+              | Reply_batch rs ->
+                List.iter (Field.Concentrator.handle_reply c) rs
+              | Prime_msg _ | Pbft_msg _ | Client_update _ | Client_batch _
+              | Transfer_chunk _ | Epoch_frame _ | Cert_frame _
+              | Field_advert _ | Field_report _ ->
+                ());
+          c)
+    end
+  in
   t.proxies <- proxies;
   t.hmis <- hmis;
+  t.concentrators <- concentrators;
   t
 
 let start t =
@@ -1554,7 +1689,8 @@ let start t =
         | Pbft_replica p -> Pbft.Replica.start p)
     t.replicas;
   Array.iter Scada.Proxy.start t.proxies;
-  Array.iter Scada.Hmi.start t.hmis
+  Array.iter Scada.Hmi.start t.hmis;
+  Array.iter Field.Concentrator.start t.concentrators
 
 let run t ~duration_us =
   let until_us = Sim.Engine.now t.engine + duration_us in

@@ -58,6 +58,20 @@ type config = {
       (** deadline bound: a partial batch flushes at most this long
           after its oldest member arrived (ignored when [max_batch]
           is 1) *)
+  field_concentrators : int;
+      (** number of data concentrators fronting the modeled device
+          fleet ({!Field.Concentrator}); each is an ordinary BFT
+          client. [0] (default) disables the fleet entirely: no
+          clients, no timers, no RNG draws, no frames — bit-identical
+          to a build without [lib/field]. *)
+  field_devices : int;
+      (** total register-mapped devices, split (evenly, remainder to
+          the low-numbered concentrators) across [field_concentrators] *)
+  field_scan_interval_us : int;  (** fleet scan-round cadence *)
+  field_write_interval_us : int;
+      (** per-concentrator supervisory-write workload cadence; [0]
+          disables writes *)
+  field_loss : float;  (** per-round keep-alive loss probability *)
   diversity_variants : int;
   seed : int64;
   wire_debug : bool;
@@ -141,6 +155,14 @@ val universe_count : t -> int
 
 val proxy : t -> int -> Scada.Proxy.t
 val hmi : t -> int -> Scada.Hmi.t
+val concentrator : t -> int -> Field.Concentrator.t
+val concentrator_count : t -> int
+
+(** [fleet_stats t] rolls the per-concentrator {!Field.Concentrator.stats}
+    up across the whole fleet (sums, except [rounds] which is the max —
+    concentrators scan at one cadence). All-zero when the fleet is
+    disabled. *)
+val fleet_stats : t -> Field.Concentrator.stats
 val master : t -> Bft.Types.replica -> Scada.Master.t
 val faults : t -> Bft.Types.replica -> Bft.Faults.t
 

@@ -1,0 +1,190 @@
+(* Fixed per-device profile: small tables in the shape cc-mek-scada
+   style RTUs advertise (a handful of status bits, breaker coils, sensor
+   registers and setpoints). Counts are compile-time constants so a
+   100k-device fleet costs a few small arrays per device. *)
+let discrete_inputs_count = 8
+let coils_count = 4
+let input_registers_count = 6
+let holding_registers_count = 4
+
+type t = {
+  id : int;
+  concentrator : int;
+  rng : Sim.Rng.t;
+  discrete_inputs : bool array;
+  coils : bool array;
+  input_registers : int array;
+  holding_registers : int array;
+  analog_points : Point.t array;  (* descriptors for the input registers *)
+  last_reported : int array;  (* last value reported per input register *)
+  map_digest : Cryptosim.Digest.t;
+  mutable ticks : int;
+  mutable events_emitted : int;
+  mutable writes_applied : int;
+}
+
+let create ~id ~concentrator ~seed =
+  let rng = Sim.Rng.create seed in
+  let analog_points =
+    Array.init input_registers_count (fun address ->
+        let nominal = 2_000 + Sim.Rng.int rng 40_000 in
+        let spread = 400 + Sim.Rng.int rng 4_000 in
+        Point.analog ~table:Point.Input_register ~address ~nominal ~spread)
+  in
+  let all_points =
+    Array.concat
+      [
+        Array.init discrete_inputs_count (fun address ->
+            Point.discrete ~table:Point.Discrete_input ~address);
+        Array.init coils_count (fun address ->
+            Point.discrete ~table:Point.Coil ~address);
+        analog_points;
+        Array.init holding_registers_count (fun address ->
+            Point.analog ~table:Point.Holding_register ~address ~nominal:0x800
+              ~spread:0x7FF);
+      ]
+  in
+  {
+    id;
+    concentrator;
+    rng;
+    discrete_inputs = Array.make discrete_inputs_count false;
+    coils = Array.make coils_count false;
+    input_registers = Array.map (fun p -> p.Point.nominal) analog_points;
+    holding_registers = Array.make holding_registers_count 0x800;
+    analog_points;
+    last_reported = Array.map (fun p -> p.Point.nominal) analog_points;
+    map_digest = Point.map_digest all_points;
+    ticks = 0;
+    events_emitted = 0;
+    writes_applied = 0;
+  }
+
+let id t = t.id
+let map_digest t = t.map_digest
+let ticks t = t.ticks
+let events_emitted t = t.events_emitted
+let writes_applied t = t.writes_applied
+
+let advert t =
+  {
+    Scada.Field_frame.concentrator = t.concentrator;
+    device = t.id;
+    discrete_inputs = discrete_inputs_count;
+    coils = coils_count;
+    input_registers = input_registers_count;
+    holding_registers = holding_registers_count;
+    map_digest = t.map_digest;
+  }
+
+(* Probability a status bit flips on one tick. *)
+let flip_probability = 0.01
+
+let tick t =
+  t.ticks <- t.ticks + 1;
+  let events = ref [] in
+  (* Analog process: bounded random walk with mean reversion, reported
+     by exception when the drift since the last report crosses the
+     point's deadband. *)
+  Array.iteri
+    (fun i p ->
+      let v = t.input_registers.(i) in
+      let drift = Sim.Rng.int t.rng ((2 * p.Point.step) + 1) - p.Point.step in
+      let walked = v + drift + ((p.Point.nominal - v) / 16) in
+      let clamped = max (Point.lo p) (min (Point.hi p) walked) in
+      t.input_registers.(i) <- clamped;
+      if abs (clamped - t.last_reported.(i)) >= p.Point.deadband then begin
+        t.last_reported.(i) <- clamped;
+        events :=
+          {
+            Scada.Field_frame.table = Scada.Field_frame.Input_register;
+            address = i;
+            value = clamped;
+          }
+          :: !events
+      end)
+    t.analog_points;
+  (* Status bits: rare spontaneous flips, always exception-reported. *)
+  for i = 0 to discrete_inputs_count - 1 do
+    if Sim.Rng.bernoulli t.rng flip_probability then begin
+      t.discrete_inputs.(i) <- not t.discrete_inputs.(i);
+      events :=
+        {
+          Scada.Field_frame.table = Scada.Field_frame.Discrete_input;
+          address = i;
+          value = (if t.discrete_inputs.(i) then 1 else 0);
+        }
+        :: !events
+    end
+  done;
+  let events = List.rev !events in
+  t.events_emitted <- t.events_emitted + List.length events;
+  events
+
+(* The device side of a Modbus exchange against the register tables.
+   Out-of-range accesses answer with exception code 2 (illegal data
+   address), as a real slave would. *)
+let in_range arr start count =
+  start >= 0 && count >= 0 && start + count <= Array.length arr
+
+let serve t (req : Scada.Modbus.request) : Scada.Modbus.response =
+  let illegal function_code =
+    Scada.Modbus.Exception_response { function_code; exception_code = 2 }
+  in
+  match req with
+  | Scada.Modbus.Read_coils { start; count } ->
+    if in_range t.coils start count then
+      Scada.Modbus.Coils (List.init count (fun i -> t.coils.(start + i)))
+    else illegal 0x01
+  | Scada.Modbus.Read_discrete_inputs { start; count } ->
+    if in_range t.discrete_inputs start count then
+      Scada.Modbus.Discrete_inputs
+        (List.init count (fun i -> t.discrete_inputs.(start + i)))
+    else illegal 0x02
+  | Scada.Modbus.Read_holding_registers { start; count } ->
+    if in_range t.holding_registers start count then
+      Scada.Modbus.Holding_registers
+        (List.init count (fun i -> t.holding_registers.(start + i)))
+    else illegal 0x03
+  | Scada.Modbus.Read_input_registers { start; count } ->
+    if in_range t.input_registers start count then
+      Scada.Modbus.Input_registers
+        (List.init count (fun i -> t.input_registers.(start + i)))
+    else illegal 0x04
+  | Scada.Modbus.Write_single_coil { address; value } ->
+    if in_range t.coils address 1 then begin
+      t.coils.(address) <- value;
+      t.writes_applied <- t.writes_applied + 1;
+      Scada.Modbus.Coil_written { address; value }
+    end
+    else illegal 0x05
+  | Scada.Modbus.Write_single_register { address; value } ->
+    if in_range t.holding_registers address 1 then begin
+      t.holding_registers.(address) <- value land 0xFFFF;
+      t.writes_applied <- t.writes_applied + 1;
+      Scada.Modbus.Register_written { address; value }
+    end
+    else illegal 0x06
+  | Scada.Modbus.Write_multiple_coils { start; values } ->
+    let count = List.length values in
+    if in_range t.coils start count then begin
+      List.iteri (fun i v -> t.coils.(start + i) <- v) values;
+      t.writes_applied <- t.writes_applied + 1;
+      Scada.Modbus.Coils_written { start; count }
+    end
+    else illegal 0x0F
+  | Scada.Modbus.Write_multiple_registers { start; values } ->
+    let count = List.length values in
+    if in_range t.holding_registers start count then begin
+      List.iteri
+        (fun i v -> t.holding_registers.(start + i) <- v land 0xFFFF)
+        values;
+      t.writes_applied <- t.writes_applied + 1;
+      Scada.Modbus.Registers_written { start; count }
+    end
+    else illegal 0x10
+
+let holding_register t ~address =
+  if address >= 0 && address < Array.length t.holding_registers then
+    Some t.holding_registers.(address)
+  else None

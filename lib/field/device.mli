@@ -1,0 +1,48 @@
+(** A register-mapped field device (the fleet's RTU model).
+
+    Each device owns four Modbus register tables — discrete inputs,
+    coils, input registers, holding registers — described by typed
+    {!Point} descriptors. Input registers follow a deterministic
+    bounded random walk (seeded per device via [Sim.Rng.derive]);
+    discrete inputs flip rarely. {!tick} returns the
+    report-by-exception events since the previous tick: analog points
+    only report when they drift a deadband away from their last
+    reported value.
+
+    {!serve} is the slave side of a Modbus exchange against the tables,
+    covering all eight function codes of {!Scada.Modbus} and answering
+    out-of-range accesses with exception code 2. *)
+
+type t
+
+val discrete_inputs_count : int
+val coils_count : int
+val input_registers_count : int
+val holding_registers_count : int
+
+(** [create ~id ~concentrator ~seed] builds a device whose register-map
+    parameters (nominals, spreads, deadbands) and process noise are a
+    pure function of [seed]. *)
+val create : id:int -> concentrator:int -> seed:int64 -> t
+
+val id : t -> int
+
+(** [map_digest t] is the digest over the device's point descriptors;
+    it identifies the register map in the capability advertisement. *)
+val map_digest : t -> Cryptosim.Digest.t
+
+(** [advert t] is the capability-advertisement frame the device sends
+    when its session links up. *)
+val advert : t -> Scada.Field_frame.advert
+
+(** [tick t] advances the process one scan interval and returns the
+    exception events to report (possibly none). *)
+val tick : t -> Scada.Field_frame.event list
+
+(** [serve t req] answers a Modbus request from the register tables. *)
+val serve : t -> Scada.Modbus.request -> Scada.Modbus.response
+
+val holding_register : t -> address:int -> int option
+val ticks : t -> int
+val events_emitted : t -> int
+val writes_applied : t -> int

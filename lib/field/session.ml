@@ -1,0 +1,64 @@
+type state = Up | Down | Linking
+
+type t = {
+  rng : Sim.Rng.t;
+  loss : float;
+  mutable state : state;
+  mutable churn : int;
+  mutable next_seq : int;
+  mutable last_accepted : int;
+  mutable dups_dropped : int;
+}
+
+(* A fresh session starts in [Linking]: the first scan round performs
+   the capability-advertisement handshake before any report flows. *)
+let create ~seed ~loss =
+  {
+    rng = Sim.Rng.create seed;
+    loss;
+    state = Linking;
+    churn = 0;
+    next_seq = 0;
+    last_accepted = -1;
+    dups_dropped = 0;
+  }
+
+let state t = t.state
+let churn t = t.churn
+
+let step t =
+  match t.state with
+  | Up ->
+    (* The keep-alive runs at scan cadence; a lost keep-alive (with
+       probability [loss]) trips the link-down timeout. *)
+    if t.loss > 0. && Sim.Rng.bernoulli t.rng t.loss then begin
+      t.state <- Down;
+      t.churn <- t.churn + 1;
+      `Offline
+    end
+    else `Online
+  | Down ->
+    (* One silent round of timeout back-off, then re-handshake. *)
+    t.state <- Linking;
+    `Offline
+  | Linking ->
+    t.state <- Up;
+    t.churn <- t.churn + 1;
+    `Relink
+
+let next_seq t =
+  let s = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  s
+
+let accept t ~seq =
+  if seq > t.last_accepted then begin
+    t.last_accepted <- seq;
+    true
+  end
+  else begin
+    t.dups_dropped <- t.dups_dropped + 1;
+    false
+  end
+
+let dups_dropped t = t.dups_dropped

@@ -1,0 +1,42 @@
+(** Per-device session/link state between a device and its
+    concentrator.
+
+    The link is a three-state machine stepped once per scan round:
+
+    {v Linking --(handshake)--> Up --(lost keep-alive)--> Down
+       Down --(back-off)--> Linking v}
+
+    A fresh session starts in [Linking], so the first round performs
+    the capability-advertisement handshake. While [Up], each round's
+    keep-alive is lost with probability [loss] (drawn from the
+    session's own derived RNG — deterministic), which trips the
+    timeout and drops the link; one silent back-off round later the
+    session re-handshakes ([`Relink]), at which point the device
+    re-adverts its register map and replays its last report frame.
+
+    [churn] counts link-state transitions (down events plus relinks).
+    Reports carry a per-session sequence number; {!accept} keeps a
+    high-watermark and drops replayed duplicates. *)
+
+type state = Up | Down | Linking
+type t
+
+val create : seed:int64 -> loss:float -> t
+val state : t -> state
+
+(** [step t] advances one scan round: [`Online] — link is up, report
+    normally; [`Relink] — handshake round, re-advert and replay;
+    [`Offline] — link is down, nothing flows. *)
+val step : t -> [ `Online | `Relink | `Offline ]
+
+(** [next_seq t] allocates the next report sequence number. *)
+val next_seq : t -> int
+
+(** [accept t ~seq] is [true] iff [seq] advances the session's
+    high-watermark; duplicates are counted and rejected. *)
+val accept : t -> seq:int -> bool
+
+(** [churn t] — cumulative link-state transitions. *)
+val churn : t -> int
+
+val dups_dropped : t -> int

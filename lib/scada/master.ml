@@ -2,6 +2,8 @@ type t = {
   mutable statuses : (int * Rtu.status) list;  (* assoc rtu -> last status *)
   mutable intents : ((int * int) * Rtu.breaker_state) list;
   mutable applied : int;
+  mutable field_events : int;  (* cumulative fleet exception events confirmed *)
+  mutable field_writes : int;  (* cumulative fleet register writes confirmed *)
   mutable digest : Cryptosim.Digest.t;
 }
 
@@ -15,6 +17,8 @@ let create () =
     statuses = [];
     intents = [];
     applied = 0;
+    field_events = 0;
+    field_writes = 0;
     digest = Cryptosim.Digest.of_string "scada-master-genesis";
   }
 
@@ -65,6 +69,17 @@ let apply t op =
        state digest (above) so every replica's application state chains
        over the command identically. *)
     No_effect
+  | Op.Field_report { events; _ } ->
+    (* The aggregate commits to the underlying device reports via its
+       checksum, which the digest chain (above) already covers; the
+       master only has to tally the confirmed events. *)
+    t.field_events <- t.field_events + events;
+    No_effect
+  | Op.Field_write _ ->
+    (* Actuation happens at the concentrator once it sees the
+       confirmation; replicas just account the ordered write. *)
+    t.field_writes <- t.field_writes + 1;
+    No_effect
 
 let last_status t ~rtu = List.assoc_opt rtu t.statuses
 let breaker_intent t ~rtu ~breaker = List.assoc_opt (rtu, breaker) t.intents
@@ -83,10 +98,15 @@ let reply_digest t ~exec_index ~update =
 
 let snapshot_digest = state_digest
 
+let field_event_count t = t.field_events
+let field_write_count t = t.field_writes
+
 let clone t =
   {
     statuses = t.statuses;
     intents = t.intents;
     applied = t.applied;
+    field_events = t.field_events;
+    field_writes = t.field_writes;
     digest = t.digest;
   }

@@ -7,6 +7,21 @@ type t =
       (* opaque membership-reconfiguration command (Member.Reconfig
          bytes) ordered through the stream like any other operation;
          the SCADA layer never interprets it *)
+  | Field_report of {
+      concentrator : int;
+      round : int;
+      devices : int;
+      events : int;
+      checksum : int;
+    }
+      (* hierarchical aggregate of one concentrator scan round: how
+         many devices reported, how many deadband/exception events they
+         carried, and a checksum chained over the per-device report
+         frames — the fleet's confirmed-read path *)
+  | Field_write of { concentrator : int; device : int; address : int; value : int }
+      (* a holding-register write ordered through the stream; the
+         concentrator actuates the device only after the write is
+         confirmed *)
 
 let add_int_list b l =
   Buffer.add_uint16_be b (List.length l);
@@ -49,6 +64,23 @@ let encode = function
     let b = Buffer.create (1 + String.length payload) in
     Buffer.add_uint8 b 0x05;
     Buffer.add_string b payload;
+    Buffer.contents b
+  | Field_report { concentrator; round; devices; events; checksum } ->
+    let b = Buffer.create 19 in
+    Buffer.add_uint8 b 0x06;
+    Buffer.add_uint16_be b concentrator;
+    Buffer.add_int32_be b (Int32.of_int round);
+    Buffer.add_int32_be b (Int32.of_int devices);
+    Buffer.add_int32_be b (Int32.of_int events);
+    Buffer.add_int32_be b (Int32.of_int checksum);
+    Buffer.contents b
+  | Field_write { concentrator; device; address; value } ->
+    let b = Buffer.create 13 in
+    Buffer.add_uint8 b 0x07;
+    Buffer.add_uint16_be b concentrator;
+    Buffer.add_int32_be b (Int32.of_int device);
+    Buffer.add_uint16_be b address;
+    Buffer.add_int32_be b (Int32.of_int value);
     Buffer.contents b
 
 let get_u8 s pos = Char.code s.[pos]
@@ -108,6 +140,25 @@ let decode s =
       | 0x04 when String.length s = 3 -> Ok (Hmi_read { hmi_id = get_u16 s 1 })
       | 0x05 ->
         Ok (Reconfig { payload = String.sub s 1 (String.length s - 1) })
+      | 0x06 when String.length s = 19 ->
+        Ok
+          (Field_report
+             {
+               concentrator = get_u16 s 1;
+               round = get_i32 s 3;
+               devices = get_i32 s 7;
+               events = get_i32 s 11;
+               checksum = get_i32 s 15;
+             })
+      | 0x07 when String.length s = 13 ->
+        Ok
+          (Field_write
+             {
+               concentrator = get_u16 s 1;
+               device = get_i32 s 3;
+               address = get_u16 s 7;
+               value = get_i32 s 9;
+             })
       | tag -> Error (Printf.sprintf "unknown op tag 0x%02x" tag)
   with Invalid_argument _ -> Error "truncated operation"
 
@@ -125,3 +176,9 @@ let pp ppf = function
   | Hmi_read { hmi_id } -> Format.fprintf ppf "HmiRead(%d)" hmi_id
   | Reconfig { payload } ->
     Format.fprintf ppf "Reconfig(%d B)" (String.length payload)
+  | Field_report { concentrator; round; devices; events; checksum } ->
+    Format.fprintf ppf "FieldReport(c%d,r%d,%dd,%de,%08x)" concentrator round
+      devices events checksum
+  | Field_write { concentrator; device; address; value } ->
+    Format.fprintf ppf "FieldWrite(c%d,d%d,@%d=%d)" concentrator device address
+      value

@@ -16,6 +16,20 @@ type t =
       (** opaque membership-reconfiguration command bytes
           ([Member.Reconfig.encode]) ordered through the stream; the
           SCADA layer carries but never interprets them *)
+  | Field_report of {
+      concentrator : int;
+      round : int;
+      devices : int;
+      events : int;
+      checksum : int;
+    }
+      (** hierarchical aggregate of one concentrator scan round over
+          its device fleet (devices reporting, exception events seen, a
+          checksum chained over the per-device report frames) — the
+          fleet's confirmed-read path *)
+  | Field_write of { concentrator : int; device : int; address : int; value : int }
+      (** ordered holding-register write; the concentrator actuates the
+          device only once the write is confirmed *)
 
 val encode : t -> string
 val decode : string -> (t, string) result

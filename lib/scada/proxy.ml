@@ -165,6 +165,18 @@ let device_respond_modbus rtu (req : Modbus.request) : Modbus.response =
       Modbus.Register_written { address; value }
     end
     else Modbus.Exception_response { function_code = 0x06; exception_code = 2 }
+  | Modbus.Read_discrete_inputs _ | Modbus.Read_input_registers _
+  | Modbus.Write_multiple_coils _ | Modbus.Write_multiple_registers _ ->
+    (* The RTU proxy map only spans coils and holding registers; the
+       fleet's register-mapped devices (lib/field) serve the rest. *)
+    let function_code =
+      match req with
+      | Modbus.Read_discrete_inputs _ -> 0x02
+      | Modbus.Read_input_registers _ -> 0x04
+      | Modbus.Write_multiple_coils _ -> 0x0F
+      | _ -> 0x10
+    in
+    Modbus.Exception_response { function_code; exception_code = 1 }
 
 let modbus_exchange t (req : Modbus.request) : (Modbus.response, string) result =
   t.next_txn <- t.next_txn + 1;

@@ -28,6 +28,16 @@ let nominal_voltage_mv = 13_800_000 (* 13.8 kV feeder *)
 let nominal_current_ma = 400_000
 let nominal_frequency_mhz = 60_000
 
+(* Physically plausible envelopes: every analog mutation is clamped to
+   these closed intervals, so no sequence of ticks/commands can drive a
+   value outside them.  Currents reach down to 0 because an open
+   breaker drops its feeder current to (near) zero. *)
+let voltage_envelope_mv = (nominal_voltage_mv - 700_000, nominal_voltage_mv + 700_000)
+let current_envelope_ma = (0, nominal_current_ma + 150_000)
+let frequency_envelope_mhz = (nominal_frequency_mhz - 100, nominal_frequency_mhz + 100)
+
+let clamp (lo, hi) v = max lo (min hi v)
+
 let create ~id ~breakers ~feeders ~rng =
   if breakers <= 0 || feeders <= 0 then
     invalid_arg "Rtu.create: need at least one breaker and feeder";
@@ -45,25 +55,28 @@ let create ~id ~breakers ~feeders ~rng =
 
 let id t = t.rtu_id
 
-let walk rng value ~nominal ~step ~spread =
-  (* Bounded random walk: drift plus mean reversion. *)
+let walk rng value ~nominal ~step ~envelope =
+  (* Bounded random walk: drift plus mean reversion, clamped to the
+     physical envelope. *)
   let drift = Sim.Rng.int rng (2 * step) - step in
-  let reverted = value + drift + ((nominal - value) / 16) in
-  max (nominal - spread) (min (nominal + spread) reverted)
+  clamp envelope (value + drift + ((nominal - value) / 16))
 
 let tick t =
   Array.iteri
     (fun i v ->
       t.voltages_mv.(i) <-
-        walk t.rng v ~nominal:nominal_voltage_mv ~step:20_000 ~spread:700_000)
+        walk t.rng v ~nominal:nominal_voltage_mv ~step:20_000
+          ~envelope:voltage_envelope_mv)
     t.voltages_mv;
   Array.iteri
     (fun i c ->
       t.currents_ma.(i) <-
-        walk t.rng c ~nominal:nominal_current_ma ~step:5_000 ~spread:150_000)
+        walk t.rng c ~nominal:nominal_current_ma ~step:5_000
+          ~envelope:current_envelope_ma)
     t.currents_ma;
   t.frequency_mhz <-
-    walk t.rng t.frequency_mhz ~nominal:nominal_frequency_mhz ~step:5 ~spread:100;
+    walk t.rng t.frequency_mhz ~nominal:nominal_frequency_mhz ~step:5
+      ~envelope:frequency_envelope_mhz;
   let due, waiting =
     List.partition (fun op -> op.ticks_left <= 1) t.pending
   in
@@ -73,7 +86,7 @@ let tick t =
   Array.iteri
     (fun i state ->
       if state = Open && i < Array.length t.currents_ma then
-        t.currents_ma.(i) <- Sim.Rng.int t.rng 1_000)
+        t.currents_ma.(i) <- clamp current_envelope_ma (Sim.Rng.int t.rng 1_000))
     t.breakers
 
 let read_status t =

@@ -31,6 +31,14 @@ val create : id:int -> breakers:int -> feeders:int -> rng:Sim.Rng.t -> t
 
 val id : t -> int
 
+(** Physically plausible [(lo, hi)] envelopes.  Every analog mutation —
+    random-walk ticks, open-breaker current collapse — is clamped to
+    these closed intervals, so a soak of any length never leaves them. *)
+
+val voltage_envelope_mv : int * int
+val current_envelope_ma : int * int
+val frequency_envelope_mhz : int * int
+
 (** [tick t] advances the physical process one step: analog values take
     a bounded random walk around nominal; pending breaker operations
     complete when their actuation delay elapses. *)

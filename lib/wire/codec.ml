@@ -451,3 +451,70 @@ let r_cert r =
 
 let encode_cert = encode_with w_cert
 let decode_cert = decode_with r_cert
+
+(* ------------------------------------------------------------------ *)
+(* Scada.Field_frame — field-link frames (device <-> concentrator)     *)
+
+let w_field_advert b (a : Scada.Field_frame.advert) =
+  Rw.w_u16 b a.Scada.Field_frame.concentrator;
+  Rw.w_u32 b a.Scada.Field_frame.device;
+  Rw.w_u8 b a.Scada.Field_frame.discrete_inputs;
+  Rw.w_u8 b a.Scada.Field_frame.coils;
+  Rw.w_u8 b a.Scada.Field_frame.input_registers;
+  Rw.w_u8 b a.Scada.Field_frame.holding_registers;
+  Rw.w_digest b a.Scada.Field_frame.map_digest
+
+let r_field_advert r =
+  let ctx = "field.advert" in
+  let concentrator = Rw.r_u16 ctx r in
+  let device = Rw.r_u32 ctx r in
+  let discrete_inputs = Rw.r_u8 ctx r in
+  let coils = Rw.r_u8 ctx r in
+  let input_registers = Rw.r_u8 ctx r in
+  let holding_registers = Rw.r_u8 ctx r in
+  let map_digest = Rw.r_digest ctx r in
+  {
+    Scada.Field_frame.concentrator;
+    device;
+    discrete_inputs;
+    coils;
+    input_registers;
+    holding_registers;
+    map_digest;
+  }
+
+let w_field_event b (e : Scada.Field_frame.event) =
+  Rw.w_u8 b (Scada.Field_frame.table_to_int e.Scada.Field_frame.table);
+  Rw.w_u16 b e.Scada.Field_frame.address;
+  Rw.w_u16 b e.Scada.Field_frame.value
+
+let r_field_event r =
+  let ctx = "field.event" in
+  let table =
+    let raw = Rw.r_u8 ctx r in
+    match Scada.Field_frame.table_of_int raw with
+    | Some t -> t
+    | None -> raise (Rw.Fail (Rw.Unknown_tag { context = ctx; tag = raw }))
+  in
+  let address = Rw.r_u16 ctx r in
+  let value = Rw.r_u16 ctx r in
+  { Scada.Field_frame.table; address; value }
+
+let w_field_report b (rep : Scada.Field_frame.report) =
+  Rw.w_u16 b rep.Scada.Field_frame.concentrator;
+  Rw.w_u32 b rep.Scada.Field_frame.device;
+  Rw.w_u32 b rep.Scada.Field_frame.seq;
+  Rw.w_list b w_field_event rep.Scada.Field_frame.events
+
+let r_field_report r =
+  let ctx = "field.report" in
+  let concentrator = Rw.r_u16 ctx r in
+  let device = Rw.r_u32 ctx r in
+  let seq = Rw.r_u32 ctx r in
+  let events = Rw.r_list ctx r r_field_event in
+  { Scada.Field_frame.concentrator; device; seq; events }
+
+let encode_field_advert = encode_with w_field_advert
+let decode_field_advert = decode_with r_field_advert
+let encode_field_report = encode_with w_field_report
+let decode_field_report = decode_with r_field_report

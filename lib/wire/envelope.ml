@@ -25,6 +25,9 @@ let rec scheme_of = function
      have rotated). *)
   | Message.Epoch_frame (_, inner) -> scheme_of inner
   | Message.Cert_frame _ -> Rsa
+  (* Field-link frames ride per-session HMAC keys between a device and
+     its concentrator — the last mile has no PKI. *)
+  | Message.Field_advert _ | Message.Field_report _ -> Hmac
 
 type envelope = { sender : int; scheme : scheme; message : Message.t }
 

@@ -80,6 +80,14 @@ let reply (t : Scada.Reply.t) =
 let chunk (c : Recovery.State_transfer.chunk) =
   u32 + u32 + u32 + digest + bytes c.Recovery.State_transfer.data
 
+let field_advert (_ : Scada.Field_frame.advert) =
+  u16 + u32 + u8 + u8 + u8 + u8 + digest
+
+let field_event (_ : Scada.Field_frame.event) = u8 + u16 + u16
+
+let field_report (rep : Scada.Field_frame.report) =
+  u16 + u32 + u32 + list field_event rep.Scada.Field_frame.events
+
 let site (s : Member.Cert.site) =
   u16 + u8 + list (fun _ -> u16) s.Member.Cert.members
 
@@ -101,3 +109,5 @@ let rec message (m : Message.t) =
   | Message.Reply_batch rs -> list reply rs
   | Message.Epoch_frame (_, inner) -> u32 + message inner
   | Message.Cert_frame c -> cert c
+  | Message.Field_advert a -> field_advert a
+  | Message.Field_report rep -> field_report rep

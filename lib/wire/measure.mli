@@ -18,6 +18,8 @@ val prime : Prime.Msg.t -> int
 val pbft : Pbft.Msg.t -> int
 val reply : Scada.Reply.t -> int
 val chunk : Recovery.State_transfer.chunk -> int
+val field_advert : Scada.Field_frame.advert -> int
+val field_report : Scada.Field_frame.report -> int
 
 (** [message m] = [String.length (Message.encode m)] — the bare body
     size, before envelope framing. *)

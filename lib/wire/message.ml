@@ -13,12 +13,18 @@ type t =
          the genesis wire trajectory bit-identical *)
   | Cert_frame of Member.Cert.t
       (* membership certificate announcement at a cutover *)
+  | Field_advert of Scada.Field_frame.advert
+      (* register-map capability advertisement a fleet device sends
+         when its concentrator session links up (and on every relink) *)
+  | Field_report of Scada.Field_frame.report
+      (* report-by-exception event batch on the device-to-concentrator
+         field link *)
 
 (* Kinds form a dense index so per-kind traffic accounting can live in
    a preallocated counter array instead of a hashtable keyed by the
    label strings. New kinds are appended so existing indices (and the
    pinned per-kind byte ledgers built on them) stay stable. *)
-let kind_count = 27
+let kind_count = 29
 
 let kind_names =
   [|
@@ -29,6 +35,7 @@ let kind_names =
     "pbft/prepare"; "pbft/commit"; "pbft/checkpoint"; "pbft/viewchange";
     "pbft/newview"; "client_update"; "replica_reply"; "transfer_chunk";
     "prime/po_batch"; "client_batch"; "replica_reply_batch"; "member/cert";
+    "field/advert"; "field/report";
   |]
 
 let kind_name i = kind_names.(i)
@@ -68,6 +75,8 @@ let rec kind_index = function
      transport framing, not a protocol message of its own *)
   | Epoch_frame (_, inner) -> kind_index inner
   | Cert_frame _ -> 26
+  | Field_advert _ -> 27
+  | Field_report _ -> 28
 
 let kind m = kind_names.(kind_index m)
 
@@ -91,6 +100,9 @@ let rec pp ppf = function
   | Reply_batch rs -> Format.fprintf ppf "reply batch (%d)" (List.length rs)
   | Epoch_frame (e, inner) -> Format.fprintf ppf "epoch[%d] %a" e pp inner
   | Cert_frame c -> Format.fprintf ppf "cert %a" Member.Cert.pp c
+  | Field_advert a -> Format.fprintf ppf "field %a" Scada.Field_frame.pp_advert a
+  | Field_report rep ->
+    Format.fprintf ppf "field %a" Scada.Field_frame.pp_report rep
 
 let rec w b = function
   | Prime_msg (sender, m) ->
@@ -123,6 +135,12 @@ let rec w b = function
   | Cert_frame c ->
     Rw.w_u8 b 0x09;
     Codec.w_cert b c
+  | Field_advert a ->
+    Rw.w_u8 b 0x0A;
+    Codec.w_field_advert b a
+  | Field_report rep ->
+    Rw.w_u8 b 0x0B;
+    Codec.w_field_report b rep
 
 let rec r reader =
   let ctx = "message" in
@@ -144,6 +162,8 @@ let rec r reader =
     let epoch = Rw.r_u32 ctx reader in
     Epoch_frame (epoch, r reader)
   | 0x09 -> Cert_frame (Codec.r_cert reader)
+  | 0x0A -> Field_advert (Codec.r_field_advert reader)
+  | 0x0B -> Field_report (Codec.r_field_report reader)
   | tag -> raise (Rw.Fail (Rw.Unknown_tag { context = ctx; tag }))
 
 let encode m =

@@ -29,6 +29,12 @@ type t =
   | Cert_frame of Member.Cert.t
       (** membership certificate announcement broadcast at an epoch
           cutover *)
+  | Field_advert of Scada.Field_frame.advert
+      (** register-map capability advertisement a fleet device sends
+          when its concentrator session links up (and on relink) *)
+  | Field_report of Scada.Field_frame.report
+      (** report-by-exception event batch on the device-to-concentrator
+          field link *)
 
 (** [kind m] is a stable per-variant label (drilling into the protocol
     message variant, e.g. ["prime/preprepare"]) used for per-class

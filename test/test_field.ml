@@ -1,0 +1,397 @@
+(* Tests for the field layer (lib/field): typed point descriptors,
+   register-mapped devices, per-device link sessions, concentrator
+   aggregation and its end-to-end determinism — plus extra DNP3 codec
+   coverage riding along (the fleet shares the substation field
+   protocols). *)
+
+module P = Field.Point
+module D = Field.Device
+module S = Field.Session
+module MB = Scada.Modbus
+module D3 = Scada.Dnp3
+module FF = Scada.Field_frame
+
+(* ------------------------------------------------------------------ *)
+(* Point *)
+
+let test_point_analog_derivation () =
+  let p = P.analog ~table:P.Input_register ~address:3 ~nominal:1000 ~spread:800 in
+  Alcotest.(check int) "step" 100 p.P.step;
+  Alcotest.(check int) "deadband" 200 p.P.deadband;
+  Alcotest.(check int) "lo" 200 (P.lo p);
+  Alcotest.(check int) "hi" 1800 (P.hi p);
+  (* Tiny spreads floor at 1, never 0 (a zero step would freeze the
+     walk; a zero deadband would report every tick). *)
+  let tiny = P.analog ~table:P.Input_register ~address:0 ~nominal:5 ~spread:2 in
+  Alcotest.(check int) "step floor" 1 tiny.P.step;
+  Alcotest.(check int) "deadband floor" 1 tiny.P.deadband
+
+let test_point_envelope_clipped_to_u16 () =
+  let p =
+    P.analog ~table:P.Holding_register ~address:0 ~nominal:0xFFF0 ~spread:0x100
+  in
+  Alcotest.(check int) "hi clipped" 0xFFFF (P.hi p);
+  let q = P.analog ~table:P.Holding_register ~address:0 ~nominal:10 ~spread:100 in
+  Alcotest.(check int) "lo clipped" 0 (P.lo q)
+
+let test_point_map_digest_sensitive () =
+  let mk addr = P.analog ~table:P.Input_register ~address:addr ~nominal:1000 ~spread:100 in
+  let d1 = P.map_digest [| mk 0; mk 1 |] in
+  let d2 = P.map_digest [| mk 1; mk 0 |] in
+  let d3 = P.map_digest [| mk 0; mk 1 |] in
+  Alcotest.(check bool) "same points same digest" true (Cryptosim.Digest.equal d1 d3);
+  Alcotest.(check bool) "order matters" false (Cryptosim.Digest.equal d1 d2)
+
+(* ------------------------------------------------------------------ *)
+(* Device *)
+
+let mk_device ?(seed = 42L) () = D.create ~id:7 ~concentrator:2 ~seed
+
+let test_device_same_seed_same_map () =
+  let a = mk_device () and b = mk_device () in
+  Alcotest.(check bool) "map digests equal" true
+    (Cryptosim.Digest.equal (D.map_digest a) (D.map_digest b));
+  Alcotest.(check bool) "adverts equal" true
+    (FF.equal_advert (D.advert a) (D.advert b));
+  let c = mk_device ~seed:43L () in
+  Alcotest.(check bool) "different seed, different map" false
+    (Cryptosim.Digest.equal (D.map_digest a) (D.map_digest c))
+
+let test_device_tick_deterministic () =
+  let a = mk_device () and b = mk_device () in
+  for _ = 1 to 200 do
+    let ea = D.tick a and eb = D.tick b in
+    Alcotest.(check bool) "same events" true (ea = eb)
+  done
+
+let serve_ok dev body =
+  match D.serve dev body with
+  | MB.Exception_response { function_code; exception_code } ->
+    Alcotest.failf "unexpected exception fc=0x%02x code=%d" function_code
+      exception_code
+  | resp -> resp
+
+let test_device_serve_all_function_codes () =
+  let dev = mk_device () in
+  (match serve_ok dev (MB.Read_coils { start = 0; count = D.coils_count }) with
+  | MB.Coils bits -> Alcotest.(check int) "coils" D.coils_count (List.length bits)
+  | _ -> Alcotest.fail "expected Coils");
+  (match
+     serve_ok dev
+       (MB.Read_discrete_inputs { start = 0; count = D.discrete_inputs_count })
+   with
+  | MB.Discrete_inputs bits ->
+    Alcotest.(check int) "discrete inputs" D.discrete_inputs_count (List.length bits)
+  | _ -> Alcotest.fail "expected Discrete_inputs");
+  (match
+     serve_ok dev
+       (MB.Read_holding_registers { start = 0; count = D.holding_registers_count })
+   with
+  | MB.Holding_registers regs ->
+    Alcotest.(check int) "holding" D.holding_registers_count (List.length regs)
+  | _ -> Alcotest.fail "expected Holding_registers");
+  (match
+     serve_ok dev
+       (MB.Read_input_registers { start = 0; count = D.input_registers_count })
+   with
+  | MB.Input_registers regs ->
+    Alcotest.(check int) "input" D.input_registers_count (List.length regs)
+  | _ -> Alcotest.fail "expected Input_registers");
+  (match serve_ok dev (MB.Write_single_coil { address = 1; value = true }) with
+  | MB.Coil_written { address = 1; value = true } -> ()
+  | _ -> Alcotest.fail "expected Coil_written");
+  (match serve_ok dev (MB.Write_single_register { address = 2; value = 0xAB }) with
+  | MB.Register_written { address = 2; value = 0xAB } -> ()
+  | _ -> Alcotest.fail "expected Register_written");
+  (match
+     serve_ok dev (MB.Write_multiple_coils { start = 0; values = [ true; false ] })
+   with
+  | MB.Coils_written { start = 0; count = 2 } -> ()
+  | _ -> Alcotest.fail "expected Coils_written");
+  match
+    serve_ok dev (MB.Write_multiple_registers { start = 1; values = [ 5; 6 ] })
+  with
+  | MB.Registers_written { start = 1; count = 2 } -> ()
+  | _ -> Alcotest.fail "expected Registers_written"
+
+let test_device_write_then_read_back () =
+  let dev = mk_device () in
+  (match
+     serve_ok dev (MB.Write_multiple_registers { start = 0; values = [ 0x123; 0x456 ] })
+   with
+  | MB.Registers_written _ -> ()
+  | _ -> Alcotest.fail "write failed");
+  Alcotest.(check (option int)) "holding 0" (Some 0x123)
+    (D.holding_register dev ~address:0);
+  Alcotest.(check (option int)) "holding 1" (Some 0x456)
+    (D.holding_register dev ~address:1);
+  Alcotest.(check (option int)) "out of range" None
+    (D.holding_register dev ~address:99)
+
+let test_device_serve_out_of_range_is_exception_2 () =
+  let dev = mk_device () in
+  let expect_exc fc body =
+    match D.serve dev body with
+    | MB.Exception_response { function_code; exception_code = 2 } ->
+      Alcotest.(check int) "function code echoed" fc function_code
+    | _ -> Alcotest.failf "expected exception 2 for fc 0x%02x" fc
+  in
+  expect_exc 0x01 (MB.Read_coils { start = D.coils_count; count = 1 });
+  expect_exc 0x02
+    (MB.Read_discrete_inputs { start = 0; count = D.discrete_inputs_count + 1 });
+  expect_exc 0x04 (MB.Read_input_registers { start = 2; count = D.input_registers_count });
+  expect_exc 0x10
+    (MB.Write_multiple_registers
+       { start = D.holding_registers_count - 1; values = [ 1; 2 ] })
+
+let prop_device_input_registers_stay_in_envelope =
+  QCheck.Test.make ~count:20 ~name:"device analog walk stays inside point envelopes"
+    QCheck.(map Int64.of_int int)
+    (fun seed ->
+      let dev = D.create ~id:1 ~concentrator:0 ~seed in
+      let ok = ref true in
+      for _ = 1 to 500 do
+        ignore (D.tick dev : FF.event list);
+        match D.serve dev (MB.Read_input_registers { start = 0; count = D.input_registers_count }) with
+        | MB.Input_registers regs ->
+          List.iteri
+            (fun _ v -> if v < 0 || v > 0xFFFF then ok := false)
+            regs
+        | _ -> ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Session *)
+
+let test_session_linking_handshake_first () =
+  let s = S.create ~seed:1L ~loss:0. in
+  Alcotest.(check bool) "starts Linking" true (S.state s = S.Linking);
+  (match S.step s with
+  | `Relink -> ()
+  | `Online | `Offline -> Alcotest.fail "first step must be the handshake");
+  Alcotest.(check bool) "now Up" true (S.state s = S.Up)
+
+let test_session_zero_loss_never_drops () =
+  let s = S.create ~seed:1L ~loss:0. in
+  ignore (S.step s);
+  for _ = 1 to 1000 do
+    match S.step s with
+    | `Online -> ()
+    | `Relink | `Offline -> Alcotest.fail "loss=0 must stay up"
+  done;
+  Alcotest.(check int) "churn is the one handshake" 1 (S.churn s)
+
+let test_session_certain_loss_cycles () =
+  let s = S.create ~seed:1L ~loss:1. in
+  ignore (S.step s);
+  (* Up --loss--> Down (offline), back-off round (offline), relink. *)
+  (match S.step s with `Offline -> () | _ -> Alcotest.fail "expected drop");
+  (match S.step s with `Offline -> () | _ -> Alcotest.fail "expected back-off");
+  match S.step s with
+  | `Relink -> ()
+  | `Online | `Offline -> Alcotest.fail "expected relink"
+
+let test_session_seq_dedup () =
+  let s = S.create ~seed:1L ~loss:0. in
+  Alcotest.(check int) "seq 0" 0 (S.next_seq s);
+  Alcotest.(check int) "seq 1" 1 (S.next_seq s);
+  Alcotest.(check bool) "accept 0" true (S.accept s ~seq:0);
+  Alcotest.(check bool) "replay 0 dropped" false (S.accept s ~seq:0);
+  Alcotest.(check bool) "accept 1" true (S.accept s ~seq:1);
+  Alcotest.(check bool) "stale dropped" false (S.accept s ~seq:0);
+  Alcotest.(check int) "two dups counted" 2 (S.dups_dropped s)
+
+(* ------------------------------------------------------------------ *)
+(* Concentrator: end-to-end determinism through a real simulation.     *)
+
+let fleet_fingerprint () =
+  let sys, r =
+    Spire.Scenarios.fleet ~concentrators:2 ~devices:100
+      ~duration_us:3_000_000 ()
+  in
+  let s = Spire.System.fleet_stats sys in
+  let ledger =
+    String.concat ";"
+      (List.map
+         (fun (k, f, b) -> Printf.sprintf "%s=%d/%d" k f b)
+         (Spire.System.wire_traffic sys))
+  in
+  Printf.sprintf
+    "confirmed=%d;events=%d;reports=%d;dups=%d;churn=%d;adverts=%d;conf_ev=%d;conf_wr=%d;%s"
+    r.Spire.Scenarios.confirmed s.Field.Concentrator.events_seen
+    s.Field.Concentrator.reports_accepted s.Field.Concentrator.dups_dropped
+    s.Field.Concentrator.churn s.Field.Concentrator.adverts_sent
+    s.Field.Concentrator.confirmed_events s.Field.Concentrator.confirmed_writes
+    ledger
+
+let test_fleet_run_deterministic () =
+  let a = fleet_fingerprint () and b = fleet_fingerprint () in
+  Alcotest.(check string) "same seed, same fleet trajectory" a b
+
+let test_fleet_confirms_events_and_writes () =
+  let sys, _ =
+    Spire.Scenarios.fleet ~concentrators:2 ~devices:100
+      ~duration_us:5_000_000 ()
+  in
+  let s = Spire.System.fleet_stats sys in
+  Alcotest.(check int) "all devices placed" 100 s.Field.Concentrator.device_count;
+  Alcotest.(check bool) "events confirmed" true
+    (s.Field.Concentrator.confirmed_events > 0);
+  Alcotest.(check bool) "confirmed <= seen" true
+    (s.Field.Concentrator.confirmed_events <= s.Field.Concentrator.events_seen);
+  Alcotest.(check bool) "writes confirmed" true
+    (s.Field.Concentrator.confirmed_writes > 0);
+  Alcotest.(check bool) "field frames charged" true
+    (List.exists
+       (fun (k, _, _) -> k = "field/report")
+       (Spire.System.wire_traffic sys))
+
+let test_fleet_disabled_charges_nothing () =
+  let sys, _ =
+    Spire.Scenarios.fault_free ~duration_us:2_000_000 ()
+  in
+  let s = Spire.System.fleet_stats sys in
+  Alcotest.(check int) "no devices" 0 s.Field.Concentrator.device_count;
+  Alcotest.(check int) "no events" 0 s.Field.Concentrator.events_seen;
+  Alcotest.(check bool) "no field frames in the ledger" true
+    (not
+       (List.exists
+          (fun (k, _, _) -> String.length k >= 6 && String.sub k 0 6 = "field/")
+          (Spire.System.wire_traffic sys)))
+
+(* ------------------------------------------------------------------ *)
+(* Field_frame checksums *)
+
+let test_report_checksum_value_sensitive () =
+  let ev table address value = { FF.table; address; value } in
+  let r events = { FF.concentrator = 1; device = 2; seq = 3; events } in
+  let base = r [ ev FF.Input_register 0 100; ev FF.Discrete_input 1 1 ] in
+  let changed = r [ ev FF.Input_register 0 101; ev FF.Discrete_input 1 1 ] in
+  let reordered = r [ ev FF.Discrete_input 1 1; ev FF.Input_register 0 100 ] in
+  Alcotest.(check bool) "value change changes checksum" false
+    (FF.report_checksum base = FF.report_checksum changed);
+  Alcotest.(check bool) "order change changes checksum" false
+    (FF.report_checksum base = FF.report_checksum reordered);
+  Alcotest.(check bool) "stable" true
+    (FF.report_checksum base = FF.report_checksum base)
+
+(* ------------------------------------------------------------------ *)
+(* DNP3 codec: extra round-trip + fuzz coverage (satellite).           *)
+
+let gen_dnp3_app =
+  QCheck.Gen.(
+    oneof
+      [
+        return D3.Poll_request;
+        map2
+          (fun bins anas -> D3.Poll_response { binary_inputs = bins; analog_inputs = anas })
+          (list_size (int_bound 16) bool)
+          (list_size (int_bound 16) (int_range (-1_000_000) 1_000_000));
+        map2
+          (fun point trip -> D3.Operate { point; action = (if trip then D3.Trip else D3.Close) })
+          (int_bound 0xFF) bool;
+        map2
+          (fun point success -> D3.Operate_ack { point; success })
+          (int_bound 0xFF) bool;
+      ])
+
+let gen_dnp3_frame =
+  QCheck.Gen.(
+    map2
+      (fun (dest, src) app -> { D3.dest; src; app })
+      (pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+      gen_dnp3_app)
+
+let pp_dnp3 f = Printf.sprintf "dest=%d src=%d" f.D3.dest f.D3.src
+
+let prop_dnp3_any_app_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"dnp3 any app roundtrip"
+    (QCheck.make ~print:pp_dnp3 gen_dnp3_frame)
+    (fun f ->
+      match D3.decode (D3.encode f) with
+      | Ok f' -> f' = f
+      | Error _ -> false)
+
+let prop_dnp3_truncation_never_raises =
+  QCheck.Test.make ~count:500 ~name:"dnp3 truncation is Error, never raises"
+    (QCheck.make
+       ~print:(fun (f, cut) -> Printf.sprintf "%s cut=%.2f" (pp_dnp3 f) cut)
+       QCheck.Gen.(pair gen_dnp3_frame (float_bound_inclusive 1.)))
+    (fun (f, frac) ->
+      let s = D3.encode f in
+      let cut =
+        min (String.length s - 1)
+          (int_of_float (frac *. float_of_int (String.length s)))
+      in
+      match D3.decode (String.sub s 0 cut) with
+      | Ok _ -> false
+      | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "decoder raised %s" (Printexc.to_string e))
+
+let prop_dnp3_corrupt_body_rejected =
+  QCheck.Test.make ~count:500 ~name:"dnp3 corrupt byte never yields same app"
+    (QCheck.make
+       ~print:(fun (f, at) -> Printf.sprintf "%s at=%d" (pp_dnp3 f) at)
+       QCheck.Gen.(pair gen_dnp3_frame small_nat))
+    (fun (f, at_seed) ->
+      let s = D3.encode f in
+      (* Skip the trailing checksum bytes: corrupting the checksum of a
+         frame legitimately fails, which is also fine; body corruption
+         must never round-trip to the same app. *)
+      let at = 4 + (at_seed mod max 1 (String.length s - 6)) in
+      match D3.decode (D3.corrupt s ~at) with
+      | Ok f' -> f'.D3.app <> f.D3.app || f'.D3.dest <> f.D3.dest
+      | Error _ -> true)
+
+let () =
+  Alcotest.run "field"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "analog derivation" `Quick test_point_analog_derivation;
+          Alcotest.test_case "u16 clipping" `Quick test_point_envelope_clipped_to_u16;
+          Alcotest.test_case "map digest" `Quick test_point_map_digest_sensitive;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "seeded map determinism" `Quick
+            test_device_same_seed_same_map;
+          Alcotest.test_case "tick determinism" `Quick test_device_tick_deterministic;
+          Alcotest.test_case "serves all function codes" `Quick
+            test_device_serve_all_function_codes;
+          Alcotest.test_case "write then read back" `Quick
+            test_device_write_then_read_back;
+          Alcotest.test_case "out of range is exception 2" `Quick
+            test_device_serve_out_of_range_is_exception_2;
+          QCheck_alcotest.to_alcotest prop_device_input_registers_stay_in_envelope;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "handshake first" `Quick
+            test_session_linking_handshake_first;
+          Alcotest.test_case "zero loss stays up" `Quick
+            test_session_zero_loss_never_drops;
+          Alcotest.test_case "certain loss cycles" `Quick
+            test_session_certain_loss_cycles;
+          Alcotest.test_case "sequence dedup" `Quick test_session_seq_dedup;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "deterministic trajectory" `Quick
+            test_fleet_run_deterministic;
+          Alcotest.test_case "confirms events and writes" `Quick
+            test_fleet_confirms_events_and_writes;
+          Alcotest.test_case "disabled fleet is silent" `Quick
+            test_fleet_disabled_charges_nothing;
+          Alcotest.test_case "report checksum" `Quick
+            test_report_checksum_value_sensitive;
+        ] );
+      ( "dnp3",
+        [
+          QCheck_alcotest.to_alcotest prop_dnp3_any_app_roundtrip;
+          QCheck_alcotest.to_alcotest prop_dnp3_truncation_never_raises;
+          QCheck_alcotest.to_alcotest prop_dnp3_corrupt_body_rejected;
+        ] );
+    ]

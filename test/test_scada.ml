@@ -57,6 +57,33 @@ let test_rtu_analog_within_bounds () =
   Alcotest.(check bool) "frequency near 60Hz" true
     (s.R.frequency_mhz >= 59_900 && s.R.frequency_mhz <= 60_100)
 
+(* Satellite: physical-plausibility envelopes. Whatever the seed and
+   however long the soak — including breaker trips and reclosures
+   mid-run — no analog value ever leaves the envelope the mli
+   advertises. *)
+let prop_rtu_soak_stays_in_envelope =
+  QCheck.Test.make ~count:20 ~name:"rtu soak never leaves analog envelopes"
+    QCheck.(pair (map Int64.of_int int) (int_range 500 3000))
+    (fun (seed, ticks) ->
+      let rtu = R.create ~id:1 ~breakers:4 ~feeders:3 ~rng:(Sim.Rng.create seed) in
+      let vlo, vhi = R.voltage_envelope_mv in
+      let clo, chi = R.current_envelope_ma in
+      let flo, fhi = R.frequency_envelope_mhz in
+      let ok = ref true in
+      for i = 1 to ticks do
+        (* Exercise the breaker state machine too: trip and reclose a
+           rotating breaker every ~100 ticks. *)
+        if i mod 100 = 0 then
+          R.operate_breaker rtu ~index:(i / 100 mod 4)
+            ~desired:(if i mod 200 = 0 then R.Open else R.Closed);
+        R.tick rtu;
+        let s = R.read_status rtu in
+        Array.iter (fun v -> if v < vlo || v > vhi then ok := false) s.R.voltages_mv;
+        Array.iter (fun c -> if c < clo || c > chi then ok := false) s.R.currents_ma;
+        if s.R.frequency_mhz < flo || s.R.frequency_mhz > fhi then ok := false
+      done;
+      !ok)
+
 let test_rtu_tap_clamped () =
   let rtu = make_rtu () in
   R.set_tap rtu ~position:99;
@@ -130,6 +157,139 @@ let prop_modbus_registers_roundtrip =
       match MB.decode_response (MB.encode_response f) with
       | Ok { MB.body = MB.Holding_registers regs'; _ } -> regs = regs'
       | Ok _ | Error _ -> false)
+
+(* New function codes for the register-mapped fleet (lib/field):
+   0x02 Read Discrete Inputs, 0x04 Read Input Registers, 0x0F Write
+   Multiple Coils, 0x10 Write Multiple Registers. *)
+
+let prop_modbus_new_requests_roundtrip =
+  QCheck.Test.make ~name:"modbus 0x02/0x04/0x0F/0x10 requests roundtrip"
+    QCheck.(
+      pair (int_bound 3)
+        (pair (int_bound 0xFFFF)
+           (pair
+              (list_of_size (QCheck.Gen.int_range 1 64) bool)
+              (list_of_size (QCheck.Gen.int_range 1 60) (int_bound 0xFFFF)))))
+    (fun (which, (start, (bits, regs))) ->
+      let body =
+        match which with
+        | 0 -> MB.Read_discrete_inputs { start; count = List.length bits }
+        | 1 -> MB.Read_input_registers { start; count = List.length regs }
+        | 2 -> MB.Write_multiple_coils { start; values = bits }
+        | _ -> MB.Write_multiple_registers { start; values = regs }
+      in
+      let f = { MB.transaction = 9; unit_id = 2; body } in
+      match MB.decode_request (MB.encode_request f) with
+      | Ok f' -> f'.MB.body = body
+      | Error _ -> false)
+
+let prop_modbus_new_responses_roundtrip =
+  QCheck.Test.make ~name:"modbus 0x02/0x04/0x0F/0x10 responses roundtrip"
+    QCheck.(
+      pair (int_bound 3)
+        (pair (int_bound 0xFFFF)
+           (pair
+              (list_of_size (QCheck.Gen.int_range 0 64) bool)
+              (list_of_size (QCheck.Gen.int_range 0 60) (int_bound 0xFFFF)))))
+    (fun (which, (start, (bits, regs))) ->
+      let body =
+        match which with
+        | 0 -> MB.Discrete_inputs bits
+        | 1 -> MB.Input_registers regs
+        | 2 -> MB.Coils_written { start; count = 1 + List.length bits }
+        | _ -> MB.Registers_written { start; count = 1 + List.length regs }
+      in
+      let f = { MB.transaction = 11; unit_id = 5; body } in
+      match MB.decode_response (MB.encode_response f) with
+      | Ok f' -> f'.MB.body = body
+      | Error _ -> false)
+
+let test_modbus_new_exception_responses () =
+  List.iter
+    (fun function_code ->
+      let body = MB.Exception_response { function_code; exception_code = 2 } in
+      let f = { MB.transaction = 3; unit_id = 8; body } in
+      match MB.decode_response (MB.encode_response f) with
+      | Ok f' -> Alcotest.(check bool) "body" true (f'.MB.body = body)
+      | Error e -> Alcotest.failf "exception 0x%02x failed: %s" function_code e)
+    [ 0x02; 0x04; 0x0F; 0x10 ]
+
+let test_modbus_multi_write_caps () =
+  (* byte count is a u8, so real Modbus caps one multi-write at 0x7B0
+     coils / 123 registers; the encoder enforces both. *)
+  let over_coils =
+    { MB.transaction = 0; unit_id = 0;
+      body = MB.Write_multiple_coils { start = 0; values = List.init 0x7B1 (fun _ -> true) } }
+  in
+  let over_regs =
+    { MB.transaction = 0; unit_id = 0;
+      body = MB.Write_multiple_registers { start = 0; values = List.init 124 (fun _ -> 1) } }
+  in
+  Alcotest.check_raises "coils over cap" (Invalid_argument "Modbus: too many coils in one write")
+    (fun () -> ignore (MB.encode_request over_coils : string));
+  Alcotest.check_raises "registers over cap"
+    (Invalid_argument "Modbus: too many registers in one write") (fun () ->
+      ignore (MB.encode_request over_regs : string))
+
+(* Fuzz: truncation anywhere must yield Error, never an exception; a
+   flipped bit must decode to Ok-or-Error, never raise (the MBAP
+   header carries no checksum, so a flip may legally re-decode). *)
+
+let gen_any_modbus_request =
+  QCheck.Gen.(
+    map
+      (fun (which, (start, (bits, regs))) ->
+        let body =
+          match which with
+          | 0 -> MB.Read_discrete_inputs { start; count = 1 + List.length bits }
+          | 1 -> MB.Read_input_registers { start; count = 1 + List.length regs }
+          | 2 -> MB.Write_multiple_coils { start; values = true :: bits }
+          | 3 -> MB.Write_multiple_registers { start; values = 1 :: regs }
+          | 4 -> MB.Read_coils { start; count = 1 + List.length bits }
+          | _ -> MB.Read_holding_registers { start; count = 1 + List.length regs }
+        in
+        { MB.transaction = 21; unit_id = 4; body })
+      (pair (int_bound 5)
+         (pair (int_bound 0xFFFF)
+            (pair
+               (list_size (int_bound 32) bool)
+               (list_size (int_bound 32) (int_bound 0xFFFF))))))
+
+let prop_modbus_request_truncation =
+  QCheck.Test.make ~name:"modbus request truncation is Error, never raises"
+    QCheck.(
+      pair
+        (make ~print:(fun f -> Format.asprintf "%a" MB.pp_request f.MB.body)
+           gen_any_modbus_request)
+        (QCheck.float_bound_inclusive 1.))
+    (fun (f, frac) ->
+      let s = MB.encode_request f in
+      let cut =
+        min (String.length s - 1)
+          (int_of_float (frac *. float_of_int (String.length s)))
+      in
+      match MB.decode_request (String.sub s 0 cut) with
+      | Ok _ -> false
+      | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "decoder raised %s" (Printexc.to_string e))
+
+let prop_modbus_request_bitflip_never_raises =
+  QCheck.Test.make ~name:"modbus request bit flip never raises"
+    QCheck.(
+      pair
+        (make ~print:(fun f -> Format.asprintf "%a" MB.pp_request f.MB.body)
+           gen_any_modbus_request)
+        (pair small_nat small_nat))
+    (fun (f, (at_seed, bit_seed)) ->
+      let s = Bytes.of_string (MB.encode_request f) in
+      let at = at_seed mod Bytes.length s in
+      let bit = bit_seed mod 8 in
+      Bytes.set s at (Char.chr (Char.code (Bytes.get s at) lxor (1 lsl bit)));
+      match MB.decode_request (Bytes.to_string s) with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "decoder raised %s" (Printexc.to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* DNP3 *)
@@ -533,6 +693,7 @@ let () =
           Alcotest.test_case "status seq" `Quick test_rtu_status_seq_increments;
           Alcotest.test_case "analog bounds" `Quick test_rtu_analog_within_bounds;
           Alcotest.test_case "tap clamped" `Quick test_rtu_tap_clamped;
+          QCheck_alcotest.to_alcotest prop_rtu_soak_stays_in_envelope;
         ] );
       ( "modbus",
         [
@@ -542,6 +703,13 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_modbus_rejects_garbage;
           QCheck_alcotest.to_alcotest prop_modbus_coils_roundtrip;
           QCheck_alcotest.to_alcotest prop_modbus_registers_roundtrip;
+          QCheck_alcotest.to_alcotest prop_modbus_new_requests_roundtrip;
+          QCheck_alcotest.to_alcotest prop_modbus_new_responses_roundtrip;
+          Alcotest.test_case "new exception responses" `Quick
+            test_modbus_new_exception_responses;
+          Alcotest.test_case "multi-write caps" `Quick test_modbus_multi_write_caps;
+          QCheck_alcotest.to_alcotest prop_modbus_request_truncation;
+          QCheck_alcotest.to_alcotest prop_modbus_request_bitflip_never_raises;
         ] );
       ( "dnp3",
         [

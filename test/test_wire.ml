@@ -192,6 +192,41 @@ let gen_cert =
           (G.list_size (G.int_bound 6) gen_u16)
           gen_digest))
 
+let gen_u8 = G.int_bound 0xff
+
+let gen_field_advert =
+  G.map
+    (fun ((concentrator, device, map_digest), (di, co, ir, hr)) ->
+      {
+        Scada.Field_frame.concentrator;
+        device;
+        discrete_inputs = di;
+        coils = co;
+        input_registers = ir;
+        holding_registers = hr;
+        map_digest;
+      })
+    (G.pair
+       (G.triple gen_u16 gen_u32 gen_digest)
+       (G.quad gen_u8 gen_u8 gen_u8 gen_u8))
+
+let gen_field_event =
+  G.map
+    (fun ((table, address), value) ->
+      let table =
+        Option.get (Scada.Field_frame.table_of_int (table land 3))
+      in
+      { Scada.Field_frame.table; address; value })
+    (G.pair (G.pair gen_u8 gen_u16) gen_u16)
+
+let gen_field_report =
+  G.map
+    (fun ((concentrator, device, seq), events) ->
+      { Scada.Field_frame.concentrator; device; seq; events })
+    (G.pair
+       (G.triple gen_u16 gen_u32 gen_u32)
+       (G.list_size (G.int_bound 6) gen_field_event))
+
 let gen_inner_message =
   G.oneof
     [
@@ -210,6 +245,8 @@ let gen_inner_message =
         (fun rs -> Wire.Message.Reply_batch rs)
         (G.list_size (G.int_bound 4) gen_reply);
       G.map (fun c -> Wire.Message.Transfer_chunk c) gen_chunk;
+      G.map (fun a -> Wire.Message.Field_advert a) gen_field_advert;
+      G.map (fun r -> Wire.Message.Field_report r) gen_field_report;
     ]
 
 let gen_message =
@@ -361,7 +398,7 @@ let prop_measure_envelope =
       = String.length (Wire.Envelope.encode ~sender msg))
 
 let test_kind_index_table () =
-  Alcotest.(check int) "kind_count" 27 Wire.Message.kind_count;
+  Alcotest.(check int) "kind_count" 29 Wire.Message.kind_count;
   let names =
     List.init Wire.Message.kind_count Wire.Message.kind_name
   in
