@@ -183,6 +183,62 @@ let e12_fleet_sweep ~scale_full () =
       point)
     [ 1_000; 10_000; 100_000 ]
 
+(* E13 adaptive sweep: the two-level controller against the E6 WAN
+   delay attack, next to the static arms it must bracket. Recorded so
+   the trajectory file tracks the controller's converged p99 (and
+   would expose a regression that slowed detection or broke the
+   validated knob path — journal_ok must stay true, applied > 0). *)
+
+type e13_point = {
+  e13_arm : string;
+  e13_post_p99_ms : float;
+  e13_conv_p99_ms : float;
+  e13_applied : int;
+  e13_rejected : int;
+  e13_journal_ok : bool;
+}
+
+let e13_sweep ~scale_full () =
+  let duration = if scale_full then minutes 4 else sec 40 in
+  let attack_from = duration / 4 in
+  let converged_from = attack_from + (duration / 4) in
+  Printf.printf
+    "  E13 adaptive sweep: 20x WAN delay from t=%ds, converged window from \
+     t=%ds\n%!"
+    (attack_from / 1_000_000) (converged_from / 1_000_000);
+  List.map
+    (fun (arm, controller, mode) ->
+      let _, r =
+        Spire.Scenarios.adaptive ~controller ~mode
+          ~attack:(Spire.Scenarios.Wan_delay 20.) ~attack_from_us:attack_from
+          ~duration_us:duration ()
+      in
+      let conv =
+        Spire.Scenarios.post_attack_p99
+          r.Spire.Scenarios.base.Spire.Scenarios.series ~from_us:converged_from
+      in
+      let point =
+        {
+          e13_arm = arm;
+          e13_post_p99_ms = r.Spire.Scenarios.post_attack_p99_ms;
+          e13_conv_p99_ms = conv;
+          e13_applied = r.Spire.Scenarios.knob_applied;
+          e13_rejected = r.Spire.Scenarios.knob_rejected;
+          e13_journal_ok = r.Spire.Scenarios.journal_consistent;
+        }
+      in
+      Printf.printf
+        "    %-16s post p99=%7.1fms conv p99=%7.1fms knobs=%d/%d journal=%s\n%!"
+        arm point.e13_post_p99_ms point.e13_conv_p99_ms point.e13_applied
+        point.e13_rejected
+        (if point.e13_journal_ok then "ok" else "INCONSISTENT");
+      point)
+    [
+      ("adaptive", true, Overlay.Net.Shortest);
+      ("static_shortest", false, Overlay.Net.Shortest);
+      ("static_flood", false, Overlay.Net.Flood);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Domains-scaling curve: a fixed mixed workload of independent
    instances — E8 throughput points plus E10 chaos soak seeds — run
@@ -499,8 +555,8 @@ let existing_float key =
       float_of_string_opt (String.trim (String.sub s start (!stop - start)))
   end
 
-let write_json ~scale ~floor ~e12_floor ~cores ~e2 ~e3 ~e6 ~e8 ~e12 ~par_gate
-    ~par ~intra_gate ~intra ~micros =
+let write_json ~scale ~floor ~e12_floor ~cores ~e2 ~e3 ~e6 ~e8 ~e12 ~e13
+    ~par_gate ~par ~intra_gate ~intra ~micros =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -556,6 +612,21 @@ let write_json ~scale ~floor ~e12_floor ~cores ~e2 ~e3 ~e6 ~e8 ~e12 ~par_gate
   in
   fleet_lines e12;
   p "  ],\n";
+  p "  \"e13_adaptive\": [\n";
+  let rec e13_lines = function
+    | [] -> ()
+    | (pt : e13_point) :: rest ->
+      p
+        "    { \"arm\": \"%s\", \"post_attack_p99_ms\": %.1f, \
+         \"converged_p99_ms\": %.1f, \"knobs_applied\": %d, \
+         \"knobs_rejected\": %d, \"journal_ok\": %b }%s\n"
+        pt.e13_arm pt.e13_post_p99_ms pt.e13_conv_p99_ms pt.e13_applied
+        pt.e13_rejected pt.e13_journal_ok
+        (if rest = [] then "" else ",");
+      e13_lines rest
+  in
+  e13_lines e13;
+  p "  ],\n";
   p "  \"e8_par_sweep\": {\n";
   p "    \"gate\": \"%s\",\n" par_gate;
   p "    \"points\": [\n";
@@ -609,6 +680,7 @@ let run ~scale_full () =
   let e2, e3, e6 = workloads ~scale_full () in
   let e8 = e8_batch_sweep ~scale_full () in
   let e12 = e12_fleet_sweep ~scale_full () in
+  let e13 = e13_sweep ~scale_full () in
   let cores, par_gate, par = e8_par_sweep () in
   let intra_gate, intra = e2_intra_par ~scale_full () in
   let micros = microbenches () in
@@ -645,7 +717,7 @@ let run ~scale_full () =
       f
   in
   write_json ~scale:(if scale_full then "full" else "quick") ~floor ~e12_floor
-    ~cores ~e2 ~e3 ~e6 ~e8 ~e12 ~par_gate ~par ~intra_gate ~intra ~micros;
+    ~cores ~e2 ~e3 ~e6 ~e8 ~e12 ~e13 ~par_gate ~par ~intra_gate ~intra ~micros;
   Printf.printf "  wrote %s (E3 speedup vs pre-PR: %.2fx)\n%!" json_path
     (pre_pr_e3_wall_s /. e3.wall_s);
   (* The floors were measured at quick scale; only enforce them there. *)

@@ -34,6 +34,11 @@ EXPERIMENT=E6 MICRO=0 dune exec --profile release bench/main.exe
 # E11 exits nonzero on any epoch-safety violation, wrong final epoch, or
 # a confirmation gap over 8s during the failover/rejoin/growth arc.
 EXPERIMENT=E11 MICRO=0 dune exec --profile release bench/main.exe
+# E13 exits nonzero unless the adaptive controller converges within 25%
+# of the best static configuration under each replayed attack, beats
+# the worst static across attacks, and every knob-change journal
+# reconciles with its counters (statics must issue zero requests).
+EXPERIMENT=E13 MICRO=0 dune exec --profile release bench/main.exe
 
 # Perf trajectory (telemetry disabled, as in production hot paths):
 # regenerates BENCH_PERF.json and fails if E3 events/sec or the E12

@@ -720,8 +720,51 @@ module Case_par = struct
     Printf.printf "%!"
 end
 
+module Case_adapt = struct
+  (* Adaptive-resilience probe: one E13 arm under a chosen attack, with
+     the knob-change journal dumped at the end. Usage:
+       dune exec dev/debug.exe -- adapt [leader|delay] [seconds]   *)
+
+  let run (args : string array) =
+    let attack_name =
+      if Array.length args > 1 then args.(1) else "delay"
+    in
+    let seconds = if Array.length args > 2 then int_of_string args.(2) else 40 in
+    let attack =
+      match attack_name with
+      | "leader" -> Spire.Scenarios.Leader_slowdown 1_000_000
+      | "delay" -> Spire.Scenarios.Wan_delay 20.
+      | other ->
+        Printf.eprintf "unknown attack %S (leader|delay)\n" other;
+        exit 2
+    in
+    let duration_us = seconds * 1_000_000 in
+    let attack_from_us = duration_us / 4 in
+    let t0 = Unix.gettimeofday () in
+    let sys, r =
+      Spire.Scenarios.adaptive ~attack ~attack_from_us ~duration_us ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let b = r.Spire.Scenarios.base in
+    Printf.printf
+      "adaptive vs %s attack, %ds virtual (attack at %ds): wall=%.2fs\n"
+      attack_name seconds (attack_from_us / 1_000_000) wall;
+    Printf.printf
+      "confirmed=%d/%d views=%d post-attack p99=%.1fms converged p99=%.1fms\n"
+      b.Spire.Scenarios.confirmed b.Spire.Scenarios.submitted
+      b.Spire.Scenarios.max_view r.Spire.Scenarios.post_attack_p99_ms
+      (Spire.Scenarios.post_attack_p99 b.Spire.Scenarios.series
+         ~from_us:(attack_from_us + (duration_us / 4)));
+    Printf.printf "knobs: applied=%d rejected=%d journal_consistent=%b\n"
+      r.Spire.Scenarios.knob_applied r.Spire.Scenarios.knob_rejected
+      r.Spire.Scenarios.journal_consistent;
+    Control.Knobs.print_journal (Spire.System.knobs sys);
+    Printf.printf "%!"
+end
+
 let cases =
   [
+    ("adapt", Case_adapt.run);
     ("chaos", Case_chaos.run);
     ("par", Case_par.run);
     ("chaos2", Case_chaos2.run);

@@ -27,12 +27,26 @@ let pp ppf p =
    arm exactly one timer per buffered generation. *)
 
 type 'a acc = {
-  policy : policy;
+  mutable policy : policy;
+      (* live-settable by the runtime tuning plane; see [set_policy] *)
   buf : 'a Queue.t;
   mutable oldest_us : int;  (** arrival time of the oldest buffered item *)
 }
 
 let acc policy = { policy; buf = Queue.create (); oldest_us = 0 }
+
+let policy a = a.policy
+
+(* Hot-swap the policy of a live accumulator. Shrinking [max_batch]
+   below the buffered length makes [full] true immediately, and a
+   shorter [max_delay_us] moves [deadline_us] earlier — possibly into
+   the past. The accumulator itself never flushes (the flush action is
+   caller-specific), so callers MUST check [full]/[deadline_us] after a
+   swap and drain if due; their existing deadline timers remain safe
+   because a stale timer re-reads [deadline_us] before flushing. *)
+let set_policy a p =
+  ignore (validate p : policy);
+  a.policy <- p
 
 let push a ~now v =
   if Queue.is_empty a.buf then a.oldest_us <- now;

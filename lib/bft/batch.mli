@@ -32,6 +32,22 @@ val pp : Format.formatter -> policy -> unit
 type 'a acc
 
 val acc : policy -> 'a acc
+
+(** [policy a] is the accumulator's current (possibly hot-swapped)
+    policy. *)
+val policy : 'a acc -> policy
+
+(** [set_policy a p] swaps the live accumulator onto policy [p]
+    (validated). Buffered items are kept: if the new [max_batch] is at
+    or below the buffered length the accumulator becomes [full]
+    immediately, and a shorter [max_delay_us] can move [deadline_us]
+    into the past — the caller must check both after the swap and
+    drain if due (the accumulator never flushes itself). Stale
+    deadline timers stay safe: they re-check [deadline_us] before
+    flushing.
+    @raise Invalid_argument on an invalid policy. *)
+val set_policy : 'a acc -> policy -> unit
+
 val push : 'a acc -> now:int -> 'a -> unit
 val length : 'a acc -> int
 val is_empty : 'a acc -> bool

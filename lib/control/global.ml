@@ -1,0 +1,106 @@
+type config = {
+  majority : int;
+  cooldown_us : int;
+  healthy_to_deescalate : int;
+  base_tat_threshold_us : int;
+}
+
+let default_config ~n ~base_tat_threshold_us =
+  {
+    majority = (n / 2) + 1;
+    cooldown_us = 1_000_000;
+    healthy_to_deescalate = 20;
+    base_tat_threshold_us;
+  }
+
+type t = {
+  cfg : config;
+  knobs : Knobs.t;
+  mutable routing_level : int; (* 0 shortest, 1 kdisjoint, 2 flooding *)
+  mutable leader_strikes : int; (* consecutive leader-slow actions *)
+  mutable tat_level : int; (* escalation halvings applied *)
+  mutable last_action_us : int;
+  mutable healthy_ticks : int;
+  mutable actions : int;
+}
+
+let create cfg knobs =
+  if cfg.majority < 1 then invalid_arg "Control.Global.create: majority < 1";
+  {
+    cfg;
+    knobs;
+    routing_level = 0;
+    leader_strikes = 0;
+    tat_level = 0;
+    last_action_us = min_int / 2;
+    healthy_ticks = 0;
+    actions = 0;
+  }
+
+let routing_level t = t.routing_level
+let actions t = t.actions
+
+let routing_of_level = function
+  | 0 -> Knobs.Shortest
+  | 1 -> Knobs.Kdisjoint 2
+  | _ -> Knobs.Flooding
+
+let issue t ~now_us req =
+  t.actions <- t.actions + 1;
+  ignore
+    (Knobs.request t.knobs ~now_us ~source:"global" req : (unit, string) result)
+
+let step t ~now_us (verdicts : Local.verdict array) =
+  let leader = ref 0 and net = ref 0 in
+  Array.iter
+    (function
+      | Local.Leader_slow -> incr leader
+      | Local.Net_slow -> incr net
+      | Local.Healthy -> ())
+    verdicts;
+  let cool = now_us - t.last_action_us >= t.cfg.cooldown_us in
+  if !net >= t.cfg.majority then begin
+    (* Network implicated: escalate dissemination redundancy. When the
+       ladder is exhausted there is nothing further to try — stay at
+       Flooding rather than thrash. *)
+    t.healthy_ticks <- 0;
+    t.leader_strikes <- 0;
+    if cool && t.routing_level < 2 then begin
+      t.routing_level <- t.routing_level + 1;
+      t.last_action_us <- now_us;
+      issue t ~now_us (Knobs.Set_routing (routing_of_level t.routing_level))
+    end
+  end
+  else if !leader >= t.cfg.majority then begin
+    (* Leader implicated: demote now; if the condition survives a full
+       cooldown (the adversary follows the role, or demotion lacked
+       votes), sharpen the protocol's own suspicion trigger so its
+       detector fires faster, and demote again. *)
+    t.healthy_ticks <- 0;
+    if cool then begin
+      t.last_action_us <- now_us;
+      t.leader_strikes <- t.leader_strikes + 1;
+      if t.leader_strikes >= 2 && t.tat_level < 3 then begin
+        t.tat_level <- t.tat_level + 1;
+        issue t ~now_us (Knobs.Set_tat_violations 1);
+        issue t ~now_us
+          (Knobs.Set_tat_threshold_us
+             (max Knobs.min_tat_threshold_us
+                (t.cfg.base_tat_threshold_us lsr t.tat_level)))
+      end;
+      issue t ~now_us Knobs.Demote_leader
+    end
+  end
+  else begin
+    t.healthy_ticks <- t.healthy_ticks + 1;
+    t.leader_strikes <- 0;
+    if
+      t.healthy_ticks >= t.cfg.healthy_to_deescalate
+      && t.routing_level > 0 && cool
+    then begin
+      t.routing_level <- t.routing_level - 1;
+      t.last_action_us <- now_us;
+      t.healthy_ticks <- 0;
+      issue t ~now_us (Knobs.Set_routing (routing_of_level t.routing_level))
+    end
+  end

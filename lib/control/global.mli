@@ -1,0 +1,54 @@
+(** Site-level (global) resilience controller.
+
+    The upper level of the DSN-2024 two-level split: on every tick it
+    aggregates the per-replica {!Local} verdicts — requiring a
+    {e majority} before believing any of them, so a minority of
+    compromised or confused replicas cannot steer the knobs — folds in
+    deployment-level signals, and issues knob changes through the
+    validated {!Knobs} path with hysteresis (an escalation ladder) and
+    a per-action cooldown.
+
+    Policy, intentionally simple and auditable:
+
+    - majority [Leader_slow] → request {!Knobs.Demote_leader}; if the
+      condition persists through further cooldowns, tighten the TAT
+      suspicion knobs ([Set_tat_violations 1], halved
+      [Set_tat_threshold_us]) so the protocol's own detector fires
+      faster, and demote again;
+    - majority [Net_slow] → escalate the routing ladder one step per
+      cooldown: Shortest → k-disjoint (2) → constrained Flooding;
+    - sustained all-healthy → de-escalate the routing ladder one step
+      at a time (hysteresis: it takes [healthy_to_deescalate]
+      consecutive healthy ticks per step).
+
+    The controller never touches a knob directly: every decision is a
+    {!Knobs.request}, so the journal is the complete audit trail. *)
+
+type config = {
+  majority : int;  (** local verdicts required to act *)
+  cooldown_us : int;  (** minimum spacing between actions *)
+  healthy_to_deescalate : int;
+      (** consecutive healthy ticks per de-escalation step *)
+  base_tat_threshold_us : int;
+      (** deployment's configured TAT bound (escalation halves it) *)
+}
+
+(** [default_config ~n ~base_tat_threshold_us] — majority [n/2 + 1],
+    1 s cooldown, 20 healthy ticks to de-escalate. *)
+val default_config : n:int -> base_tat_threshold_us:int -> config
+
+type t
+
+val create : config -> Knobs.t -> t
+
+(** [step t ~now_us verdicts] ingests one tick of local verdicts and
+    possibly issues knob requests (source ["global"]). *)
+val step : t -> now_us:int -> Local.verdict array -> unit
+
+(** [routing_level t] is the current ladder position: 0 = Shortest,
+    1 = k-disjoint, 2 = Flooding. *)
+val routing_level : t -> int
+
+(** [actions t] counts the requests this controller has issued
+    (applied or rejected — see the knob journal for the split). *)
+val actions : t -> int

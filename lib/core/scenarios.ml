@@ -67,6 +67,36 @@ let proactive_recovery ~rotation_period_us ~recovery_duration_us ~duration_us
   System.assert_agreement sys;
   (sys, result_of sys ~duration_us, List.rev !events)
 
+(* The attacker congests the PRIMARY inter-site links (those joining
+   the first daemon of each site) — an undetected delay attack: links
+   stay up, so shortest-path routing keeps trusting their advertised
+   latency. The redundant second-node links and the client access
+   links stay clean, which is exactly what redundant/flooding
+   dissemination can exploit and single-path routing cannot. *)
+let congest_primary_wan sys factor =
+  let net = System.net sys in
+  let topo = Overlay.Net.topology net in
+  let n = System.replica_count sys in
+  let first_of_site = Hashtbl.create 7 in
+  for r = 0 to n - 1 do
+    let s = Overlay.Topology.site_of topo r in
+    if not (Hashtbl.mem first_of_site s) then Hashtbl.replace first_of_site s r
+  done;
+  let is_gateway node =
+    node < n
+    && Hashtbl.find_opt first_of_site (Overlay.Topology.site_of topo node)
+       = Some node
+  in
+  List.iter
+    (fun link ->
+      let a = link.Overlay.Topology.endpoint_a
+      and b = link.Overlay.Topology.endpoint_b in
+      if
+        is_gateway a && is_gateway b
+        && Overlay.Topology.site_of topo a <> Overlay.Topology.site_of topo b
+      then Overlay.Net.set_latency_factor net a b factor)
+    (Overlay.Topology.links topo)
+
 let link_degradation ?(tweak = fun c -> c) ~mode ~factor ~attack_from_us
     ~duration_us () =
   let cfg = tweak { (System.default_config ()) with System.dissemination = mode } in
@@ -74,38 +104,7 @@ let link_degradation ?(tweak = fun c -> c) ~mode ~factor ~attack_from_us
   System.start sys;
   ignore
     (Sim.Engine.schedule_at (System.engine sys) ~time_us:attack_from_us
-       (fun () ->
-         (* The attacker congests the PRIMARY inter-site links (those
-            joining the first daemon of each site) — an undetected
-            delay attack: links stay up, so shortest-path routing keeps
-            trusting their advertised latency. The redundant
-            second-node links and the client access links stay clean,
-            which is exactly what redundant/flooding dissemination can
-            exploit and single-path routing cannot. *)
-         let net = System.net sys in
-         let topo = Overlay.Net.topology net in
-         let n = System.replica_count sys in
-         let first_of_site = Hashtbl.create 7 in
-         for r = 0 to n - 1 do
-           let s = Overlay.Topology.site_of topo r in
-           if not (Hashtbl.mem first_of_site s) then
-             Hashtbl.replace first_of_site s r
-         done;
-         let is_gateway node =
-           node < n
-           && Hashtbl.find_opt first_of_site (Overlay.Topology.site_of topo node)
-              = Some node
-         in
-         List.iter
-           (fun link ->
-             let a = link.Overlay.Topology.endpoint_a
-             and b = link.Overlay.Topology.endpoint_b in
-             if
-               is_gateway a && is_gateway b
-               && Overlay.Topology.site_of topo a
-                  <> Overlay.Topology.site_of topo b
-             then Overlay.Net.set_latency_factor net a b factor)
-           (Overlay.Topology.links topo))
+       (fun () -> congest_primary_wan sys factor)
       : Sim.Engine.timer);
   System.run sys ~duration_us;
   finish sys ~duration_us
@@ -399,3 +398,66 @@ let fleet ?(tweak = fun c -> c) ~concentrators ~devices ~duration_us () =
   System.start sys;
   System.run sys ~duration_us;
   finish sys ~duration_us
+
+type adaptive_attack =
+  | Leader_slowdown of int  (* proposal delay, us (the E4 attack) *)
+  | Wan_delay of float (* primary-WAN latency factor (the E6 attack) *)
+
+type adaptive_result = {
+  base : latency_result;
+  post_attack_p99_ms : float;
+  knob_applied : int;
+  knob_rejected : int;
+  journal_consistent : bool;
+}
+
+let post_attack_p99 series ~from_us =
+  let h = Stats.Histogram.create () in
+  List.iter
+    (fun (time_us, lat_ms) ->
+      if time_us >= from_us then Stats.Histogram.add h lat_ms)
+    (Stats.Timeseries.to_list series);
+  if Stats.Histogram.count h = 0 then Float.infinity
+  else Stats.Histogram.percentile h 99.
+
+(* Experiment E13: adaptive resilience. The same deployment faces one
+   of two attacks it is never told about — the E4 leader slowdown or
+   the E6 undetected WAN delay. Static configurations each do well
+   against one and poorly against the other; the two-level controller
+   ([adaptive = true]) must diagnose the phase signature at runtime
+   and steer the knobs toward whichever static configuration is best
+   for the attack actually running. Telemetry is on in every arm
+   (including the static baselines) so the arms differ only in the
+   controller. *)
+let adaptive ?(tweak = fun c -> c) ?(controller = true)
+    ?(mode = Overlay.Net.Shortest) ~attack ~attack_from_us ~duration_us () =
+  let cfg =
+    tweak
+      {
+        (System.default_config ()) with
+        System.dissemination = mode;
+        telemetry = true;
+        adaptive = controller;
+      }
+  in
+  let sys = System.create cfg in
+  System.start sys;
+  ignore
+    (Sim.Engine.schedule_at (System.engine sys) ~time_us:attack_from_us
+       (fun () ->
+         match attack with
+         | Leader_slowdown delay_us -> System.set_leader_delay sys ~delay_us
+         | Wan_delay factor -> congest_primary_wan sys factor)
+      : Sim.Engine.timer);
+  System.run sys ~duration_us;
+  System.assert_agreement sys;
+  let base = result_of sys ~duration_us in
+  let knobs = System.knobs sys in
+  ( sys,
+    {
+      base;
+      post_attack_p99_ms = post_attack_p99 base.series ~from_us:attack_from_us;
+      knob_applied = Control.Knobs.total_applied knobs;
+      knob_rejected = Control.Knobs.total_rejected knobs;
+      journal_consistent = Control.Knobs.reconcile knobs;
+    } )

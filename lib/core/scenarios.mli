@@ -185,3 +185,49 @@ val fleet :
   duration_us:int ->
   unit ->
   System.t * latency_result
+
+(** The two attacks experiment E13 replays without telling the system
+    which one is running. *)
+type adaptive_attack =
+  | Leader_slowdown of int
+      (** the E4 attack: the leader delays every proposal by this many
+          microseconds *)
+  | Wan_delay of float
+      (** the E6 attack: primary inter-site WAN latency inflated by
+          this factor (links stay "up") *)
+
+type adaptive_result = {
+  base : latency_result;
+  post_attack_p99_ms : float;
+      (** p99 of confirmations at or after [attack_from_us]; [infinity]
+          when nothing confirmed after the attack began *)
+  knob_applied : int;  (** knob requests applied (whole run) *)
+  knob_rejected : int;  (** knob requests rejected (whole run) *)
+  journal_consistent : bool;
+      (** {!Control.Knobs.reconcile}: journal matches the counters,
+          i.e. no knob changed outside the validated path *)
+}
+
+(** [post_attack_p99 series ~from_us] is the p99 latency (ms) of the
+    confirmations at or after [from_us], or [infinity] when there are
+    none — the comparison metric of E13 (also usable over a later
+    window to measure the controller's converged steady state). *)
+val post_attack_p99 : Stats.Timeseries.t -> from_us:int -> float
+
+(** [adaptive ~attack ~attack_from_us ~duration_us ()] — experiment
+    E13: one arm of the adaptive-resilience comparison. With
+    [controller] (default [true]) the two-level feedback controller
+    is live and must converge near the best static configuration's
+    post-attack p99 without knowing which attack is running; with
+    [controller = false] and a [mode] (default [Shortest]) this is a
+    static baseline arm. Telemetry is always on so the arms differ
+    only in the controller. *)
+val adaptive :
+  ?tweak:(System.config -> System.config) ->
+  ?controller:bool ->
+  ?mode:Overlay.Net.mode ->
+  attack:adaptive_attack ->
+  attack_from_us:int ->
+  duration_us:int ->
+  unit ->
+  System.t * adaptive_result

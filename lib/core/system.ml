@@ -43,6 +43,13 @@ type config = {
          trajectory stays bit-identical to sequential. Falls back to
          sequential when telemetry or wire_debug is on (their sinks are
          engine-global). *)
+  adaptive : bool;
+      (* false (the default) disables the two-level resilience
+         controller entirely: no Local/Global instances, no tick timer
+         — the trajectory is bit-identical to a build without
+         lib/control. The tuning plane (knobs + actuator) always
+         exists; with no controller issuing requests it never acts. *)
+  adapt_tick_us : int; (* controller sampling cadence *)
   tweak_prime : Prime.Replica.config -> Prime.Replica.config;
   tweak_pbft : Pbft.Replica.config -> Pbft.Replica.config;
 }
@@ -87,6 +94,8 @@ let default_config () =
     telemetry = false;
     telemetry_capacity = 65536;
     intra_domains = 1;
+    adaptive = false;
+    adapt_tick_us = 250_000;
     tweak_prime = Fun.id;
     tweak_pbft = Fun.id;
   }
@@ -135,8 +144,17 @@ type t = {
   mutable recovery_listeners :
     ([ `Begin | `Complete ] -> Bft.Types.replica -> unit) list;
   share_cost_us : int;
-  reply_batch : Bft.Batch.policy;
+  mutable reply_batch : Bft.Batch.policy;
+      (* live aggregation policy; hot-swapped through the knob plane *)
   reply_accs : (int * Scada.Reply.t) Bft.Batch.acc array;
+  (* --- runtime tuning plane / adaptive controller --- *)
+  mutable dissemination : Overlay.Net.mode;
+      (* live dissemination mode read per send; initialised from
+         [cfg.dissemination], hot-swapped through the knob plane.
+         Frames already in flight keep the route captured at submit. *)
+  knobs : Control.Knobs.t;
+  mutable locals : Control.Local.t array; (* empty unless cfg.adaptive *)
+  mutable global_ctl : Control.Global.t option;
   (* Wire accounting, striped by executing engine stripe
      ({!Sim.Engine.exec_stripe}) so concurrent conservative-window
      stripes never share a cell (the size memo in particular would be a
@@ -177,6 +195,8 @@ let config t = t.cfg
 let world t = t.world
 let engine t = t.engine
 let net t = t.net
+let knobs t = t.knobs
+let dissemination t = t.dissemination
 let shard_partition t = Overlay.Net.partition t.net
 let telemetry t = t.telemetry
 let replica_count t = t.n
@@ -486,7 +506,7 @@ let send_payload t ~src_node ~dst_node payload =
     else Telemetry.Span.no_trace
   in
   Overlay.Net.send t.net ~priority:Overlay.Fair_queue.Control ~trace ~size_bytes
-    ~src:src_node ~dst:dst_node ~mode:t.cfg.dissemination payload
+    ~src:src_node ~dst:dst_node ~mode:t.dissemination payload
 
 (* Field-link frames (the device <-> concentrator last mile) never ride
    the overlay — devices are not overlay nodes — but they are real wire
@@ -668,6 +688,145 @@ let emit_replies t r ~exec_index ~(update : Bft.Update.t) effect =
         ~body:(Scada.Reply.Command { rtu; frame })
         ~dst_node:(node_of_client t rtu)
     end
+
+(* ------------------------------------------------------------------ *)
+(* Runtime tuning plane: the deployment side of [Control.Knobs].
+   Every entry point below is reached ONLY through the validated
+   [Knobs.request] path (see [install_actuator]); none of them is
+   called when no knob change is issued, so a controller-less run
+   never executes any of this code.                                    *)
+
+(* Swap the live dissemination mode for all future sends. Routes cached
+   for the previous mode are dropped; recomputation is a pure function
+   of the unchanged topology. In-flight frames keep the route captured
+   at submit time (the frame carries it), honouring the old mode. *)
+let set_dissemination t mode =
+  if mode <> t.dissemination then begin
+    t.dissemination <- mode;
+    Overlay.Net.invalidate_routes t.net
+  end
+
+(* Swap the aggregation policy everywhere it is live: the per-replica
+   reply accumulators, the Prime pre-order accumulators, and the client
+   endpoints (proxies + HMIs). Accumulators whose buffered generation
+   became due under the new policy drain immediately; stale generation
+   timers re-check their deadline, so nothing flushes twice. (Field
+   concentrators keep their construction-time policy: their aggregation
+   cadence is scan-synchronous, not delay-driven.) *)
+let apply_batch_policy t policy =
+  t.reply_batch <- policy;
+  Array.iteri
+    (fun r acc ->
+      Bft.Batch.set_policy acc policy;
+      if t.epoch_of.(r) >= 0 && not (faults t r).Bft.Faults.crashed then
+        if Bft.Batch.full acc then flush_replies t r else flush_replies_due t r)
+    t.reply_accs;
+  Array.iter
+    (fun instance ->
+      match instance with
+      | Prime_replica p -> Prime.Replica.set_batch_policy p policy
+      | Pbft_replica _ -> ())
+    t.replicas;
+  Array.iter
+    (fun p -> Scada.Endpoint.set_batch_policy (Scada.Proxy.endpoint p) policy)
+    t.proxies;
+  Array.iter
+    (fun h -> Scada.Endpoint.set_batch_policy (Scada.Hmi.endpoint h) policy)
+    t.hmis
+
+(* Iterate the current epoch's live Prime instances. *)
+let iter_live_prime t f =
+  Array.iter
+    (fun r ->
+      if t.epoch_of.(r) = t.cur_epoch && not (faults t r).Bft.Faults.crashed
+      then
+        match t.replicas.(r) with
+        | Prime_replica p when not (Prime.Replica.halted p) -> f p
+        | Prime_replica _ | Pbft_replica _ -> ())
+    t.cur_members
+
+let install_actuator t =
+  Control.Knobs.set_actuator t.knobs (fun req ->
+      match req with
+      | Control.Knobs.Set_routing r ->
+        set_dissemination t
+          (match r with
+          | Control.Knobs.Shortest -> Overlay.Net.Shortest
+          | Control.Knobs.Kdisjoint k -> Overlay.Net.Redundant k
+          | Control.Knobs.Flooding -> Overlay.Net.Flood);
+        Ok ()
+      | Control.Knobs.Set_max_batch m ->
+        let policy =
+          if m <= 1 then Bft.Batch.singleton
+          else
+            Bft.Batch.create
+              ~max_delay_us:
+                (if t.reply_batch.Bft.Batch.max_delay_us > 0 then
+                   t.reply_batch.Bft.Batch.max_delay_us
+                 else t.cfg.batch_delay_us)
+              ~max_batch:m ()
+        in
+        apply_batch_policy t policy;
+        Ok ()
+      | Control.Knobs.Set_batch_delay_us d ->
+        if Bft.Batch.is_singleton t.reply_batch then
+          Error "batching disabled (max_batch = 1); set max_batch first"
+        else begin
+          apply_batch_policy t
+            (Bft.Batch.create ~max_delay_us:d
+               ~max_batch:t.reply_batch.Bft.Batch.max_batch ());
+          Ok ()
+        end
+      | Control.Knobs.Set_recovery_period_us p -> (
+        match t.scheduler with
+        | None -> Error "proactive recovery not enabled"
+        | Some s ->
+          Recovery.Scheduler.set_rotation_period s p;
+          Ok ())
+      | Control.Knobs.Set_tat_threshold_us us -> (
+        match t.cfg.protocol with
+        | Pbft_protocol -> Error "TAT knobs require the Prime protocol"
+        | Prime_protocol ->
+          iter_live_prime t (fun p -> Prime.Replica.set_tat_threshold p us);
+          Ok ())
+      | Control.Knobs.Set_tat_violations k -> (
+        match t.cfg.protocol with
+        | Pbft_protocol -> Error "TAT knobs require the Prime protocol"
+        | Prime_protocol ->
+          iter_live_prime t (fun p ->
+              Prime.Replica.set_tat_violations_to_suspect p k);
+          Ok ())
+      | Control.Knobs.Demote_leader -> (
+        match t.cfg.protocol with
+        | Pbft_protocol -> Error "demotion requires the Prime protocol"
+        | Prime_protocol ->
+          let demoted = ref 0 in
+          iter_live_prime t (fun p ->
+              if Prime.Replica.demote_leader p then incr demoted);
+          if !demoted > 0 then Ok ()
+          else Error "no replica demoted (already suspected or leader)"))
+
+(* One controller tick: rebuild the attribution tables from the shared
+   sink, let every local estimator fold in its replica's view, and hand
+   the verdict vector to the global controller. *)
+let controller_tick t =
+  match t.global_ctl with
+  | None -> ()
+  | Some g ->
+    let a = Telemetry.Attribution.build t.telemetry in
+    let verdicts =
+      Array.map
+        (fun l ->
+          let r = Control.Local.replica l in
+          let tat_alarm =
+            match t.replicas.(r) with
+            | Prime_replica p -> Prime.Replica.suspected p
+            | Pbft_replica _ -> false
+          in
+          Control.Local.observe l ~tat_alarm a)
+        t.locals
+    in
+    Control.Global.step g ~now_us:(Sim.Engine.now t.engine) verdicts
 
 (* State transfer: adopt a (protocol snapshot, master state) pair
    vouched for by f+1 peers of the replica's OWN epoch. The two halves
@@ -1329,6 +1488,10 @@ let create cfg =
       share_cost_us = Cryptosim.Threshold.default_cost.Cryptosim.Threshold.share_us;
       reply_batch = batch_policy;
       reply_accs = Array.init universe (fun _ -> Bft.Batch.acc batch_policy);
+      dissemination = cfg.dissemination;
+      knobs = Control.Knobs.create ();
+      locals = [||];
+      global_ctl = None;
       wire_frames =
         Array.init (Sim.Engine.shards engine) (fun _ ->
             Array.make Wire.Message.kind_count 0);
@@ -1678,6 +1841,22 @@ let create cfg =
   t.proxies <- proxies;
   t.hmis <- hmis;
   t.concentrators <- concentrators;
+  (* The tuning plane always exists (knob requests from tests/operator
+     probes work on any instance); the controller only when asked. *)
+  install_actuator t;
+  if cfg.adaptive then begin
+    let base_tat =
+      match t.replicas.(0) with
+      | Prime_replica p -> Prime.Replica.tat_threshold_us p
+      | Pbft_replica _ -> 150_000
+    in
+    t.locals <- Array.init n (fun r -> Control.Local.create ~replica:r ());
+    t.global_ctl <-
+      Some
+        (Control.Global.create
+           (Control.Global.default_config ~n ~base_tat_threshold_us:base_tat)
+           t.knobs)
+  end;
   t
 
 let start t =
@@ -1690,7 +1869,14 @@ let start t =
     t.replicas;
   Array.iter Scada.Proxy.start t.proxies;
   Array.iter Scada.Hmi.start t.hmis;
-  Array.iter Field.Concentrator.start t.concentrators
+  Array.iter Field.Concentrator.start t.concentrators;
+  (* Controller tick: only armed when [cfg.adaptive] — a disabled
+     controller adds zero timers, so the trajectory is untouched. *)
+  if t.cfg.adaptive then
+    ignore
+      (Sim.Engine.periodic t.engine ~interval_us:t.cfg.adapt_tick_us (fun () ->
+           controller_tick t)
+        : Sim.Engine.timer)
 
 let run t ~duration_us =
   let until_us = Sim.Engine.now t.engine + duration_us in
@@ -1698,7 +1884,10 @@ let run t ~duration_us =
      state written from every stripe; the conservative scheduler has no
      striped story for them, so those configs stay on the (identical)
      sequential path. *)
-  if t.cfg.intra_domains > 1 && (not t.cfg.telemetry) && not t.cfg.wire_debug
+  if
+    t.cfg.intra_domains > 1
+    && (not t.cfg.telemetry) && (not t.cfg.wire_debug)
+    && not t.cfg.adaptive
   then begin
     let part_min = Overlay.Net.shard_min_latency t.net in
     let k = Array.length part_min in

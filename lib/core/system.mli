@@ -90,6 +90,18 @@ type config = {
           sequential execution. Falls back to the sequential engine
           when [telemetry] or [wire_debug] is on (their sinks are
           engine-global). Default [1]. *)
+  adaptive : bool;
+      (** enable the two-level adaptive-resilience controller
+          ({!Control.Local} per replica + one {!Control.Global}), ticking
+          every [adapt_tick_us] and actuating through the knob plane.
+          Off by default: a disabled controller allocates nothing
+          observable, arms no timer and draws no randomness, so the
+          trajectory is bit-identical to a build without [lib/control].
+          The controller senses through the telemetry sink — enable
+          [telemetry] for it to see anything. Forces sequential {!run}
+          (the sink is engine-global). *)
+  adapt_tick_us : int;
+      (** controller sampling cadence; default 250 ms *)
   tweak_prime : Prime.Replica.config -> Prime.Replica.config;
   tweak_pbft : Pbft.Replica.config -> Pbft.Replica.config;
 }
@@ -141,6 +153,28 @@ val shard_partition : t -> Sim.Shard.partition
     [telemetry = true], a per-instance disabled sink otherwise. Feed it
     to {!Telemetry.Attribution} / {!Telemetry.Export} after a run. *)
 val telemetry : t -> Telemetry.Sink.t
+
+(** {1 Runtime tuning plane}
+
+    Every live parameter change — controller-issued or manual — flows
+    through {!Control.Knobs.request} on [knobs t]; the installed
+    actuator translates validated requests onto the running components:
+    routing mode ({!Overlay.Net}, with route-cache invalidation;
+    in-flight frames keep their submit-time route), aggregation policy
+    (Prime pre-order accumulators, reply accumulators, client
+    endpoints — due generations drain immediately, stale timers
+    re-check their deadline), proactive-recovery rotation period
+    (re-staggered live), Prime TAT suspicion knobs, and leader
+    demotion (one suspicion per correct replica; rotation still needs
+    the [f+k+1] protocol quorum). The journal plus per-knob counters
+    are the complete audit trail. *)
+
+(** [knobs t] is the instance's tuning plane (always present; with no
+    requests issued it never acts). *)
+val knobs : t -> Control.Knobs.t
+
+(** [dissemination t] is the live mode future sends will use. *)
+val dissemination : t -> Overlay.Net.mode
 
 (** {1 Component access} *)
 

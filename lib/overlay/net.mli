@@ -198,6 +198,17 @@ val node_retired : 'a t -> Topology.node -> bool
     delay (e.g. 10x under congestion attack). Factor must be >= 1. *)
 val set_latency_factor : 'a t -> Topology.node -> Topology.node -> float -> unit
 
+(** [invalidate_routes t] clears every cached shortest path and
+    k-disjoint path set, forcing recomputation on next use. Called
+    internally after every topology mutation ([kill_link],
+    [restore_node], ...); exposed so callers that change the
+    {e dissemination mode} of future sends (the runtime tuning plane)
+    can drop routes computed for the previous mode. Recomputation is a
+    pure function of the unchanged topology, so invalidation alone
+    never changes the trajectory; frames already in flight keep the
+    route captured at submit time. *)
+val invalidate_routes : 'a t -> unit
+
 (** [set_loss_probability t a b p] makes each transmission over the
     link drop with probability [p] (0 <= p < 1). Hop-by-hop ARQ
     retransmits lost frames (up to 8 attempts), converting loss into

@@ -61,6 +61,13 @@ type snapshot = {
 
 type t = {
   config : config;
+  (* --- live knobs (runtime tuning plane) --- *)
+  (* Initialised from [config]; the corresponding [config] fields are
+     never read after [create]. Hot-swapped by the control layer via
+     the [set_*] entry points below. *)
+  mutable tat_threshold_us : int;
+  mutable tat_violations_to_suspect : int;
+  mutable batch : Batch.policy;
   env : Msg.t Env.t;
   execute : int -> Update.t -> unit;
   faults : Faults.t;
@@ -176,6 +183,9 @@ let create config env ~execute =
   let nn = config.quorum.Quorum.n in
   {
     config;
+    tat_threshold_us = config.tat_threshold_us;
+    tat_violations_to_suspect = config.tat_violations_to_suspect;
+    batch = config.batch;
     env;
     execute;
     faults = Faults.honest ();
@@ -463,7 +473,7 @@ let accept_preprepare t ~view ~seq ~matrix =
 
 let record_tat_sample t sample_us =
   if sample_us > t.max_tat_us then t.max_tat_us <- sample_us;
-  if sample_us > t.config.tat_threshold_us then
+  if sample_us > t.tat_threshold_us then
     t.tat_violations <- t.tat_violations + 1
   else t.tat_violations <- 0
 
@@ -479,9 +489,32 @@ let process_tat_on_preprepare t matrix =
     | Some _ | None -> continue := false
   done
 
+(* Drop per-view vote tables strictly below the installed view.
+   Provably invisible to behaviour: [record_suspect] only acts when
+   [view = t.view], [record_vc_vote] when [target > t.view] and
+   [note_view_evidence] when [view > t.view], so entries below the
+   current view can never be read again — on long soaks with repeated
+   view changes they only grow the tables. Called at every view
+   advance. *)
+let prune_stale_views t =
+  let drop tbl =
+    let stale =
+      Hashtbl.fold (fun v _ acc -> if v < t.view then v :: acc else acc) tbl []
+    in
+    List.iter (Hashtbl.remove tbl) stale
+  in
+  drop t.suspects;
+  drop t.vc_votes;
+  drop t.view_evidence
+
+(* Retained per-view table count, for leak regression tests. *)
+let retained_suspect_views t =
+  Hashtbl.length t.suspects + Hashtbl.length t.vc_votes
+  + Hashtbl.length t.view_evidence
+
 let rec maybe_suspect t =
   if
-    t.tat_violations >= t.config.tat_violations_to_suspect
+    t.tat_violations >= t.tat_violations_to_suspect
     && t.suspected_view < t.view
     && not (is_leader t)
   then begin
@@ -612,6 +645,7 @@ and install_new_view t target votes =
         | None -> (seq, Matrix.empty ~n:nn))
   in
   t.view <- target;
+  prune_stale_views t;
   t.mode <- Normal;
   t.view_changes <- t.view_changes + 1;
   t.next_seq <- !max_seq + 1;
@@ -640,6 +674,7 @@ let note_view_evidence t ~from ~view =
     Hashtbl.replace voters from ();
     if Hashtbl.length voters >= Quorum.reply_threshold t.config.quorum then begin
       t.view <- view;
+      prune_stale_views t;
       t.mode <- Normal;
       t.view_changes <- t.view_changes + 1;
       t.tat_violations <- 0;
@@ -653,6 +688,7 @@ let note_view_evidence t ~from ~view =
 let adopt_new_view t ~view ~proposals =
   if view > t.view then begin
     t.view <- view;
+    prune_stale_views t;
     t.mode <- Normal;
     t.view_changes <- t.view_changes + 1;
     t.tat_violations <- 0;
@@ -728,7 +764,7 @@ let watchdog t =
     let now = t.env.Env.now_us () in
     (* TAT probes that never completed count as violations. *)
     (match Queue.peek_opt t.pending_tats with
-    | Some probe when now - probe.sent_us > t.config.tat_threshold_us ->
+    | Some probe when now - probe.sent_us > t.tat_threshold_us ->
       ignore (Queue.pop t.pending_tats : tat_probe);
       record_tat_sample t (now - probe.sent_us)
     | Some _ | None -> ());
@@ -739,7 +775,7 @@ let watchdog t =
       t.frontier <- Array.copy t.recv;
       t.frontier_since_us <- now
     end
-    else if now - t.frontier_since_us > t.config.tat_threshold_us then begin
+    else if now - t.frontier_since_us > t.tat_threshold_us then begin
       t.tat_violations <- t.tat_violations + 1;
       if now - t.frontier_since_us > t.max_tat_us then
         t.max_tat_us <- now - t.frontier_since_us;
@@ -899,7 +935,7 @@ let submit t update =
   if (not t.halted) && not t.faults.Faults.crashed then begin
     let key = Update.key update in
     if not (Delivery.seen t.delivery key) then
-      if Batch.is_singleton t.config.batch then begin
+      if Batch.is_singleton t.batch then begin
         let po_seq = t.po_next_seq in
         t.po_next_seq <- po_seq + 1;
         let origin = t.env.Env.self in
@@ -911,11 +947,62 @@ let submit t update =
         if Batch.full t.po_acc then flush_po t
         else if Batch.length t.po_acc = 1 then
           ignore
-            (t.env.Env.set_timer t.config.batch.Batch.max_delay_us (fun () ->
+            (t.env.Env.set_timer t.batch.Batch.max_delay_us (fun () ->
                  flush_po_due t)
               : Sim.Engine.timer)
       end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Runtime tuning plane: live-settable knobs.                          *)
+
+let tat_threshold_us t = t.tat_threshold_us
+
+let set_tat_threshold t us =
+  if us <= 0 then invalid_arg "Replica.set_tat_threshold: non-positive";
+  t.tat_threshold_us <- us
+
+let set_tat_violations_to_suspect t k =
+  if k < 1 then invalid_arg "Replica.set_tat_violations_to_suspect: < 1";
+  t.tat_violations_to_suspect <- k
+
+let set_batch_policy t p =
+  t.batch <- Batch.validate p;
+  Batch.set_policy t.po_acc p;
+  (* A shrink can make the buffered pre-order generation due right now
+     (size bound crossed, or deadline moved into the past): drain it.
+     The generation's old timer stays armed but is harmless — it
+     re-checks [deadline_us] before flushing. *)
+  if (not t.halted) && not t.faults.Faults.crashed then begin
+    if Batch.full t.po_acc then flush_po t
+    else
+      match Batch.deadline_us t.po_acc with
+      | Some d when d <= t.env.Env.now_us () -> flush_po t
+      | Some _ | None -> ()
+  end
+
+(* Controller-initiated leader demotion: suspect the current leader
+   immediately, without waiting for [tat_violations_to_suspect] local
+   TAT evidence. Same broadcast path as [maybe_suspect] — rotation
+   still needs [Quorum.suspect_threshold] distinct suspicions, so a
+   single compromised (or over-eager) controller cannot depose a
+   correct leader on its own. No-op if we already suspected this view
+   or are the leader ourselves. *)
+let demote_leader t =
+  if
+    (not t.halted)
+    && (not t.faults.Faults.crashed)
+    && t.suspected_view < t.view
+    && not (is_leader t)
+  then begin
+    t.suspected_view <- t.view;
+    t.tat_violations <- 0;
+    t.env.Env.trace (Printf.sprintf "demote: suspect leader of v%d" t.view);
+    broadcast t (Msg.Suspect { view = t.view });
+    record_suspect t ~from:t.env.Env.self ~view:t.view;
+    true
+  end
+  else false
 
 let handle t ~from msg =
   if (not t.halted) && not t.faults.Faults.crashed then begin

@@ -98,6 +98,54 @@ val max_tat_us : t -> int
     leader of its view. *)
 val suspected : t -> bool
 
+(** {1 Runtime tuning plane}
+
+    Live-settable knobs, hot-swapped on a running replica by the
+    control layer ({!Control}). Each setter validates its argument and
+    takes effect from the next protocol step; none of them sends a
+    frame, draws randomness or arms a timer by itself (except
+    [set_batch_policy] draining an already-due generation and
+    [demote_leader], whose effects are documented), so with no
+    controller issuing changes the trajectory is untouched. *)
+
+(** [tat_threshold_us t] is the current (possibly hot-swapped)
+    turnaround bound. *)
+val tat_threshold_us : t -> int
+
+(** [set_tat_threshold t us] swaps the TAT suspicion bound; applies to
+    the next sample/watchdog check. In-flight probes are judged under
+    the new bound.
+    @raise Invalid_argument if [us <= 0]. *)
+val set_tat_threshold : t -> int -> unit
+
+(** [set_tat_violations_to_suspect t k] swaps the consecutive-violation
+    count that triggers suspicion.
+    @raise Invalid_argument if [k < 1]. *)
+val set_tat_violations_to_suspect : t -> int -> unit
+
+(** [set_batch_policy t p] swaps the pre-order batching policy on the
+    live accumulator. If the swap makes the buffered generation due
+    (new [max_batch] at or below the buffered length, or a shorter
+    deadline now in the past) it is flushed immediately; the stale
+    generation timer stays armed and re-checks the deadline, so no
+    update is ever flushed twice or lost.
+    @raise Invalid_argument on an invalid policy. *)
+val set_batch_policy : t -> Bft.Batch.policy -> unit
+
+(** [demote_leader t] suspects the current view's leader immediately
+    (controller-initiated), bypassing the local TAT evidence count but
+    not the protocol: rotation still requires [f + k + 1] distinct
+    suspicions, so a lone demotion request cannot depose a correct
+    leader. Returns [false] (no-op) if this replica already suspected
+    this view, is itself the leader, or is crashed/halted. *)
+val demote_leader : t -> bool
+
+(** [retained_suspect_views t] is the number of per-view vote tables
+    currently held (suspicions + view-change votes + view evidence).
+    Stale views are pruned at every view advance, so this stays bounded
+    on long soaks — see the leak regression test. *)
+val retained_suspect_views : t -> int
+
 (** {1 Epoch cutover} *)
 
 (** [epoch t] is the membership epoch from the config. *)

@@ -7,6 +7,9 @@ type config = {
 type t = {
   engine : Sim.Engine.t;
   config : config;
+  mutable rotation_period_us : int;
+      (* live copy of [config.rotation_period_us]; see
+         [set_rotation_period] *)
   n : int;
   on_begin : Bft.Types.replica -> unit;
   on_complete : Bft.Types.replica -> unit;
@@ -25,6 +28,7 @@ let create ~engine ~config ~n ~on_begin ~on_complete =
   {
     engine;
     config;
+    rotation_period_us = config.rotation_period_us;
     n;
     on_begin;
     on_complete;
@@ -63,10 +67,12 @@ let begin_recovery t r =
 
 let trigger_now t r = begin_recovery t r
 
+let rotation_period_us t = t.rotation_period_us
+
 let start t =
   if not t.running then begin
     t.running <- true;
-    let slot = t.config.rotation_period_us / t.n in
+    let slot = t.rotation_period_us / t.n in
     for r = 0 to t.n - 1 do
       (* Descending replica order: leader rotation moves views upward,
          so recovering downward avoids rejuvenating the current leader
@@ -78,7 +84,7 @@ let start t =
               ignore (begin_recovery t r : bool);
               let periodic =
                 Sim.Engine.periodic t.engine
-                  ~interval_us:t.config.rotation_period_us (fun () ->
+                  ~interval_us:t.rotation_period_us (fun () ->
                     if t.running then ignore (begin_recovery t r : bool))
               in
               t.timers <- periodic :: t.timers
@@ -92,3 +98,17 @@ let stop t =
   t.running <- false;
   List.iter Sim.Engine.cancel t.timers;
   t.timers <- []
+
+(* Hot-swap the rotation period (runtime tuning plane). A running
+   rotation is torn down and re-staggered from now on the new cadence;
+   in-flight recoveries complete on their own timers, untouched by
+   [stop]. *)
+let set_rotation_period t period_us =
+  if period_us <= 0 then
+    invalid_arg "Scheduler.set_rotation_period: non-positive period";
+  if period_us <> t.rotation_period_us then begin
+    let was_running = t.running in
+    if was_running then stop t;
+    t.rotation_period_us <- period_us;
+    if was_running then start t
+  end

@@ -37,6 +37,18 @@ val start : t -> unit
     complete). *)
 val stop : t -> unit
 
+(** [rotation_period_us t] is the current (possibly hot-swapped)
+    rotation period. *)
+val rotation_period_us : t -> int
+
+(** [set_rotation_period t period_us] swaps the rotation period on a
+    live scheduler. If the rotation is running it is cancelled and
+    re-staggered from the current virtual time on the new cadence
+    (in-flight recoveries still complete). No-op when the period is
+    unchanged.
+    @raise Invalid_argument on a non-positive period. *)
+val set_rotation_period : t -> int -> unit
+
 (** [trigger_now t replica] requests an immediate (reactive) recovery;
     returns [false] if the replica is already recovering or the
     concurrency budget is exhausted. *)

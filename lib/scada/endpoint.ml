@@ -25,7 +25,9 @@ type t = {
   (* Batch path: [None] (or a singleton policy) means every send_op
      ships immediately through [submit] — the legacy wire shape. *)
   submit_batch : (Bft.Update.t list -> unit) option;
-  batch : Bft.Batch.policy;
+  mutable batch : Bft.Batch.policy;
+      (* live-settable by the runtime tuning plane; see
+         [set_batch_policy] *)
   acc : Bft.Update.t Bft.Batch.acc;
   pending : (int, pending) Hashtbl.t; (* client_seq -> pending *)
   mutable next_seq : int;
@@ -96,6 +98,16 @@ let flush_batch_due t =
   match Bft.Batch.deadline_us t.acc with
   | Some d when d <= Sim.Engine.now t.engine -> flush_batch t
   | Some _ | None -> ()
+
+(* Hot-swap the client-side aggregation policy. Drains the buffered
+   generation if the swap made it due; the stale generation timer
+   re-checks the deadline, so nothing flushes twice. *)
+let set_batch_policy t p =
+  t.batch <- Bft.Batch.validate p;
+  Bft.Batch.set_policy t.acc p;
+  if Bft.Batch.full t.acc then flush_batch t else flush_batch_due t
+
+let batch_policy t = t.batch
 
 let send_op t op =
   let seq = t.next_seq in

@@ -63,3 +63,18 @@ val client_id : t -> Bft.Types.client
 val pending_count : t -> int
 val completed_count : t -> int
 val resubmit_count : t -> int
+
+(** [batch_policy t] is the current (possibly hot-swapped) aggregation
+    policy. *)
+val batch_policy : t -> Bft.Batch.policy
+
+(** [set_batch_policy t p] swaps the aggregation policy on the live
+    endpoint (runtime tuning plane). If the swap makes the buffered
+    generation due — new [max_batch] at or below the buffered length,
+    or a shorter deadline now in the past — it flushes immediately; the
+    stale generation timer re-checks the deadline, so no update ships
+    twice. Note a swap {e to} a singleton policy still drains buffered
+    updates through the batch path; only future {!send_op}s bypass the
+    accumulator.
+    @raise Invalid_argument on an invalid policy. *)
+val set_batch_policy : t -> Bft.Batch.policy -> unit

@@ -531,6 +531,95 @@ let test_net_self_send () =
   Alcotest.(check int) "self delivery" 1 !received
 
 (* ------------------------------------------------------------------ *)
+(* Mid-run dissemination-mode switches (the runtime tuning plane's
+   overlay contract) *)
+
+(* Flip Shortest -> Flood -> Redundant 2 while the previous phase's
+   frames are still in flight (sends are spaced 200us; the 0->9 route
+   crosses several WAN hops of >= 1ms each). Contract: every frame is
+   delivered exactly once — dedup absorbs the redundant copies — none
+   is dropped for lack of a route, and the route caches survive being
+   invalidated at each switch, exactly as [System.set_dissemination]
+   does. *)
+let test_net_mode_switch_under_load () =
+  let topo, _ = T.wide_area_east_coast () in
+  let engine, net = make_net ~per_source_cap:1024 topo in
+  let got : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  N.set_handler net 9 (fun d ->
+      let (Ping i) = d.N.payload in
+      Hashtbl.replace got i
+        (1 + Option.value ~default:0 (Hashtbl.find_opt got i)));
+  let per_phase = 40 in
+  List.iter
+    (fun (p, mode) ->
+      if p > 0 then
+        ignore
+          (Sim.Engine.schedule_at engine ~time_us:(p * per_phase * 200)
+             (fun () -> N.invalidate_routes net)
+            : Sim.Engine.timer);
+      for i = 0 to per_phase - 1 do
+        let id = (p * per_phase) + i in
+        ignore
+          (Sim.Engine.schedule_at engine
+             ~time_us:((id * 200) + 1)
+             (fun () ->
+               N.send net ~src:0 ~dst:9 ~size_bytes:256 ~mode (Ping id))
+            : Sim.Engine.timer)
+      done)
+    [ (0, N.Shortest); (1, N.Flood); (2, N.Redundant 2) ];
+  Sim.Engine.run_until_quiescent engine;
+  let total = 3 * per_phase in
+  let missing = ref 0 and dup = ref 0 in
+  for id = 0 to total - 1 do
+    match Hashtbl.find_opt got id with
+    | None -> incr missing
+    | Some 1 -> ()
+    | Some _ -> incr dup
+  done;
+  Alcotest.(check int) "no frame lost across switches" 0 !missing;
+  Alcotest.(check int) "no duplicate delivery" 0 !dup;
+  let s = N.stats net in
+  Alcotest.(check bool) "redundant copies suppressed, not delivered" true
+    (s.N.duplicates_suppressed > 0);
+  Alcotest.(check int) "never dropped for lack of a route" 0
+    s.N.dropped_no_route;
+  Alcotest.(check int) "per-source cap never hit" 0 s.N.dropped_queue_full
+
+(* Invalidation is harmless by construction: recomputation from the
+   unchanged topology yields the same route, so a mode switch can never
+   change where Shortest frames go. *)
+let test_net_invalidate_routes_recomputes_same () =
+  let topo = diamond () in
+  let engine, net = make_net topo in
+  let received = ref 0 in
+  N.set_handler net 3 (fun _ -> incr received);
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 1);
+  Sim.Engine.run_until_quiescent engine;
+  let before = N.current_route net ~src:0 ~dst:3 in
+  N.invalidate_routes net;
+  let after = N.current_route net ~src:0 ~dst:3 in
+  Alcotest.(check (option (list int))) "same route after invalidation" before
+    after;
+  N.send net ~src:0 ~dst:3 ~size_bytes:256 ~mode:N.Shortest (Ping 2);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "delivery unaffected" 2 !received
+
+(* An in-flight frame keeps the route captured at submit: invalidating
+   the caches immediately after send (what a mode switch does) neither
+   loses nor duplicates it. *)
+let test_net_switch_preserves_in_flight () =
+  let topo, _ = T.wide_area_east_coast () in
+  let engine, net = make_net topo in
+  let deliveries = ref 0 in
+  N.set_handler net 9 (fun _ -> incr deliveries);
+  N.send net ~src:0 ~dst:9 ~size_bytes:256 ~mode:N.Shortest (Ping 1);
+  N.invalidate_routes net;
+  N.send net ~src:0 ~dst:9 ~size_bytes:256 ~mode:N.Flood (Ping 2);
+  Sim.Engine.run_until_quiescent engine;
+  Alcotest.(check int) "both frames delivered exactly once" 2 !deliveries;
+  Alcotest.(check int) "no route drops" 0 (N.stats net).N.dropped_no_route
+
+(* ------------------------------------------------------------------ *)
 (* WAN boundary ledger vs. advertised latency floor *)
 
 (* The conservative scheduler's lookahead precondition, as a property:
@@ -672,6 +761,12 @@ let () =
           Alcotest.test_case "self send" `Quick test_net_self_send;
           Alcotest.test_case "retired and unknown src dropped" `Quick
             test_net_retired_src_dropped;
+          Alcotest.test_case "mode switch under load" `Quick
+            test_net_mode_switch_under_load;
+          Alcotest.test_case "invalidation recomputes same routes" `Quick
+            test_net_invalidate_routes_recomputes_same;
+          Alcotest.test_case "switch preserves in-flight frames" `Quick
+            test_net_switch_preserves_in_flight;
         ] );
       ( "wan_boundary",
         [

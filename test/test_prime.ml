@@ -335,6 +335,54 @@ let test_max_tat_reflects_leader_delay () =
     (Prime.Replica.view (Bft.Cluster.replica h.cluster 1));
   check_agreement h
 
+let test_stale_suspect_views_pruned () =
+  (* Regression for the per-view table leak: suspicions, view-change
+     votes and new-view evidence are keyed by view; entries below the
+     current view can never be read again and must be dropped when the
+     view advances. Chaos run: slow down whichever replica currently
+     leads, three times in a row, so the cluster rotates through
+     several views while updates keep flowing. *)
+  let h = make_harness () in
+  let faulted = ref None in
+  let slow_current_leader () =
+    (match !faulted with
+    | Some r ->
+        Bft.Faults.reset (Prime.Replica.faults (Bft.Cluster.replica h.cluster r))
+    | None -> ());
+    let view = Prime.Replica.view (Bft.Cluster.replica h.cluster 5) in
+    let leader = view mod 6 in
+    faulted := Some leader;
+    (Prime.Replica.faults (Bft.Cluster.replica h.cluster leader))
+      .Bft.Faults.proposal_delay_us <- 400_000
+  in
+  List.iter
+    (fun time_us ->
+      ignore
+        (Sim.Engine.schedule_at h.engine ~time_us (fun () ->
+             slow_current_leader ())))
+    [ 100_000; 3_100_000; 6_100_000 ];
+  for i = 1 to 80 do
+    submit_at h ~time_us:(i * 100_000) ~origin:(i mod 6) (update ~client:6 ~seq:i)
+  done;
+  Sim.Engine.run h.engine ~until_us:12_000_000;
+  check_agreement h;
+  Alcotest.(check bool) "several view changes happened" true
+    (Prime.Replica.view (Bft.Cluster.replica h.cluster 5) >= 3);
+  (* With pruning, each replica retains rows only for its current (and
+     possibly next pending) view — a handful, independent of how many
+     views the run burned through. Without pruning this climbs with
+     every rotation (one suspects row + one vote row + one evidence row
+     per historical view). *)
+  for r = 0 to 5 do
+    let retained =
+      Prime.Replica.retained_suspect_views (Bft.Cluster.replica h.cluster r)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "replica %d retains only live view rows (got %d)" r
+         retained)
+      true (retained <= 4)
+  done
+
 let () =
   Alcotest.run "prime"
     [
@@ -369,5 +417,7 @@ let () =
             test_recovered_replica_rejoins;
           Alcotest.test_case "TAT reflects delay" `Quick
             test_max_tat_reflects_leader_delay;
+          Alcotest.test_case "stale suspect views pruned" `Quick
+            test_stale_suspect_views_pruned;
         ] );
     ]
